@@ -1,0 +1,116 @@
+// End-to-end pipeline microbenchmarks: geo-database lookups, dataset
+// conditioning throughput, per-AS footprint/PoP analysis and the geodesic
+// primitives in the hot paths.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/classifier.hpp"
+#include "util/rng.hpp"
+#include "gazetteer/gazetteer.hpp"
+
+namespace {
+
+using namespace eyeball;
+
+const bench::World& world() {
+  static const bench::World instance = bench::World::generated(0.05, 0.1);
+  return instance;
+}
+
+void BM_GeoDbLookup(benchmark::State& state) {
+  const auto& w = world();
+  const auto& samples = w.crawl.samples;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.primary.lookup(samples[cursor].ip));
+    cursor = (cursor + 1) % samples.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeoDbLookup);
+
+void BM_DatasetBuild(benchmark::State& state) {
+  const auto& w = world();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.pipeline.build_dataset(w.crawl.samples));
+  }
+  state.SetItemsProcessed(state.iterations() * w.crawl.samples.size());
+}
+BENCHMARK(BM_DatasetBuild)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeAs(benchmark::State& state) {
+  const auto& w = world();
+  // Largest AS in the dataset = worst case.
+  const core::AsPeerSet* biggest = nullptr;
+  for (const auto& as : w.dataset.ases()) {
+    if (biggest == nullptr || as.peers.size() > biggest->peers.size()) biggest = &as;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.pipeline.analyze(*biggest));
+  }
+  state.SetLabel(std::to_string(biggest->peers.size()) + " peers");
+  state.SetItemsProcessed(state.iterations() * biggest->peers.size());
+}
+BENCHMARK(BM_AnalyzeAs)->Unit(benchmark::kMillisecond);
+
+void BM_PopFootprintBandwidth(benchmark::State& state) {
+  const auto& w = world();
+  const core::AsPeerSet* biggest = nullptr;
+  for (const auto& as : w.dataset.ases()) {
+    if (biggest == nullptr || as.peers.size() > biggest->peers.size()) biggest = &as;
+  }
+  const auto bandwidth = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.pipeline.pop_footprint(*biggest, bandwidth));
+  }
+}
+BENCHMARK(BM_PopFootprintBandwidth)->Arg(10)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Classify(benchmark::State& state) {
+  const auto& w = world();
+  const core::AsClassifier classifier{w.gaz};
+  const auto& as = w.dataset.ases()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.classify(as));
+  }
+  state.SetItemsProcessed(state.iterations() * as.peers.size());
+}
+BENCHMARK(BM_Classify)->Unit(benchmark::kMillisecond);
+
+void BM_HaversineDistance(benchmark::State& state) {
+  const geo::GeoPoint a{41.9, 12.5};
+  const geo::GeoPoint b{45.46, 9.19};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::distance_km(a, b));
+  }
+}
+BENCHMARK(BM_HaversineDistance);
+
+void BM_ApproxDistance(benchmark::State& state) {
+  const geo::GeoPoint a{41.9, 12.5};
+  const geo::GeoPoint b{45.46, 9.19};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::approx_distance_km(a, b));
+  }
+}
+BENCHMARK(BM_ApproxDistance);
+
+void BM_NearestCity(benchmark::State& state) {
+  const auto& w = world();
+  util::Rng rng{3};
+  std::vector<geo::GeoPoint> queries;
+  for (int i = 0; i < 1024; ++i) {
+    queries.push_back({rng.uniform(30.0, 60.0), rng.uniform(-10.0, 40.0)});
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.gaz.nearest_city(queries[cursor++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NearestCity);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Microbenchmarks for the longest-prefix-match trie that backs the
+// IP -> AS grouping step, across RIB sizes typical of scaled-down and
+// full RouteViews-like tables.
+#include <benchmark/benchmark.h>
+
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eyeball;
+
+net::PrefixTrie<std::uint32_t> make_trie(std::size_t entries, std::uint64_t seed) {
+  util::Rng rng{seed};
+  net::PrefixTrie<std::uint32_t> trie;
+  std::uint32_t asn = 1;
+  while (trie.size() < entries) {
+    const auto length = static_cast<int>(12 + rng.uniform_index(13));  // /12../24
+    trie.insert(net::Ipv4Prefix{net::Ipv4Address{static_cast<std::uint32_t>(rng())}, length},
+                asn++);
+  }
+  return trie;
+}
+
+void BM_TrieInsert(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_trie(entries, 42));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrieInsert)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  const auto trie = make_trie(static_cast<std::size_t>(state.range(0)), 42);
+  util::Rng rng{7};
+  std::vector<net::Ipv4Address> queries;
+  for (int i = 0; i < 4096; ++i) {
+    queries.push_back(net::Ipv4Address{static_cast<std::uint32_t>(rng())});
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.longest_match(queries[cursor++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLongestMatch)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(500000);
+
+void BM_TrieForEach(benchmark::State& state) {
+  const auto trie = make_trie(100000, 42);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    trie.for_each([&](const net::Ipv4Prefix&, std::uint32_t) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_TrieForEach)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

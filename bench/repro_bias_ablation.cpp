@@ -1,0 +1,82 @@
+// Ablation for Sec. 4.3 (sampling bias — left as future work in the paper,
+// quantified here): inject mild bias (a PoP's sampling rate scaled down)
+// and significant bias (PoP blackouts) into the crawler and measure the
+// effect on PoP recall and on the accuracy of the per-PoP density scores.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace eyeball;
+
+struct BiasOutcome {
+  double pop_recall = 0.0;       // fraction of true major PoPs discovered
+  double score_error = 0.0;      // mean |inferred share - true share| on found PoPs
+  std::size_t ases = 0;
+};
+
+BiasOutcome evaluate(const bench::World& world) {
+  BiasOutcome outcome;
+  std::size_t found = 0;
+  std::size_t total = 0;
+  util::RunningStats score_error;
+  for (const auto& as : world.dataset.ases()) {
+    const auto pops = world.pipeline.pop_footprint(as, 40.0);
+    const auto& true_as = world.eco.at(as.asn);
+    ++outcome.ases;
+    for (const auto& pop : true_as.pops) {
+      if (pop.transit_only || pop.customer_share < 0.05) continue;
+      ++total;
+      if (pops.has_city(pop.city)) {
+        ++found;
+        for (const auto& entry : pops.pops) {
+          if (entry.city == pop.city) {
+            score_error.add(std::abs(entry.score - pop.customer_share));
+          }
+        }
+      }
+    }
+  }
+  outcome.pop_recall = total == 0 ? 0.0 : static_cast<double>(found) / total;
+  outcome.score_error = score_error.mean();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_heading(
+      "Sec. 4.3 ablation — sampling bias vs PoP discovery (paper: future work)");
+
+  struct Case {
+    const char* label;
+    p2p::BiasConfig bias;
+  };
+  const Case cases[] = {
+      {"no bias", {}},
+      {"mild bias (30% of PoPs undersampled)", {0.3, 0.0}},
+      {"mild bias (all PoPs undersampled)", {1.0, 0.0}},
+      {"significant bias (15% PoP blackouts)", {0.0, 0.15}},
+      {"significant bias (40% PoP blackouts)", {0.0, 0.40}},
+  };
+
+  util::TextTable table{{"crawl bias", "target ASes", "major-PoP recall",
+                         "mean density-score error"}};
+  for (const auto& test_case : cases) {
+    const auto world = bench::World::generated(0.25, 0.12, 2009, test_case.bias);
+    const auto outcome = evaluate(world);
+    table.add_row({test_case.label, std::to_string(outcome.ases),
+                   util::percent(outcome.pop_recall),
+                   util::fixed(outcome.score_error, 3)});
+  }
+  std::cout << '\n' << table;
+
+  std::cout << "\nReading: mild bias mostly distorts the density value attached to\n"
+               "a PoP (the paper's 'inaccurate density') while blackouts remove\n"
+               "PoPs from the inferred footprint entirely ('significant bias').\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Longitudinal crawl demo: why the paper's six-month crawl yields 89.1M
+// unique IP addresses while conditioning leaves 48M "users" — dynamic
+// address reassignment makes the same subscriber appear under several IPs
+// across crawl windows.  Prints cumulative unique IPs per monthly window
+// and the underlying distinct-user count, for two DHCP lease regimes.
+#include <iostream>
+
+#include "common.hpp"
+#include "p2p/churn.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eyeball;
+
+  bench::print_heading(
+      "Sec. 2 mechanics — unique IPs vs users over a six-window crawl");
+
+  gazetteer::Gazetteer gaz = gazetteer::Gazetteer::builtin();
+  topology::EcosystemConfig config;
+  config.seed = 2009;
+  const auto eco = topology::generate_ecosystem(gaz, config.scaled(0.05));
+
+  p2p::CrawlerConfig crawl_config;
+  crawl_config.seed = 2009;
+  crawl_config.coverage = 0.3;
+
+  util::TextTable table{{"lease survival", "w1", "w2", "w3", "w4", "w5", "w6",
+                         "distinct users", "IPs per user"}};
+  for (const double survival : {0.9, 0.6, 0.3}) {
+    p2p::ChurnConfig churn;
+    churn.seed = 2009;
+    churn.windows = 6;
+    churn.lease_survival = survival;
+    const auto result = p2p::longitudinal_crawl(eco, gaz, crawl_config, churn);
+    std::vector<std::string> row{util::percent(survival, 0)};
+    for (const std::size_t unique : result.cumulative_unique) {
+      row.push_back(util::in_thousands(static_cast<long long>(unique)) + "k");
+    }
+    row.push_back(util::in_thousands(static_cast<long long>(result.distinct_users)) + "k");
+    row.push_back(util::fixed(static_cast<double>(result.samples.size()) /
+                                  static_cast<double>(result.distinct_users),
+                              2));
+    table.add_row(std::move(row));
+  }
+  std::cout << '\n' << table;
+
+  std::cout << "\nReading: cumulative unique IPs keep growing across windows while\n"
+               "the user population is fixed; the ratio grows as leases get\n"
+               "shorter.  The paper's 89.1M unique IPs over Jan-Jun 2009 against\n"
+               "48M conditioned users corresponds to the middle regime.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces the Sec. 5 DIMES comparison: against a traceroute-based PoP
+// dataset (the DIMES project), the paper finds 226 common eyeball ASes,
+// 7.14 KDE PoPs per AS vs 1.54 DIMES PoPs per AS (bandwidth 40 km), and
+// for 80% of ASes the KDE PoPs are a clear superset of the DIMES PoPs.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "validate/dimes.hpp"
+#include "validate/report.hpp"
+
+int main() {
+  using namespace eyeball;
+
+  bench::print_heading("Sec. 5 — Comparison with traceroute-based (DIMES-style) PoPs");
+
+  auto world = bench::World::generated(0.6, 0.06);
+  const auto dimes = validate::simulate_dimes(world.eco, world.gaz);
+  const auto comparison =
+      validate::compare_with_dimes(world.pipeline, world.dataset, dimes, 40.0);
+
+  util::TextTable table{{"metric", "this run", "paper"}};
+  table.add_row({"common eyeball ASes", std::to_string(comparison.common_as_count), "226"});
+  table.add_row({"KDE PoPs per AS (BW=40km)", util::fixed(comparison.kde_avg_pops, 2),
+                 "7.14"});
+  table.add_row({"DIMES PoPs per AS", util::fixed(comparison.dimes_avg_pops, 2), "1.54"});
+  table.add_row({"ASes where KDE is a superset",
+                 util::percent(comparison.superset_fraction), "80%"});
+  std::cout << '\n' << table;
+
+  std::cout << "\nReproduction targets: the KDE method sees several times more\n"
+               "PoPs than the traceroute view, and covers the traceroute PoPs\n"
+               "for a large majority of ASes.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 1 of the paper: KDE user-density surfaces for an
+// Italy-wide eyeball AS (the paper's AS 3269, 2.2 M samples) at kernel
+// bandwidths 20, 40 and 60 km, plus the Figure 1(b) PoP-level footprint
+// list "[Milan (.130), Rome (.122), ...]".
+//
+// The 3-D surface is rendered as a character-shaded density map; the PoP
+// list printed at 40 km is the direct analogue of the paper's list and
+// should contain the same cities in a close order with similar densities.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/pop_mapper.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eyeball;
+
+  bench::print_heading(
+      "Figure 1 — KDE density for an AS3269-like Italy-wide eyeball AS\n"
+      "bandwidths 20 / 40 / 60 km (paper: 2.2M samples; this run: scaled crawl)");
+
+  gazetteer::Gazetteer gaz = gazetteer::Gazetteer::builtin();
+  bench::World world{bench::build_as3269_world(gaz), 1.0, 3269};
+  // Lift the crawl rate so the single AS gets a large sample.
+  {
+    p2p::CrawlerConfig config;
+    config.seed = 3269;
+    config.coverage = 1.0;
+    config.penetration.set_rates(gazetteer::Continent::kEurope, {0.20, 0.05, 0.05});
+    world.crawl = p2p::Crawler{world.eco, world.gaz, config}.crawl();
+    world.dataset = world.pipeline.build_dataset(world.crawl.samples);
+  }
+
+  const auto* as3269 = world.dataset.find(net::Asn{3269});
+  if (as3269 == nullptr) {
+    std::cerr << "AS3269-like did not survive conditioning\n";
+    return 1;
+  }
+  std::cout << "\nConditioned samples for AS3269-like: "
+            << util::with_commas(static_cast<long long>(as3269->peers.size())) << "\n";
+
+  const core::PopCityMapper mapper{world.gaz};
+  for (const double bandwidth : {20.0, 40.0, 60.0}) {
+    bench::print_heading("Kernel bandwidth = " + util::fixed(bandwidth, 0) + " km");
+    const auto analysis = world.pipeline.analyze(*as3269, bandwidth);
+    const auto& grid = analysis.footprint.grid;
+    std::cout << "grid: " << grid.rows() << " x " << grid.cols() << " cells of "
+              << util::fixed(grid.cell_km(), 1) << " km, density integral "
+              << util::fixed(grid.integral(), 3) << "\n";
+    std::cout << "peaks above alpha*Dmax: " << analysis.footprint.peaks.size()
+              << ", footprint partitions: " << analysis.footprint.contour.partitions.size()
+              << ", footprint area: "
+              << util::with_commas(
+                     static_cast<long long>(analysis.footprint.contour.total_area_km2()))
+              << " km^2\n\n";
+    std::cout << bench::render_density_map(grid) << "\n";
+    std::cout << "PoP-level footprint: " << mapper.describe(analysis.pops) << "\n";
+  }
+
+  std::cout << "\nPaper's Figure 1(b) list (bandwidth 40 km) for comparison:\n"
+               "  [Milan (.130), Rome (.122), Florence (.061), Venice (.054),\n"
+               "   Naples (.051), Turin (.047), Ancona (.027), Catania (.027),\n"
+               "   Palermo (.026), Pescara (.017), Bari (.015), Catanzaro (.007),\n"
+               "   Cagliari (.005), Sassari (.001)]\n"
+               "Reproduction targets: 20 km resolves more, 60 km fewer peaks;\n"
+               "the 40 km list recovers the same cities in a close order.\n";
+  return 0;
+}

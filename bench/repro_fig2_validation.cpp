@@ -1,0 +1,96 @@
+// Reproduces Figure 2 and the Sec. 5 scalars of the paper:
+//   (a) CDF over ASes of the percentage of ground-truth PoPs matched by the
+//       KDE method, at kernel bandwidths 10 / 40 / 80 km;
+//   (b) CDF over ASes of the percentage of KDE PoPs that match a
+//       ground-truth PoP, same sweep;
+//   plus the averages the paper quotes: 31.9 / 13.6 / 7.3 identified PoPs
+//   per AS at 10 / 40 / 80 km against 43.7 reported PoPs per reference AS,
+//   and the perfect-match fractions (paper: 60% at 80 km, 41% at 40 km,
+//   5% at 10 km).
+#include <iostream>
+
+#include "common.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "validate/reference.hpp"
+#include "validate/report.hpp"
+
+int main() {
+  using namespace eyeball;
+
+  bench::print_heading(
+      "Figure 2 — Validation against published PoP lists (45-AS reference)");
+
+  auto world = bench::World::generated(0.6, 0.06);
+  std::cout << "world: " << world.eco.ases().size() << " ASes, target dataset "
+            << world.dataset.stats().final_ases << " ASes / "
+            << util::with_commas(static_cast<long long>(world.dataset.stats().final_peers))
+            << " peers\n";
+
+  const auto reference = validate::build_reference_dataset(world.eco, world.gaz, 45);
+  const std::vector<double> bandwidths{10.0, 40.0, 80.0};
+  const auto report = validate::validate_against_reference(world.pipeline, world.dataset,
+                                                           reference, bandwidths);
+
+  std::cout << "reference dataset: " << report.reference_as_count
+            << " ASes with published PoP lists, avg "
+            << util::fixed(report.avg_reference_pops_per_as, 1)
+            << " reported PoPs/AS (paper: 45 ASes, 43.7 PoPs/AS)\n";
+
+  util::TextTable scalars{{"bandwidth", "avg KDE PoPs/AS", "perfect-match ASes",
+                           "paper avg PoPs/AS", "paper perfect"}};
+  const char* paper_pops[] = {"31.9", "13.6", "7.3"};
+  const char* paper_perfect[] = {"5%", "41%", "60%"};
+  for (std::size_t i = 0; i < report.sweeps.size(); ++i) {
+    const auto& sweep = report.sweeps[i];
+    scalars.add_row({util::fixed(sweep.bandwidth_km, 0) + " km",
+                     util::fixed(sweep.avg_pops_per_as, 1),
+                     util::percent(sweep.perfect_precision_fraction),
+                     paper_pops[i], paper_perfect[i]});
+  }
+  std::cout << '\n' << scalars;
+
+  const auto print_cdf = [&](const char* title, bool recall) {
+    bench::print_heading(title);
+    util::TextTable table{{"% matched", "BW=10km", "BW=40km", "BW=80km"}};
+    for (int pct = 0; pct <= 100; pct += 10) {
+      std::vector<std::string> row{std::to_string(pct) + "%"};
+      for (const auto& sweep : report.sweeps) {
+        const auto& samples = recall ? sweep.reference_recall : sweep.candidate_precision;
+        const util::EmpiricalCdf cdf{std::vector<double>{samples.begin(), samples.end()}};
+        row.push_back(util::percent(cdf.at(pct / 100.0 + 1e-12)));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << table;
+
+    util::AsciiChart chart{60, 14};
+    for (const auto& sweep : report.sweeps) {
+      const util::EmpiricalCdf cdf{std::vector<double>{
+          (recall ? sweep.reference_recall : sweep.candidate_precision).begin(),
+          (recall ? sweep.reference_recall : sweep.candidate_precision).end()}};
+      std::vector<double> xs;
+      std::vector<double> ys;
+      for (int pct = 0; pct <= 100; pct += 5) {
+        xs.push_back(pct);
+        ys.push_back(cdf.at(pct / 100.0 + 1e-12) * 100.0);
+      }
+      chart.add_series("BW=" + util::fixed(sweep.bandwidth_km, 0) + "km", std::move(xs),
+                       std::move(ys));
+    }
+    chart.set_x_label(recall ? "% of ground-truth PoPs matched"
+                             : "% of KDE PoPs matched");
+    chart.set_y_label("% of ASes (CDF)");
+    std::cout << '\n' << chart.render();
+  };
+
+  print_cdf("Figure 2(a) — CDF of % ground-truth PoPs found per AS", true);
+  print_cdf("Figure 2(b) — CDF of % KDE PoPs matching ground truth per AS", false);
+
+  std::cout << "\nReproduction targets: smaller bandwidth matches more of the\n"
+               "reference (Fig 2a curves shift right as BW drops) while larger\n"
+               "bandwidth yields fewer but more reliable PoPs (Fig 2b: the\n"
+               "perfect-match fraction grows sharply with bandwidth).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quantifies the paper's §1/§6 qualitative claim that "the world of peering
+// relationships at the edge is highly diverse and complex: even simple
+// eyeball ASes tend to peer very actively at local and remote IXPs,
+// especially in Europe, and also maintain rich upstream connectivity".
+//
+// Prints per-continent eyeball peering/multi-homing profiles and the
+// largest IXPs of the generated world.
+#include <iostream>
+
+#include "common.hpp"
+#include "connectivity/ixp_analysis.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eyeball;
+
+  bench::print_heading("Sec. 6 context — IXP peering and multi-homing at the edge");
+
+  gazetteer::Gazetteer gaz = gazetteer::Gazetteer::builtin();
+  topology::EcosystemConfig config;
+  config.seed = 2009;
+  const auto eco = topology::generate_ecosystem(gaz, config);
+  const auto report = connectivity::analyze_peering(eco, gaz);
+
+  util::TextTable continents{{"region", "eyeballs", "IXPs", "local mem.", "remote mem.",
+                              "avg peers/AS", "avg providers/AS", ">2 providers"}};
+  for (const auto& profile : report.continents) {
+    continents.add_row({std::string{gazetteer::to_code(profile.continent)},
+                        std::to_string(profile.eyeballs), std::to_string(profile.ixps),
+                        std::to_string(profile.local_memberships),
+                        std::to_string(profile.remote_memberships),
+                        util::fixed(profile.avg_peers_per_eyeball, 2),
+                        util::fixed(profile.avg_providers_per_eyeball, 2),
+                        util::percent(profile.multihomed_fraction)});
+  }
+  std::cout << '\n' << continents;
+
+  std::cout << "\nLargest IXPs by membership:\n";
+  util::TextTable ixps{{"IXP", "city", "members", "eyeball members", "peerings"}};
+  for (std::size_t i = 0; i < std::min<std::size_t>(12, report.ixps.size()); ++i) {
+    const auto& summary = report.ixps[i];
+    ixps.add_row({summary.name, std::string{gaz.city(summary.city).name},
+                  std::to_string(summary.members),
+                  std::to_string(summary.eyeball_members),
+                  std::to_string(summary.peerings)});
+  }
+  std::cout << ixps;
+
+  std::cout << "\nReproduction targets: Europe shows the densest IXP fabric and\n"
+               "the highest remote-membership share; a substantial fraction of\n"
+               "eyeballs everywhere is multi-homed beyond the 1-2 providers a\n"
+               "geography-based view would predict.\n";
+  return 0;
+}

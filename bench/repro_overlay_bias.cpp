@@ -1,0 +1,79 @@
+// Ablation: overlay-crawl sampling vs the calibrated rate-based crawler
+// (paper §2 "Sampling end-users" + §4.3 sampling bias).
+//
+// Builds the actual overlays (Kad DHT sweep, Gnutella ultrapeer BFS,
+// BitTorrent tracker scrapes) over the same ground-truth user population
+// and compares the coverage and the structural bias each crawl imposes —
+// e.g. a BitTorrent crawl of the top swarms under-samples users who only
+// join unpopular torrents, which is a (AS, PoP)-correlated bias when
+// content tastes cluster regionally.
+#include <iostream>
+
+#include "common.hpp"
+#include "p2p/overlay.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eyeball;
+
+  bench::print_heading("Overlay-crawl ablation — coverage and bias by application");
+
+  gazetteer::Gazetteer gaz = gazetteer::Gazetteer::builtin();
+  topology::EcosystemConfig config;
+  config.seed = 2009;
+  const auto eco = topology::generate_ecosystem(gaz, config.scaled(0.08));
+
+  p2p::OverlayPopulationConfig population_config;
+  population_config.seed = 2009;
+  // Flat, scaled-down penetration keeps each overlay at a few hundred
+  // thousand nodes so the bench runs in seconds.
+  for (const auto continent :
+       {gazetteer::Continent::kNorthAmerica, gazetteer::Continent::kEurope,
+        gazetteer::Continent::kAsia}) {
+    population_config.penetration.set_rates(continent, {0.01, 0.01, 0.01});
+  }
+
+  util::TextTable table{{"application", "members", "online", "crawl", "discovered",
+                         "coverage of members"}};
+  // "discovered" counts offline nodes referenced by online neighbours too,
+  // like a real crawl log; coverage is therefore relative to all members.
+  const auto add_row = [&](const char* app, const p2p::OverlayPopulation& population,
+                           const char* crawl, std::size_t discovered) {
+    table.add_row({app, util::with_commas((long long)population.nodes().size()),
+                   util::with_commas((long long)population.online_count()), crawl,
+                   util::with_commas((long long)discovered),
+                   util::percent(static_cast<double>(discovered) /
+                                 static_cast<double>(population.nodes().size()))});
+  };
+
+  {
+    const p2p::OverlayPopulation population{eco, p2p::App::kKad, population_config};
+    const p2p::KadNetwork kad{population, 1};
+    add_row("Kad", population, "id sweep (n/2 zones)",
+            kad.crawl(population.nodes().size() / 2).size());
+    add_row("Kad", population, "id sweep (1k zones)", kad.crawl(1000).size());
+  }
+  {
+    const p2p::OverlayPopulation population{eco, p2p::App::kGnutella, population_config};
+    const p2p::GnutellaNetwork gnutella{population, 7};
+    add_row("Gnutella", population, "BFS, 5 bootstraps", gnutella.crawl(5).size());
+    add_row("Gnutella", population, "BFS, 1 bootstrap", gnutella.crawl(1).size());
+  }
+  {
+    const p2p::OverlayPopulation population{eco, p2p::App::kBitTorrent, population_config};
+    const p2p::SwarmNetwork swarms{population, 9, population.nodes().size() / 50};
+    add_row("BitTorrent", population, "scrape all swarms x 200",
+            swarms.crawl(population.nodes().size() / 50, 200).size());
+    add_row("BitTorrent", population, "top 5% swarms x 200",
+            swarms.crawl(population.nodes().size() / 1000, 200).size());
+  }
+  std::cout << '\n' << table;
+
+  std::cout << "\nReading: the Kad sweep is near-exhaustive (the paper's dominant\n"
+               "source, 89.1M IPs), a well-bootstrapped Gnutella BFS covers the\n"
+               "giant ultrapeer component, and tracker scraping covers only the\n"
+               "popular-swarm membership — the structural origin of per-\n"
+               "application sampling bias (paper Sec. 4.3).\n";
+  return 0;
+}

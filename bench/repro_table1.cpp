@@ -1,0 +1,92 @@
+// Reproduces Table 1 of the paper: "Profile of the target eyeball ASes" —
+// number of conditioned peers (in thousands) by P2P application and region,
+// and number of target ASes by inferred geographic level and region.
+//
+// The synthetic world is generated at the paper's AS-count profile
+// (NA 36/162/129, EU 60/76/292, AS 117/35/134 city/state/country eyeballs);
+// absolute peer counts are smaller than the paper's 48 M crawl (the crawl
+// coverage is scaled down), but the regional application mix and the
+// AS-level distribution are the reproduction targets.
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "core/classifier.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace eyeball;
+
+constexpr gazetteer::Continent kRegions[] = {
+    gazetteer::Continent::kNorthAmerica,
+    gazetteer::Continent::kEurope,
+    gazetteer::Continent::kAsia,
+};
+
+}  // namespace
+
+int main() {
+  bench::print_heading(
+      "Table 1 — Profile of the target eyeball ASes\n"
+      "(paper: 48M peers, 1233 ASes; this run: generated world, scaled crawl)");
+
+  // Full-profile ecosystem.  The customer floor is raised (the paper's
+  // >=1000-peer rule already hides ISPs below that radar) and the crawl
+  // coverage chosen so that a typical AS clears the 1000-peer cut, keeping
+  // the run to about a minute.
+  auto world = [] {
+    gazetteer::Gazetteer gaz = gazetteer::Gazetteer::builtin();
+    topology::EcosystemConfig config;
+    config.seed = 2009;
+    config.min_customers = 100000;
+    return bench::World{topology::generate_ecosystem(gaz, config), 0.13, 2009};
+  }();
+
+  std::cout << "\nDataset conditioning (paper Sec. 2):\n";
+  const auto& stats = world.dataset.stats();
+  std::cout << "  raw unique samples        : " << util::with_commas((long long)stats.raw_samples)
+            << "\n  dropped, no city record   : " << util::with_commas((long long)stats.missing_geo)
+            << "\n  dropped, geo error > 80km : " << util::with_commas((long long)stats.high_error)
+            << "\n  dropped, unmapped to AS   : " << util::with_commas((long long)stats.unmapped_as)
+            << "\n  dropped, AS < 1000 peers  : " << util::with_commas((long long)stats.peers_in_small_ases)
+            << " peers in " << stats.ases_below_min_peers << " ASes"
+            << "\n  dropped, AS p90 err > 80km: " << stats.ases_above_p90_error << " ASes"
+            << "\n  TARGET DATASET            : " << util::with_commas((long long)stats.final_peers)
+            << " peers across " << stats.final_ases << " eyeball ASes\n";
+
+  // Classify every target AS and attribute peers to (region, app).
+  const core::AsClassifier classifier{world.gaz};
+  std::map<gazetteer::Continent, std::map<p2p::App, std::size_t>> peers_by_region;
+  std::map<gazetteer::Continent, std::map<topology::AsLevel, std::size_t>> ases_by_region;
+  for (const auto& as : world.dataset.ases()) {
+    const auto classification = classifier.classify(as);
+    ++ases_by_region[classification.continent][classification.level];
+    for (const auto app : p2p::kAllApps) {
+      peers_by_region[classification.continent][app] += as.count_for(app);
+    }
+  }
+
+  util::TextTable table{{"Region", "Kad(k)", "Gnu(k)", "BT(k)", "City", "State", "Country"}};
+  for (const auto region : kRegions) {
+    auto& peers = peers_by_region[region];
+    auto& ases = ases_by_region[region];
+    table.add_row({std::string{gazetteer::to_code(region)},
+                   util::in_thousands((long long)peers[p2p::App::kKad]),
+                   util::in_thousands((long long)peers[p2p::App::kGnutella]),
+                   util::in_thousands((long long)peers[p2p::App::kBitTorrent]),
+                   std::to_string(ases[topology::AsLevel::kCity]),
+                   std::to_string(ases[topology::AsLevel::kState]),
+                   std::to_string(ases[topology::AsLevel::kCountry])});
+  }
+  std::cout << '\n' << table;
+
+  std::cout << "\nPaper's Table 1 for comparison (counts in thousands / #ASes):\n"
+               "  NA: Kad 1218, Gnu 8984, BT 1761 | city 36,  state 162, country 129\n"
+               "  EU: Kad 18004, Gnu 2519, BT 2529 | city 60,  state 76,  country 292\n"
+               "  AS: Kad 17865, Gnu 1606, BT 1016 | city 117, state 35,  country 134\n"
+               "Reproduction targets: Gnutella dominates NA, Kad dominates EU/AS;\n"
+               "AS-level mix per region tracks the generated profile.\n";
+  return 0;
+}

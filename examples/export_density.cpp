@@ -1,0 +1,71 @@
+// Export example: writes the KDE density surface and footprint boundary of
+// one AS to files that external tools can render — CSV (gnuplot/pandas),
+// PGM (any image viewer) and GeoJSON (any web map) — the artifacts behind
+// a Figure-1-style visualization.
+//
+//   ./build/examples/export_density
+//   -> density.csv, density.pgm, footprint.geojson in the working directory
+#include <fstream>
+#include <iostream>
+
+#include "bgp/rib.hpp"
+#include "core/pipeline.hpp"
+#include "gazetteer/gazetteer.hpp"
+#include "geodb/synthetic_db.hpp"
+#include "kde/export.hpp"
+#include "p2p/crawler.hpp"
+#include "topology/generator.hpp"
+#include "topology/ground_truth.hpp"
+
+int main() {
+  using namespace eyeball;
+
+  const auto gaz = gazetteer::Gazetteer::builtin();
+  topology::EcosystemConfig eco_config;
+  eco_config.seed = 31;
+  const auto eco = topology::generate_ecosystem(gaz, eco_config.scaled(0.05));
+  const topology::GroundTruthLocator truth{eco, gaz};
+  const geodb::SyntheticGeoDatabase primary{"geoip", truth, {}, 1};
+  const geodb::SyntheticGeoDatabase secondary{"ip2l", truth, {}, 2};
+  const auto rib = bgp::RibSnapshot::from_ecosystem(eco);
+  const bgp::IpToAsMapper mapper{rib};
+  const core::EyeballPipeline pipeline{gaz, primary, secondary, mapper};
+
+  p2p::CrawlerConfig crawl_config;
+  crawl_config.coverage = 0.3;
+  const auto crawl = p2p::Crawler{eco, gaz, crawl_config}.crawl();
+  const auto dataset = pipeline.build_dataset(crawl.samples);
+  if (dataset.ases().empty()) {
+    std::cerr << "no target ASes\n";
+    return 1;
+  }
+
+  // Pick the AS with the most PoPs for an interesting surface.
+  const core::AsPeerSet* subject = &dataset.ases()[0];
+  for (const auto& as : dataset.ases()) {
+    if (eco.at(as.asn).service_pop_count() >
+        eco.at(subject->asn).service_pop_count()) {
+      subject = &as;
+    }
+  }
+  const auto analysis = pipeline.analyze(*subject);
+  std::cout << "exporting " << net::to_string(subject->asn) << " ("
+            << subject->peers.size() << " peers, "
+            << analysis.footprint.peaks.size() << " peaks)\n";
+
+  {
+    std::ofstream csv{"density.csv"};
+    csv << kde::to_csv(analysis.footprint.grid,
+                       analysis.footprint.grid.max_cell()->value * 1e-4);
+  }
+  {
+    std::ofstream pgm{"density.pgm"};
+    pgm << kde::to_pgm(analysis.footprint.grid);
+  }
+  {
+    std::ofstream geojson{"footprint.geojson"};
+    geojson << kde::boundary_to_geojson(analysis.footprint.contour);
+  }
+  std::cout << "wrote density.csv, density.pgm, footprint.geojson\n";
+  return 0;
+}

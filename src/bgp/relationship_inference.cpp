@@ -1,0 +1,137 @@
+#include "bgp/relationship_inference.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace eyeball::bgp {
+namespace {
+
+using EdgeKey = std::pair<std::uint32_t, std::uint32_t>;
+
+EdgeKey make_key(net::Asn a, net::Asn b) {
+  auto key = std::make_pair(net::value_of(a), net::value_of(b));
+  if (key.first > key.second) std::swap(key.first, key.second);
+  return key;
+}
+
+struct Votes {
+  std::size_t first_is_customer = 0;  // votes for key.first -> key.second C2P
+  std::size_t second_is_customer = 0;
+  std::size_t peer = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return first_is_customer + second_is_customer + peer;
+  }
+};
+
+}  // namespace
+
+std::map<std::uint32_t, std::size_t> RelationshipInferencer::degrees(
+    const RibSnapshot& rib) {
+  std::map<std::uint32_t, std::set<std::uint32_t>> neighbours;
+  for (const auto& entry : rib.entries()) {
+    for (std::size_t i = 1; i < entry.as_path.size(); ++i) {
+      const auto a = net::value_of(entry.as_path[i - 1]);
+      const auto b = net::value_of(entry.as_path[i]);
+      if (a == b) continue;
+      neighbours[a].insert(b);
+      neighbours[b].insert(a);
+    }
+  }
+  std::map<std::uint32_t, std::size_t> out;
+  for (const auto& [asn, set] : neighbours) out[asn] = set.size();
+  return out;
+}
+
+std::vector<InferredEdge> RelationshipInferencer::infer(const RibSnapshot& rib) const {
+  const auto degree = degrees(rib);
+  const auto degree_of = [&](net::Asn asn) {
+    const auto it = degree.find(net::value_of(asn));
+    return it == degree.end() ? std::size_t{0} : it->second;
+  };
+
+  std::map<EdgeKey, Votes> votes;
+  for (const auto& entry : rib.entries()) {
+    const auto& path = entry.as_path;
+    if (path.size() < 2) continue;
+
+    // Gao: the highest-degree AS on the path is the top; edges before it
+    // go "up" (customer -> provider), edges after it go "down".
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (degree_of(path[i]) > degree_of(path[top])) top = i;
+    }
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const net::Asn from = path[i - 1];
+      const net::Asn to = path[i];
+      if (from == to) continue;
+      const auto key = make_key(from, to);
+      auto& vote = votes[key];
+
+      // Adjacent to the top with comparable degrees: likely a peering.
+      const bool adjacent_to_top = (i == top) || (i - 1 == top);
+      const double ratio =
+          static_cast<double>(std::min(degree_of(from), degree_of(to))) /
+          static_cast<double>(std::max<std::size_t>(1, std::max(degree_of(from),
+                                                                degree_of(to))));
+      if (adjacent_to_top && ratio >= config_.peer_degree_ratio) {
+        ++vote.peer;
+        continue;
+      }
+      if (i <= top) {
+        // Uphill: `from` is a customer of `to`.
+        if (net::value_of(from) == key.first) {
+          ++vote.first_is_customer;
+        } else {
+          ++vote.second_is_customer;
+        }
+      } else {
+        // Downhill: `to` is a customer of `from`.
+        if (net::value_of(to) == key.first) {
+          ++vote.first_is_customer;
+        } else {
+          ++vote.second_is_customer;
+        }
+      }
+    }
+  }
+
+  std::vector<InferredEdge> out;
+  out.reserve(votes.size());
+  for (const auto& [key, vote] : votes) {
+    if (vote.total() < config_.min_observations) continue;
+    InferredEdge edge;
+    edge.a = net::Asn{key.first};
+    edge.b = net::Asn{key.second};
+    // Majority decision; conflicting up/down votes indicate a peering.
+    const std::size_t conflict = std::min(vote.first_is_customer, vote.second_is_customer);
+    const std::size_t peer_votes = vote.peer + 2 * conflict;
+    if (peer_votes >= vote.first_is_customer || peer_votes >= vote.second_is_customer) {
+      if (vote.first_is_customer > vote.second_is_customer + vote.peer) {
+        edge.relationship = InferredRelationship::kCustomerProvider;
+        edge.confidence = static_cast<double>(vote.first_is_customer) /
+                          static_cast<double>(vote.total());
+      } else if (vote.second_is_customer > vote.first_is_customer + vote.peer) {
+        edge.relationship = InferredRelationship::kProviderCustomer;
+        edge.confidence = static_cast<double>(vote.second_is_customer) /
+                          static_cast<double>(vote.total());
+      } else {
+        edge.relationship = InferredRelationship::kPeerPeer;
+        edge.confidence = static_cast<double>(std::max(vote.peer, conflict)) /
+                          static_cast<double>(vote.total());
+      }
+    } else if (vote.first_is_customer >= vote.second_is_customer) {
+      edge.relationship = InferredRelationship::kCustomerProvider;
+      edge.confidence = static_cast<double>(vote.first_is_customer) /
+                        static_cast<double>(vote.total());
+    } else {
+      edge.relationship = InferredRelationship::kProviderCustomer;
+      edge.confidence = static_cast<double>(vote.second_is_customer) /
+                        static_cast<double>(vote.total());
+    }
+    out.push_back(edge);
+  }
+  return out;
+}
+
+}  // namespace eyeball::bgp

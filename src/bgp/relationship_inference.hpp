@@ -1,0 +1,61 @@
+// AS business-relationship inference from BGP paths (the CAIDA-style
+// substrate the paper consumes in §6: "for customer-provider relationships
+// we rely on the CAIDA AS relationships data set").
+//
+// Implements the classic Gao (2001) degree-based heuristic: in every
+// observed AS path the highest-degree AS is assumed to be the "top"; edges
+// on the way up are customer->provider, edges on the way down are
+// provider->customer, and edges voted both ways (or adjacent to the top
+// with similar degrees) become peer-peer.  The inference is validated
+// against the generator's ground-truth relationships in the test suite and
+// benchmarked in `repro_ablations`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "net/ipv4.hpp"
+
+namespace eyeball::bgp {
+
+enum class InferredRelationship : std::uint8_t {
+  kCustomerProvider,  // first AS is a customer of the second
+  kProviderCustomer,  // first AS is a provider of the second
+  kPeerPeer,
+};
+
+struct InferredEdge {
+  net::Asn a{};
+  net::Asn b{};
+  InferredRelationship relationship = InferredRelationship::kPeerPeer;
+  /// Fraction of votes agreeing with the decision (1.0 = unanimous).
+  double confidence = 0.0;
+};
+
+struct InferenceConfig {
+  /// Degree ratio under which a top-adjacent edge is called a peering
+  /// (Gao's R parameter).
+  double peer_degree_ratio = 0.85;
+  /// Minimum number of path observations for an edge to be classified.
+  std::size_t min_observations = 1;
+};
+
+class RelationshipInferencer {
+ public:
+  explicit RelationshipInferencer(InferenceConfig config = {}) : config_(config) {}
+
+  /// Infers relationships for every adjacent AS pair appearing in the
+  /// snapshot's paths.
+  [[nodiscard]] std::vector<InferredEdge> infer(const RibSnapshot& rib) const;
+
+  /// Node degree (distinct neighbours) observed in the snapshot's paths.
+  [[nodiscard]] static std::map<std::uint32_t, std::size_t> degrees(const RibSnapshot& rib);
+
+ private:
+  InferenceConfig config_;
+};
+
+}  // namespace eyeball::bgp

@@ -1,0 +1,135 @@
+#include "bgp/rib.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace eyeball::bgp {
+
+RibSnapshot::RibSnapshot(std::vector<RibEntry> entries) : entries_(std::move(entries)) {
+  for (const auto& entry : entries_) {
+    if (entry.as_path.empty()) {
+      throw std::invalid_argument{"RibSnapshot: empty AS path"};
+    }
+  }
+  build_trie();
+}
+
+void RibSnapshot::build_trie() {
+  for (const auto& entry : entries_) {
+    trie_.insert(entry.prefix, entry.origin());
+  }
+}
+
+RibSnapshot RibSnapshot::from_ecosystem(const topology::AsEcosystem& ecosystem,
+                                        std::uint64_t seed) {
+  util::Rng rng{seed};
+
+  // First-provider map (deterministic) and the tier-1 set.
+  std::map<std::uint32_t, net::Asn> first_provider;
+  std::vector<net::Asn> tier1s;
+  for (const auto& as : ecosystem.ases()) {
+    if (as.role == topology::AsRole::kTier1) tier1s.push_back(as.asn);
+  }
+  for (const auto& rel : ecosystem.relationships()) {
+    if (rel.type == topology::RelationshipType::kCustomerProvider) {
+      first_provider.emplace(net::value_of(rel.customer), rel.provider);
+    }
+  }
+  if (tier1s.empty()) throw std::invalid_argument{"from_ecosystem: no tier-1 ASes"};
+  const net::Asn collector_upstream = tier1s[rng.uniform_index(tier1s.size())];
+
+  std::vector<RibEntry> entries;
+  for (const auto& as : ecosystem.ases()) {
+    // Provider chain: origin -> ... -> tier-1 (or stuck, then treat top as
+    // peerless and still announce).
+    std::vector<net::Asn> chain{as.asn};
+    net::Asn cursor = as.asn;
+    for (int hops = 0; hops < 16; ++hops) {
+      if (ecosystem.at(cursor).role == topology::AsRole::kTier1) break;
+      const auto it = first_provider.find(net::value_of(cursor));
+      if (it == first_provider.end()) break;
+      cursor = it->second;
+      chain.push_back(cursor);
+    }
+    // Collector path: collector's tier-1, then down the chain to the origin.
+    std::vector<net::Asn> path;
+    if (chain.back() != collector_upstream) path.push_back(collector_upstream);
+    path.insert(path.end(), chain.rbegin(), chain.rend());
+
+    for (const auto& pop : as.pops) {
+      for (const auto& prefix : pop.prefixes) {
+        entries.push_back(RibEntry{prefix, path});
+      }
+    }
+  }
+  return RibSnapshot{std::move(entries)};
+}
+
+std::optional<net::Asn> RibSnapshot::origin(net::Ipv4Address ip) const {
+  return trie_.longest_match(ip);
+}
+
+std::string RibSnapshot::dump() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    out += entry.prefix.to_string();
+    out += '|';
+    for (std::size_t i = 0; i < entry.as_path.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += std::to_string(net::value_of(entry.as_path[i]));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+RibSnapshot RibSnapshot::parse(std::string_view text) {
+  std::vector<RibEntry> entries;
+  std::size_t line_number = 0;
+  while (!text.empty()) {
+    ++line_number;
+    const auto newline = text.find('\n');
+    std::string_view line =
+        newline == std::string_view::npos ? text : text.substr(0, newline);
+    text.remove_prefix(newline == std::string_view::npos ? text.size() : newline + 1);
+    if (line.empty()) continue;
+
+    const auto bar = line.find('|');
+    if (bar == std::string_view::npos) {
+      throw std::invalid_argument{"RibSnapshot::parse: missing '|' on line " +
+                                  std::to_string(line_number)};
+    }
+    const auto prefix = net::Ipv4Prefix::parse(line.substr(0, bar));
+    if (!prefix) {
+      throw std::invalid_argument{"RibSnapshot::parse: bad prefix on line " +
+                                  std::to_string(line_number)};
+    }
+    RibEntry entry;
+    entry.prefix = *prefix;
+    std::string_view rest = line.substr(bar + 1);
+    while (!rest.empty()) {
+      while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+      if (rest.empty()) break;
+      std::uint32_t asn = 0;
+      const auto [ptr, ec] = std::from_chars(rest.data(), rest.data() + rest.size(), asn);
+      if (ec != std::errc{} || ptr == rest.data()) {
+        throw std::invalid_argument{"RibSnapshot::parse: bad ASN on line " +
+                                    std::to_string(line_number)};
+      }
+      rest.remove_prefix(static_cast<std::size_t>(ptr - rest.data()));
+      entry.as_path.push_back(net::Asn{asn});
+    }
+    if (entry.as_path.empty()) {
+      throw std::invalid_argument{"RibSnapshot::parse: empty AS path on line " +
+                                  std::to_string(line_number)};
+    }
+    entries.push_back(std::move(entry));
+  }
+  return RibSnapshot{std::move(entries)};
+}
+
+}  // namespace eyeball::bgp

@@ -1,0 +1,73 @@
+// BGP RIB substrate.
+//
+// The paper groups users by AS with "archived BGP tables from the
+// routeviews database".  We reproduce that pipeline stage: a RIB snapshot
+// is derived from the ecosystem's prefix allocations with AS paths
+// synthesized along valley-free provider chains toward a collector, can be
+// serialized to / parsed from a RouteViews-style text dump, and backs a
+// Patricia-trie IP -> origin-AS mapper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::bgp {
+
+struct RibEntry {
+  net::Ipv4Prefix prefix;
+  /// AS path as seen by the collector; front() is the collector-adjacent
+  /// AS, back() is the origin.
+  std::vector<net::Asn> as_path;
+
+  [[nodiscard]] net::Asn origin() const { return as_path.back(); }
+};
+
+class RibSnapshot {
+ public:
+  explicit RibSnapshot(std::vector<RibEntry> entries);
+
+  /// Builds the collector view of `ecosystem`: one entry per announced
+  /// prefix, AS path following the origin's first-provider chain up to a
+  /// tier-1 and across to the collector's tier-1.
+  [[nodiscard]] static RibSnapshot from_ecosystem(const topology::AsEcosystem& ecosystem,
+                                                  std::uint64_t seed = 7);
+
+  [[nodiscard]] std::span<const RibEntry> entries() const noexcept { return entries_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Longest-prefix-match origin lookup.
+  [[nodiscard]] std::optional<net::Asn> origin(net::Ipv4Address ip) const;
+
+  /// RouteViews-like text dump: one "prefix|asn asn ... asn" line per entry.
+  [[nodiscard]] std::string dump() const;
+  /// Parses a dump; throws std::invalid_argument on malformed lines.
+  [[nodiscard]] static RibSnapshot parse(std::string_view text);
+
+ private:
+  void build_trie();
+
+  std::vector<RibEntry> entries_;
+  net::PrefixTrie<net::Asn> trie_;
+};
+
+/// Thin facade over a RIB for the pipeline's grouping step.
+class IpToAsMapper {
+ public:
+  explicit IpToAsMapper(const RibSnapshot& rib) : rib_(&rib) {}
+
+  [[nodiscard]] std::optional<net::Asn> map(net::Ipv4Address ip) const {
+    return rib_->origin(ip);
+  }
+
+ private:
+  const RibSnapshot* rib_;
+};
+
+}  // namespace eyeball::bgp

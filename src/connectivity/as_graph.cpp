@@ -1,0 +1,180 @@
+#include "connectivity/as_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace eyeball::connectivity {
+namespace {
+constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+}
+
+AsGraph::AsGraph(const topology::AsEcosystem& ecosystem) {
+  nodes_.reserve(ecosystem.ases().size());
+  for (const auto& as : ecosystem.ases()) {
+    index_.emplace(net::value_of(as.asn), nodes_.size());
+    nodes_.push_back(Node{as.asn, {}, {}, {}});
+  }
+  for (const auto& rel : ecosystem.relationships()) {
+    auto& a = nodes_[index(rel.customer)];
+    auto& b = nodes_[index(rel.provider)];
+    if (rel.type == topology::RelationshipType::kCustomerProvider) {
+      a.providers.push_back(rel.provider);
+      b.customers.push_back(rel.customer);
+    } else {
+      a.peers.push_back(rel.provider);
+      b.peers.push_back(rel.customer);
+    }
+  }
+}
+
+std::size_t AsGraph::index(net::Asn asn) const {
+  const auto it = index_.find(net::value_of(asn));
+  if (it == index_.end()) throw std::out_of_range{"AsGraph: unknown ASN"};
+  return it->second;
+}
+
+const AsGraph::Node& AsGraph::node(net::Asn asn) const { return nodes_[index(asn)]; }
+
+std::span<const net::Asn> AsGraph::providers(net::Asn asn) const {
+  return node(asn).providers;
+}
+std::span<const net::Asn> AsGraph::customers(net::Asn asn) const {
+  return node(asn).customers;
+}
+std::span<const net::Asn> AsGraph::peers(net::Asn asn) const { return node(asn).peers; }
+
+std::vector<net::Asn> AsGraph::all_ases() const {
+  std::vector<net::Asn> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.asn);
+  return out;
+}
+
+std::size_t AsGraph::customer_cone_size(net::Asn asn) const {
+  std::vector<char> seen(nodes_.size(), 0);
+  std::queue<std::size_t> frontier;
+  const std::size_t start = index(asn);
+  frontier.push(start);
+  seen[start] = 1;
+  std::size_t count = 0;
+  while (!frontier.empty()) {
+    const std::size_t current = frontier.front();
+    frontier.pop();
+    ++count;
+    for (const auto customer : nodes_[current].customers) {
+      const std::size_t ci = index(customer);
+      if (!seen[ci]) {
+        seen[ci] = 1;
+        frontier.push(ci);
+      }
+    }
+  }
+  return count;
+}
+
+void AsGraph::down_distances(std::size_t dst, std::vector<std::uint32_t>& dist,
+                             std::vector<std::uint32_t>& parent) const {
+  dist.assign(nodes_.size(), kUnreachable);
+  parent.assign(nodes_.size(), kUnreachable);
+  std::queue<std::size_t> frontier;
+  dist[dst] = 0;
+  frontier.push(dst);
+  while (!frontier.empty()) {
+    const std::size_t current = frontier.front();
+    frontier.pop();
+    // Every provider of `current` can reach dst one hop further down.
+    for (const auto provider : nodes_[current].providers) {
+      const std::size_t pi = index(provider);
+      if (dist[pi] == kUnreachable) {
+        dist[pi] = dist[current] + 1;
+        parent[pi] = static_cast<std::uint32_t>(current);
+        frontier.push(pi);
+      }
+    }
+  }
+}
+
+std::optional<Route> AsGraph::best_route(net::Asn src, net::Asn dst) const {
+  const std::size_t s = index(src);
+  const std::size_t d = index(dst);
+  if (s == d) return Route{RouteClass::kCustomer, {src}};
+
+  std::vector<std::uint32_t> down_dist;
+  std::vector<std::uint32_t> down_parent;
+  down_distances(d, down_dist, down_parent);
+
+  // Upward BFS from src (customer -> provider edges only).
+  std::vector<std::uint32_t> up_dist(nodes_.size(), kUnreachable);
+  std::vector<std::uint32_t> up_parent(nodes_.size(), kUnreachable);
+  std::queue<std::size_t> frontier;
+  up_dist[s] = 0;
+  frontier.push(s);
+  while (!frontier.empty()) {
+    const std::size_t current = frontier.front();
+    frontier.pop();
+    for (const auto provider : nodes_[current].providers) {
+      const std::size_t pi = index(provider);
+      if (up_dist[pi] == kUnreachable) {
+        up_dist[pi] = up_dist[current] + 1;
+        up_parent[pi] = static_cast<std::uint32_t>(current);
+        frontier.push(pi);
+      }
+    }
+  }
+
+  // Best (class, length) over all apex choices: a valley-free path is
+  // src -(up)*-> apex [-peer-> pivot] -(down)*-> dst.
+  struct Candidate {
+    RouteClass route_class;
+    std::uint32_t length;
+    std::size_t apex;
+    std::size_t pivot;  // == apex when no peer hop
+  };
+  std::optional<Candidate> best;
+  const auto consider = [&](Candidate candidate) {
+    if (!best || std::make_pair(static_cast<int>(candidate.route_class), candidate.length) <
+                     std::make_pair(static_cast<int>(best->route_class), best->length)) {
+      best = candidate;
+    }
+  };
+
+  for (std::size_t x = 0; x < nodes_.size(); ++x) {
+    if (up_dist[x] == kUnreachable) continue;
+    const RouteClass up_class =
+        up_dist[x] == 0 ? RouteClass::kCustomer : RouteClass::kProvider;
+    if (down_dist[x] != kUnreachable && (up_dist[x] > 0 || down_dist[x] > 0)) {
+      consider({up_class, up_dist[x] + down_dist[x], x, x});
+    }
+    for (const auto peer : nodes_[x].peers) {
+      const std::size_t pi = index(peer);
+      if (down_dist[pi] == kUnreachable) continue;
+      const RouteClass route_class =
+          up_dist[x] == 0 ? RouteClass::kPeer : RouteClass::kProvider;
+      consider({route_class, up_dist[x] + 1 + down_dist[pi], x, pi});
+    }
+  }
+  if (!best) return std::nullopt;
+
+  // Reconstruct: src..apex (upward), optional peer hop, pivot..dst (down).
+  std::vector<net::Asn> up_leg;
+  for (std::size_t x = best->apex;; x = up_parent[x]) {
+    up_leg.push_back(nodes_[x].asn);
+    if (x == s) break;
+  }
+  std::reverse(up_leg.begin(), up_leg.end());
+
+  Route route;
+  route.route_class = best->route_class;
+  route.path = std::move(up_leg);
+  std::size_t x = best->pivot;
+  if (best->pivot != best->apex) route.path.push_back(nodes_[x].asn);
+  while (x != d) {
+    x = down_parent[x];
+    route.path.push_back(nodes_[x].asn);
+  }
+  return route;
+}
+
+}  // namespace eyeball::connectivity

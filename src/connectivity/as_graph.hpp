@@ -1,0 +1,76 @@
+// AS-level connectivity graph with Gao-Rexford (valley-free) routing.
+//
+// Built from an ecosystem's relationship list; supports neighbour queries,
+// customer-cone computation, and shortest valley-free paths with the
+// standard route preference (customer > peer > provider).  This is the
+// machinery behind the §6 case study and the traceroute simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::connectivity {
+
+enum class RouteClass : std::uint8_t {
+  kCustomer,  // learned from a customer (best)
+  kPeer,      // learned from a peer
+  kProvider,  // learned from a provider (worst)
+};
+
+struct Route {
+  RouteClass route_class = RouteClass::kCustomer;
+  /// Full AS path, source first, destination last.
+  std::vector<net::Asn> path;
+};
+
+class AsGraph {
+ public:
+  explicit AsGraph(const topology::AsEcosystem& ecosystem);
+
+  [[nodiscard]] std::span<const net::Asn> providers(net::Asn asn) const;
+  [[nodiscard]] std::span<const net::Asn> customers(net::Asn asn) const;
+  [[nodiscard]] std::span<const net::Asn> peers(net::Asn asn) const;
+
+  [[nodiscard]] std::size_t as_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::vector<net::Asn> all_ases() const;
+
+  /// Number of ASes in the customer cone of `asn` (including itself).
+  [[nodiscard]] std::size_t customer_cone_size(net::Asn asn) const;
+
+  /// Best valley-free route from `src` to `dst` under customer > peer >
+  /// provider preference with shortest-path tie-breaking, or nullopt when
+  /// unreachable.  `src == dst` yields a single-hop route.
+  [[nodiscard]] std::optional<Route> best_route(net::Asn src, net::Asn dst) const;
+
+  /// True when some valley-free path connects the two ASes.
+  [[nodiscard]] bool reachable(net::Asn src, net::Asn dst) const {
+    return best_route(src, dst).has_value();
+  }
+
+ private:
+  struct Node {
+    net::Asn asn{};
+    std::vector<net::Asn> providers;
+    std::vector<net::Asn> customers;
+    std::vector<net::Asn> peers;
+  };
+
+  [[nodiscard]] const Node& node(net::Asn asn) const;
+  [[nodiscard]] std::size_t index(net::Asn asn) const;
+
+  /// down_dist[i]: hops from AS i down its customer cone to dst (SIZE_MAX
+  /// when dst is not in i's cone).  Parent links for path recovery.
+  void down_distances(std::size_t dst, std::vector<std::uint32_t>& dist,
+                      std::vector<std::uint32_t>& parent) const;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint32_t, std::size_t> index_;
+};
+
+}  // namespace eyeball::connectivity

@@ -1,0 +1,99 @@
+#include "connectivity/case_study.hpp"
+
+#include <algorithm>
+
+namespace eyeball::connectivity {
+
+CaseStudyReport analyze_connectivity(const topology::AsEcosystem& ecosystem,
+                                     const gazetteer::Gazetteer& gaz, net::Asn asn,
+                                     double local_radius_km) {
+  const auto& as = ecosystem.at(asn);
+  CaseStudyReport report;
+  report.asn = asn;
+  report.name = as.name;
+  report.level = as.level;
+
+  // Home city: largest service PoP.
+  const topology::PopSite* main_pop = nullptr;
+  for (const auto& pop : as.pops) {
+    if (!pop.transit_only &&
+        (main_pop == nullptr || pop.customer_share > main_pop->customer_share)) {
+      main_pop = &pop;
+    }
+  }
+  if (main_pop != nullptr) report.home_city = main_pop->city;
+
+  // Expectation from geography: city-level -> 1-2 regional upstreams;
+  // broader ASes may reasonably multi-home more.
+  switch (as.level) {
+    case topology::AsLevel::kCity: report.expected_max_upstreams = 2; break;
+    case topology::AsLevel::kState: report.expected_max_upstreams = 2; break;
+    case topology::AsLevel::kCountry: report.expected_max_upstreams = 3; break;
+    default: report.expected_max_upstreams = 4; break;
+  }
+
+  for (const auto provider : ecosystem.providers_of(asn)) {
+    const auto& p = ecosystem.at(provider);
+    report.upstreams.push_back(UpstreamInfo{
+        provider, p.name, p.level, p.level == topology::AsLevel::kGlobal});
+  }
+
+  const auto near_pop = [&](gazetteer::CityId city) {
+    return std::any_of(as.pops.begin(), as.pops.end(), [&](const topology::PopSite& pop) {
+      return geo::distance_km(gaz.city(pop.city).location, gaz.city(city).location) <=
+             local_radius_km;
+    });
+  };
+
+  for (std::size_t i = 0; i < ecosystem.ixps().size(); ++i) {
+    const auto& ixp = ecosystem.ixps()[i];
+    const bool member = ixp.has_member(asn);
+    const bool local = near_pop(ixp.city);
+    if (member) {
+      IxpPresence presence;
+      presence.name = ixp.name;
+      presence.city = ixp.city;
+      presence.local = local;
+      for (const auto& rel : ecosystem.relationships()) {
+        if (rel.type != topology::RelationshipType::kPeerPeer) continue;
+        if (!rel.ixp_index || *rel.ixp_index != i) continue;
+        if (rel.customer == asn) presence.peers_there.push_back(rel.provider);
+        if (rel.provider == asn) presence.peers_there.push_back(rel.customer);
+      }
+      report.memberships.push_back(std::move(presence));
+    } else if (local) {
+      report.skipped_local_ixps.push_back(ixp.name);
+    }
+  }
+
+  // Deviations from the naive geography-based expectation.
+  if (report.upstreams.size() > report.expected_max_upstreams) {
+    report.surprises.push_back(
+        "rich upstream connectivity: " + std::to_string(report.upstreams.size()) +
+        " providers where <=" + std::to_string(report.expected_max_upstreams) +
+        " were expected");
+  }
+  const auto global_upstreams = static_cast<std::size_t>(
+      std::count_if(report.upstreams.begin(), report.upstreams.end(),
+                    [](const UpstreamInfo& u) { return u.global_reach; }));
+  if (global_upstreams > 0 && as.level == topology::AsLevel::kCity) {
+    report.surprises.push_back("city-level AS buys transit from " +
+                               std::to_string(global_upstreams) +
+                               " provider(s) with global reach");
+  }
+  for (const auto& membership : report.memberships) {
+    if (!membership.local && !membership.peers_there.empty()) {
+      report.surprises.push_back("remote peering at " + membership.name + " with " +
+                                 std::to_string(membership.peers_there.size()) +
+                                 " AS(es) despite no nearby PoP");
+    }
+  }
+  if (!report.skipped_local_ixps.empty() && !report.memberships.empty()) {
+    report.surprises.push_back(
+        "absent from local IXP(s) (" + report.skipped_local_ixps.front() +
+        ") while peering elsewhere");
+  }
+  return report;
+}
+
+}  // namespace eyeball::connectivity

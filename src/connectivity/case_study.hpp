@@ -1,0 +1,57 @@
+// Expected-vs-actual connectivity analysis of an eyeball AS (paper §6).
+//
+// From the AS's geographic footprint one would *expect* a simple picture —
+// a city-level eyeball with one or two regional upstreams, peering (if at
+// all) at its local IXP.  The analyzer derives that expectation, extracts
+// the *actual* connectivity from the relationship/IXP data, and lists the
+// deviations (rich multi-homing, global-reach providers, remote peering,
+// absence from the local IXP).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gazetteer/gazetteer.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::connectivity {
+
+struct UpstreamInfo {
+  net::Asn asn{};
+  std::string name;
+  topology::AsLevel level = topology::AsLevel::kCountry;
+  bool global_reach = false;
+};
+
+struct IxpPresence {
+  std::string name;
+  gazetteer::CityId city = gazetteer::kInvalidCity;
+  /// Within 60 km of one of the AS's PoPs.
+  bool local = false;
+  std::vector<net::Asn> peers_there;
+};
+
+struct CaseStudyReport {
+  net::Asn asn{};
+  std::string name;
+  topology::AsLevel level = topology::AsLevel::kCity;
+  /// City of the AS's largest service PoP.
+  gazetteer::CityId home_city = gazetteer::kInvalidCity;
+
+  std::vector<UpstreamInfo> upstreams;
+  std::vector<IxpPresence> memberships;
+  /// Local IXPs (in/near the home city) the AS is *not* a member of.
+  std::vector<std::string> skipped_local_ixps;
+
+  /// The naive geography-derived expectation.
+  std::size_t expected_max_upstreams = 2;
+  /// Deviations from the expectation, human-readable.
+  std::vector<std::string> surprises;
+};
+
+/// Analyzes one eyeball AS of the ecosystem.
+[[nodiscard]] CaseStudyReport analyze_connectivity(
+    const topology::AsEcosystem& ecosystem, const gazetteer::Gazetteer& gazetteer,
+    net::Asn asn, double local_radius_km = 60.0);
+
+}  // namespace eyeball::connectivity

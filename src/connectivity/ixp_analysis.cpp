@@ -1,0 +1,83 @@
+#include "connectivity/ixp_analysis.hpp"
+
+#include <algorithm>
+
+namespace eyeball::connectivity {
+
+PeeringReport analyze_peering(const topology::AsEcosystem& eco,
+                              const gazetteer::Gazetteer& gaz, double local_radius_km) {
+  PeeringReport report;
+
+  // Per-IXP summaries.
+  std::vector<std::size_t> peerings_per_ixp(eco.ixps().size(), 0);
+  for (const auto& rel : eco.relationships()) {
+    if (rel.type == topology::RelationshipType::kPeerPeer && rel.ixp_index) {
+      ++peerings_per_ixp[*rel.ixp_index];
+    }
+  }
+  for (std::size_t i = 0; i < eco.ixps().size(); ++i) {
+    const auto& ixp = eco.ixps()[i];
+    IxpSummary summary;
+    summary.name = ixp.name;
+    summary.city = ixp.city;
+    summary.continent = gaz.city(ixp.city).continent;
+    summary.members = ixp.members.size();
+    summary.eyeball_members = static_cast<std::size_t>(
+        std::count_if(ixp.members.begin(), ixp.members.end(), [&](net::Asn member) {
+          return eco.at(member).role == topology::AsRole::kEyeball;
+        }));
+    summary.peerings = peerings_per_ixp[i];
+    report.ixps.push_back(std::move(summary));
+  }
+  std::sort(report.ixps.begin(), report.ixps.end(),
+            [](const IxpSummary& a, const IxpSummary& b) { return a.members > b.members; });
+
+  // Per-continent eyeball profiles.
+  using gazetteer::Continent;
+  for (const Continent continent :
+       {Continent::kNorthAmerica, Continent::kEurope, Continent::kAsia}) {
+    ContinentPeeringProfile profile;
+    profile.continent = continent;
+    for (const auto& summary : report.ixps) {
+      if (summary.continent == continent) ++profile.ixps;
+    }
+
+    std::size_t peer_edges = 0;
+    std::size_t provider_edges = 0;
+    std::size_t multihomed = 0;
+    for (const auto& as : eco.ases()) {
+      if (as.role != topology::AsRole::kEyeball || as.continent != continent) continue;
+      ++profile.eyeballs;
+      peer_edges += eco.peers_of(as.asn).size();
+      const auto providers = eco.providers_of(as.asn).size();
+      provider_edges += providers;
+      if (providers > 2) ++multihomed;
+
+      for (const auto ixp_index : eco.ixps_of(as.asn)) {
+        const auto& ixp_city = gaz.city(eco.ixps()[ixp_index].city);
+        const bool local =
+            std::any_of(as.pops.begin(), as.pops.end(), [&](const topology::PopSite& pop) {
+              return geo::distance_km(gaz.city(pop.city).location, ixp_city.location) <=
+                     local_radius_km;
+            });
+        if (local) {
+          ++profile.local_memberships;
+        } else {
+          ++profile.remote_memberships;
+        }
+      }
+    }
+    if (profile.eyeballs > 0) {
+      profile.avg_peers_per_eyeball =
+          static_cast<double>(peer_edges) / static_cast<double>(profile.eyeballs);
+      profile.avg_providers_per_eyeball =
+          static_cast<double>(provider_edges) / static_cast<double>(profile.eyeballs);
+      profile.multihomed_fraction =
+          static_cast<double>(multihomed) / static_cast<double>(profile.eyeballs);
+    }
+    report.continents.push_back(profile);
+  }
+  return report;
+}
+
+}  // namespace eyeball::connectivity

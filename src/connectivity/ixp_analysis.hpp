@@ -1,0 +1,50 @@
+// Aggregate IXP peering statistics (paper §1/§6: "even simple eyeball ASes
+// tend to peer very actively at local and remote IXPs, especially in
+// Europe, and also maintain rich upstream connectivity").
+//
+// Quantifies that claim over a whole ecosystem: per-continent membership
+// counts, the local/remote split of eyeball memberships, peering degree by
+// AS level, and upstream multi-homing distributions.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "gazetteer/gazetteer.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::connectivity {
+
+struct IxpSummary {
+  std::string name;
+  gazetteer::CityId city = gazetteer::kInvalidCity;
+  gazetteer::Continent continent = gazetteer::Continent::kEurope;
+  std::size_t members = 0;
+  std::size_t eyeball_members = 0;
+  std::size_t peerings = 0;
+};
+
+struct ContinentPeeringProfile {
+  gazetteer::Continent continent = gazetteer::Continent::kEurope;
+  std::size_t ixps = 0;
+  std::size_t eyeballs = 0;
+  /// Eyeball IXP memberships at an IXP within 60 km of one of the AS's PoPs.
+  std::size_t local_memberships = 0;
+  /// Memberships without a nearby PoP — remote peering.
+  std::size_t remote_memberships = 0;
+  double avg_peers_per_eyeball = 0.0;
+  double avg_providers_per_eyeball = 0.0;
+  /// Fraction of eyeballs with more than 2 upstream providers.
+  double multihomed_fraction = 0.0;
+};
+
+struct PeeringReport {
+  std::vector<IxpSummary> ixps;                       // sorted by members desc
+  std::vector<ContinentPeeringProfile> continents;    // NA, EU, AS order
+};
+
+[[nodiscard]] PeeringReport analyze_peering(const topology::AsEcosystem& ecosystem,
+                                            const gazetteer::Gazetteer& gazetteer,
+                                            double local_radius_km = 60.0);
+
+}  // namespace eyeball::connectivity

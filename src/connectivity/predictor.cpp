@@ -1,0 +1,107 @@
+#include "connectivity/predictor.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace eyeball::connectivity {
+
+ConnectivityPredictor::ConnectivityPredictor(const topology::AsEcosystem& ecosystem,
+                                             const gazetteer::Gazetteer& gazetteer,
+                                             double local_radius_km)
+    : eco_(ecosystem), gaz_(gazetteer), local_radius_km_(local_radius_km) {}
+
+ConnectivityPrediction ConnectivityPredictor::predict(
+    const core::PopFootprint& footprint) const {
+  ConnectivityPrediction out;
+
+  // Providers: transit (and tier-1) ASes with PoPs near footprint cities,
+  // weighted by the footprint density they cover.
+  std::map<std::uint32_t, double> overlap;
+  for (const auto& as : eco_.ases()) {
+    if (as.role != topology::AsRole::kTransit && as.role != topology::AsRole::kTier1) {
+      continue;
+    }
+    double weight = 0.0;
+    for (const auto& entry : footprint.pops) {
+      const auto& entry_city = gaz_.city(entry.city);
+      for (const auto& pop : as.pops) {
+        if (geo::distance_km(gaz_.city(pop.city).location, entry_city.location) <=
+            local_radius_km_) {
+          weight += entry.score;
+          break;
+        }
+      }
+    }
+    if (weight > 0.0) overlap[net::value_of(as.asn)] = weight;
+  }
+  for (const auto& [asn, weight] : overlap) {
+    out.providers.push_back({net::Asn{asn}, weight});
+  }
+  std::sort(out.providers.begin(), out.providers.end(),
+            [](const PredictedProvider& a, const PredictedProvider& b) {
+              return a.overlap > b.overlap;
+            });
+
+  // IXPs near the footprint, ranked by the density of the nearby PoPs.
+  for (std::size_t i = 0; i < eco_.ixps().size(); ++i) {
+    const auto& ixp_city = gaz_.city(eco_.ixps()[i].city);
+    double density = 0.0;
+    for (const auto& entry : footprint.pops) {
+      if (geo::distance_km(gaz_.city(entry.city).location, ixp_city.location) <=
+          local_radius_km_) {
+        density += entry.score;
+      }
+    }
+    if (density > 0.0) out.ixps.push_back({i, density});
+  }
+  std::sort(out.ixps.begin(), out.ixps.end(),
+            [](const PredictedIxp& a, const PredictedIxp& b) {
+              return a.local_density > b.local_density;
+            });
+  return out;
+}
+
+PredictionScore ConnectivityPredictor::score(
+    net::Asn asn, const ConnectivityPrediction& prediction) const {
+  PredictionScore out;
+
+  const auto actual_providers = eco_.providers_of(asn);
+  if (!actual_providers.empty()) {
+    std::size_t hit = 0;
+    std::size_t hit_top2 = 0;
+    for (const auto provider : actual_providers) {
+      const auto found = std::find_if(
+          prediction.providers.begin(), prediction.providers.end(),
+          [&](const PredictedProvider& p) { return p.asn == provider; });
+      if (found != prediction.providers.end()) {
+        ++hit;
+        if (found - prediction.providers.begin() < 2) ++hit_top2;
+      } else {
+        ++out.unpredictable_providers;
+      }
+    }
+    out.provider_recall =
+        static_cast<double>(hit) / static_cast<double>(actual_providers.size());
+    out.provider_recall_top2 =
+        static_cast<double>(hit_top2) / static_cast<double>(actual_providers.size());
+  }
+
+  const auto memberships = eco_.ixps_of(asn);
+  if (!memberships.empty()) {
+    std::size_t hit = 0;
+    for (const auto index : memberships) {
+      const bool predicted = std::any_of(
+          prediction.ixps.begin(), prediction.ixps.end(),
+          [&](const PredictedIxp& p) { return p.ixp_index == index; });
+      if (predicted) {
+        ++hit;
+      } else {
+        ++out.unpredictable_ixps;
+      }
+    }
+    out.ixp_recall = static_cast<double>(hit) / static_cast<double>(memberships.size());
+  }
+  return out;
+}
+
+}  // namespace eyeball::connectivity

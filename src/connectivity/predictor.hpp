@@ -1,0 +1,76 @@
+// Geography-based connectivity prediction — the paper's §7 future-work
+// question, implemented: "how to leverage the geo-properties of an eyeball
+// AS to predict likely scenarios of how the AS connects to the rest of the
+// Internet".
+//
+// Given only an AS's inferred PoP-level footprint (cities + densities), the
+// predictor proposes:
+//   * upstream providers: transit ASes whose PoP cities overlap the
+//     footprint, ranked by overlap weight (plus the national incumbents of
+//     the footprint's home country);
+//   * IXP memberships: IXPs within a local radius of the footprint cities,
+//     ranked by the local user density.
+// Predictions are scored against the ground-truth relationships, and —
+// per the paper's own conclusion — they systematically UNDER-predict:
+// multi-homing to global carriers and remote peering are invisible to
+// geography.  The `repro_predictor` bench quantifies that gap.
+#pragma once
+
+#include <vector>
+
+#include "core/pop_mapper.hpp"
+#include "gazetteer/gazetteer.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::connectivity {
+
+struct PredictedProvider {
+  net::Asn asn{};
+  /// Sum of footprint densities at cities where the provider has a PoP.
+  double overlap = 0.0;
+};
+
+struct PredictedIxp {
+  std::size_t ixp_index = 0;
+  double local_density = 0.0;
+};
+
+struct ConnectivityPrediction {
+  std::vector<PredictedProvider> providers;  // ranked by overlap desc
+  std::vector<PredictedIxp> ixps;            // ranked by density desc
+};
+
+struct PredictionScore {
+  /// Fraction of actual providers that were predicted (any rank).
+  double provider_recall = 0.0;
+  /// Fraction of actual providers predicted within the top-2 (the naive
+  /// "one or two upstreams" expectation).
+  double provider_recall_top2 = 0.0;
+  /// Fraction of actual IXP memberships predicted.
+  double ixp_recall = 0.0;
+  /// Actual connections invisible to geography: providers with no
+  /// footprint overlap and remote IXP memberships.
+  std::size_t unpredictable_providers = 0;
+  std::size_t unpredictable_ixps = 0;
+};
+
+class ConnectivityPredictor {
+ public:
+  ConnectivityPredictor(const topology::AsEcosystem& ecosystem,
+                        const gazetteer::Gazetteer& gazetteer,
+                        double local_radius_km = 60.0);
+
+  /// Predicts from an inferred PoP footprint.
+  [[nodiscard]] ConnectivityPrediction predict(const core::PopFootprint& footprint) const;
+
+  /// Scores a prediction against the AS's actual relationships/memberships.
+  [[nodiscard]] PredictionScore score(net::Asn asn,
+                                      const ConnectivityPrediction& prediction) const;
+
+ private:
+  const topology::AsEcosystem& eco_;
+  const gazetteer::Gazetteer& gaz_;
+  double local_radius_km_;
+};
+
+}  // namespace eyeball::connectivity

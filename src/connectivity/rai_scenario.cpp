@@ -1,0 +1,175 @@
+#include "connectivity/rai_scenario.hpp"
+
+#include <stdexcept>
+
+#include "topology/ip_allocator.hpp"
+
+namespace eyeball::connectivity {
+namespace {
+
+using gazetteer::CityId;
+using topology::AsLevel;
+using topology::AsRole;
+using topology::AutonomousSystem;
+using topology::PopSite;
+using topology::RelationshipType;
+
+CityId require_city(const gazetteer::Gazetteer& gaz, std::string_view name,
+                    std::string_view country = "IT") {
+  const auto id = gaz.find_by_name(name, country);
+  if (!id) {
+    throw std::invalid_argument{"build_rai_scenario: gazetteer lacks " + std::string{name}};
+  }
+  return *id;
+}
+
+}  // namespace
+
+RaiScenario build_rai_scenario(const gazetteer::Gazetteer& gaz) {
+  topology::Ipv4SpaceAllocator allocator;
+  std::vector<AutonomousSystem> ases;
+  std::vector<topology::Ixp> ixps;
+  std::vector<topology::AsRelationship> rels;
+
+  const CityId rome = require_city(gaz, "Rome");
+  const CityId milan = require_city(gaz, "Milan");
+  const CityId turin = require_city(gaz, "Turin");
+  const CityId naples = require_city(gaz, "Naples");
+  const CityId florence = require_city(gaz, "Florence");
+  const CityId bologna = require_city(gaz, "Bologna");
+
+  const auto add_as = [&](std::uint32_t asn, std::string name, AsRole role, AsLevel level,
+                          std::string country, gazetteer::Continent continent,
+                          std::uint64_t customers,
+                          std::vector<std::pair<CityId, double>> pops,
+                          std::vector<CityId> transit_pops = {}) {
+    AutonomousSystem as;
+    as.asn = net::Asn{asn};
+    as.name = std::move(name);
+    as.role = role;
+    as.level = level;
+    as.country_code = std::move(country);
+    as.continent = continent;
+    as.customers = customers;
+    for (const auto& [city, share] : pops) {
+      PopSite pop;
+      pop.city = city;
+      pop.customer_share = share;
+      const auto need = std::max<std::uint64_t>(
+          1024, static_cast<std::uint64_t>(share * static_cast<double>(customers) * 2));
+      pop.prefixes.push_back(allocator.allocate_for(need));
+      as.pops.push_back(std::move(pop));
+    }
+    for (const CityId city : transit_pops) {
+      PopSite pop;
+      pop.city = city;
+      pop.transit_only = true;
+      pop.prefixes.push_back(allocator.allocate(24));
+      as.pops.push_back(std::move(pop));
+    }
+    ases.push_back(std::move(as));
+    return net::Asn{asn};
+  };
+
+  constexpr auto kEU = gazetteer::Continent::kEurope;
+
+  RaiScenario scenario{topology::AsEcosystem{{}, {}, {}}};
+
+  // Tier-1 backbones.
+  scenario.tier1_a = add_as(3356, "tier1-alpha", AsRole::kTier1, AsLevel::kGlobal, "", kEU,
+                            0, {}, {milan, require_city(gaz, "Genoa")});
+  scenario.tier1_b = add_as(1239, "tier1-beta", AsRole::kTier1, AsLevel::kGlobal, "", kEU,
+                            0, {}, {rome, milan});
+
+  // The five upstream providers of RAI.
+  scenario.infostrada =
+      add_as(1267, "Infostrada", AsRole::kEyeball, AsLevel::kCountry, "IT", kEU,
+             RaiScenario::kInfostradaUsers,
+             {{milan, 0.30}, {rome, 0.25}, {turin, 0.15}, {naples, 0.12},
+              {florence, 0.10}, {bologna, 0.08}});
+  scenario.fastweb =
+      add_as(12874, "Fastweb", AsRole::kEyeball, AsLevel::kCountry, "IT", kEU, 900000,
+             {{milan, 0.45}, {rome, 0.30}, {naples, 0.25}});
+  scenario.easynet = add_as(4589, "Easynet", AsRole::kTransit, AsLevel::kGlobal, "", kEU,
+                            0, {}, {milan, rome, require_city(gaz, "Venice")});
+  scenario.colt = add_as(8220, "Colt", AsRole::kTransit, AsLevel::kGlobal, "", kEU, 0, {},
+                         {milan, rome, turin});
+  scenario.bt_italia = add_as(8968, "BT-Italia", AsRole::kTransit, AsLevel::kCountry,
+                              "IT", kEU, 0, {}, {rome, milan, naples});
+
+  // RAI itself: a Rome-only city-level eyeball.
+  scenario.rai = add_as(8234, "RAI", AsRole::kEyeball, AsLevel::kCity, "IT", kEU,
+                        RaiScenario::kRaiUsers, {{rome, 1.0}});
+
+  // RAI's peers at MIX.
+  scenario.garr = add_as(137, "GARR", AsRole::kContent, AsLevel::kCountry, "IT", kEU, 0,
+                         {}, {rome, milan, bologna});
+  scenario.asdasd = add_as(34695, "ASDASD", AsRole::kTransit, AsLevel::kCountry, "IT",
+                           kEU, 0, {}, {milan, turin});
+  scenario.itgate = add_as(12779, "ITGate", AsRole::kTransit, AsLevel::kCountry, "IT",
+                           kEU, 0, {}, {milan});
+
+  // External vantage point for the traceroute validation.
+  scenario.vantage =
+      add_as(3320, "vantage-DE", AsRole::kEyeball, AsLevel::kCountry, "DE", kEU, 500000,
+             {{require_city(gaz, "Berlin", "DE"), 1.0}});
+
+  // IXPs.
+  {
+    topology::Ixp namex;
+    namex.name = "NaMEX";
+    namex.city = rome;
+    namex.members = {scenario.garr, scenario.bt_italia, scenario.fastweb,
+                     scenario.infostrada};
+    topology::Ixp mix;
+    mix.name = "MIX";
+    mix.city = milan;
+    mix.members = {scenario.rai,    scenario.garr,       scenario.asdasd,
+                   scenario.itgate, scenario.infostrada, scenario.colt};
+    scenario.namex_index = 0;
+    scenario.mix_index = 1;
+    ixps.push_back(std::move(namex));
+    ixps.push_back(std::move(mix));
+  }
+
+  const auto c2p = [&](net::Asn customer, net::Asn provider) {
+    rels.push_back({customer, provider, RelationshipType::kCustomerProvider, {}});
+  };
+  const auto p2p_at = [&](net::Asn a, net::Asn b, std::size_t ixp) {
+    rels.push_back({a, b, RelationshipType::kPeerPeer, ixp});
+  };
+
+  // RAI's five upstreams (the paper's surprising finding).
+  c2p(scenario.rai, scenario.infostrada);
+  c2p(scenario.rai, scenario.fastweb);
+  c2p(scenario.rai, scenario.easynet);
+  c2p(scenario.rai, scenario.colt);
+  c2p(scenario.rai, scenario.bt_italia);
+
+  // Remote peering at MIX (not at the local NaMEX).
+  p2p_at(scenario.rai, scenario.garr, scenario.mix_index);
+  p2p_at(scenario.rai, scenario.asdasd, scenario.mix_index);
+  p2p_at(scenario.rai, scenario.itgate, scenario.mix_index);
+
+  // Upstream structure of the rest of the scenario.
+  c2p(scenario.infostrada, scenario.tier1_a);
+  c2p(scenario.fastweb, scenario.tier1_a);
+  c2p(scenario.bt_italia, scenario.tier1_b);
+  c2p(scenario.garr, scenario.tier1_b);
+  c2p(scenario.asdasd, scenario.tier1_a);
+  c2p(scenario.itgate, scenario.tier1_a);
+  c2p(scenario.vantage, scenario.tier1_b);
+  c2p(scenario.easynet, scenario.tier1_a);
+  c2p(scenario.colt, scenario.tier1_b);
+  rels.push_back({scenario.tier1_a, scenario.tier1_b, RelationshipType::kPeerPeer, {}});
+
+  // Other peerings at the two IXPs, as real members would.
+  p2p_at(scenario.garr, scenario.fastweb, scenario.namex_index);
+  p2p_at(scenario.infostrada, scenario.colt, scenario.mix_index);
+
+  scenario.ecosystem =
+      topology::AsEcosystem{std::move(ases), std::move(ixps), std::move(rels)};
+  return scenario;
+}
+
+}  // namespace eyeball::connectivity

@@ -1,0 +1,48 @@
+// Hand-built Italian mini-ecosystem reproducing the paper's §6 case study.
+//
+// AS8234 (RAI — Radiotelevisione Italiana): a Rome-only, city-level eyeball
+// AS with 3,000 P2P users, which turns out to have
+//   * five upstream providers — Infostrada (AS1267) and Fastweb (Italy-wide
+//     ISPs), Easynet and Colt (global reach), and BT-Italia (legacy ISP) —
+//   * no presence at the local Rome IXP (NaMEX),
+//   * membership at the Milan IXP (MIX) where it peers with GARR (academic
+//     network, also present at NaMEX), ASDASD and ITGate (not at NaMEX).
+// The scenario also carries tier-1s and an external vantage AS so the
+// traceroute validation of §6 can be replayed.
+#pragma once
+
+#include "gazetteer/gazetteer.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::connectivity {
+
+struct RaiScenario {
+  topology::AsEcosystem ecosystem;
+
+  net::Asn rai{};         // AS8234, eyeball, Rome
+  net::Asn infostrada{};  // AS1267, eyeball ISP, Italy-wide (1.47M P2P users)
+  net::Asn fastweb{};     // Italy-wide ISP
+  net::Asn easynet{};     // global service provider
+  net::Asn colt{};        // global service provider
+  net::Asn bt_italia{};   // legacy ISP
+  net::Asn garr{};        // academic & research network
+  net::Asn asdasd{};      // Italian network provider
+  net::Asn itgate{};      // Italian Internet service company
+  net::Asn vantage{};     // external European eyeball used as traceroute source
+  net::Asn tier1_a{};
+  net::Asn tier1_b{};
+
+  std::size_t namex_index = 0;  // Rome IXP
+  std::size_t mix_index = 0;    // Milan IXP
+
+  /// Number of P2P users the crawl observes for RAI (paper: 3,000, all
+  /// geo-mapped to Rome).
+  static constexpr std::uint64_t kRaiUsers = 3000;
+  static constexpr std::uint64_t kInfostradaUsers = 1470000;
+};
+
+/// Builds the scenario on top of the given gazetteer (must contain Rome and
+/// Milan, i.e. the built-in world table).
+[[nodiscard]] RaiScenario build_rai_scenario(const gazetteer::Gazetteer& gazetteer);
+
+}  // namespace eyeball::connectivity

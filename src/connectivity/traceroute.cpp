@@ -1,0 +1,23 @@
+#include "connectivity/traceroute.hpp"
+
+namespace eyeball::connectivity {
+
+std::optional<TracerouteResult> TracerouteSimulator::trace(net::Asn src,
+                                                           net::Ipv4Address target) const {
+  const auto origin = rib_->origin(target);
+  if (!origin) return std::nullopt;
+  auto route = graph_->best_route(src, *origin);
+  if (!route) return std::nullopt;
+  return TracerouteResult{*origin, std::move(*route)};
+}
+
+std::string TracerouteSimulator::format_path(const Route& route) {
+  std::string out;
+  for (std::size_t i = 0; i < route.path.size(); ++i) {
+    if (i > 0) out += " ";
+    out += net::to_string(route.path[i]);
+  }
+  return out;
+}
+
+}  // namespace eyeball::connectivity

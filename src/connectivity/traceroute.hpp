@@ -1,0 +1,45 @@
+// AS-level traceroute simulation.
+//
+// The paper validates its case-study connectivity claims "by performing a
+// set of selective traceroute experiments".  The simulator resolves a
+// target IP to its origin AS through the RIB and reports the AS-level path
+// a packet would take under valley-free, customer-preferred routing.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bgp/rib.hpp"
+#include "connectivity/as_graph.hpp"
+
+namespace eyeball::connectivity {
+
+struct TracerouteResult {
+  net::Asn origin{};
+  Route route;
+};
+
+class TracerouteSimulator {
+ public:
+  TracerouteSimulator(const AsGraph& graph, const bgp::RibSnapshot& rib)
+      : graph_(&graph), rib_(&rib) {}
+
+  /// AS path from `src` to the AS originating `target`, or nullopt when the
+  /// target is unrouted or unreachable.
+  [[nodiscard]] std::optional<TracerouteResult> trace(net::Asn src,
+                                                      net::Ipv4Address target) const;
+
+  /// AS path between two ASes directly.
+  [[nodiscard]] std::optional<Route> trace_as(net::Asn src, net::Asn dst) const {
+    return graph_->best_route(src, dst);
+  }
+
+  /// "AS3 AS7 AS12" rendering of a path.
+  [[nodiscard]] static std::string format_path(const Route& route);
+
+ private:
+  const AsGraph* graph_;
+  const bgp::RibSnapshot* rib_;
+};
+
+}  // namespace eyeball::connectivity

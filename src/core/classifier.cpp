@@ -1,0 +1,83 @@
+#include "core/classifier.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace eyeball::core {
+namespace {
+
+/// Largest (count, key) entry of a tally.
+template <typename Key>
+std::pair<Key, std::size_t> dominant(const std::map<Key, std::size_t>& tally) {
+  std::pair<Key, std::size_t> best{};
+  for (const auto& [key, count] : tally) {
+    if (count > best.second) best = {key, count};
+  }
+  return best;
+}
+
+}  // namespace
+
+AsClassifier::AsClassifier(const gazetteer::Gazetteer& gazetteer, double majority_threshold)
+    : gaz_(gazetteer), threshold_(majority_threshold) {
+  if (threshold_ <= 0.5 || threshold_ > 1.0) {
+    throw std::invalid_argument{"AsClassifier: threshold must be in (0.5, 1]"};
+  }
+}
+
+Classification AsClassifier::classify(const AsPeerSet& peers) const {
+  if (peers.peers.empty()) {
+    throw std::invalid_argument{"AsClassifier::classify: empty peer set"};
+  }
+
+  std::map<gazetteer::CityId, std::size_t> by_city;
+  std::map<std::pair<std::string, std::string>, std::size_t> by_region;
+  std::map<std::string, std::size_t> by_country;
+  std::map<gazetteer::Continent, std::size_t> by_continent;
+  for (const auto& peer : peers.peers) {
+    // Prefer the database-reported city (the paper aggregates the
+    // databases' city/state/country fields); fall back to the nearest
+    // gazetteer city for records that carry coordinates only.
+    const auto city_id = peer.reported_city != gazetteer::kInvalidCity
+                             ? peer.reported_city
+                             : gaz_.nearest_city(peer.location);
+    const auto& city = gaz_.city(city_id);
+    ++by_city[city_id];
+    ++by_region[{std::string{city.country_code}, std::string{city.region}}];
+    ++by_country[std::string{city.country_code}];
+    ++by_continent[city.continent];
+  }
+
+  const auto total = static_cast<double>(peers.peers.size());
+  Classification out;
+
+  const auto [top_city, city_count] = dominant(by_city);
+  const auto [top_region, region_count] = dominant(by_region);
+  const auto [top_country, country_count] = dominant(by_country);
+  const auto [top_continent, continent_count] = dominant(by_continent);
+  out.continent = top_continent;
+
+  if (static_cast<double>(city_count) / total > threshold_) {
+    out.level = topology::AsLevel::kCity;
+    out.dominant_region = std::string{gaz_.city(top_city).name};
+    out.dominant_share = static_cast<double>(city_count) / total;
+  } else if (static_cast<double>(region_count) / total > threshold_) {
+    out.level = topology::AsLevel::kState;
+    out.dominant_region = top_region.second;
+    out.dominant_share = static_cast<double>(region_count) / total;
+  } else if (static_cast<double>(country_count) / total > threshold_) {
+    out.level = topology::AsLevel::kCountry;
+    out.dominant_region = top_country;
+    out.dominant_share = static_cast<double>(country_count) / total;
+  } else if (static_cast<double>(continent_count) / total > threshold_) {
+    out.level = topology::AsLevel::kContinent;
+    out.dominant_region = std::string{gazetteer::to_code(top_continent)};
+    out.dominant_share = static_cast<double>(continent_count) / total;
+  } else {
+    out.level = topology::AsLevel::kGlobal;
+    out.dominant_share = static_cast<double>(continent_count) / total;
+  }
+  return out;
+}
+
+}  // namespace eyeball::core

@@ -1,0 +1,36 @@
+// Geographic level classification of an eyeball AS (paper §2): the smallest
+// region — city, state, country, continent — containing a large majority
+// (> 95 %) of the AS's peers; `global` otherwise.  Peers are attributed to
+// administrative regions through their nearest gazetteer city.
+#pragma once
+
+#include <string>
+
+#include "core/dataset.hpp"
+#include "gazetteer/gazetteer.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::core {
+
+struct Classification {
+  topology::AsLevel level = topology::AsLevel::kGlobal;
+  /// Name of the dominant region at the classified level ("Rome",
+  /// "Lombardy", "IT", "EU"), empty for global.
+  std::string dominant_region;
+  /// Share of peers inside the dominant region at that level.
+  double dominant_share = 0.0;
+  gazetteer::Continent continent = gazetteer::Continent::kEurope;
+};
+
+class AsClassifier {
+ public:
+  AsClassifier(const gazetteer::Gazetteer& gazetteer, double majority_threshold = 0.95);
+
+  [[nodiscard]] Classification classify(const AsPeerSet& peers) const;
+
+ private:
+  const gazetteer::Gazetteer& gaz_;
+  double threshold_;
+};
+
+}  // namespace eyeball::core

@@ -1,0 +1,95 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/stats.hpp"
+
+namespace eyeball::core {
+
+std::size_t AsPeerSet::count_for(p2p::App app) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(peers.begin(), peers.end(),
+                    [app](const PeerRecord& p) { return p.app == app; }));
+}
+
+std::vector<geo::GeoPoint> AsPeerSet::locations() const {
+  std::vector<geo::GeoPoint> out;
+  out.reserve(peers.size());
+  for (const auto& p : peers) out.push_back(p.location);
+  return out;
+}
+
+std::vector<double> AsPeerSet::geo_errors() const {
+  std::vector<double> out;
+  out.reserve(peers.size());
+  for (const auto& p : peers) out.push_back(p.geo_error_km);
+  return out;
+}
+
+TargetDataset::TargetDataset(std::vector<AsPeerSet> ases, DatasetStats stats)
+    : ases_(std::move(ases)), stats_(stats) {}
+
+const AsPeerSet* TargetDataset::find(net::Asn asn) const noexcept {
+  for (const auto& as : ases_) {
+    if (as.asn == asn) return &as;
+  }
+  return nullptr;
+}
+
+DatasetBuilder::DatasetBuilder(const geodb::GeoDatabase& primary,
+                               const geodb::GeoDatabase& secondary,
+                               const bgp::IpToAsMapper& mapper, DatasetConfig config)
+    : primary_(primary), secondary_(secondary), mapper_(mapper), config_(config) {}
+
+TargetDataset DatasetBuilder::build(std::span<const p2p::PeerSample> samples) const {
+  DatasetStats stats;
+  stats.raw_samples = samples.size();
+
+  std::map<std::uint32_t, AsPeerSet> by_as;
+  for (const auto& sample : samples) {
+    // Geo-map with both databases; require city-level records from both
+    // (the paper drops ~2.4 M peers lacking one).
+    const auto primary_record = primary_.lookup(sample.ip);
+    const auto secondary_record = secondary_.lookup(sample.ip);
+    if (!primary_record || !secondary_record) {
+      ++stats.missing_geo;
+      continue;
+    }
+    const double error_km =
+        geo::distance_km(primary_record->location, secondary_record->location);
+    if (error_km > config_.max_geo_error_km) {
+      ++stats.high_error;
+      continue;
+    }
+    const auto asn = mapper_.map(sample.ip);
+    if (!asn) {
+      ++stats.unmapped_as;
+      continue;
+    }
+    auto& set = by_as[net::value_of(*asn)];
+    set.asn = *asn;
+    set.peers.push_back(PeerRecord{sample.ip, sample.app, primary_record->location,
+                                   error_km, primary_record->city_id});
+  }
+
+  std::vector<AsPeerSet> kept;
+  for (auto& [asn_value, set] : by_as) {
+    if (set.peers.size() < config_.min_peers_per_as) {
+      ++stats.ases_below_min_peers;
+      stats.peers_in_small_ases += set.peers.size();
+      continue;
+    }
+    const auto errors = set.geo_errors();
+    if (util::percentile(errors, 90.0) > config_.max_p90_geo_error_km) {
+      ++stats.ases_above_p90_error;
+      continue;
+    }
+    stats.final_peers += set.peers.size();
+    kept.push_back(std::move(set));
+  }
+  stats.final_ases = kept.size();
+  return TargetDataset{std::move(kept), stats};
+}
+
+}  // namespace eyeball::core

@@ -1,0 +1,100 @@
+// Target-dataset construction (the paper's §2 pipeline):
+//   raw crawl samples
+//     -> geo-map each IP with the primary database
+//     -> drop IPs lacking a city-level record in either database
+//     -> estimate per-IP geo error as the inter-database distance and drop
+//        IPs with error above the threshold (~80 km, a metro diameter)
+//     -> group by origin AS via BGP longest-prefix match
+//     -> drop ASes with fewer than 1000 peers
+//     -> drop ASes whose 90th-percentile geo error exceeds the bandwidth
+//        floor (the paper's §3.1 rule that legitimizes a fixed 40 km
+//        bandwidth).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "geo/point.hpp"
+#include "geodb/geo_database.hpp"
+#include "net/ipv4.hpp"
+#include "p2p/crawler.hpp"
+
+namespace eyeball::core {
+
+struct PeerRecord {
+  net::Ipv4Address ip;
+  p2p::App app = p2p::App::kKad;
+  /// Location reported by the primary geo database.
+  geo::GeoPoint location;
+  /// Inter-database distance for this IP (the error proxy).
+  double geo_error_km = 0.0;
+  /// City reported by the primary geo database (level classification
+  /// aggregates on the databases' city/state/country fields, as in the
+  /// paper).
+  gazetteer::CityId reported_city = gazetteer::kInvalidCity;
+};
+
+/// All conditioned peers of one eyeball AS.
+struct AsPeerSet {
+  net::Asn asn{};
+  std::vector<PeerRecord> peers;
+
+  [[nodiscard]] std::size_t count_for(p2p::App app) const noexcept;
+  [[nodiscard]] std::vector<geo::GeoPoint> locations() const;
+  [[nodiscard]] std::vector<double> geo_errors() const;
+};
+
+struct DatasetConfig {
+  /// Per-IP error threshold; the paper motivates ~100 km (metro diameter)
+  /// in §2 and uses 80 km in §3.1 — we default to the operative 80 km.
+  double max_geo_error_km = 80.0;
+  std::size_t min_peers_per_as = 1000;
+  /// Drop ASes whose 90th-percentile geo error exceeds this (§3.1).
+  double max_p90_geo_error_km = 80.0;
+};
+
+struct DatasetStats {
+  std::size_t raw_samples = 0;
+  std::size_t missing_geo = 0;
+  std::size_t high_error = 0;
+  std::size_t unmapped_as = 0;
+  std::size_t peers_in_small_ases = 0;
+  std::size_t ases_below_min_peers = 0;
+  std::size_t ases_above_p90_error = 0;
+  std::size_t final_peers = 0;
+  std::size_t final_ases = 0;
+};
+
+/// The conditioned dataset: one AsPeerSet per eligible eyeball AS.
+class TargetDataset {
+ public:
+  TargetDataset(std::vector<AsPeerSet> ases, DatasetStats stats);
+
+  [[nodiscard]] std::span<const AsPeerSet> ases() const noexcept { return ases_; }
+  [[nodiscard]] const AsPeerSet* find(net::Asn asn) const noexcept;
+  [[nodiscard]] const DatasetStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::vector<AsPeerSet> ases_;
+  DatasetStats stats_;
+};
+
+class DatasetBuilder {
+ public:
+  DatasetBuilder(const geodb::GeoDatabase& primary, const geodb::GeoDatabase& secondary,
+                 const bgp::IpToAsMapper& mapper, DatasetConfig config = {});
+
+  [[nodiscard]] TargetDataset build(std::span<const p2p::PeerSample> samples) const;
+
+ private:
+  const geodb::GeoDatabase& primary_;
+  const geodb::GeoDatabase& secondary_;
+  bgp::IpToAsMapper mapper_;
+  DatasetConfig config_;
+};
+
+}  // namespace eyeball::core

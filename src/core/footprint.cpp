@@ -1,0 +1,69 @@
+#include "core/footprint.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace eyeball::core {
+namespace {
+
+/// Bounding box over the central mass of the points: the 0.2th-99.8th
+/// percentile per axis, padded by the kernel support.  Residual geo-error
+/// outliers (e.g. correlated vendor mistakes parking a block on another
+/// continent) would otherwise stretch the KDE grid across the world; the
+/// few trimmed points simply do not contribute to the density.
+geo::BoundingBox trimmed_box(std::span<const geo::GeoPoint> points, double margin_km) {
+  std::vector<double> lats;
+  std::vector<double> lons;
+  lats.reserve(points.size());
+  lons.reserve(points.size());
+  for (const auto& p : points) {
+    lats.push_back(p.lat_deg);
+    lons.push_back(p.lon_deg);
+  }
+  const geo::BoundingBox core_box{
+      util::percentile(lats, 0.2), util::percentile(lats, 99.8),
+      util::percentile(lons, 0.2), util::percentile(lons, 99.8)};
+  return core_box.expanded_km(margin_km);
+}
+
+}  // namespace
+
+GeoFootprintEstimator::GeoFootprintEstimator(FootprintConfig config)
+    : config_(config) {}
+
+AsFootprint GeoFootprintEstimator::estimate(const AsPeerSet& peers) const {
+  return estimate(peers, config_.kde.bandwidth_km);
+}
+
+AsFootprint GeoFootprintEstimator::estimate(const AsPeerSet& peers,
+                                            double bandwidth_km) const {
+  kde::KdeConfig kde_config = config_.kde;
+  kde_config.bandwidth_km = bandwidth_km;
+  // Keep the grid fine enough for the kernel: ~8 cells per sigma, capped by
+  // the configured base resolution.
+  kde_config.cell_km = std::min(config_.kde.cell_km, bandwidth_km / 4.0);
+  const kde::KernelDensityEstimator estimator{kde_config};
+
+  const auto locations = peers.locations();
+  const auto box = trimmed_box(
+      locations, bandwidth_km * kde_config.truncate_sigmas + 20.0);
+  auto grid = estimator.estimate(locations, box);
+
+  kde::PeakConfig peak_config;
+  peak_config.alpha = config_.alpha;
+  peak_config.bandwidth_km = bandwidth_km;
+  auto peaks = kde::find_peaks(grid, peak_config);
+  auto contour = kde::extract_footprint_relative(grid, config_.contour_fraction);
+
+  return AsFootprint{std::move(grid), std::move(contour), std::move(peaks),
+                     locations.size(), bandwidth_km};
+}
+
+double GeoFootprintEstimator::adaptive_bandwidth_km(const AsPeerSet& peers,
+                                                    double resolution_floor_km) const {
+  const auto errors = peers.geo_errors();
+  return std::max(resolution_floor_km, util::percentile(errors, 90.0));
+}
+
+}  // namespace eyeball::core

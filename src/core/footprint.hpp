@@ -1,0 +1,50 @@
+// Geo-footprint estimation for one AS (paper §3): KDE over the peer
+// locations, the largest contour as the footprint, and the density peaks as
+// PoP candidates.
+#pragma once
+
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "kde/contour.hpp"
+#include "kde/estimator.hpp"
+#include "kde/peaks.hpp"
+
+namespace eyeball::core {
+
+struct FootprintConfig {
+  kde::KdeConfig kde{};
+  /// Peak-selection threshold (paper: alpha = 0.01).
+  double alpha = 0.01;
+  /// Contour level for the footprint region, as a fraction of Dmax.
+  double contour_fraction = 0.01;
+};
+
+struct AsFootprint {
+  kde::DensityGrid grid;
+  kde::Footprint contour;
+  std::vector<kde::Peak> peaks;
+  std::size_t sample_count = 0;
+  double bandwidth_km = 0.0;
+};
+
+class GeoFootprintEstimator {
+ public:
+  explicit GeoFootprintEstimator(FootprintConfig config = {});
+
+  [[nodiscard]] const FootprintConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] AsFootprint estimate(const AsPeerSet& peers) const;
+  /// Same, with the bandwidth overridden (bandwidth sweeps in Figures 1-2).
+  [[nodiscard]] AsFootprint estimate(const AsPeerSet& peers, double bandwidth_km) const;
+
+  /// The paper's §3.1 AS-dependent rule: bandwidth = max(resolution floor,
+  /// 90th percentile of the AS's geo error).
+  [[nodiscard]] double adaptive_bandwidth_km(const AsPeerSet& peers,
+                                             double resolution_floor_km = 40.0) const;
+
+ private:
+  FootprintConfig config_;
+};
+
+}  // namespace eyeball::core

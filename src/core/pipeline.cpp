@@ -1,0 +1,37 @@
+#include "core/pipeline.hpp"
+
+namespace eyeball::core {
+
+EyeballPipeline::EyeballPipeline(const gazetteer::Gazetteer& gazetteer,
+                                 const geodb::GeoDatabase& primary,
+                                 const geodb::GeoDatabase& secondary,
+                                 const bgp::IpToAsMapper& mapper, PipelineConfig config)
+    : gaz_(gazetteer),
+      builder_(primary, secondary, mapper, config.dataset),
+      classifier_(gazetteer, config.classify_threshold),
+      estimator_(config.footprint),
+      mapper_(gazetteer),
+      config_(config) {}
+
+TargetDataset EyeballPipeline::build_dataset(
+    std::span<const p2p::PeerSample> samples) const {
+  return builder_.build(samples);
+}
+
+AsAnalysis EyeballPipeline::analyze(const AsPeerSet& peers) const {
+  return analyze(peers, config_.footprint.kde.bandwidth_km);
+}
+
+AsAnalysis EyeballPipeline::analyze(const AsPeerSet& peers, double bandwidth_km) const {
+  AsAnalysis out{peers.asn, classifier_.classify(peers),
+                 estimator_.estimate(peers, bandwidth_km), PopFootprint{}};
+  out.pops = mapper_.map(out.footprint);
+  return out;
+}
+
+PopFootprint EyeballPipeline::pop_footprint(const AsPeerSet& peers,
+                                            double bandwidth_km) const {
+  return mapper_.map(estimator_.estimate(peers, bandwidth_km));
+}
+
+}  // namespace eyeball::core

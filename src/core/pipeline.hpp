@@ -1,0 +1,65 @@
+// End-to-end facade: the full method of the paper in one object.
+//
+//   EyeballPipeline pipeline{gazetteer, primary_db, secondary_db, mapper};
+//   auto dataset = pipeline.build_dataset(crawl.samples);
+//   for (const auto& as : dataset.ases()) {
+//     auto analysis = pipeline.analyze(as);
+//     // analysis.classification, analysis.footprint, analysis.pops
+//   }
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/dataset.hpp"
+#include "core/footprint.hpp"
+#include "core/pop_mapper.hpp"
+
+namespace eyeball::core {
+
+struct PipelineConfig {
+  DatasetConfig dataset{};
+  FootprintConfig footprint{};
+  double classify_threshold = 0.95;
+};
+
+/// Everything the method infers about one eyeball AS.
+struct AsAnalysis {
+  net::Asn asn{};
+  Classification classification;
+  AsFootprint footprint;
+  PopFootprint pops;
+};
+
+class EyeballPipeline {
+ public:
+  EyeballPipeline(const gazetteer::Gazetteer& gazetteer,
+                  const geodb::GeoDatabase& primary, const geodb::GeoDatabase& secondary,
+                  const bgp::IpToAsMapper& mapper, PipelineConfig config = {});
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const gazetteer::Gazetteer& gazetteer() const noexcept { return gaz_; }
+
+  [[nodiscard]] TargetDataset build_dataset(std::span<const p2p::PeerSample> samples) const;
+
+  /// Classification + footprint + PoP footprint at the configured bandwidth.
+  [[nodiscard]] AsAnalysis analyze(const AsPeerSet& peers) const;
+  /// Same with an explicit bandwidth (sweeps).
+  [[nodiscard]] AsAnalysis analyze(const AsPeerSet& peers, double bandwidth_km) const;
+
+  /// PoP footprint only (skips classification; cheaper inner loop for the
+  /// validation benches).
+  [[nodiscard]] PopFootprint pop_footprint(const AsPeerSet& peers,
+                                           double bandwidth_km) const;
+
+ private:
+  const gazetteer::Gazetteer& gaz_;
+  DatasetBuilder builder_;
+  AsClassifier classifier_;
+  GeoFootprintEstimator estimator_;
+  PopCityMapper mapper_;
+  PipelineConfig config_;
+};
+
+}  // namespace eyeball::core

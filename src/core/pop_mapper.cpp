@@ -1,0 +1,69 @@
+#include "core/pop_mapper.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/format.hpp"
+
+namespace eyeball::core {
+
+bool PopFootprint::has_city(gazetteer::CityId city) const noexcept {
+  return std::any_of(pops.begin(), pops.end(),
+                     [city](const PopEntry& e) { return e.city == city; });
+}
+
+std::vector<geo::GeoPoint> PopFootprint::pop_locations(
+    const gazetteer::Gazetteer& gaz) const {
+  std::vector<geo::GeoPoint> out;
+  out.reserve(pops.size());
+  for (const auto& pop : pops) out.push_back(gaz.city(pop.city).location);
+  return out;
+}
+
+PopCityMapper::PopCityMapper(const gazetteer::Gazetteer& gazetteer) : gaz_(gazetteer) {}
+
+PopFootprint PopCityMapper::map(const AsFootprint& footprint) const {
+  return map(footprint, footprint.bandwidth_km);
+}
+
+PopFootprint PopCityMapper::map(const AsFootprint& footprint, double radius_km) const {
+  PopFootprint out;
+  // Several peaks can land near one city (suburb clusters); merge them,
+  // accumulating the user-mass score and keeping the strongest peak.
+  std::map<gazetteer::CityId, PopEntry> merged;
+  for (const auto& peak : footprint.peaks) {
+    const auto city = gaz_.largest_city_within(peak.location, radius_km);
+    if (!city) {
+      ++out.unmapped_peaks;
+      continue;
+    }
+    auto& entry = merged[*city];
+    entry.city = *city;
+    entry.score += peak.score;
+    if (peak.density > entry.peak_density) {
+      entry.peak_density = peak.density;
+      entry.peak_location = peak.location;
+    }
+  }
+  out.pops.reserve(merged.size());
+  for (auto& [city, entry] : merged) out.pops.push_back(entry);
+  std::sort(out.pops.begin(), out.pops.end(),
+            [](const PopEntry& a, const PopEntry& b) { return a.score > b.score; });
+  return out;
+}
+
+std::string PopCityMapper::describe(const PopFootprint& footprint) const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < footprint.pops.size(); ++i) {
+    if (i > 0) out += ", ";
+    const auto& entry = footprint.pops[i];
+    out += std::string{gaz_.city(entry.city).name};
+    std::string score = util::fixed(entry.score, 3);
+    if (score.starts_with("0.")) score.erase(0, 1);  // ".130" style, as in the paper
+    out += " (" + score + ")";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace eyeball::core

@@ -1,0 +1,53 @@
+// PoP-level footprint: the paper's §4.2 "loose" mapping of density peaks to
+// cities — each peak maps to the most populated city within one kernel
+// bandwidth, or to "no city" (and is dropped as noise) otherwise.  The
+// result is a list of cities sorted by user density.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/footprint.hpp"
+#include "gazetteer/gazetteer.hpp"
+
+namespace eyeball::core {
+
+struct PopEntry {
+  gazetteer::CityId city = gazetteer::kInvalidCity;
+  /// Fraction of the AS's users attributed to this PoP (sum of the scores
+  /// of all peaks mapping to the city).
+  double score = 0.0;
+  double peak_density = 0.0;
+  geo::GeoPoint peak_location;
+};
+
+struct PopFootprint {
+  /// Entries sorted by score, descending.  Each city appears once.
+  std::vector<PopEntry> pops;
+  /// Peaks whose bandwidth-radius neighbourhood contains no city — noise
+  /// under a proper alpha, per the paper.
+  std::size_t unmapped_peaks = 0;
+
+  [[nodiscard]] bool has_city(gazetteer::CityId city) const noexcept;
+  [[nodiscard]] std::vector<geo::GeoPoint> pop_locations(
+      const gazetteer::Gazetteer& gaz) const;
+};
+
+class PopCityMapper {
+ public:
+  explicit PopCityMapper(const gazetteer::Gazetteer& gazetteer);
+
+  /// Maps the peaks of `footprint` to cities within `footprint.bandwidth_km`.
+  [[nodiscard]] PopFootprint map(const AsFootprint& footprint) const;
+  /// Same with an explicit search radius.
+  [[nodiscard]] PopFootprint map(const AsFootprint& footprint, double radius_km) const;
+
+  /// Human-readable rendering: "[Milan (.130), Rome (.122), ...]".
+  [[nodiscard]] std::string describe(const PopFootprint& footprint) const;
+
+ private:
+  const gazetteer::Gazetteer& gaz_;
+};
+
+}  // namespace eyeball::core

@@ -1,0 +1,215 @@
+#include "gazetteer/gazetteer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "gazetteer/world_data.hpp"
+
+namespace eyeball::gazetteer {
+
+std::string_view to_string(Continent c) noexcept {
+  switch (c) {
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kSouthAmerica: return "South America";
+    case Continent::kEurope: return "Europe";
+    case Continent::kAsia: return "Asia";
+    case Continent::kAfrica: return "Africa";
+    case Continent::kOceania: return "Oceania";
+  }
+  return "Unknown";
+}
+
+std::string_view to_code(Continent c) noexcept {
+  switch (c) {
+    case Continent::kNorthAmerica: return "NA";
+    case Continent::kSouthAmerica: return "SA";
+    case Continent::kEurope: return "EU";
+    case Continent::kAsia: return "AS";
+    case Continent::kAfrica: return "AF";
+    case Continent::kOceania: return "OC";
+  }
+  return "??";
+}
+
+double City::radius_km() const noexcept {
+  // ~1.6 km per sqrt(10k people); floor 2 km, cap 30 km.
+  const double r = 1.6 * std::sqrt(static_cast<double>(population) / 10000.0);
+  return std::clamp(r, 2.0, 30.0);
+}
+
+Gazetteer Gazetteer::builtin() { return Gazetteer{builtin_cities_with_suburbs()}; }
+
+Gazetteer::Gazetteer(std::vector<City> cities) : cities_(std::move(cities)) {
+  if (cities_.empty()) throw std::invalid_argument{"Gazetteer: no cities"};
+  for (std::size_t i = 0; i < cities_.size(); ++i) {
+    cities_[i].id = static_cast<CityId>(i);
+    if (!geo::is_valid(cities_[i].location)) {
+      throw std::invalid_argument{"Gazetteer: invalid city coordinates for " +
+                                  std::string{cities_[i].name}};
+    }
+  }
+  // Derive the country table from the built-in country list, keeping only
+  // countries that actually appear, preserving first-seen order.
+  std::unordered_map<std::string_view, bool> seen;
+  for (const auto& city : cities_) {
+    if (seen.emplace(city.country_code, true).second) {
+      if (const Country* c = find_builtin_country(city.country_code)) {
+        countries_.push_back(*c);
+      } else {
+        countries_.push_back({city.country_code, city.country_code, city.continent});
+      }
+    }
+  }
+  build_index();
+}
+
+void Gazetteer::build_index() {
+  grid_.assign(static_cast<std::size_t>(kGridRows) * kGridCols, {});
+  for (const auto& city : cities_) {
+    grid_[cell_index(city.location.lat_deg, city.location.lon_deg)].members.push_back(
+        city.id);
+  }
+}
+
+std::size_t Gazetteer::cell_index(double lat, double lon) const noexcept {
+  const int row = std::clamp(static_cast<int>((lat + 90.0) / 5.0), 0, kGridRows - 1);
+  const int col = std::clamp(static_cast<int>((lon + 180.0) / 5.0), 0, kGridCols - 1);
+  return static_cast<std::size_t>(row) * kGridCols + static_cast<std::size_t>(col);
+}
+
+const City& Gazetteer::city(CityId id) const {
+  if (id >= cities_.size()) throw std::out_of_range{"Gazetteer::city: bad id"};
+  return cities_[id];
+}
+
+std::optional<CityId> Gazetteer::find_by_name(std::string_view name,
+                                              std::string_view country_code) const {
+  for (const auto& c : cities_) {
+    if (c.name == name && (country_code.empty() || c.country_code == country_code)) {
+      return c.id;
+    }
+  }
+  return std::nullopt;
+}
+
+CityId Gazetteer::nearest_city(const geo::GeoPoint& p) const {
+  // Expand rings of grid cells around p until a candidate is found, then one
+  // extra ring to guard against cell-boundary artifacts.
+  const int row0 = std::clamp(static_cast<int>((p.lat_deg + 90.0) / 5.0), 0, kGridRows - 1);
+  const int col0 = std::clamp(static_cast<int>((p.lon_deg + 180.0) / 5.0), 0, kGridCols - 1);
+
+  CityId best = kInvalidCity;
+  double best_dist = std::numeric_limits<double>::infinity();
+  const int max_ring = std::max(kGridRows, kGridCols);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    for (int dr = -ring; dr <= ring; ++dr) {
+      for (int dc = -ring; dc <= ring; ++dc) {
+        if (std::max(std::abs(dr), std::abs(dc)) != ring) continue;  // ring shell only
+        const int row = row0 + dr;
+        if (row < 0 || row >= kGridRows) continue;
+        int col = (col0 + dc) % kGridCols;
+        if (col < 0) col += kGridCols;
+        const auto& cell = grid_[static_cast<std::size_t>(row) * kGridCols +
+                                 static_cast<std::size_t>(col)];
+        for (CityId id : cell.members) {
+          const double d = geo::distance_km(p, cities_[id].location);
+          if (d < best_dist) {
+            best_dist = d;
+            best = id;
+          }
+        }
+      }
+    }
+    if (best != kInvalidCity) {
+      // Every cell of ring k+1 is at least `ring` whole cells away in one
+      // axis.  Longitude cells are physically narrowest at the pole-most
+      // latitude the next ring can reach, so that bounds the closest
+      // possible undiscovered city conservatively.
+      const double reach_lat =
+          std::min(89.5, std::abs(p.lat_deg) + 5.0 * static_cast<double>(ring + 1));
+      const double min_next_km = static_cast<double>(ring) * 5.0 *
+                                 std::min(geo::kKmPerDegreeLat,
+                                          geo::km_per_degree_lon(reach_lat));
+      if (min_next_km > best_dist) break;
+    }
+  }
+  return best;
+}
+
+std::vector<CityId> Gazetteer::cities_within(const geo::GeoPoint& p,
+                                             double radius_km) const {
+  std::vector<CityId> out;
+  // Conservative cell window: 5 degrees of latitude is ~556 km.
+  const int ring = 1 + static_cast<int>(radius_km / 500.0);
+  const int row0 = std::clamp(static_cast<int>((p.lat_deg + 90.0) / 5.0), 0, kGridRows - 1);
+  const int col0 = std::clamp(static_cast<int>((p.lon_deg + 180.0) / 5.0), 0, kGridCols - 1);
+  for (int dr = -ring; dr <= ring; ++dr) {
+    const int row = row0 + dr;
+    if (row < 0 || row >= kGridRows) continue;
+    for (int dc = -ring; dc <= ring; ++dc) {
+      int col = (col0 + dc) % kGridCols;
+      if (col < 0) col += kGridCols;
+      const auto& cell =
+          grid_[static_cast<std::size_t>(row) * kGridCols + static_cast<std::size_t>(col)];
+      for (CityId id : cell.members) {
+        if (geo::distance_km(p, cities_[id].location) <= radius_km) out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<CityId> Gazetteer::largest_city_within(const geo::GeoPoint& p,
+                                                     double radius_km) const {
+  const auto candidates = cities_within(p, radius_km);
+  if (candidates.empty()) return std::nullopt;
+  return *std::max_element(candidates.begin(), candidates.end(),
+                           [this](CityId a, CityId b) {
+                             return cities_[a].population < cities_[b].population;
+                           });
+}
+
+std::vector<CityId> Gazetteer::cities_in_country(std::string_view country_code) const {
+  std::vector<CityId> out;
+  for (const auto& c : cities_) {
+    if (c.country_code == country_code) out.push_back(c.id);
+  }
+  return out;
+}
+
+std::vector<CityId> Gazetteer::cities_in_region(std::string_view country_code,
+                                                std::string_view region) const {
+  std::vector<CityId> out;
+  for (const auto& c : cities_) {
+    if (c.country_code == country_code && c.region == region) out.push_back(c.id);
+  }
+  return out;
+}
+
+std::vector<CityId> Gazetteer::cities_in_continent(Continent continent) const {
+  std::vector<CityId> out;
+  for (const auto& c : cities_) {
+    if (c.continent == continent) out.push_back(c.id);
+  }
+  return out;
+}
+
+const Country* Gazetteer::find_country(std::string_view code) const noexcept {
+  for (const auto& c : countries_) {
+    if (c.code == code) return &c;
+  }
+  return nullptr;
+}
+
+std::uint64_t Gazetteer::country_population(std::string_view code) const {
+  std::uint64_t total = 0;
+  for (const auto& c : cities_) {
+    if (c.country_code == code) total += c.population;
+  }
+  return total;
+}
+
+}  // namespace eyeball::gazetteer

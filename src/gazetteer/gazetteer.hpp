@@ -1,0 +1,71 @@
+// In-memory world gazetteer: query cities by proximity, containment and
+// administrative division.  Backs (a) placement of synthetic users,
+// (b) the paper's "loose" PoP-to-city mapping (largest-population city
+// within one kernel bandwidth), and (c) AS level classification.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "gazetteer/types.hpp"
+#include "geo/point.hpp"
+
+namespace eyeball::gazetteer {
+
+class Gazetteer {
+ public:
+  /// Builds the gazetteer from the built-in world table (~540 real cities).
+  [[nodiscard]] static Gazetteer builtin();
+
+  /// Builds from caller-provided cities (ids are reassigned to indices).
+  explicit Gazetteer(std::vector<City> cities);
+
+  [[nodiscard]] std::span<const City> cities() const noexcept { return cities_; }
+  [[nodiscard]] const City& city(CityId id) const;
+  [[nodiscard]] std::optional<CityId> find_by_name(std::string_view name,
+                                                   std::string_view country_code = {}) const;
+
+  /// Nearest city to `p` (always exists for a non-empty gazetteer).
+  [[nodiscard]] CityId nearest_city(const geo::GeoPoint& p) const;
+
+  /// All cities with distance(city, p) <= radius_km, unordered.
+  [[nodiscard]] std::vector<CityId> cities_within(const geo::GeoPoint& p,
+                                                  double radius_km) const;
+
+  /// The most populated city within `radius_km` of `p`, if any — the paper's
+  /// §4.2 loose mapping rule.
+  [[nodiscard]] std::optional<CityId> largest_city_within(const geo::GeoPoint& p,
+                                                          double radius_km) const;
+
+  [[nodiscard]] std::vector<CityId> cities_in_country(std::string_view country_code) const;
+  [[nodiscard]] std::vector<CityId> cities_in_region(std::string_view country_code,
+                                                     std::string_view region) const;
+  [[nodiscard]] std::vector<CityId> cities_in_continent(Continent continent) const;
+
+  [[nodiscard]] std::span<const Country> countries() const noexcept { return countries_; }
+  [[nodiscard]] const Country* find_country(std::string_view code) const noexcept;
+
+  /// Total population across all cities of a country (used for market-share
+  /// weighting in the topology generator).
+  [[nodiscard]] std::uint64_t country_population(std::string_view code) const;
+
+ private:
+  struct GridCell {
+    std::vector<CityId> members;
+  };
+
+  void build_index();
+  [[nodiscard]] std::size_t cell_index(double lat, double lon) const noexcept;
+
+  std::vector<City> cities_;
+  std::vector<Country> countries_;
+
+  // Coarse uniform lat/lon grid for proximity queries.
+  static constexpr int kGridRows = 36;  // 5 degrees per row
+  static constexpr int kGridCols = 72;  // 5 degrees per column
+  std::vector<GridCell> grid_;
+};
+
+}  // namespace eyeball::gazetteer

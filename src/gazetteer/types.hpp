@@ -1,0 +1,57 @@
+// World-model value types: continents, countries, administrative regions and
+// cities.  The gazetteer substitutes for the real-world geography (city
+// coordinates, populations, zip codes) that the paper's PoP-to-city mapping
+// and level classification depend on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "geo/point.hpp"
+
+namespace eyeball::gazetteer {
+
+enum class Continent : std::uint8_t {
+  kNorthAmerica,
+  kSouthAmerica,
+  kEurope,
+  kAsia,
+  kAfrica,
+  kOceania,
+};
+
+[[nodiscard]] std::string_view to_string(Continent c) noexcept;
+/// Short code used in tables ("NA", "EU", "AS", ...).
+[[nodiscard]] std::string_view to_code(Continent c) noexcept;
+
+using CityId = std::uint32_t;
+inline constexpr CityId kInvalidCity = 0xffffffffU;
+
+struct Country {
+  std::string_view code;  // ISO 3166-1 alpha-2
+  std::string_view name;
+  Continent continent;
+};
+
+struct City {
+  CityId id = kInvalidCity;
+  std::string_view name;
+  std::string_view region;        // admin-1: state / province / region
+  std::string_view country_code;  // ISO alpha-2
+  Continent continent = Continent::kEurope;
+  geo::GeoPoint location;
+  std::uint64_t population = 0;
+  /// True for generated satellite towns (the dense settlement fabric around
+  /// metros).  They participate in proximity queries and PoP-to-city
+  /// mapping, but ISP PoPs are only ever placed at real cities.
+  bool is_satellite = false;
+
+  /// Rough radius of the built-up area, used for user scattering and zip
+  /// lattices.  Scales with sqrt(population): ~5 km for a 100k-town,
+  /// ~22 km for a 10M-metropolis (paper: "average radius of a city is
+  /// around 30-35km" refers to metro areas; we cap at 30 km).
+  [[nodiscard]] double radius_km() const noexcept;
+};
+
+}  // namespace eyeball::gazetteer

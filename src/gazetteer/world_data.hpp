@@ -1,0 +1,32 @@
+// Built-in world table: ~500 real cities (name, admin-1 region, country,
+// continent, coordinates, population) plus the country list.
+//
+// This is the library's substitute for the commercial geo databases and
+// census data the paper relies on: coordinates are real (sub-0.1-degree
+// accuracy) and populations are metro-scale estimates, which is all the
+// PoP-to-city mapping and level classification need.  Italy is covered
+// densely because the paper's Figure 1 (AS3269) and §6 case study (AS8234,
+// RAI) are Italian.
+#pragma once
+
+#include <vector>
+
+#include "gazetteer/types.hpp"
+
+namespace eyeball::gazetteer {
+
+/// A fresh copy of the built-in city table (ids unset; the Gazetteer
+/// constructor assigns them).
+[[nodiscard]] std::vector<City> builtin_cities();
+
+/// The built-in table plus deterministic satellite towns around every large
+/// metro (population >= 600k).  Real geography is a dense fabric of small
+/// towns: a density peak almost anywhere maps to *some* town.  The paper's
+/// peak-to-city mapping and its Figure 2 precision behaviour depend on
+/// that, so Gazetteer::builtin() uses this table.
+[[nodiscard]] std::vector<City> builtin_cities_with_suburbs();
+
+/// Country metadata for a code, or nullptr if unknown.
+[[nodiscard]] const Country* find_builtin_country(std::string_view code) noexcept;
+
+}  // namespace eyeball::gazetteer

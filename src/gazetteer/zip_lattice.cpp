@@ -1,0 +1,48 @@
+#include "gazetteer/zip_lattice.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace eyeball::gazetteer {
+
+std::vector<geo::GeoPoint> zip_centroids(const City& city, const ZipLatticeConfig& config) {
+  const std::uint64_t wanted =
+      std::clamp<std::uint64_t>(city.population / std::max<std::uint64_t>(1, config.people_per_zip),
+                                3, config.max_zips_per_city);
+  // Per-city stream: depends only on the city identity and the seed.
+  util::Rng rng{util::mix64(config.seed,
+                            util::mix64(util::hash_string(city.name),
+                                        util::hash_string(city.country_code)))};
+  const double spread = std::min(city.radius_km() * config.spread_factor,
+                                 config.max_spread_km);
+  std::vector<geo::GeoPoint> out;
+  out.reserve(wanted);
+  for (std::uint64_t i = 0; i < wanted; ++i) {
+    // Rayleigh-distributed radius (2-D Gaussian scatter), capped at 2.5x.
+    const double r = std::min(spread * std::sqrt(-2.0 * std::log1p(-rng.uniform())) * 0.7,
+                              2.5 * spread);
+    const double bearing = rng.uniform(0.0, 360.0);
+    out.push_back(geo::destination(city.location, bearing, r));
+  }
+  return out;
+}
+
+geo::GeoPoint snap_to_zip(const City& city, const geo::GeoPoint& p,
+                          const ZipLatticeConfig& config) {
+  const auto lattice = zip_centroids(city, config);
+  double best = std::numeric_limits<double>::infinity();
+  geo::GeoPoint snapped = city.location;
+  for (const auto& centroid : lattice) {
+    const double d = geo::approx_distance_km(p, centroid);
+    if (d < best) {
+      best = d;
+      snapped = centroid;
+    }
+  }
+  return snapped;
+}
+
+}  // namespace eyeball::gazetteer

@@ -1,0 +1,53 @@
+// Synthetic zip-code centroid lattices.
+//
+// The paper's geo databases resolve every IP to a zip-code centroid ("all
+// users in a given zip code are mapped to the same coordinates").  To
+// exercise that quantization, each city gets a deterministic set of zip
+// centroids scattered over its built-up area; user placement and database
+// lookups both snap to these points.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gazetteer/types.hpp"
+#include "geo/point.hpp"
+
+namespace eyeball::gazetteer {
+
+struct ZipLatticeConfig {
+  /// One centroid per this many inhabitants (floor 3 centroids per city).
+  std::uint64_t people_per_zip = 30000;
+  std::uint64_t max_zips_per_city = 400;
+  /// Scatter radius as a multiple of City::radius_km().
+  double spread_factor = 1.0;
+  /// Absolute cap on the scatter radius — a metro's commuter belt does not
+  /// grow without bound with its population.
+  double max_spread_km = 1e9;
+  std::uint64_t seed = 0x5eedf00dULL;
+};
+
+/// Lattice used for placing *users* (ISP customers) around a PoP city:
+/// finer and wider than the nominal city lattice, since a metro PoP's
+/// customers live across the metro area and its satellite towns.  Shared by
+/// the ground-truth locator (user placement) and the world table (satellite
+/// towns sit on the outer points of this lattice — in the real world
+/// every zip centroid is a named settlement).
+[[nodiscard]] constexpr ZipLatticeConfig user_placement_config() noexcept {
+  ZipLatticeConfig config;
+  config.people_per_zip = 20000;
+  config.spread_factor = 1.2;
+  config.max_spread_km = 24.0;  // commuter-belt cap (Rayleigh tail ~60 km)
+  return config;
+}
+
+/// Deterministic zip centroids for one city.  The same (city, config) always
+/// yields the same lattice, independent of call order.
+[[nodiscard]] std::vector<geo::GeoPoint> zip_centroids(const City& city,
+                                                       const ZipLatticeConfig& config = {});
+
+/// Snaps `p` to the nearest centroid of `city`'s lattice.
+[[nodiscard]] geo::GeoPoint snap_to_zip(const City& city, const geo::GeoPoint& p,
+                                        const ZipLatticeConfig& config = {});
+
+}  // namespace eyeball::gazetteer

@@ -1,0 +1,129 @@
+#include "geo/point.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace eyeball::geo {
+
+bool is_valid(const GeoPoint& p) noexcept {
+  return p.lat_deg >= -90.0 && p.lat_deg <= 90.0 && p.lon_deg >= -180.0 &&
+         p.lon_deg < 180.0 && std::isfinite(p.lat_deg) && std::isfinite(p.lon_deg);
+}
+
+GeoPoint normalized(GeoPoint p) noexcept {
+  p.lat_deg = std::clamp(p.lat_deg, -90.0, 90.0);
+  double lon = std::fmod(p.lon_deg + 180.0, 360.0);
+  if (lon < 0.0) lon += 360.0;
+  p.lon_deg = lon - 180.0;
+  return p;
+}
+
+double distance_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double phi1 = to_radians(a.lat_deg);
+  const double phi2 = to_radians(b.lat_deg);
+  const double dphi = to_radians(b.lat_deg - a.lat_deg);
+  const double dlambda = to_radians(b.lon_deg - a.lon_deg);
+  const double sin_dphi = std::sin(dphi / 2.0);
+  const double sin_dlambda = std::sin(dlambda / 2.0);
+  const double h =
+      sin_dphi * sin_dphi + std::cos(phi1) * std::cos(phi2) * sin_dlambda * sin_dlambda;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double approx_distance_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double mean_lat = to_radians((a.lat_deg + b.lat_deg) / 2.0);
+  const double dx = to_radians(b.lon_deg - a.lon_deg) * std::cos(mean_lat);
+  const double dy = to_radians(b.lat_deg - a.lat_deg);
+  return kEarthRadiusKm * std::sqrt(dx * dx + dy * dy);
+}
+
+double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double phi1 = to_radians(a.lat_deg);
+  const double phi2 = to_radians(b.lat_deg);
+  const double dlambda = to_radians(b.lon_deg - a.lon_deg);
+  const double y = std::sin(dlambda) * std::cos(phi2);
+  const double x =
+      std::cos(phi1) * std::sin(phi2) - std::sin(phi1) * std::cos(phi2) * std::cos(dlambda);
+  double bearing = to_degrees(std::atan2(y, x));
+  if (bearing < 0.0) bearing += 360.0;
+  return bearing;
+}
+
+GeoPoint destination(const GeoPoint& origin, double bearing_deg,
+                     double distance_km) noexcept {
+  const double delta = distance_km / kEarthRadiusKm;
+  const double theta = to_radians(bearing_deg);
+  const double phi1 = to_radians(origin.lat_deg);
+  const double lambda1 = to_radians(origin.lon_deg);
+  const double sin_phi2 =
+      std::sin(phi1) * std::cos(delta) + std::cos(phi1) * std::sin(delta) * std::cos(theta);
+  const double phi2 = std::asin(std::clamp(sin_phi2, -1.0, 1.0));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(phi1);
+  const double x = std::cos(delta) - std::sin(phi1) * sin_phi2;
+  const double lambda2 = lambda1 + std::atan2(y, x);
+  return normalized({to_degrees(phi2), to_degrees(lambda2)});
+}
+
+double km_per_degree_lon(double lat_deg) noexcept {
+  return kKmPerDegreeLat * std::cos(to_radians(lat_deg));
+}
+
+BoundingBox::BoundingBox(double min_lat, double max_lat, double min_lon, double max_lon)
+    : min_lat_(min_lat), max_lat_(max_lat), min_lon_(min_lon), max_lon_(max_lon) {
+  if (min_lat > max_lat || min_lon > max_lon) {
+    throw std::invalid_argument{"BoundingBox: min exceeds max"};
+  }
+  if (min_lat < -90.0 || max_lat > 90.0 || min_lon < -180.0 || max_lon > 180.0) {
+    throw std::invalid_argument{"BoundingBox: out of range"};
+  }
+}
+
+BoundingBox BoundingBox::around(std::span<const GeoPoint> points) {
+  if (points.empty()) throw std::invalid_argument{"BoundingBox::around: no points"};
+  double min_lat = points[0].lat_deg;
+  double max_lat = points[0].lat_deg;
+  double min_lon = points[0].lon_deg;
+  double max_lon = points[0].lon_deg;
+  for (const auto& p : points) {
+    min_lat = std::min(min_lat, p.lat_deg);
+    max_lat = std::max(max_lat, p.lat_deg);
+    min_lon = std::min(min_lon, p.lon_deg);
+    max_lon = std::max(max_lon, p.lon_deg);
+  }
+  return {min_lat, max_lat, min_lon, max_lon};
+}
+
+BoundingBox BoundingBox::expanded_km(double margin_km) const {
+  const double dlat = margin_km / kKmPerDegreeLat;
+  // Use the latitude closest to the pole for a conservative lon margin.
+  const double extreme_lat = std::max(std::abs(min_lat_), std::abs(max_lat_));
+  const double lon_scale = std::max(1.0, km_per_degree_lon(std::min(extreme_lat, 85.0)));
+  const double dlon = margin_km / lon_scale;
+  return {std::max(-90.0, min_lat_ - dlat), std::min(90.0, max_lat_ + dlat),
+          std::max(-180.0, min_lon_ - dlon), std::min(180.0, max_lon_ + dlon)};
+}
+
+bool BoundingBox::contains(const GeoPoint& p) const noexcept {
+  return p.lat_deg >= min_lat_ && p.lat_deg <= max_lat_ && p.lon_deg >= min_lon_ &&
+         p.lon_deg <= max_lon_;
+}
+
+GeoPoint BoundingBox::center() const noexcept {
+  return {(min_lat_ + max_lat_) / 2.0, (min_lon_ + max_lon_) / 2.0};
+}
+
+double BoundingBox::height_km() const noexcept {
+  return (max_lat_ - min_lat_) * kKmPerDegreeLat;
+}
+
+double BoundingBox::width_km() const noexcept {
+  return (max_lon_ - min_lon_) * km_per_degree_lon((min_lat_ + max_lat_) / 2.0);
+}
+
+std::string to_string(const GeoPoint& p) {
+  return "(" + util::fixed(p.lat_deg, 4) + ", " + util::fixed(p.lon_deg, 4) + ")";
+}
+
+}  // namespace eyeball::geo

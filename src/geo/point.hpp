@@ -1,0 +1,88 @@
+// Geodesic primitives: points on the sphere, great-circle distance,
+// destination points, bounding boxes, and the local km<->degree conversions
+// the KDE grid relies on.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <span>
+#include <string>
+
+namespace eyeball::geo {
+
+inline constexpr double kEarthRadiusKm = 6371.0088;  // IUGG mean radius
+inline constexpr double kKmPerDegreeLat = kEarthRadiusKm * std::numbers::pi / 180.0;
+
+[[nodiscard]] constexpr double to_radians(double degrees) noexcept {
+  return degrees * std::numbers::pi / 180.0;
+}
+[[nodiscard]] constexpr double to_degrees(double radians) noexcept {
+  return radians * 180.0 / std::numbers::pi;
+}
+
+/// A point on the Earth's surface.  Latitude in [-90, 90], longitude in
+/// [-180, 180), both in degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// True when latitude/longitude are within their legal ranges.
+[[nodiscard]] bool is_valid(const GeoPoint& p) noexcept;
+
+/// Normalizes longitude into [-180, 180) and clamps latitude to [-90, 90].
+[[nodiscard]] GeoPoint normalized(GeoPoint p) noexcept;
+
+/// Great-circle distance (haversine).  Accurate to ~0.5% (spherical model),
+/// which is far below the 40 km kernel bandwidth this library operates at.
+[[nodiscard]] double distance_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Equirectangular approximation of distance; cheap, accurate for distances
+/// small relative to the Earth radius.  Used in inner loops with a guard.
+[[nodiscard]] double approx_distance_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Initial bearing from `a` to `b` in degrees clockwise from north, [0, 360).
+[[nodiscard]] double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Point reached travelling `distance_km` from `origin` along `bearing_deg`.
+[[nodiscard]] GeoPoint destination(const GeoPoint& origin, double bearing_deg,
+                                   double distance_km) noexcept;
+
+/// Kilometres spanned by one degree of longitude at the given latitude.
+[[nodiscard]] double km_per_degree_lon(double lat_deg) noexcept;
+
+/// Axis-aligned lat/lon box.  Longitude wrap-around is intentionally not
+/// supported: every region this library analyses (an AS footprint) is far
+/// from the antimeridian, and constructors enforce min <= max.
+class BoundingBox {
+ public:
+  BoundingBox(double min_lat, double max_lat, double min_lon, double max_lon);
+
+  /// Smallest box containing all points.  Throws on empty input.
+  [[nodiscard]] static BoundingBox around(std::span<const GeoPoint> points);
+
+  /// Box expanded by `margin_km` on every side (clamped to legal ranges).
+  [[nodiscard]] BoundingBox expanded_km(double margin_km) const;
+
+  [[nodiscard]] bool contains(const GeoPoint& p) const noexcept;
+  [[nodiscard]] double min_lat() const noexcept { return min_lat_; }
+  [[nodiscard]] double max_lat() const noexcept { return max_lat_; }
+  [[nodiscard]] double min_lon() const noexcept { return min_lon_; }
+  [[nodiscard]] double max_lon() const noexcept { return max_lon_; }
+  [[nodiscard]] GeoPoint center() const noexcept;
+  [[nodiscard]] double height_km() const noexcept;
+  /// Width measured at the box's central latitude.
+  [[nodiscard]] double width_km() const noexcept;
+
+ private:
+  double min_lat_;
+  double max_lat_;
+  double min_lon_;
+  double max_lon_;
+};
+
+[[nodiscard]] std::string to_string(const GeoPoint& p);
+
+}  // namespace eyeball::geo

@@ -1,0 +1,117 @@
+#include "geodb/synthetic_db.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gazetteer/zip_lattice.hpp"
+#include "util/rng.hpp"
+
+namespace eyeball::geodb {
+
+std::optional<double> geo_error_km(const GeoDatabase& primary, const GeoDatabase& secondary,
+                                   net::Ipv4Address ip) {
+  const auto a = primary.lookup(ip);
+  if (!a) return std::nullopt;
+  const auto b = secondary.lookup(ip);
+  if (!b) return std::nullopt;
+  return geo::distance_km(a->location, b->location);
+}
+
+SyntheticGeoDatabase::SyntheticGeoDatabase(std::string name,
+                                           const topology::GroundTruthLocator& truth,
+                                           ErrorModel model, std::uint64_t seed)
+    : name_(std::move(name)), truth_(truth), model_(model), seed_(seed) {
+  const double total =
+      model_.exact + model_.wrong_zip + model_.wrong_city + model_.far;
+  if (std::abs(total - 1.0) > 1e-9) {
+    throw std::invalid_argument{"SyntheticGeoDatabase: outcome mixture must sum to 1"};
+  }
+  if (model_.missing < 0.0 || model_.missing > 1.0) {
+    throw std::invalid_argument{"SyntheticGeoDatabase: bad missing probability"};
+  }
+
+  const auto& gaz = truth_.gazetteer();
+  lattices_.resize(gaz.cities().size());
+  country_index_of_city_.resize(gaz.cities().size());
+  country_cities_.resize(gaz.countries().size());
+  for (const auto& city : gaz.cities()) {
+    all_cities_.push_back(city.id);
+    lattices_[city.id] = gazetteer::zip_centroids(city);
+    for (std::size_t i = 0; i < gaz.countries().size(); ++i) {
+      if (gaz.countries()[i].code == city.country_code) {
+        country_index_of_city_[city.id] = i;
+        country_cities_[i].push_back(city.id);
+        break;
+      }
+    }
+  }
+}
+
+GeoRecord SyntheticGeoDatabase::record_for(gazetteer::CityId city,
+                                           const geo::GeoPoint& location) const {
+  const auto& c = truth_.gazetteer().city(city);
+  return GeoRecord{c.name, c.region, c.country_code, location, city};
+}
+
+std::optional<GeoRecord> SyntheticGeoDatabase::lookup(net::Ipv4Address ip) const {
+  const auto truth = truth_.locate(ip);
+  if (!truth) return std::nullopt;
+
+  // Correlated block error first: keyed by the /20 only, NOT the vendor
+  // seed, so both databases make the same mistake and the inter-database
+  // error proxy cannot catch it.  The bogus location is an arbitrary
+  // coordinate (vendors fall back to country centroids and registry
+  // addresses, not real city centers), so such clusters usually have no
+  // large city nearby — the exact artifact the paper's alpha / "no city"
+  // rule is designed to filter (Sec. 4.2).
+  util::Rng block_rng{util::mix64(0xb10cf00dULL, ip.value() >> 12)};
+  if (block_rng.bernoulli(model_.correlated_block_error)) {
+    const gazetteer::CityId anchor =
+        all_cities_[block_rng.uniform_index(all_cities_.size())];
+    const auto& anchor_city = truth_.gazetteer().city(anchor);
+    const geo::GeoPoint bogus =
+        geo::destination(anchor_city.location, block_rng.uniform(0.0, 360.0),
+                         block_rng.uniform(40.0, 160.0));
+    // Vendors disagree by a small per-vendor offset (below the filter).
+    util::Rng vendor_rng{util::mix64(seed_, ip.value() >> 12)};
+    const geo::GeoPoint reported =
+        geo::destination(bogus, vendor_rng.uniform(0.0, 360.0),
+                         vendor_rng.uniform(0.0, 15.0));
+    const auto nearest = truth_.gazetteer().nearest_city(reported);
+    const auto& named = truth_.gazetteer().city(nearest);
+    return GeoRecord{named.name, named.region, named.country_code, reported, nearest};
+  }
+
+  // One deterministic stream per (database, IP): repeated lookups agree.
+  util::Rng rng{util::mix64(seed_, ip.value())};
+  if (rng.bernoulli(model_.missing)) return std::nullopt;
+
+  const double roll = rng.uniform();
+  if (roll < model_.exact) {
+    return record_for(truth->city, truth->location);
+  }
+  if (roll < model_.exact + model_.wrong_zip) {
+    // Another zip centroid of the same city.
+    const auto& lattice = lattices_[truth->city];
+    return record_for(truth->city, lattice[rng.uniform_index(lattice.size())]);
+  }
+  if (roll < model_.exact + model_.wrong_zip + model_.wrong_city) {
+    // A different city in the same country.  Uniform choice keeps the
+    // error's tail heavy, like real vendor mistakes.
+    const auto& candidates = country_cities_[country_index_of_city_[truth->city]];
+    gazetteer::CityId other = candidates[rng.uniform_index(candidates.size())];
+    if (candidates.size() > 1) {
+      while (other == truth->city) {
+        other = candidates[rng.uniform_index(candidates.size())];
+      }
+    }
+    const auto& lattice = lattices_[other];
+    return record_for(other, lattice[rng.uniform_index(lattice.size())]);
+  }
+  // Far miss: any city in the world.
+  const gazetteer::CityId other = all_cities_[rng.uniform_index(all_cities_.size())];
+  const auto& lattice = lattices_[other];
+  return record_for(other, lattice[rng.uniform_index(lattice.size())]);
+}
+
+}  // namespace eyeball::geodb

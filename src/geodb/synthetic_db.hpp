@@ -1,0 +1,69 @@
+// Synthetic geo-IP database with a configurable error mixture.
+//
+// Lookups start from the ground-truth zip centroid of the IP and corrupt it
+// with one of four outcomes, drawn deterministically per (database, IP):
+//   * exact        — the true zip centroid (quantization error only),
+//   * wrong zip    — another zip centroid of the same city,
+//   * wrong city   — a zip centroid of a different city in the same country,
+//   * far          — a zip centroid of a random city anywhere.
+// Two instances with different seeds model two independent vendors, so the
+// inter-database distance behaves like the paper's geo-error estimate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geodb/geo_database.hpp"
+#include "topology/ground_truth.hpp"
+
+namespace eyeball::geodb {
+
+struct ErrorModel {
+  double exact = 0.78;
+  double wrong_zip = 0.14;
+  double wrong_city = 0.06;
+  double far = 0.02;
+  /// Probability of having no city-level record at all.
+  double missing = 0.025;
+  /// Vendors build on shared registry/WHOIS data, so some mistakes are
+  /// *correlated*: with this probability an entire /20 is mapped by BOTH
+  /// databases to the same wrong city (keyed by the block, not the vendor),
+  /// which defeats the inter-database error estimate — the error mode that
+  /// produces spurious PoP peaks at fine kernel bandwidths.
+  double correlated_block_error = 0.006;
+
+  /// Model with no corruption (for oracle tests).
+  [[nodiscard]] static ErrorModel perfect() noexcept {
+    return {1.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  }
+};
+
+class SyntheticGeoDatabase final : public GeoDatabase {
+ public:
+  SyntheticGeoDatabase(std::string name, const topology::GroundTruthLocator& truth,
+                       ErrorModel model, std::uint64_t seed);
+
+  [[nodiscard]] std::optional<GeoRecord> lookup(net::Ipv4Address ip) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+  [[nodiscard]] const ErrorModel& error_model() const noexcept { return model_; }
+
+ private:
+  [[nodiscard]] GeoRecord record_for(gazetteer::CityId city,
+                                     const geo::GeoPoint& location) const;
+
+  std::string name_;
+  const topology::GroundTruthLocator& truth_;
+  ErrorModel model_;
+  std::uint64_t seed_;
+  std::vector<gazetteer::CityId> all_cities_;
+  /// Zip lattices precomputed per city (indexed by CityId) so lookups never
+  /// regenerate them.
+  std::vector<std::vector<geo::GeoPoint>> lattices_;
+  /// City candidate pool per country, in gazetteer country order.
+  std::vector<std::vector<gazetteer::CityId>> country_cities_;
+  std::vector<std::size_t> country_index_of_city_;
+};
+
+}  // namespace eyeball::geodb

@@ -1,0 +1,143 @@
+#include "geodb/table_db.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace eyeball::geodb {
+namespace {
+
+std::invalid_argument parse_error(std::size_t line, const char* what) {
+  return std::invalid_argument{"TableGeoDatabase: " + std::string{what} + " on line " +
+                               std::to_string(line)};
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return out;
+}
+
+/// Splits `line` into exactly `n` '|'-separated fields.
+bool split_fields(std::string_view line, std::string_view* fields, std::size_t n) {
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const auto bar = line.find('|');
+    if (bar == std::string_view::npos) return false;
+    fields[i] = line.substr(0, bar);
+    line.remove_prefix(bar + 1);
+  }
+  if (line.find('|') != std::string_view::npos) return false;
+  fields[n - 1] = line;
+  return true;
+}
+
+}  // namespace
+
+TableGeoDatabase::TableGeoDatabase(std::string name, std::vector<Row> rows,
+                                   const gazetteer::Gazetteer* gazetteer)
+    : name_(std::move(name)), rows_(std::move(rows)) {
+  city_ids_.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (!geo::is_valid(rows_[i].location)) {
+      throw std::invalid_argument{"TableGeoDatabase: invalid coordinates for " +
+                                  rows_[i].prefix.to_string()};
+    }
+    trie_.insert(rows_[i].prefix, i);
+    gazetteer::CityId id = gazetteer::kInvalidCity;
+    if (gazetteer != nullptr) {
+      if (const auto found =
+              gazetteer->find_by_name(rows_[i].city, rows_[i].country_code)) {
+        id = *found;
+      }
+    }
+    city_ids_.push_back(id);
+  }
+}
+
+TableGeoDatabase TableGeoDatabase::parse(std::string name, std::string_view text,
+                                         const gazetteer::Gazetteer* gazetteer) {
+  std::vector<Row> rows;
+  std::size_t line_number = 0;
+  while (!text.empty()) {
+    ++line_number;
+    const auto newline = text.find('\n');
+    std::string_view line =
+        newline == std::string_view::npos ? text : text.substr(0, newline);
+    text.remove_prefix(newline == std::string_view::npos ? text.size() : newline + 1);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::string_view fields[6];
+    if (!split_fields(line, fields, 6)) throw parse_error(line_number, "wrong field count");
+    const auto prefix = net::Ipv4Prefix::parse(fields[0]);
+    if (!prefix) throw parse_error(line_number, "bad prefix");
+    const auto lat = parse_double(fields[1]);
+    const auto lon = parse_double(fields[2]);
+    if (!lat || !lon) throw parse_error(line_number, "bad coordinates");
+    if (fields[5].size() != 2) throw parse_error(line_number, "bad country code");
+
+    Row row;
+    row.prefix = *prefix;
+    row.location = {*lat, *lon};
+    row.city = std::string{fields[3]};
+    row.region = std::string{fields[4]};
+    row.country_code = std::string{fields[5]};
+    rows.push_back(std::move(row));
+  }
+  return TableGeoDatabase{std::move(name), std::move(rows), gazetteer};
+}
+
+std::optional<GeoRecord> TableGeoDatabase::lookup(net::Ipv4Address ip) const {
+  const auto index = trie_.longest_match(ip);
+  if (!index) return std::nullopt;
+  const Row& row = rows_[*index];
+  return GeoRecord{row.city, row.region, row.country_code, row.location,
+                   city_ids_[*index]};
+}
+
+std::string TableGeoDatabase::dump() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    out += row.prefix.to_string();
+    out += '|';
+    out += util::fixed(row.location.lat_deg, 4);
+    out += '|';
+    out += util::fixed(row.location.lon_deg, 4);
+    out += '|';
+    out += row.city;
+    out += '|';
+    out += row.region;
+    out += '|';
+    out += row.country_code;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TableGeoDatabase::export_database(
+    const GeoDatabase& source, const std::vector<net::Ipv4Prefix>& prefixes) {
+  std::string out;
+  out += "# exported from ";
+  out += source.name();
+  out += '\n';
+  for (const auto& prefix : prefixes) {
+    const auto record = source.lookup(prefix.first());
+    if (!record) continue;
+    out += prefix.to_string();
+    out += '|';
+    out += util::fixed(record->location.lat_deg, 4);
+    out += '|';
+    out += util::fixed(record->location.lon_deg, 4);
+    out += '|';
+    out += std::string{record->city};
+    out += '|';
+    out += std::string{record->region};
+    out += '|';
+    out += std::string{record->country_code};
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace eyeball::geodb

@@ -1,0 +1,68 @@
+// Table-backed geo database: the adapter a downstream user needs to plug a
+// real vendor dump (MaxMind/IP2Location CSV exports) into the pipeline.
+//
+// Format, one record per line:
+//   prefix|lat|lon|city|region|country_code
+// e.g.
+//   151.38.0.0/16|45.4642|9.1900|Milan|Lombardy|IT
+//
+// Lookups are longest-prefix matches; unknown space has no record, exactly
+// like a vendor database with partial coverage.  `dump` serializes any
+// GeoDatabase over a prefix list into this format, so a synthetic database
+// can be exported, stored, and reloaded (tested round-trip).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gazetteer/gazetteer.hpp"
+#include "geodb/geo_database.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace eyeball::geodb {
+
+class TableGeoDatabase final : public GeoDatabase {
+ public:
+  struct Row {
+    net::Ipv4Prefix prefix;
+    geo::GeoPoint location;
+    std::string city;
+    std::string region;
+    std::string country_code;
+  };
+
+  /// Builds from parsed rows.  Later rows overwrite earlier ones for the
+  /// same prefix (vendor updates append).
+  TableGeoDatabase(std::string name, std::vector<Row> rows,
+                   const gazetteer::Gazetteer* gazetteer = nullptr);
+
+  /// Parses the text format; throws std::invalid_argument with a line
+  /// number on malformed input.  If `gazetteer` is given, records are
+  /// linked to gazetteer cities by (name, country) so the classifier can
+  /// use them.
+  [[nodiscard]] static TableGeoDatabase parse(std::string name, std::string_view text,
+                                              const gazetteer::Gazetteer* gazetteer = nullptr);
+
+  [[nodiscard]] std::optional<GeoRecord> lookup(net::Ipv4Address ip) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+
+  /// Serializes one row per line in the parseable format.
+  [[nodiscard]] std::string dump() const;
+
+  /// Exports another database's answers over `prefixes` into table text
+  /// (sampling the first address of each prefix).
+  [[nodiscard]] static std::string export_database(
+      const GeoDatabase& source, const std::vector<net::Ipv4Prefix>& prefixes);
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+  std::vector<gazetteer::CityId> city_ids_;  // parallel to rows_
+  net::PrefixTrie<std::size_t> trie_;        // prefix -> row index
+};
+
+}  // namespace eyeball::geodb

@@ -1,0 +1,45 @@
+#include "kde/bandwidth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eyeball::kde {
+
+double silverman_bandwidth_km(std::span<const geo::GeoPoint> points) {
+  if (points.size() < 2) {
+    throw std::invalid_argument{"silverman_bandwidth_km: need at least 2 points"};
+  }
+  // Project to local km around the centroid (equirectangular).
+  double mean_lat = 0.0;
+  double mean_lon = 0.0;
+  for (const auto& p : points) {
+    mean_lat += p.lat_deg;
+    mean_lon += p.lon_deg;
+  }
+  mean_lat /= static_cast<double>(points.size());
+  mean_lon /= static_cast<double>(points.size());
+  const double lon_scale = geo::km_per_degree_lon(mean_lat);
+
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (const auto& p : points) {
+    const double dx = (p.lon_deg - mean_lon) * lon_scale;
+    const double dy = (p.lat_deg - mean_lat) * geo::kKmPerDegreeLat;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  const auto n = static_cast<double>(points.size());
+  var_x /= n - 1.0;
+  var_y /= n - 1.0;
+  const double sigma = std::sqrt((var_x + var_y) / 2.0);
+  // d = 2 normal-reference rule: h = sigma * n^(-1/(d+4)).
+  return sigma * std::pow(n, -1.0 / 6.0);
+}
+
+double constrained_bandwidth_km(std::span<const geo::GeoPoint> points, double floor_km,
+                                double ceil_km) {
+  return std::clamp(silverman_bandwidth_km(points), floor_km, ceil_km);
+}
+
+}  // namespace eyeball::kde

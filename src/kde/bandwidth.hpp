@@ -1,0 +1,33 @@
+// Data-driven kernel bandwidth selection.
+//
+// The paper fixes 40 km for city-level resolution and discusses an
+// AS-dependent rule tied to geo error (§3.1), citing Botev et al. for
+// fully data-driven selection.  This header provides the classical
+// reference rules so the fixed choice can be compared against statistics-
+// driven ones (see the ablation bench):
+//
+//   * Silverman's rule of thumb (normal reference), per-axis in km.
+//   * A capped "resolution-aware" variant that respects the paper's
+//     city-level floor and geo-error ceiling.
+#pragma once
+
+#include <span>
+
+#include "geo/point.hpp"
+
+namespace eyeball::kde {
+
+/// Silverman's normal-reference bandwidth for the 2-D sample, averaged over
+/// the two axes (points projected to local km around their centroid):
+///   h = sigma * n^(-1/6)
+/// Throws std::invalid_argument on fewer than 2 points.
+[[nodiscard]] double silverman_bandwidth_km(std::span<const geo::GeoPoint> points);
+
+/// Silverman clamped to [floor_km, ceil_km] — the paper's constraints: at
+/// least the desired resolution (40 km for city level), at most what the
+/// geo error permits.
+[[nodiscard]] double constrained_bandwidth_km(std::span<const geo::GeoPoint> points,
+                                              double floor_km = 40.0,
+                                              double ceil_km = 80.0);
+
+}  // namespace eyeball::kde

@@ -1,0 +1,52 @@
+// Geo-footprint extraction: the paper's §3 "largest contour of the
+// aggregate density represents the geo-footprint of the AS ... and may
+// consist of one or multiple partitions".
+//
+// A footprint at a given density level is the set of grid cells with
+// density >= level.  We report its connected partitions (area, mass,
+// bounding box) and extract the boundary as marching-squares line segments
+// for rendering.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/point.hpp"
+#include "kde/grid.hpp"
+
+namespace eyeball::kde {
+
+struct FootprintPartition {
+  std::size_t cell_count = 0;
+  double area_km2 = 0.0;
+  /// Integral of density over the partition (fraction of users inside).
+  double mass = 0.0;
+  double peak_density = 0.0;
+  geo::GeoPoint peak_location;
+  double min_lat = 0.0, max_lat = 0.0, min_lon = 0.0, max_lon = 0.0;
+};
+
+struct BoundarySegment {
+  geo::GeoPoint a;
+  geo::GeoPoint b;
+};
+
+struct Footprint {
+  double level = 0.0;
+  /// Partitions sorted by mass, descending.
+  std::vector<FootprintPartition> partitions;
+  std::vector<BoundarySegment> boundary;
+
+  [[nodiscard]] double total_area_km2() const noexcept;
+  [[nodiscard]] double total_mass() const noexcept;
+};
+
+/// Footprint at an absolute density level (probability per km^2).
+[[nodiscard]] Footprint extract_footprint(const DensityGrid& grid, double level);
+
+/// Footprint at level = fraction * Dmax (the usual way to pick the largest
+/// meaningful contour); `fraction` in (0, 1).
+[[nodiscard]] Footprint extract_footprint_relative(const DensityGrid& grid,
+                                                   double fraction = 0.01);
+
+}  // namespace eyeball::kde

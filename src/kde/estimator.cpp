@@ -1,0 +1,149 @@
+#include "kde/estimator.hpp"
+
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace eyeball::kde {
+namespace {
+
+/// Normalized, truncated 1-D Gaussian taps for a given sigma (in cells).
+std::vector<double> make_kernel(double sigma_cells, double truncate_sigmas) {
+  const auto radius = static_cast<std::size_t>(std::ceil(sigma_cells * truncate_sigmas));
+  std::vector<double> taps(2 * radius + 1);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    const double x = (static_cast<double>(i) - static_cast<double>(radius)) / sigma_cells;
+    taps[i] = std::exp(-0.5 * x * x);
+    sum += taps[i];
+  }
+  for (auto& t : taps) t /= sum;
+  return taps;
+}
+
+/// 1-D convolution of `src` (stride `stride`, `n` elements) into `dst`.
+/// Taps that fall outside the range are dropped (edge mass is clipped; the
+/// caller pads the domain so real mass never sits near the edge).
+void convolve(const double* src, double* dst, std::size_t n, std::size_t stride,
+              const std::vector<double>& taps) {
+  const auto radius = static_cast<std::ptrdiff_t>(taps.size() / 2);
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    double acc = 0.0;
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - radius);
+    const std::ptrdiff_t hi =
+        std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(n) - 1, i + radius);
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) {
+      acc += src[static_cast<std::size_t>(j) * stride] *
+             taps[static_cast<std::size_t>(j - i + radius)];
+    }
+    dst[static_cast<std::size_t>(i) * stride] = acc;
+  }
+}
+
+}  // namespace
+
+KernelDensityEstimator::KernelDensityEstimator(KdeConfig config) : config_(config) {
+  if (!(config_.bandwidth_km > 0.0)) {
+    throw std::invalid_argument{"KernelDensityEstimator: bandwidth must be > 0"};
+  }
+  if (!(config_.cell_km > 0.0)) {
+    throw std::invalid_argument{"KernelDensityEstimator: cell size must be > 0"};
+  }
+  if (config_.cell_km > config_.bandwidth_km / 2.0) {
+    // Keep at least two cells per sigma so peaks are resolved.
+    config_.cell_km = config_.bandwidth_km / 2.0;
+  }
+  if (!(config_.truncate_sigmas >= 1.0)) {
+    throw std::invalid_argument{"KernelDensityEstimator: truncate_sigmas must be >= 1"};
+  }
+}
+
+geo::BoundingBox KernelDensityEstimator::padded_box(std::span<const geo::GeoPoint> points,
+                                                    double extra_margin_km) const {
+  const auto raw = geo::BoundingBox::around(points);
+  return raw.expanded_km(config_.bandwidth_km * config_.truncate_sigmas + extra_margin_km);
+}
+
+DensityGrid KernelDensityEstimator::estimate(std::span<const geo::GeoPoint> points,
+                                             const geo::BoundingBox& box) const {
+  if (points.empty()) {
+    throw std::invalid_argument{"KernelDensityEstimator::estimate: no points"};
+  }
+  DensityGrid grid{box, config_.cell_km, config_.max_cells};
+
+  // Bin.
+  std::size_t used = 0;
+  for (const auto& p : points) {
+    if (const auto cell = grid.cell_of(p)) {
+      grid.at(cell->first, cell->second) += 1.0;
+      ++used;
+    }
+  }
+  if (used == 0) {
+    throw std::invalid_argument{"KernelDensityEstimator::estimate: no points inside box"};
+  }
+
+  const std::size_t rows = grid.rows();
+  const std::size_t cols = grid.cols();
+  std::vector<double> scratch(grid.values().size(), 0.0);
+
+  // Horizontal pass: per-row kernel width (cells shrink toward the poles).
+  // Kernels are cached on quantized sigma to avoid rebuilding per row.
+  std::map<long, std::vector<double>> kernel_cache;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double sigma_cells =
+        config_.bandwidth_km / std::max(1e-6, grid.cell_width_km(r));
+    const long key = std::lround(sigma_cells * 64.0);
+    auto it = kernel_cache.find(key);
+    if (it == kernel_cache.end()) {
+      it = kernel_cache
+               .emplace(key, make_kernel(static_cast<double>(key) / 64.0,
+                                         config_.truncate_sigmas))
+               .first;
+    }
+    convolve(grid.values().data() + r * cols, scratch.data() + r * cols, cols, 1,
+             it->second);
+  }
+
+  // Vertical pass: constant kernel width.
+  const double sigma_rows = config_.bandwidth_km / grid.cell_height_km();
+  const auto vertical = make_kernel(sigma_rows, config_.truncate_sigmas);
+  for (std::size_t c = 0; c < cols; ++c) {
+    convolve(scratch.data() + c, grid.values().data() + c, rows, cols, vertical);
+  }
+
+  // Normalize: expected count per cell -> probability density per km^2.
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double scale = 1.0 / (static_cast<double>(used) * grid.cell_area_km2(r));
+    for (std::size_t c = 0; c < cols; ++c) grid.at(r, c) *= scale;
+  }
+  return grid;
+}
+
+DensityGrid KernelDensityEstimator::estimate_exact(std::span<const geo::GeoPoint> points,
+                                                   const geo::BoundingBox& box) const {
+  if (points.empty()) {
+    throw std::invalid_argument{"KernelDensityEstimator::estimate_exact: no points"};
+  }
+  DensityGrid grid{box, config_.cell_km, config_.max_cells};
+  const double sigma = config_.bandwidth_km;
+  const double support = sigma * config_.truncate_sigmas;
+  const double norm = 1.0 / (2.0 * std::numbers::pi * sigma * sigma *
+                             static_cast<double>(points.size()));
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      const geo::GeoPoint center = grid.center_of(r, c);
+      double acc = 0.0;
+      for (const auto& p : points) {
+        const double d = geo::approx_distance_km(center, p);
+        if (d <= support) acc += std::exp(-0.5 * (d / sigma) * (d / sigma));
+      }
+      grid.at(r, c) = acc * norm;
+    }
+  }
+  return grid;
+}
+
+}  // namespace eyeball::kde

@@ -1,0 +1,62 @@
+#include "kde/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hpp"
+
+namespace eyeball::kde {
+
+std::string to_csv(const DensityGrid& grid, double min_density) {
+  std::string out = "lat,lon,density\n";
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      const double v = grid.value(r, c);
+      if (v <= min_density) continue;
+      const auto center = grid.center_of(r, c);
+      out += util::fixed(center.lat_deg, 4);
+      out += ',';
+      out += util::fixed(center.lon_deg, 4);
+      out += ',';
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.6e", v);
+      out += buffer;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string to_pgm(const DensityGrid& grid, double gamma) {
+  const auto max = grid.max_cell();
+  const double scale = max ? 1.0 / max->value : 0.0;
+  std::string out = "P2\n" + std::to_string(grid.cols()) + " " +
+                    std::to_string(grid.rows()) + "\n255\n";
+  for (std::size_t r = grid.rows(); r-- > 0;) {  // north at the top
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      const double level = std::pow(std::clamp(grid.value(r, c) * scale, 0.0, 1.0), gamma);
+      out += std::to_string(static_cast<int>(std::lround(level * 255.0)));
+      out += c + 1 < grid.cols() ? ' ' : '\n';
+    }
+  }
+  return out;
+}
+
+std::string boundary_to_geojson(const Footprint& footprint) {
+  std::string out =
+      R"({"type":"FeatureCollection","features":[)";
+  bool first = true;
+  for (const auto& segment : footprint.boundary) {
+    if (!first) out += ',';
+    first = false;
+    out += R"({"type":"Feature","properties":{},"geometry":{"type":"LineString","coordinates":[[)";
+    out += util::fixed(segment.a.lon_deg, 5) + "," + util::fixed(segment.a.lat_deg, 5);
+    out += "],[";
+    out += util::fixed(segment.b.lon_deg, 5) + "," + util::fixed(segment.b.lat_deg, 5);
+    out += "]]}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace eyeball::kde

@@ -1,0 +1,25 @@
+// Density-grid exporters: CSV (lat, lon, density) for plotting tools and
+// binary PGM (grayscale image) for a quick visual — the closest stand-ins
+// for the paper's 3-D surface renders of Figure 1.
+#pragma once
+
+#include <string>
+
+#include "kde/contour.hpp"
+#include "kde/grid.hpp"
+
+namespace eyeball::kde {
+
+/// "lat,lon,density" rows, one per cell with density above `min_density`
+/// (0 exports everything).  Header included.
+[[nodiscard]] std::string to_csv(const DensityGrid& grid, double min_density = 0.0);
+
+/// Portable graymap (P2, ASCII) with densities scaled to 0..255 and row 0
+/// at the northern edge.  `gamma` < 1 brightens low densities.
+[[nodiscard]] std::string to_pgm(const DensityGrid& grid, double gamma = 0.5);
+
+/// GeoJSON-style line segments of a footprint boundary (a FeatureCollection
+/// of LineStrings, two points each).
+[[nodiscard]] std::string boundary_to_geojson(const Footprint& footprint);
+
+}  // namespace eyeball::kde

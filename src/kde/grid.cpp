@@ -1,0 +1,80 @@
+#include "kde/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eyeball::kde {
+
+DensityGrid::DensityGrid(const geo::BoundingBox& box, double cell_km,
+                         std::size_t max_cells)
+    : box_(box), cell_km_(cell_km) {
+  if (!(cell_km > 0.0)) throw std::invalid_argument{"DensityGrid: cell_km must be > 0"};
+
+  const double mid_lat = (box.min_lat() + box.max_lat()) / 2.0;
+  const double lon_scale = std::max(1.0, geo::km_per_degree_lon(mid_lat));
+
+  // Grow the cell size if the requested resolution would blow the budget.
+  for (;;) {
+    dlat_deg_ = cell_km_ / geo::kKmPerDegreeLat;
+    dlon_deg_ = cell_km_ / lon_scale;
+    const double want_rows = std::ceil((box.max_lat() - box.min_lat()) / dlat_deg_);
+    const double want_cols = std::ceil((box.max_lon() - box.min_lon()) / dlon_deg_);
+    rows_ = std::max<std::size_t>(1, static_cast<std::size_t>(want_rows));
+    cols_ = std::max<std::size_t>(1, static_cast<std::size_t>(want_cols));
+    if (rows_ * cols_ <= max_cells) break;
+    cell_km_ *= 1.5;
+  }
+  values_.assign(rows_ * cols_, 0.0);
+}
+
+geo::GeoPoint DensityGrid::center_of(std::size_t row, std::size_t col) const noexcept {
+  return {box_.min_lat() + (static_cast<double>(row) + 0.5) * dlat_deg_,
+          box_.min_lon() + (static_cast<double>(col) + 0.5) * dlon_deg_};
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> DensityGrid::cell_of(
+    const geo::GeoPoint& p) const noexcept {
+  if (!box_.contains(p)) return std::nullopt;
+  auto row = static_cast<std::size_t>((p.lat_deg - box_.min_lat()) / dlat_deg_);
+  auto col = static_cast<std::size_t>((p.lon_deg - box_.min_lon()) / dlon_deg_);
+  row = std::min(row, rows_ - 1);
+  col = std::min(col, cols_ - 1);
+  return std::make_pair(row, col);
+}
+
+double DensityGrid::row_lat(std::size_t row) const noexcept {
+  return box_.min_lat() + (static_cast<double>(row) + 0.5) * dlat_deg_;
+}
+
+double DensityGrid::cell_width_km(std::size_t row) const noexcept {
+  return dlon_deg_ * geo::km_per_degree_lon(row_lat(row));
+}
+
+double DensityGrid::cell_height_km() const noexcept {
+  return dlat_deg_ * geo::kKmPerDegreeLat;
+}
+
+double DensityGrid::cell_area_km2(std::size_t row) const noexcept {
+  return cell_width_km(row) * cell_height_km();
+}
+
+std::optional<DensityGrid::MaxCell> DensityGrid::max_cell() const noexcept {
+  const auto it = std::max_element(values_.begin(), values_.end());
+  if (it == values_.end() || *it <= 0.0) return std::nullopt;
+  const auto index = static_cast<std::size_t>(it - values_.begin());
+  return MaxCell{index / cols_, index % cols_, *it};
+}
+
+double DensityGrid::integral() const noexcept {
+  double total = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double area = cell_area_km2(r);
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) row_sum += value(r, c);
+    total += row_sum * area;
+  }
+  return total;
+}
+
+}  // namespace eyeball::kde

@@ -1,0 +1,117 @@
+#include "kde/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <queue>
+
+namespace eyeball::kde {
+namespace {
+
+/// Quadratic (3-point parabola) sub-cell offset of the extremum in one
+/// dimension, clamped to half a cell.
+double parabolic_offset(double left, double center, double right) noexcept {
+  const double denom = left - 2.0 * center + right;
+  if (std::abs(denom) < 1e-30) return 0.0;
+  return std::clamp(0.5 * (left - right) / denom, -0.5, 0.5);
+}
+
+}  // namespace
+
+std::vector<Peak> find_peaks(const DensityGrid& grid, const PeakConfig& config) {
+  const auto max = grid.max_cell();
+  if (!max) return {};
+  const double threshold = config.alpha * max->value;
+
+  const std::size_t rows = grid.rows();
+  const std::size_t cols = grid.cols();
+  const auto is_candidate = [&](std::size_t r, std::size_t c) {
+    const double v = grid.value(r, c);
+    if (v <= 0.0 || v <= threshold) return false;
+    // Local maximum: >= every 8-neighbour.
+    for (int dr = -1; dr <= 1; ++dr) {
+      for (int dc = -1; dc <= 1; ++dc) {
+        if (dr == 0 && dc == 0) continue;
+        const auto nr = static_cast<std::ptrdiff_t>(r) + dr;
+        const auto nc = static_cast<std::ptrdiff_t>(c) + dc;
+        if (nr < 0 || nr >= static_cast<std::ptrdiff_t>(rows) || nc < 0 ||
+            nc >= static_cast<std::ptrdiff_t>(cols)) {
+          continue;
+        }
+        if (grid.value(static_cast<std::size_t>(nr), static_cast<std::size_t>(nc)) > v) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // Collect candidate cells and collapse plateaus: adjacent candidates with
+  // (near-)equal value belong to one peak.
+  std::vector<char> visited(rows * cols, 0);
+  std::vector<Peak> peaks;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (visited[r * cols + c] || !is_candidate(r, c)) continue;
+
+      // Flood over the connected plateau of candidates.
+      std::queue<std::pair<std::size_t, std::size_t>> frontier;
+      frontier.push({r, c});
+      visited[r * cols + c] = 1;
+      std::size_t best_r = r;
+      std::size_t best_c = c;
+      while (!frontier.empty()) {
+        const auto [cr, cc] = frontier.front();
+        frontier.pop();
+        if (grid.value(cr, cc) > grid.value(best_r, best_c)) {
+          best_r = cr;
+          best_c = cc;
+        }
+        for (int dr = -1; dr <= 1; ++dr) {
+          for (int dc = -1; dc <= 1; ++dc) {
+            const auto nr = static_cast<std::ptrdiff_t>(cr) + dr;
+            const auto nc = static_cast<std::ptrdiff_t>(cc) + dc;
+            if (nr < 0 || nr >= static_cast<std::ptrdiff_t>(rows) || nc < 0 ||
+                nc >= static_cast<std::ptrdiff_t>(cols)) {
+              continue;
+            }
+            const auto ur = static_cast<std::size_t>(nr);
+            const auto uc = static_cast<std::size_t>(nc);
+            if (!visited[ur * cols + uc] && is_candidate(ur, uc)) {
+              visited[ur * cols + uc] = 1;
+              frontier.push({ur, uc});
+            }
+          }
+        }
+      }
+
+      Peak peak;
+      peak.row = best_r;
+      peak.col = best_c;
+      peak.density = grid.value(best_r, best_c);
+      peak.score = peak.density * 2.0 * std::numbers::pi * config.bandwidth_km *
+                   config.bandwidth_km;
+
+      geo::GeoPoint location = grid.center_of(best_r, best_c);
+      if (config.subcell_refinement && best_r > 0 && best_r + 1 < rows && best_c > 0 &&
+          best_c + 1 < cols) {
+        const double dx = parabolic_offset(grid.value(best_r, best_c - 1), peak.density,
+                                           grid.value(best_r, best_c + 1));
+        const double dy = parabolic_offset(grid.value(best_r - 1, best_c), peak.density,
+                                           grid.value(best_r + 1, best_c));
+        const geo::GeoPoint right = grid.center_of(best_r, best_c + 1);
+        const geo::GeoPoint up = grid.center_of(best_r + 1, best_c);
+        location.lon_deg += dx * (right.lon_deg - location.lon_deg);
+        location.lat_deg += dy * (up.lat_deg - location.lat_deg);
+      }
+      peak.location = location;
+      peaks.push_back(peak);
+    }
+  }
+
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.density > b.density; });
+  return peaks;
+}
+
+}  // namespace eyeball::kde

@@ -1,0 +1,38 @@
+// Local-maximum (peak) detection on a density grid — the paper's §4.1:
+// candidate PoPs are the density peaks with D(i) > alpha * Dmax.
+#pragma once
+
+#include <vector>
+
+#include "geo/point.hpp"
+#include "kde/grid.hpp"
+
+namespace eyeball::kde {
+
+struct Peak {
+  geo::GeoPoint location;
+  /// Density at the peak (probability per km^2).
+  double density = 0.0;
+  /// density x 2*pi*sigma^2 — approximately the fraction of all users
+  /// under this peak; reproduces the paper's "Milan (.130)" scale.
+  double score = 0.0;
+  std::size_t row = 0;
+  std::size_t col = 0;
+};
+
+struct PeakConfig {
+  /// Keep peaks with density > alpha * Dmax (paper: alpha = 0.01).
+  double alpha = 0.01;
+  /// Needed to compute Peak::score.
+  double bandwidth_km = 40.0;
+  /// Refine peak coordinates with a quadratic fit around the cell maximum.
+  bool subcell_refinement = true;
+};
+
+/// All qualifying local maxima, sorted by density descending.  Plateaus
+/// (flat connected regions that dominate their surroundings) collapse to a
+/// single peak.  Empty result for an all-zero grid.
+[[nodiscard]] std::vector<Peak> find_peaks(const DensityGrid& grid,
+                                           const PeakConfig& config = {});
+
+}  // namespace eyeball::kde

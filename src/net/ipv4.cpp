@@ -1,0 +1,65 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+
+namespace eyeball::net {
+namespace {
+
+/// Parses a decimal integer in [0, limit]; advances `text` past it.
+std::optional<std::uint32_t> parse_number(std::string_view& text, std::uint32_t limit) {
+  std::uint32_t out = 0;
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr == begin || out > limit) return std::nullopt;
+  // Reject leading zeros like "01" (ambiguous octal notation).
+  if (ptr - begin > 1 && *begin == '0') return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return out;
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    const auto octet = parse_number(text, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  std::string_view length_text = text.substr(slash + 1);
+  const auto length = parse_number(length_text, 32);
+  if (!length || !length_text.empty()) return std::nullopt;
+  return Ipv4Prefix{*address, static_cast<int>(*length)};
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+std::string to_string(Asn asn) { return "AS" + std::to_string(value_of(asn)); }
+
+}  // namespace eyeball::net

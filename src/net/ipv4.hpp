@@ -1,0 +1,106 @@
+// IPv4 addresses and CIDR prefixes.
+//
+// The pipeline's "grouping users by AS" step is a longest-prefix match of
+// every sampled IP against a BGP RIB; these are the value types that step
+// operates on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace eyeball::net {
+
+/// An IPv4 address stored as a host-order 32-bit integer.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int index) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - index)));
+  }
+  /// Bit `i` counted from the most significant (bit 0 = 128.0.0.0).
+  [[nodiscard]] constexpr bool bit(int i) const noexcept {
+    return ((value_ >> (31 - i)) & 1U) != 0;
+  }
+
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix (network address + mask length).  The network address is
+/// always stored canonically (host bits zeroed).
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  /// Canonicalizes: host bits of `address` beyond `length` are cleared.
+  constexpr Ipv4Prefix(Ipv4Address address, int length) noexcept
+      : address_(Ipv4Address{length == 0 ? 0 : (address.value() & mask_for(length))}),
+        length_(length) {}
+
+  [[nodiscard]] constexpr Ipv4Address address() const noexcept { return address_; }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+  [[nodiscard]] constexpr std::uint32_t netmask() const noexcept {
+    return mask_for(length_);
+  }
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+  [[nodiscard]] constexpr Ipv4Address first() const noexcept { return address_; }
+  [[nodiscard]] constexpr Ipv4Address last() const noexcept {
+    return Ipv4Address{address_.value() | ~netmask()};
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address ip) const noexcept {
+    return (ip.value() & netmask()) == address_.value();
+  }
+  [[nodiscard]] constexpr bool contains(const Ipv4Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.address_);
+  }
+
+  /// The two halves of this prefix (length + 1).  Valid for length < 32.
+  [[nodiscard]] constexpr Ipv4Prefix lower_half() const noexcept {
+    return {address_, length_ + 1};
+  }
+  [[nodiscard]] constexpr Ipv4Prefix upper_half() const noexcept {
+    return {Ipv4Address{address_.value() | (1U << (31 - length_))}, length_ + 1};
+  }
+
+  /// Parses "a.b.c.d/len"; rejects malformed text and non-canonical hosts
+  /// bits are cleared silently (mirrors routing-table semantics).
+  [[nodiscard]] static std::optional<Ipv4Prefix> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+ private:
+  [[nodiscard]] static constexpr std::uint32_t mask_for(int length) noexcept {
+    return length == 0 ? 0U : ~std::uint32_t{0} << (32 - length);
+  }
+
+  Ipv4Address address_{};
+  int length_ = 0;
+};
+
+/// Autonomous System number (16/32-bit).
+enum class Asn : std::uint32_t {};
+
+[[nodiscard]] constexpr std::uint32_t value_of(Asn asn) noexcept {
+  return static_cast<std::uint32_t>(asn);
+}
+[[nodiscard]] std::string to_string(Asn asn);
+
+}  // namespace eyeball::net

@@ -1,0 +1,134 @@
+// Binary (Patricia-style, path-per-bit) trie keyed by IPv4 prefixes with
+// longest-prefix-match lookup — the same data structure a router's FIB uses
+// and the engine behind the pipeline's IP -> origin-AS grouping step.
+//
+// Header-only template.  Nodes are stored in a contiguous arena (indices,
+// not pointers) so the trie is cache-friendly and trivially movable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace eyeball::net {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  /// Inserts or overwrites the value at `prefix`.  Returns true if a new
+  /// entry was created, false if an existing one was replaced.
+  bool insert(const Ipv4Prefix& prefix, Value value) {
+    std::uint32_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int branch = prefix.address().bit(depth) ? 1 : 0;
+      std::uint32_t& child = nodes_[node].children[branch];
+      if (child == kNull) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(Node{});
+      }
+      node = nodes_[node].children[branch];
+    }
+    const bool fresh = !nodes_[node].value.has_value();
+    nodes_[node].value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Value of the longest prefix containing `ip`, or nullopt.
+  [[nodiscard]] std::optional<Value> longest_match(Ipv4Address ip) const {
+    const Value* best = nullptr;
+    std::uint32_t node = 0;
+    for (int depth = 0;; ++depth) {
+      if (nodes_[node].value.has_value()) best = &*nodes_[node].value;
+      if (depth == 32) break;
+      const std::uint32_t child = nodes_[node].children[ip.bit(depth) ? 1 : 0];
+      if (child == kNull) break;
+      node = child;
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+  }
+
+  /// Longest match returned together with its prefix (for diagnostics).
+  [[nodiscard]] std::optional<std::pair<Ipv4Prefix, Value>> longest_match_entry(
+      Ipv4Address ip) const {
+    std::optional<std::pair<Ipv4Prefix, Value>> best;
+    std::uint32_t node = 0;
+    for (int depth = 0;; ++depth) {
+      if (nodes_[node].value.has_value()) {
+        best = {Ipv4Prefix{ip, depth}, *nodes_[node].value};
+      }
+      if (depth == 32) break;
+      const std::uint32_t child = nodes_[node].children[ip.bit(depth) ? 1 : 0];
+      if (child == kNull) break;
+      node = child;
+    }
+    return best;
+  }
+
+  /// Exact-prefix lookup (no LPM walk past the prefix end).
+  [[nodiscard]] std::optional<Value> exact_match(const Ipv4Prefix& prefix) const {
+    std::uint32_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const std::uint32_t child = nodes_[node].children[prefix.address().bit(depth) ? 1 : 0];
+      if (child == kNull) return std::nullopt;
+      node = child;
+    }
+    return nodes_[node].value;
+  }
+
+  /// Removes the entry at `prefix`.  Returns true if it existed.  Nodes are
+  /// not reclaimed (tables in this library are build-once).
+  bool erase(const Ipv4Prefix& prefix) {
+    std::uint32_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const std::uint32_t child = nodes_[node].children[prefix.address().bit(depth) ? 1 : 0];
+      if (child == kNull) return false;
+      node = child;
+    }
+    if (!nodes_[node].value.has_value()) return false;
+    nodes_[node].value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Visits every (prefix, value) entry in lexicographic prefix order.
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    walk(0, Ipv4Prefix{}, visit);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  static constexpr std::uint32_t kNull = 0xffffffffU;
+
+  struct Node {
+    std::uint32_t children[2] = {kNull, kNull};
+    std::optional<Value> value;
+  };
+
+  template <typename Visitor>
+  void walk(std::uint32_t node, Ipv4Prefix prefix, Visitor& visit) const {
+    if (nodes_[node].value.has_value()) visit(prefix, *nodes_[node].value);
+    if (prefix.length() == 32) return;
+    if (nodes_[node].children[0] != kNull) {
+      walk(nodes_[node].children[0], prefix.lower_half(), visit);
+    }
+    if (nodes_[node].children[1] != kNull) {
+      walk(nodes_[node].children[1], prefix.upper_half(), visit);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace eyeball::net

@@ -1,0 +1,48 @@
+#include "p2p/app.hpp"
+
+#include "util/rng.hpp"
+
+namespace eyeball::p2p {
+
+std::string_view to_string(App app) noexcept {
+  switch (app) {
+    case App::kKad: return "Kad";
+    case App::kBitTorrent: return "BitTorrent";
+    case App::kGnutella: return "Gnutella";
+  }
+  return "unknown";
+}
+
+void PenetrationModel::set_rates(gazetteer::Continent continent, Rates rates) {
+  switch (continent) {
+    case gazetteer::Continent::kNorthAmerica: north_america_ = rates; break;
+    case gazetteer::Continent::kEurope: europe_ = rates; break;
+    case gazetteer::Continent::kAsia: asia_ = rates; break;
+    default: other_ = rates; break;
+  }
+}
+
+double PenetrationModel::base_rate(App app, gazetteer::Continent continent) const noexcept {
+  const Rates* rates = &other_;
+  switch (continent) {
+    case gazetteer::Continent::kNorthAmerica: rates = &north_america_; break;
+    case gazetteer::Continent::kEurope: rates = &europe_; break;
+    case gazetteer::Continent::kAsia: rates = &asia_; break;
+    default: break;
+  }
+  switch (app) {
+    case App::kKad: return rates->kad;
+    case App::kBitTorrent: return rates->bittorrent;
+    case App::kGnutella: return rates->gnutella;
+  }
+  return 0.0;
+}
+
+double PenetrationModel::rate(App app, gazetteer::Continent continent,
+                              std::string_view country_code, std::uint64_t seed) const {
+  util::Rng rng{util::mix64(util::mix64(seed, static_cast<std::uint64_t>(app)),
+                            util::hash_string(country_code))};
+  return base_rate(app, continent) * rng.lognormal(0.0, 0.35);
+}
+
+}  // namespace eyeball::p2p

@@ -1,0 +1,56 @@
+// P2P application models.
+//
+// The paper samples end users by crawling Kad, BitTorrent and Gnutella.
+// Penetration of each application differs sharply by region (Table 1:
+// Gnutella dominates North America, Kad dominates Europe and Asia); the
+// penetration model reproduces those ratios and adds per-country noise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "gazetteer/types.hpp"
+
+namespace eyeball::p2p {
+
+enum class App : std::uint8_t {
+  kKad,
+  kBitTorrent,
+  kGnutella,
+};
+
+inline constexpr std::array<App, 3> kAllApps{App::kKad, App::kBitTorrent, App::kGnutella};
+
+[[nodiscard]] std::string_view to_string(App app) noexcept;
+
+/// Fraction of a region's broadband users observable in a 6-month crawl of
+/// one application.
+class PenetrationModel {
+ public:
+  /// Defaults tuned so that per-continent sample ratios match the paper's
+  /// Table 1 (NA Kad:Gnu:BT = 1218:8984:1761, EU = 18004:2519:2529,
+  /// AS = 17865:1606:1016).
+  PenetrationModel() = default;
+
+  struct Rates {
+    double kad;
+    double bittorrent;
+    double gnutella;
+  };
+
+  void set_rates(gazetteer::Continent continent, Rates rates);
+  [[nodiscard]] double base_rate(App app, gazetteer::Continent continent) const noexcept;
+
+  /// Base rate x deterministic per-(app, country) lognormal noise.
+  [[nodiscard]] double rate(App app, gazetteer::Continent continent,
+                            std::string_view country_code, std::uint64_t seed) const;
+
+ private:
+  Rates north_america_{0.008, 0.012, 0.060};
+  Rates europe_{0.095, 0.0134, 0.0133};
+  Rates asia_{0.060, 0.0034, 0.0054};
+  Rates other_{0.030, 0.0080, 0.0100};
+};
+
+}  // namespace eyeball::p2p

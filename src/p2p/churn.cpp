@@ -1,0 +1,112 @@
+#include "p2p/churn.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace eyeball::p2p {
+namespace {
+
+/// Lease epoch of user `user` at window `window`: starts at 0 and advances
+/// whenever the lease does not survive a window boundary.  Deterministic in
+/// (seed, user, window) and monotone in `window`.
+int lease_epoch(std::uint64_t seed, std::uint64_t user, int window,
+                double lease_survival) {
+  int epoch = 0;
+  for (int w = 1; w <= window; ++w) {
+    const std::uint64_t draw = util::mix64(util::mix64(seed, user), w);
+    const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    if (u >= lease_survival) ++epoch;
+  }
+  return epoch;
+}
+
+}  // namespace
+
+LongitudinalResult longitudinal_crawl(const topology::AsEcosystem& ecosystem,
+                                      const gazetteer::Gazetteer& /*gazetteer*/,
+                                      const CrawlerConfig& crawl_config,
+                                      const ChurnConfig& churn) {
+  LongitudinalResult result;
+  std::vector<std::vector<PeerSample>> per_window(churn.windows);
+  std::unordered_set<std::uint64_t> users_seen;
+
+  for (const auto& as : ecosystem.ases()) {
+    if (as.role != topology::AsRole::kEyeball) continue;
+    for (const App app : kAllApps) {
+      const double rate = crawl_config.penetration.rate(app, as.continent,
+                                                        as.country_code, crawl_config.seed) *
+                          crawl_config.coverage;
+      if (rate <= 0.0) continue;
+      for (std::size_t p = 0; p < as.pops.size(); ++p) {
+        const auto& pop = as.pops[p];
+        if (pop.customer_share <= 0.0 || pop.prefixes.empty()) continue;
+        // The application's user base at this PoP is a FIXED subset of the
+        // customers; each window observes the members who are online.  The
+        // same user therefore recurs across windows — under a fresh address
+        // whenever the lease rolled — which is what inflates unique-IP
+        // counts beyond the user population.
+        const auto active_users = static_cast<std::uint64_t>(std::max(
+            1.0, pop.customer_share * static_cast<double>(as.customers) * rate));
+        const double expected =
+            static_cast<double>(active_users) * churn.online_per_window;
+
+        // Address pool: all announced space of the PoP, flattened.
+        std::uint64_t pool_size = 0;
+        for (const auto& prefix : pop.prefixes) pool_size += prefix.size();
+
+        const std::uint64_t pop_key =
+            util::mix64(util::mix64(churn.seed, static_cast<std::uint64_t>(app)),
+                        util::mix64(net::value_of(as.asn), p));
+        util::Rng rng{pop_key};
+        for (int w = 0; w < churn.windows; ++w) {
+          const std::uint64_t observed = rng.poisson(expected);
+          for (std::uint64_t i = 0; i < observed; ++i) {
+            const std::uint64_t user = rng.uniform_index(active_users);
+            users_seen.insert(util::mix64(pop_key, user));
+            const int epoch =
+                lease_epoch(util::mix64(churn.seed, pop_key), user, w,
+                            churn.lease_survival);
+            // Address for (user, epoch): deterministic slot in the pool.
+            std::uint64_t slot =
+                util::mix64(util::mix64(pop_key, user),
+                            static_cast<std::uint64_t>(epoch)) %
+                pool_size;
+            net::Ipv4Address ip{};
+            for (const auto& prefix : pop.prefixes) {
+              if (slot < prefix.size()) {
+                ip = net::Ipv4Address{
+                    static_cast<std::uint32_t>(prefix.address().value() + slot)};
+                break;
+              }
+              slot -= prefix.size();
+            }
+            per_window[w].push_back(PeerSample{ip, app});
+          }
+        }
+      }
+    }
+  }
+  result.distinct_users = users_seen.size();
+
+  // Merge windows in order, tracking cumulative unique (app, ip) pairs.
+  std::unordered_set<std::uint64_t> unique_keys;
+  for (int w = 0; w < churn.windows; ++w) {
+    for (const auto& sample : per_window[w]) {
+      const std::uint64_t key =
+          util::mix64(static_cast<std::uint64_t>(sample.app), sample.ip.value());
+      if (unique_keys.insert(key).second) {
+        result.samples.push_back(sample);
+      }
+    }
+    result.cumulative_unique.push_back(unique_keys.size());
+  }
+  std::sort(result.samples.begin(), result.samples.end(),
+            [](const PeerSample& a, const PeerSample& b) {
+              return a.app != b.app ? a.app < b.app : a.ip < b.ip;
+            });
+  return result;
+}
+
+}  // namespace eyeball::p2p

@@ -1,0 +1,96 @@
+#include "p2p/crawler.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace eyeball::p2p {
+
+std::size_t CrawlResult::count_for(App app) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(samples.begin(), samples.end(),
+                    [app](const PeerSample& s) { return s.app == app; }));
+}
+
+Crawler::Crawler(const topology::AsEcosystem& ecosystem,
+                 const gazetteer::Gazetteer& gazetteer, CrawlerConfig config)
+    : ecosystem_(ecosystem), gaz_(gazetteer), config_(std::move(config)) {}
+
+void Crawler::sample_as_into(const topology::AutonomousSystem& as,
+                             std::vector<PeerSample>& out) const {
+  if (as.role != topology::AsRole::kEyeball) return;
+
+  for (const App app : kAllApps) {
+    const double rate =
+        config_.penetration.rate(app, as.continent, as.country_code, config_.seed) *
+        config_.coverage;
+    if (rate <= 0.0) continue;
+
+    for (std::size_t p = 0; p < as.pops.size(); ++p) {
+      const auto& pop = as.pops[p];
+      if (pop.customer_share <= 0.0 || pop.prefixes.empty()) continue;
+
+      // Bias draw is per (AS, PoP) and applies to all apps alike — the
+      // paper's scenario of P2P being under-represented in a location.
+      util::Rng bias_rng{util::mix64(util::mix64(config_.seed, 0xb1a5ULL),
+                                     util::mix64(net::value_of(as.asn), p))};
+      double bias_factor = 1.0;
+      if (bias_rng.bernoulli(config_.bias.blackout_prob)) {
+        bias_factor = 0.0;
+      } else if (bias_rng.bernoulli(config_.bias.mild_bias_prob)) {
+        bias_factor = bias_rng.uniform(0.1, 0.6);
+      }
+      if (bias_factor <= 0.0) continue;
+
+      const double expected = static_cast<double>(as.customers) * pop.customer_share *
+                              rate * bias_factor;
+
+      util::Rng rng{util::mix64(
+          util::mix64(config_.seed, static_cast<std::uint64_t>(app)),
+          util::mix64(net::value_of(as.asn), p))};
+      const std::uint64_t count = rng.poisson(expected);
+
+      // Prefix choice weighted by size, then a uniform host address.
+      std::vector<double> weights;
+      weights.reserve(pop.prefixes.size());
+      for (const auto& prefix : pop.prefixes) {
+        weights.push_back(static_cast<double>(prefix.size()));
+      }
+      const util::DiscreteSampler prefix_sampler{weights};
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto& prefix = pop.prefixes[prefix_sampler.sample(rng)];
+        const std::uint64_t offset = rng.uniform_index(prefix.size());
+        out.push_back(PeerSample{
+            net::Ipv4Address{static_cast<std::uint32_t>(prefix.address().value() + offset)},
+            app});
+      }
+    }
+  }
+}
+
+std::vector<PeerSample> Crawler::crawl_as(const topology::AutonomousSystem& as) const {
+  std::vector<PeerSample> out;
+  sample_as_into(as, out);
+  std::sort(out.begin(), out.end(), [](const PeerSample& a, const PeerSample& b) {
+    return a.app != b.app ? a.app < b.app : a.ip < b.ip;
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+CrawlResult Crawler::crawl() const {
+  CrawlResult result;
+  for (const auto& as : ecosystem_.ases()) {
+    sample_as_into(as, result.samples);
+  }
+  // Unique peers per application (crawlers deduplicate observations).
+  std::sort(result.samples.begin(), result.samples.end(),
+            [](const PeerSample& a, const PeerSample& b) {
+              return a.app != b.app ? a.app < b.app : a.ip < b.ip;
+            });
+  result.samples.erase(std::unique(result.samples.begin(), result.samples.end()),
+                       result.samples.end());
+  return result;
+}
+
+}  // namespace eyeball::p2p

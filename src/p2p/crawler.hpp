@@ -1,0 +1,72 @@
+// P2P crawler simulation.
+//
+// For every eyeball AS and every application, the crawler observes a
+// Poisson-distributed number of unique peer IPs drawn from the AS's
+// per-PoP address pools, proportional to customers x penetration x
+// coverage.  Sampling bias (the paper's §4.3) can be injected per
+// (AS, PoP): "mild" bias scales a PoP's observation rate down, a
+// "blackout" suppresses it entirely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gazetteer/gazetteer.hpp"
+#include "net/ipv4.hpp"
+#include "p2p/app.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::p2p {
+
+struct PeerSample {
+  net::Ipv4Address ip;
+  App app = App::kKad;
+
+  friend bool operator==(const PeerSample&, const PeerSample&) = default;
+};
+
+struct BiasConfig {
+  /// Probability that a (AS, PoP) pair is under-sampled (rate x U[0.1, 0.6]).
+  double mild_bias_prob = 0.0;
+  /// Probability that a (AS, PoP) pair produces no samples at all.
+  double blackout_prob = 0.0;
+};
+
+struct CrawlerConfig {
+  std::uint64_t seed = 2009;
+  /// Fraction of active peers the crawl observes; the main knob for scaling
+  /// the synthetic dataset up or down.
+  double coverage = 1.0;
+  PenetrationModel penetration;
+  BiasConfig bias;
+};
+
+struct CrawlResult {
+  /// Unique per application (the paper counts unique IPs per crawler); the
+  /// same IP can appear under two applications.  Sorted by (app, ip).
+  std::vector<PeerSample> samples;
+
+  [[nodiscard]] std::size_t count_for(App app) const noexcept;
+};
+
+class Crawler {
+ public:
+  Crawler(const topology::AsEcosystem& ecosystem, const gazetteer::Gazetteer& gazetteer,
+          CrawlerConfig config);
+
+  /// Crawls every eyeball AS.
+  [[nodiscard]] CrawlResult crawl() const;
+
+  /// Samples for a single AS (used by focused experiments and tests).
+  [[nodiscard]] std::vector<PeerSample> crawl_as(const topology::AutonomousSystem& as) const;
+
+ private:
+  void sample_as_into(const topology::AutonomousSystem& as,
+                      std::vector<PeerSample>& out) const;
+
+  const topology::AsEcosystem& ecosystem_;
+  const gazetteer::Gazetteer& gaz_;
+  CrawlerConfig config_;
+};
+
+}  // namespace eyeball::p2p

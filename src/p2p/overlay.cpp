@@ -1,0 +1,287 @@
+#include "p2p/overlay.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace eyeball::p2p {
+namespace {
+
+/// Flag set over population indices: O(1) insert, one linear pass to list.
+class DiscoverySet {
+ public:
+  explicit DiscoverySet(std::size_t size) : flags_(size, 0) {}
+
+  void insert(std::size_t index) {
+    if (!flags_[index]) {
+      flags_[index] = 1;
+      ++count_;
+    }
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool contains(std::size_t index) const { return flags_[index] != 0; }
+
+  /// (app, ip)-sorted sample list (population nodes are already ip-sorted).
+  [[nodiscard]] std::vector<PeerSample> to_samples(
+      const OverlayPopulation& population) const {
+    std::vector<PeerSample> out;
+    out.reserve(count_);
+    for (std::size_t i = 0; i < flags_.size(); ++i) {
+      if (flags_[i]) out.push_back(PeerSample{population.nodes()[i].ip, population.app()});
+    }
+    return out;
+  }
+
+ private:
+  std::vector<char> flags_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace
+
+OverlayPopulation::OverlayPopulation(const topology::AsEcosystem& ecosystem, App app,
+                                     const OverlayPopulationConfig& config)
+    : app_(app) {
+  for (const auto& as : ecosystem.ases()) {
+    if (as.role != topology::AsRole::kEyeball) continue;
+    const double rate =
+        config.penetration.rate(app, as.continent, as.country_code, config.seed);
+    for (std::size_t p = 0; p < as.pops.size(); ++p) {
+      const auto& pop = as.pops[p];
+      if (pop.customer_share <= 0.0 || pop.prefixes.empty()) continue;
+      util::Rng rng{util::mix64(util::mix64(config.seed, static_cast<std::uint64_t>(app)),
+                                util::mix64(net::value_of(as.asn), p))};
+      const double expected =
+          static_cast<double>(as.customers) * pop.customer_share * rate;
+      const std::uint64_t count = rng.poisson(expected);
+
+      std::vector<double> weights;
+      for (const auto& prefix : pop.prefixes) {
+        weights.push_back(static_cast<double>(prefix.size()));
+      }
+      const util::DiscreteSampler prefix_sampler{weights};
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto& prefix = pop.prefixes[prefix_sampler.sample(rng)];
+        OverlayNode node;
+        node.ip = net::Ipv4Address{
+            static_cast<std::uint32_t>(prefix.address().value() +
+                                       rng.uniform_index(prefix.size()))};
+        node.node_id = util::mix64(0xd47a1d5ULL, node.ip.value());
+        node.online = rng.bernoulli(config.online_prob);
+        nodes_.push_back(node);
+      }
+    }
+  }
+  // Unique members (the same IP drawn twice is one user).
+  std::sort(nodes_.begin(), nodes_.end(),
+            [](const OverlayNode& a, const OverlayNode& b) { return a.ip < b.ip; });
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end(),
+                           [](const OverlayNode& a, const OverlayNode& b) {
+                             return a.ip == b.ip;
+                           }),
+               nodes_.end());
+  online_count_ = static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const OverlayNode& n) { return n.online; }));
+}
+
+// ---- Kad ----
+
+KadNetwork::KadNetwork(const OverlayPopulation& population, std::uint64_t /*seed*/,
+                       int bucket_size)
+    : population_(&population), bucket_size_(bucket_size) {
+  by_id_.resize(population.nodes().size());
+  for (std::size_t i = 0; i < by_id_.size(); ++i) by_id_[i] = i;
+  std::sort(by_id_.begin(), by_id_.end(), [&](std::size_t a, std::size_t b) {
+    return population.nodes()[a].node_id < population.nodes()[b].node_id;
+  });
+}
+
+std::vector<std::size_t> KadNetwork::closest(std::uint64_t target, int count,
+                                             bool online_only) const {
+  // Binary search, then expand left/right picking the nearer id.
+  std::vector<std::size_t> out;
+  if (by_id_.empty()) return out;
+  const auto& nodes = population_->nodes();
+  auto it = std::lower_bound(by_id_.begin(), by_id_.end(), target,
+                             [&](std::size_t index, std::uint64_t value) {
+                               return nodes[index].node_id < value;
+                             });
+  auto left = it;
+  auto right = it;
+  while (static_cast<int>(out.size()) < count && (left != by_id_.begin() || right != by_id_.end())) {
+    const std::uint64_t left_gap =
+        left == by_id_.begin() ? ~std::uint64_t{0}
+                               : target - nodes[*std::prev(left)].node_id;
+    const std::uint64_t right_gap =
+        right == by_id_.end() ? ~std::uint64_t{0} : nodes[*right].node_id - target;
+    if (left_gap < right_gap) {
+      --left;
+      if (!online_only || nodes[*left].online) out.push_back(*left);
+    } else {
+      if (!online_only || nodes[*right].online) out.push_back(*right);
+      ++right;
+    }
+  }
+  return out;
+}
+
+std::vector<PeerSample> KadNetwork::crawl(std::size_t zones, CrawlStats* stats) const {
+  DiscoverySet discovered{population_->nodes().size()};
+  CrawlStats local;
+  const auto& nodes = population_->nodes();
+  // Sweep evenly spaced targets.  Each FIND_NODE returns the closest online
+  // nodes; those answer with *their* neighbourhood (online or not — routing
+  // tables reference offline contacts too).
+  for (std::size_t z = 0; z < zones; ++z) {
+    const std::uint64_t target =
+        zones <= 1 ? 0 : static_cast<std::uint64_t>(z) * (~std::uint64_t{0} / zones);
+    ++local.queries;
+    for (const std::size_t responder : closest(target, bucket_size_, true)) {
+      discovered.insert(responder);
+      ++local.online_reached;
+      for (const std::size_t contact :
+           closest(nodes[responder].node_id, bucket_size_, false)) {
+        discovered.insert(contact);
+      }
+    }
+  }
+  local.discovered = discovered.size();
+  if (stats != nullptr) *stats = local;
+  return discovered.to_samples(*population_);
+}
+
+// ---- Gnutella ----
+
+GnutellaNetwork::GnutellaNetwork(const OverlayPopulation& population, std::uint64_t seed,
+                                 double ultrapeer_fraction, int ultrapeer_degree,
+                                 int leaf_attachments)
+    : population_(&population), seed_(seed) {
+  util::Rng rng{seed};
+  const auto& nodes = population.nodes();
+  std::vector<std::size_t> online_leaves;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i].online) continue;
+    if (rng.bernoulli(ultrapeer_fraction)) {
+      ultrapeers_.push_back(i);
+    } else {
+      online_leaves.push_back(i);
+    }
+  }
+  up_edges_.resize(ultrapeers_.size());
+  leaves_.resize(ultrapeers_.size());
+  if (ultrapeers_.empty()) return;
+
+  // Random ultrapeer graph: each ultrapeer opens `ultrapeer_degree`
+  // connections to uniformly chosen others.
+  for (std::size_t u = 0; u < ultrapeers_.size(); ++u) {
+    for (int d = 0; d < ultrapeer_degree; ++d) {
+      const auto v = static_cast<std::uint32_t>(rng.uniform_index(ultrapeers_.size()));
+      if (v == u) continue;
+      up_edges_[u].push_back(v);
+      up_edges_[v].push_back(static_cast<std::uint32_t>(u));
+    }
+  }
+  // Leaves attach to a few ultrapeers.
+  for (const std::size_t leaf : online_leaves) {
+    for (int a = 0; a < leaf_attachments; ++a) {
+      leaves_[rng.uniform_index(ultrapeers_.size())].push_back(
+          static_cast<std::uint32_t>(leaf));
+    }
+  }
+}
+
+std::vector<PeerSample> GnutellaNetwork::crawl(std::size_t bootstrap_count,
+                                               CrawlStats* stats) const {
+  DiscoverySet discovered{population_->nodes().size()};
+  CrawlStats local;
+  if (ultrapeers_.empty()) {
+    if (stats != nullptr) *stats = local;
+    return {};
+  }
+  util::Rng rng{util::mix64(seed_, 0xc4a71ULL)};
+  std::vector<char> visited(ultrapeers_.size(), 0);
+  std::queue<std::uint32_t> frontier;
+  for (std::size_t b = 0; b < bootstrap_count; ++b) {
+    const auto start = static_cast<std::uint32_t>(rng.uniform_index(ultrapeers_.size()));
+    if (!visited[start]) {
+      visited[start] = 1;
+      frontier.push(start);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop();
+    ++local.queries;
+    ++local.online_reached;
+    discovered.insert(ultrapeers_[u]);
+    for (const std::uint32_t leaf : leaves_[u]) discovered.insert(leaf);
+    for (const std::uint32_t v : up_edges_[u]) {
+      if (!visited[v]) {
+        visited[v] = 1;
+        frontier.push(v);
+      }
+    }
+  }
+  local.discovered = discovered.size();
+  if (stats != nullptr) *stats = local;
+  return discovered.to_samples(*population_);
+}
+
+// ---- BitTorrent ----
+
+SwarmNetwork::SwarmNetwork(const OverlayPopulation& population, std::uint64_t seed,
+                           std::size_t torrent_count, double popularity_exponent,
+                           int max_swarms_per_member)
+    : population_(&population), seed_(seed) {
+  if (torrent_count == 0) return;
+  swarms_.resize(torrent_count);
+  util::Rng rng{seed};
+  const util::ZipfSampler popularity{torrent_count, popularity_exponent};
+  const auto& nodes = population.nodes();
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i].online) continue;
+    const auto joined = 1 + rng.uniform_index(static_cast<std::uint64_t>(max_swarms_per_member));
+    for (std::uint64_t j = 0; j < joined; ++j) {
+      swarms_[popularity.sample(rng)].push_back(i);
+    }
+  }
+}
+
+std::vector<PeerSample> SwarmNetwork::crawl(std::size_t top_torrents,
+                                            std::size_t peers_per_scrape,
+                                            CrawlStats* stats) const {
+  // Rank torrents by swarm size (the crawler scrapes what is popular).
+  std::vector<std::size_t> order(swarms_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return swarms_[a].size() > swarms_[b].size();
+  });
+
+  DiscoverySet discovered{population_->nodes().size()};
+  CrawlStats local;
+  util::Rng rng{util::mix64(seed_, 0x70aa57ULL)};
+  for (std::size_t t = 0; t < std::min(top_torrents, order.size()); ++t) {
+    const auto& swarm = swarms_[order[t]];
+    if (swarm.empty()) continue;
+    ++local.queries;
+    // Tracker responses cap the peer list; sample without replacement.
+    if (swarm.size() <= peers_per_scrape) {
+      for (const std::uint32_t member : swarm) discovered.insert(member);
+    } else {
+      std::set<std::size_t> picks;
+      while (picks.size() < peers_per_scrape) {
+        picks.insert(rng.uniform_index(swarm.size()));
+      }
+      for (const std::size_t pick : picks) discovered.insert(swarm[pick]);
+    }
+  }
+  local.discovered = discovered.size();
+  local.online_reached = discovered.size();
+  if (stats != nullptr) *stats = local;
+  return discovered.to_samples(*population_);
+}
+
+}  // namespace eyeball::p2p

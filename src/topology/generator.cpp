@@ -1,0 +1,589 @@
+#include "topology/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "topology/ip_allocator.hpp"
+#include "util/rng.hpp"
+
+namespace eyeball::topology {
+namespace {
+
+using gazetteer::CityId;
+using gazetteer::Continent;
+using gazetteer::Gazetteer;
+
+int scaled_count(int count, double factor) {
+  if (count == 0) return 0;
+  return std::max(1, static_cast<int>(std::lround(count * factor)));
+}
+
+/// Drops generated satellite towns: ISP PoPs are placed at real cities.
+std::vector<CityId> real_cities_only(const Gazetteer& gaz, std::vector<CityId> pool) {
+  std::erase_if(pool, [&](CityId id) { return gaz.city(id).is_satellite; });
+  return pool;
+}
+
+/// Weighted sample of `want` distinct cities, weight = population^0.85.
+/// Satellite towns are excluded.
+std::vector<CityId> sample_cities(const Gazetteer& gaz, std::vector<CityId> pool,
+                                  std::size_t want, util::Rng& rng) {
+  pool = real_cities_only(gaz, std::move(pool));
+  std::vector<CityId> chosen;
+  want = std::min(want, pool.size());
+  chosen.reserve(want);
+  while (chosen.size() < want && !pool.empty()) {
+    std::vector<double> weights;
+    weights.reserve(pool.size());
+    for (const CityId id : pool) {
+      weights.push_back(std::pow(static_cast<double>(gaz.city(id).population), 0.85));
+    }
+    const util::DiscreteSampler sampler{weights};
+    const std::size_t pick = sampler.sample(rng);
+    chosen.push_back(pool[pick]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return chosen;
+}
+
+/// Top `want` real (non-satellite) cities by population from `pool`.
+std::vector<CityId> top_cities(const Gazetteer& gaz, std::vector<CityId> pool,
+                               std::size_t want) {
+  pool = real_cities_only(gaz, std::move(pool));
+  std::sort(pool.begin(), pool.end(), [&](CityId a, CityId b) {
+    return gaz.city(a).population > gaz.city(b).population;
+  });
+  if (pool.size() > want) pool.resize(want);
+  return pool;
+}
+
+/// Countries of a continent ordered by total city population, descending.
+std::vector<std::string> countries_by_population(const Gazetteer& gaz,
+                                                 Continent continent) {
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& city : gaz.cities()) {
+    if (city.continent == continent) {
+      totals[std::string{city.country_code}] += city.population;
+    }
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> sorted(totals.begin(), totals.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::string> out;
+  out.reserve(sorted.size());
+  for (auto& [code, population] : sorted) out.push_back(code);
+  return out;
+}
+
+class Generator {
+ public:
+  Generator(const Gazetteer& gaz, const EcosystemConfig& config)
+      : gaz_(gaz), config_(config), rng_(config.seed) {}
+
+  AsEcosystem run() {
+    make_tier1s();
+    make_transits();
+    make_contents();
+    make_eyeball_drafts();
+    assign_customers_and_pops();
+    make_relationships();
+    make_ixps();
+    return AsEcosystem{std::move(ases_), std::move(ixps_), std::move(relationships_)};
+  }
+
+ private:
+  struct EyeballDraft {
+    std::size_t as_index = 0;
+    double weight = 1.0;
+    std::vector<CityId> coverage;  // candidate service cities
+  };
+
+  static constexpr Continent kEyeballContinents[] = {
+      Continent::kNorthAmerica, Continent::kEurope, Continent::kAsia};
+
+  net::Asn next_asn() { return net::Asn{asn_cursor_++}; }
+
+  AutonomousSystem& new_as(AsRole role, AsLevel level, std::string name,
+                           std::string country, Continent continent) {
+    AutonomousSystem as;
+    as.asn = next_asn();
+    as.role = role;
+    as.level = level;
+    as.name = std::move(name);
+    as.country_code = std::move(country);
+    as.continent = continent;
+    ases_.push_back(std::move(as));
+    return ases_.back();
+  }
+
+  /// Adds transit-only PoPs with one infrastructure /22 each.
+  void add_infrastructure_pops(AutonomousSystem& as, const std::vector<CityId>& cities) {
+    for (const CityId city : cities) {
+      PopSite pop;
+      pop.city = city;
+      pop.transit_only = true;
+      pop.prefixes.push_back(allocator_.allocate(22));
+      as.pops.push_back(std::move(pop));
+    }
+  }
+
+  void make_tier1s() {
+    // Tier-1 backbones: PoPs at the world's largest cities.
+    auto all_cities = std::vector<CityId>{};
+    for (const auto& city : gaz_.cities()) all_cities.push_back(city.id);
+    for (int i = 0; i < config_.tier1_count; ++i) {
+      auto& as = new_as(AsRole::kTier1, AsLevel::kGlobal, "tier1-" + std::to_string(i + 1),
+                        "", Continent::kNorthAmerica);
+      auto rng = rng_.fork(net::value_of(as.asn));
+      const auto pop_cities =
+          sample_cities(gaz_, all_cities, 12 + rng.uniform_index(9), rng);
+      add_infrastructure_pops(as, pop_cities);
+      tier1s_.push_back(as.asn);
+    }
+  }
+
+  void make_transits() {
+    for (const Continent continent : kEyeballContinents) {
+      const auto countries = countries_by_population(gaz_, continent);
+      const auto country_count =
+          std::min<std::size_t>(countries.size(),
+                                static_cast<std::size_t>(config_.transit_countries_per_continent));
+      for (std::size_t c = 0; c < country_count; ++c) {
+        for (int t = 0; t < config_.transits_per_country; ++t) {
+          auto& as = new_as(AsRole::kTransit, AsLevel::kCountry,
+                            "transit-" + countries[c] + "-" + std::to_string(t + 1),
+                            countries[c], continent);
+          auto rng = rng_.fork(net::value_of(as.asn));
+          auto pool = gaz_.cities_in_country(countries[c]);
+          const std::size_t want = std::min<std::size_t>(pool.size(), 4 + rng.uniform_index(6));
+          add_infrastructure_pops(as, top_cities(gaz_, std::move(pool), want));
+          national_transits_[countries[c]].push_back(as.asn);
+          continent_transit_pool_[continent].push_back(as.asn);
+        }
+      }
+      for (int t = 0; t < config_.continent_transits; ++t) {
+        auto& as = new_as(AsRole::kTransit, AsLevel::kContinent,
+                          std::string{"transit-"} + std::string{to_code(continent)} + "-" +
+                              std::to_string(t + 1),
+                          "", continent);
+        auto rng = rng_.fork(net::value_of(as.asn));
+        add_infrastructure_pops(
+            as, sample_cities(gaz_, gaz_.cities_in_continent(continent),
+                              8 + rng.uniform_index(8), rng));
+        continent_transits_[continent].push_back(as.asn);
+        continent_transit_pool_[continent].push_back(as.asn);
+      }
+    }
+  }
+
+  void make_contents() {
+    for (const Continent continent : kEyeballContinents) {
+      for (int i = 0; i < config_.content_per_continent; ++i) {
+        auto& as = new_as(AsRole::kContent, AsLevel::kCountry,
+                          std::string{"content-"} + std::string{to_code(continent)} + "-" +
+                              std::to_string(i + 1),
+                          "", continent);
+        auto rng = rng_.fork(net::value_of(as.asn));
+        add_infrastructure_pops(
+            as, sample_cities(gaz_, gaz_.cities_in_continent(continent),
+                              1 + rng.uniform_index(4), rng));
+      }
+    }
+  }
+
+  const EyeballCounts& counts_for(Continent continent) const {
+    switch (continent) {
+      case Continent::kNorthAmerica: return config_.north_america;
+      case Continent::kEurope: return config_.europe;
+      default: return config_.asia;
+    }
+  }
+
+  void make_eyeball_drafts() {
+    for (const Continent continent : kEyeballContinents) {
+      const auto& counts = counts_for(continent);
+      const auto countries = countries_by_population(gaz_, continent);
+      if (countries.empty()) {
+        throw std::invalid_argument{"generate_ecosystem: continent has no cities"};
+      }
+      std::vector<double> country_weights;
+      for (const auto& code : countries) {
+        country_weights.push_back(static_cast<double>(gaz_.country_population(code)));
+      }
+      const util::DiscreteSampler country_sampler{country_weights};
+
+      make_leveled_eyeballs(continent, AsLevel::kCity, counts.city, countries,
+                            country_sampler);
+      make_leveled_eyeballs(continent, AsLevel::kState, counts.state, countries,
+                            country_sampler);
+      make_leveled_eyeballs(continent, AsLevel::kCountry, counts.country, countries,
+                            country_sampler);
+
+      for (int i = 0; i < config_.continent_eyeballs_per_continent; ++i) {
+        auto& as = new_as(AsRole::kEyeball, AsLevel::kContinent,
+                          std::string{"eyeball-"} + std::string{to_code(continent)} + "-" +
+                              std::to_string(i + 1),
+                          "", continent);
+        auto rng = rng_.fork(net::value_of(as.asn));
+        EyeballDraft draft;
+        draft.as_index = ases_.size() - 1;
+        draft.weight = rng.pareto(1.0, 1.2);
+        draft.coverage = sample_cities(gaz_, gaz_.cities_in_continent(continent),
+                                       10 + rng.uniform_index(15), rng);
+        drafts_.push_back(std::move(draft));
+      }
+    }
+    for (int i = 0; i < config_.global_eyeballs; ++i) {
+      auto& as = new_as(AsRole::kEyeball, AsLevel::kGlobal,
+                        "eyeball-global-" + std::to_string(i + 1), "",
+                        Continent::kNorthAmerica);
+      auto rng = rng_.fork(net::value_of(as.asn));
+      std::vector<CityId> all;
+      for (const auto& city : gaz_.cities()) all.push_back(city.id);
+      EyeballDraft draft;
+      draft.as_index = ases_.size() - 1;
+      draft.weight = rng.pareto(1.0, 1.2);
+      draft.coverage = sample_cities(gaz_, all, 15 + rng.uniform_index(15), rng);
+      drafts_.push_back(std::move(draft));
+    }
+  }
+
+  void make_leveled_eyeballs(Continent continent, AsLevel level, int count,
+                             const std::vector<std::string>& countries,
+                             const util::DiscreteSampler& country_sampler) {
+    for (int i = 0; i < count; ++i) {
+      const std::string& country = countries[country_sampler.sample(rng_)];
+      auto& as = new_as(AsRole::kEyeball, level,
+                        "eyeball-" + country + "-" + std::string{to_string(level)} + "-" +
+                            std::to_string(i + 1),
+                        country, continent);
+      auto rng = rng_.fork(net::value_of(as.asn));
+      EyeballDraft draft;
+      draft.as_index = ases_.size() - 1;
+      draft.weight = rng.pareto(1.0, 1.1);
+
+      auto country_cities = gaz_.cities_in_country(country);
+      switch (level) {
+        case AsLevel::kCity: {
+          // One metro.  Weighted by population so big cities host more ISPs.
+          draft.coverage = sample_cities(gaz_, country_cities, 1, rng);
+          break;
+        }
+        case AsLevel::kState: {
+          // A region: all cities of the admin-1 region of a sampled anchor
+          // city.  Falls back to city-level when the region is a singleton.
+          const auto anchor = sample_cities(gaz_, country_cities, 1, rng);
+          const auto& anchor_city = gaz_.city(anchor.front());
+          draft.coverage = gaz_.cities_in_region(country, anchor_city.region);
+          ases_[draft.as_index].region = std::string{anchor_city.region};
+          break;
+        }
+        default: {
+          // Country-wide coverage.
+          draft.coverage = std::move(country_cities);
+          break;
+        }
+      }
+      drafts_.push_back(std::move(draft));
+    }
+  }
+
+  void assign_customers_and_pops() {
+    // Normalize market weights per country so that the sum of customers of
+    // eyeballs homed in a country matches its broadband population.
+    std::map<std::string, double> weight_totals;
+    for (const auto& draft : drafts_) {
+      const auto& as = ases_[draft.as_index];
+      if (!as.country_code.empty()) weight_totals[as.country_code] += draft.weight;
+    }
+
+    for (auto& draft : drafts_) {
+      auto& as = ases_[draft.as_index];
+      auto rng = rng_.fork(util::mix64(net::value_of(as.asn), 0xc05701e5ULL));
+
+      std::uint64_t coverage_population = 0;
+      for (const CityId id : draft.coverage) {
+        coverage_population += gaz_.city(id).population;
+      }
+      double customers = 0.0;
+      if (!as.country_code.empty()) {
+        // Market share of the country's broadband users, restricted to the
+        // AS's coverage area.
+        const double share = draft.weight / weight_totals[as.country_code];
+        const double country_broadband =
+            static_cast<double>(gaz_.country_population(as.country_code)) *
+            config_.broadband_penetration * config_.market_coverage;
+        const double coverage_fraction =
+            static_cast<double>(coverage_population) /
+            std::max(1.0, static_cast<double>(gaz_.country_population(as.country_code)));
+        customers = share * country_broadband *
+                    std::min(1.0, coverage_fraction * 3.0);  // local ISPs punch above weight
+      } else {
+        // Continental/global eyeballs: a slice of their coverage population.
+        customers = static_cast<double>(coverage_population) *
+                    config_.broadband_penetration * rng.uniform(0.002, 0.02);
+      }
+      // Cap at 8 M customers: even the biggest real eyeball ASes serve a
+      // few tens of millions of addresses, and the cap keeps small scaled
+      // ecosystems (few ASes sharing a whole country) from draining the
+      // IPv4 space.
+      as.customers = std::clamp<std::uint64_t>(static_cast<std::uint64_t>(customers),
+                                               config_.min_customers, 8000000);
+
+      // Service PoPs: larger ASes light up more of their coverage.
+      std::size_t want_pops = 1;
+      if (as.level != AsLevel::kCity) {
+        want_pops = std::clamp<std::size_t>(
+            static_cast<std::size_t>(
+                2 + std::lround(std::log2(static_cast<double>(as.customers) / 20000.0))),
+            2, draft.coverage.size());
+      }
+      const auto pop_cities = sample_cities(gaz_, draft.coverage, want_pops, rng);
+
+      // Customer share per PoP ~ population^0.85 with lognormal noise.
+      std::vector<double> shares;
+      shares.reserve(pop_cities.size());
+      double total_share = 0.0;
+      for (const CityId id : pop_cities) {
+        const double s = std::pow(static_cast<double>(gaz_.city(id).population), 0.85) *
+                         rng.lognormal(0.0, 0.4);
+        shares.push_back(s);
+        total_share += s;
+      }
+      for (std::size_t i = 0; i < pop_cities.size(); ++i) {
+        PopSite pop;
+        pop.city = pop_cities[i];
+        pop.customer_share = shares[i] / total_share;
+        const auto pop_customers = static_cast<std::uint64_t>(
+            pop.customer_share * static_cast<double>(as.customers));
+        // Address pool ~1.5x customers, announced as blocks of at most /12
+        // (1 M addresses) — real ISPs announce many medium blocks, and the
+        // cap keeps single allocations inside legal prefix lengths.
+        std::uint64_t need = std::max<std::uint64_t>(256, pop_customers + pop_customers / 2);
+        while (need > 0) {
+          const int length = std::max(12, Ipv4SpaceAllocator::length_for(need));
+          const auto block = allocator_.allocate(length);
+          pop.prefixes.push_back(block);
+          need -= std::min<std::uint64_t>(need, block.size());
+        }
+        as.pops.push_back(std::move(pop));
+      }
+
+      // Occasionally add a transit-only PoP away from the customer base
+      // (connects to providers; invisible to user-based inference).
+      if (rng.bernoulli(config_.transit_only_pop_prob)) {
+        auto continent_cities = gaz_.cities_in_continent(as.continent);
+        const auto hubs = top_cities(gaz_, std::move(continent_cities), 10);
+        const CityId hub = hubs[rng.uniform_index(hubs.size())];
+        const bool already_there =
+            std::any_of(as.pops.begin(), as.pops.end(),
+                        [&](const PopSite& p) { return p.city == hub; });
+        if (!already_there) {
+          PopSite pop;
+          pop.city = hub;
+          pop.transit_only = true;
+          pop.prefixes.push_back(allocator_.allocate(24));
+          as.pops.push_back(std::move(pop));
+        }
+      }
+    }
+  }
+
+  void add_relationship(net::Asn customer, net::Asn provider, RelationshipType type,
+                        std::optional<std::size_t> ixp = std::nullopt) {
+    // Normalize peer pairs (lower ASN first).
+    if (type == RelationshipType::kPeerPeer && net::value_of(provider) < net::value_of(customer)) {
+      std::swap(customer, provider);
+    }
+    // At most one relationship per unordered AS pair: a pair that already
+    // has a transit contract does not additionally peer.
+    const std::uint32_t lo = std::min(net::value_of(customer), net::value_of(provider));
+    const std::uint32_t hi = std::max(net::value_of(customer), net::value_of(provider));
+    if (!edge_keys_.insert({lo, hi}).second) return;
+    relationships_.push_back({customer, provider, type, ixp});
+  }
+
+  void make_relationships() {
+    // Tier-1 full mesh (settlement-free, private interconnects).
+    for (std::size_t i = 0; i < tier1s_.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier1s_.size(); ++j) {
+        add_relationship(tier1s_[i], tier1s_[j], RelationshipType::kPeerPeer);
+      }
+    }
+
+    for (auto& as : ases_) {
+      auto rng = rng_.fork(util::mix64(net::value_of(as.asn), 0x9e11abe5ULL));
+      switch (as.role) {
+        case AsRole::kTier1:
+          break;
+        case AsRole::kTransit: {
+          // 2-3 tier-1 providers.
+          const std::size_t want = 2 + rng.uniform_index(2);
+          for (std::size_t i = 0; i < want && i < tier1s_.size(); ++i) {
+            add_relationship(as.asn, tier1s_[rng.uniform_index(tier1s_.size())],
+                             RelationshipType::kCustomerProvider);
+          }
+          break;
+        }
+        case AsRole::kContent:
+        case AsRole::kEyeball: {
+          int providers = 1;
+          while (providers < config_.max_providers &&
+                 rng.bernoulli(config_.extra_provider_prob)) {
+            ++providers;
+          }
+          for (int i = 0; i < providers; ++i) {
+            const net::Asn provider = pick_provider(as, i, rng);
+            add_relationship(as.asn, provider, RelationshipType::kCustomerProvider);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  net::Asn pick_provider(const AutonomousSystem& as, int slot, util::Rng& rng) {
+    const auto national = national_transits_.find(as.country_code);
+    const bool has_national =
+        national != national_transits_.end() && !national->second.empty();
+    // First slot: prefer a national transit.
+    if (slot == 0 && has_national) {
+      return national->second[rng.uniform_index(national->second.size())];
+    }
+    const double roll = rng.uniform();
+    if (roll < 0.35 && has_national) {
+      return national->second[rng.uniform_index(national->second.size())];
+    }
+    const auto& continent_pool = continent_transit_pool_[as.continent];
+    if (roll < 0.85 && !continent_pool.empty()) {
+      return continent_pool[rng.uniform_index(continent_pool.size())];
+    }
+    return tier1s_[rng.uniform_index(tier1s_.size())];
+  }
+
+  void make_ixps() {
+    // Place IXPs at big cities (denser in Europe).
+    for (const auto& city : gaz_.cities()) {
+      const bool europe = city.continent == Continent::kEurope;
+      const std::uint64_t threshold =
+          europe ? config_.ixp_min_population_europe : config_.ixp_min_population_other;
+      if (city.population >= threshold) {
+        Ixp ixp;
+        ixp.name = std::string{city.name} + "-IX";
+        ixp.city = city.id;
+        ixps_.push_back(std::move(ixp));
+      }
+    }
+
+    // Membership.
+    for (const auto& as : ases_) {
+      if (as.role == AsRole::kTier1) continue;  // tier-1s interconnect privately here
+      auto rng = rng_.fork(util::mix64(net::value_of(as.asn), 0x1c9f00dULL));
+      const bool europe = as.continent == Continent::kEurope;
+      for (std::size_t i = 0; i < ixps_.size(); ++i) {
+        const auto& ixp_city = gaz_.city(ixps_[i].city);
+        const bool has_pop =
+            std::any_of(as.pops.begin(), as.pops.end(), [&](const PopSite& p) {
+              return p.city == ixps_[i].city ||
+                     geo::distance_km(gaz_.city(p.city).location, ixp_city.location) < 60.0;
+            });
+        double join_prob = 0.0;
+        switch (as.role) {
+          case AsRole::kTransit:
+            join_prob = has_pop ? config_.transit_ixp_join_prob : 0.01;
+            break;
+          case AsRole::kContent:
+            join_prob = has_pop ? config_.content_ixp_join_prob : 0.02;
+            break;
+          default:
+            if (has_pop) {
+              join_prob = config_.eyeball_local_ixp_join_prob;
+            } else if (ixp_city.continent == as.continent) {
+              join_prob = europe ? config_.eyeball_remote_ixp_join_prob_europe
+                                 : config_.eyeball_remote_ixp_join_prob_other;
+            }
+            break;
+        }
+        if (rng.bernoulli(join_prob)) ixps_[i].members.push_back(as.asn);
+      }
+    }
+
+    // Pairwise peering at shared IXPs.
+    for (std::size_t i = 0; i < ixps_.size(); ++i) {
+      auto rng = rng_.fork(util::mix64(0xbee71e5ULL, i));
+      const auto& members = ixps_[i].members;
+      for (std::size_t a = 0; a < members.size(); ++a) {
+        for (std::size_t b = a + 1; b < members.size(); ++b) {
+          const auto& as_a = *find_as(members[a]);
+          const auto& as_b = *find_as(members[b]);
+          const int eyeballs = (as_a.role == AsRole::kEyeball ? 1 : 0) +
+                               (as_b.role == AsRole::kEyeball ? 1 : 0);
+          const double prob = eyeballs == 2   ? config_.ixp_peer_prob_eyeball_eyeball
+                              : eyeballs == 1 ? config_.ixp_peer_prob_eyeball_other
+                                              : config_.ixp_peer_prob_other_other;
+          if (rng.bernoulli(prob)) {
+            add_relationship(members[a], members[b], RelationshipType::kPeerPeer, i);
+          }
+        }
+      }
+    }
+  }
+
+  const AutonomousSystem* find_as(net::Asn asn) const {
+    for (const auto& as : ases_) {
+      if (as.asn == asn) return &as;
+    }
+    return nullptr;
+  }
+
+  const Gazetteer& gaz_;
+  const EcosystemConfig& config_;
+  util::Rng rng_;
+  Ipv4SpaceAllocator allocator_;
+  std::uint32_t asn_cursor_ = 3;
+
+  std::vector<AutonomousSystem> ases_;
+  std::vector<Ixp> ixps_;
+  std::vector<AsRelationship> relationships_;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edge_keys_;
+
+  std::vector<net::Asn> tier1s_;
+  std::map<std::string, std::vector<net::Asn>> national_transits_;
+  std::map<Continent, std::vector<net::Asn>> continent_transits_;
+  std::map<Continent, std::vector<net::Asn>> continent_transit_pool_;
+  std::vector<EyeballDraft> drafts_;
+};
+
+}  // namespace
+
+EcosystemConfig EcosystemConfig::scaled(double factor) const {
+  EcosystemConfig out = *this;
+  const auto scale_counts = [factor](EyeballCounts& c) {
+    c.city = scaled_count(c.city, factor);
+    c.state = scaled_count(c.state, factor);
+    c.country = scaled_count(c.country, factor);
+  };
+  scale_counts(out.north_america);
+  scale_counts(out.europe);
+  scale_counts(out.asia);
+  out.continent_eyeballs_per_continent =
+      scaled_count(continent_eyeballs_per_continent, factor);
+  out.global_eyeballs = scaled_count(global_eyeballs, factor);
+  out.tier1_count = std::max(3, scaled_count(tier1_count, factor));
+  out.transit_countries_per_continent =
+      std::max(2, scaled_count(transit_countries_per_continent, factor));
+  out.continent_transits = std::max(1, scaled_count(continent_transits, factor));
+  out.content_per_continent = scaled_count(content_per_continent, factor);
+  return out;
+}
+
+AsEcosystem generate_ecosystem(const gazetteer::Gazetteer& gazetteer,
+                               const EcosystemConfig& config) {
+  return Generator{gazetteer, config}.run();
+}
+
+}  // namespace eyeball::topology

@@ -1,0 +1,92 @@
+// Synthetic AS ecosystem generation.
+//
+// Produces a deterministic, internally consistent Internet-like world:
+//   * tier-1 networks with global PoP footprints,
+//   * national and continental transit networks,
+//   * eyeball ASes whose counts per (continent, level) default to the
+//     paper's Table 1 profile (scaled by `scale`),
+//   * content/NREN networks,
+//   * IXPs at large cities (denser in Europe, as observed in the paper),
+//   * valley-free business relationships (customer-provider by tier,
+//     peer-peer only between tier-1s or at shared IXPs, with occasional
+//     remote peering — the phenomenon behind the paper's RAI case study),
+//   * per-PoP IPv4 prefix allocations sized to customer counts.
+//
+// The generated ecosystem is the ground truth against which the inference
+// pipeline (KDE footprints, PoP discovery, connectivity analysis) is
+// validated.
+#pragma once
+
+#include <cstdint>
+
+#include "gazetteer/gazetteer.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::topology {
+
+struct EyeballCounts {
+  int city = 0;
+  int state = 0;
+  int country = 0;
+};
+
+struct EcosystemConfig {
+  std::uint64_t seed = 42;
+
+  /// Eyeball AS counts per continent and designed level.  Defaults follow
+  /// the paper's Table 1 (#ASes by level): NA 36/162/129, EU 60/76/292,
+  /// AS 117/35/134 — 1041 city/state/country ASes; the paper's remaining
+  /// 192 target ASes are continent-level or global.
+  EyeballCounts north_america{36, 162, 129};
+  EyeballCounts europe{60, 76, 292};
+  EyeballCounts asia{117, 35, 134};
+  int continent_eyeballs_per_continent = 3;
+  int global_eyeballs = 2;
+
+  int tier1_count = 12;
+  /// National transit networks for each of the most populous countries.
+  int transit_countries_per_continent = 8;
+  int transits_per_country = 2;
+  int continent_transits = 5;
+  int content_per_continent = 4;
+
+  /// Fraction of a country's city population with broadband service.
+  double broadband_penetration = 0.35;
+  /// Fraction of the broadband market captured by generated eyeballs.
+  double market_coverage = 0.85;
+  std::uint64_t min_customers = 30000;
+
+  /// Probability that an eyeball AS keeps a transit-only PoP away from its
+  /// customers (paper §5: a known cause of validation mismatch).
+  double transit_only_pop_prob = 0.25;
+
+  /// IXP placement: minimum city population, per continent class.
+  std::uint64_t ixp_min_population_europe = 800000;
+  std::uint64_t ixp_min_population_other = 2000000;
+
+  double eyeball_local_ixp_join_prob = 0.35;
+  /// Remote peering (joining an IXP in a city with no PoP) — higher in
+  /// Europe, where the paper observes it.
+  double eyeball_remote_ixp_join_prob_europe = 0.03;
+  double eyeball_remote_ixp_join_prob_other = 0.02;
+  double transit_ixp_join_prob = 0.8;
+  double content_ixp_join_prob = 0.5;
+
+  double ixp_peer_prob_eyeball_eyeball = 0.15;
+  double ixp_peer_prob_eyeball_other = 0.4;
+  double ixp_peer_prob_other_other = 0.6;
+
+  /// P(one more provider) — repeated draws give the multi-homing degree.
+  double extra_provider_prob = 0.45;
+  int max_providers = 5;
+
+  /// Returns a copy with all AS counts multiplied by `factor` (minimum 1
+  /// per nonzero class) — used for small unit-test ecosystems.
+  [[nodiscard]] EcosystemConfig scaled(double factor) const;
+};
+
+/// Generates the full ecosystem.  Deterministic in (gazetteer, config).
+[[nodiscard]] AsEcosystem generate_ecosystem(const gazetteer::Gazetteer& gazetteer,
+                                             const EcosystemConfig& config = {});
+
+}  // namespace eyeball::topology

@@ -1,0 +1,45 @@
+#include "topology/ground_truth.hpp"
+
+#include "util/rng.hpp"
+
+namespace eyeball::topology {
+
+GroundTruthLocator::GroundTruthLocator(const AsEcosystem& ecosystem,
+                                       const gazetteer::Gazetteer& gazetteer,
+                                       gazetteer::ZipLatticeConfig zip_config)
+    : ecosystem_(ecosystem), gaz_(gazetteer), zip_config_(zip_config) {
+  lattices_.resize(gaz_.cities().size());
+  const auto ases = ecosystem_.ases();
+  for (std::uint32_t a = 0; a < ases.size(); ++a) {
+    const auto& as = ases[a];
+    for (std::uint32_t p = 0; p < as.pops.size(); ++p) {
+      const auto& pop = as.pops[p];
+      for (const auto& prefix : pop.prefixes) {
+        trie_.insert(prefix, PopRef{a, p});
+      }
+      if (lattices_[pop.city].empty()) {
+        lattices_[pop.city] = gazetteer::zip_centroids(gaz_.city(pop.city), zip_config_);
+      }
+    }
+  }
+}
+
+std::optional<IpGroundTruth> GroundTruthLocator::locate(net::Ipv4Address ip) const {
+  const auto ref = trie_.longest_match(ip);
+  if (!ref) return std::nullopt;
+  const auto& as = ecosystem_.ases()[ref->as_index];
+  const auto& pop = as.pops[ref->pop_index];
+  const auto& lattice = lattices_[pop.city];
+  // Deterministic zip assignment: hash of the address.
+  std::uint64_t h = ip.value();
+  const std::uint64_t zip = util::splitmix64(h) % lattice.size();
+  return IpGroundTruth{as.asn, pop.city, pop.transit_only, lattice[zip]};
+}
+
+std::optional<net::Asn> GroundTruthLocator::origin(net::Ipv4Address ip) const {
+  const auto ref = trie_.longest_match(ip);
+  if (!ref) return std::nullopt;
+  return ecosystem_.ases()[ref->as_index].asn;
+}
+
+}  // namespace eyeball::topology

@@ -1,0 +1,70 @@
+// Ground-truth IP geography.
+//
+// Every IP address allocated to an AS PoP has a deterministic "true"
+// location: a zip centroid of the PoP's city, chosen by a hash of the IP.
+// Both the synthetic geo databases (which report this location, possibly
+// corrupted) and the P2P user generator (which samples IPs and carries
+// their true location) consult this single source, so the whole pipeline is
+// consistent end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gazetteer/gazetteer.hpp"
+#include "gazetteer/zip_lattice.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::topology {
+
+struct IpGroundTruth {
+  net::Asn asn{};
+  gazetteer::CityId city = gazetteer::kInvalidCity;
+  bool transit_only = false;
+  /// Zip-centroid location of the host.
+  geo::GeoPoint location;
+};
+
+class GroundTruthLocator {
+ public:
+  /// Zip lattice used for *user placement*: wider than a city's nominal
+  /// lattice, because an ISP PoP's customers live across the metro area and
+  /// its satellite towns — geo databases name the metro city but pin the
+  /// coordinates on outlying zip centroids.  This dispersion is what makes
+  /// small kernel bandwidths produce one peak per zip cluster (paper §3.1)
+  /// and is the mechanism behind Figure 2(b)'s precision-vs-bandwidth
+  /// trend.
+  [[nodiscard]] static gazetteer::ZipLatticeConfig default_zip_config() noexcept {
+    return gazetteer::user_placement_config();
+  }
+
+  GroundTruthLocator(const AsEcosystem& ecosystem, const gazetteer::Gazetteer& gazetteer,
+                     gazetteer::ZipLatticeConfig zip_config = default_zip_config());
+
+  /// Ground truth for an IP, or nullopt if it is outside all allocations.
+  [[nodiscard]] std::optional<IpGroundTruth> locate(net::Ipv4Address ip) const;
+
+  /// Origin AS only (cheaper; used by the BGP mapper tests as an oracle).
+  [[nodiscard]] std::optional<net::Asn> origin(net::Ipv4Address ip) const;
+
+  [[nodiscard]] const gazetteer::Gazetteer& gazetteer() const noexcept { return gaz_; }
+  [[nodiscard]] const AsEcosystem& ecosystem() const noexcept { return ecosystem_; }
+
+ private:
+  struct PopRef {
+    std::uint32_t as_index;
+    std::uint32_t pop_index;
+  };
+
+  const AsEcosystem& ecosystem_;
+  const gazetteer::Gazetteer& gaz_;
+  gazetteer::ZipLatticeConfig zip_config_;
+  net::PrefixTrie<PopRef> trie_;
+  /// Zip lattices cached per city (computed lazily would need sync; we
+  /// precompute for every city that hosts at least one PoP).
+  std::vector<std::vector<geo::GeoPoint>> lattices_;  // indexed by CityId
+};
+
+}  // namespace eyeball::topology

@@ -1,0 +1,48 @@
+#include "topology/ip_allocator.hpp"
+
+#include <stdexcept>
+
+namespace eyeball::topology {
+
+int Ipv4SpaceAllocator::length_for(std::uint64_t addresses) noexcept {
+  int length = 32;
+  std::uint64_t capacity = 1;
+  while (length > 0 && capacity < addresses) {
+    --length;
+    capacity <<= 1;
+  }
+  return length;
+}
+
+bool Ipv4SpaceAllocator::is_reserved(std::uint32_t address) noexcept {
+  const std::uint32_t top = address >> 24;
+  return top == 0 || top == 10 || top == 127 || top >= 224;
+}
+
+net::Ipv4Prefix Ipv4SpaceAllocator::allocate(int prefix_length) {
+  if (prefix_length < 8 || prefix_length > 32) {
+    throw std::invalid_argument{"Ipv4SpaceAllocator: prefix length out of range"};
+  }
+  const std::uint64_t block = std::uint64_t{1} << (32 - prefix_length);
+  for (;;) {
+    // Align cursor up to the block size.
+    std::uint64_t start = (cursor_ + block - 1) & ~(block - 1);
+    if (start + block > 0x100000000ULL) {
+      throw std::length_error{"Ipv4SpaceAllocator: address space exhausted"};
+    }
+    if (is_reserved(static_cast<std::uint32_t>(start))) {
+      // Jump past the reserved /8.
+      cursor_ = ((start >> 24) + 1) << 24;
+      continue;
+    }
+    cursor_ = start + block;
+    allocated_ += block;
+    return {net::Ipv4Address{static_cast<std::uint32_t>(start)}, prefix_length};
+  }
+}
+
+net::Ipv4Prefix Ipv4SpaceAllocator::allocate_for(std::uint64_t addresses) {
+  return allocate(length_for(addresses));
+}
+
+}  // namespace eyeball::topology

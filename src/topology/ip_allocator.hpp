@@ -1,0 +1,37 @@
+// Sequential IPv4 block allocator used by the ecosystem generator to hand
+// out aligned CIDR blocks per PoP, mimicking an RIR allocating address space
+// to ISPs.  Reserved ranges (0/8, 10/8, 127/8, multicast and above) are
+// skipped.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.hpp"
+
+namespace eyeball::topology {
+
+class Ipv4SpaceAllocator {
+ public:
+  /// Starts allocating from 1.0.0.0.
+  Ipv4SpaceAllocator() = default;
+
+  /// Smallest prefix length whose block holds at least `addresses` hosts.
+  [[nodiscard]] static int length_for(std::uint64_t addresses) noexcept;
+
+  /// Allocates the next aligned block of the given prefix length.
+  /// Throws std::length_error when unicast space is exhausted.
+  [[nodiscard]] net::Ipv4Prefix allocate(int prefix_length);
+
+  /// Allocates a block with capacity for at least `addresses` hosts.
+  [[nodiscard]] net::Ipv4Prefix allocate_for(std::uint64_t addresses);
+
+  [[nodiscard]] std::uint64_t allocated_addresses() const noexcept { return allocated_; }
+
+ private:
+  [[nodiscard]] static bool is_reserved(std::uint32_t address) noexcept;
+
+  std::uint64_t cursor_ = 0x01000000;  // 1.0.0.0
+  std::uint64_t allocated_ = 0;
+};
+
+}  // namespace eyeball::topology

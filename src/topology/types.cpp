@@ -1,0 +1,134 @@
+#include "topology/types.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eyeball::topology {
+
+std::string_view to_string(AsRole role) noexcept {
+  switch (role) {
+    case AsRole::kTier1: return "tier1";
+    case AsRole::kTransit: return "transit";
+    case AsRole::kEyeball: return "eyeball";
+    case AsRole::kContent: return "content";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(AsLevel level) noexcept {
+  switch (level) {
+    case AsLevel::kCity: return "city";
+    case AsLevel::kState: return "state";
+    case AsLevel::kCountry: return "country";
+    case AsLevel::kContinent: return "continent";
+    case AsLevel::kGlobal: return "global";
+  }
+  return "unknown";
+}
+
+std::uint64_t AutonomousSystem::address_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& pop : pops) {
+    for (const auto& prefix : pop.prefixes) total += prefix.size();
+  }
+  return total;
+}
+
+std::size_t AutonomousSystem::service_pop_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(pops.begin(), pops.end(),
+                    [](const PopSite& p) { return p.customer_share > 0.0; }));
+}
+
+bool Ixp::has_member(net::Asn asn) const noexcept {
+  return std::find(members.begin(), members.end(), asn) != members.end();
+}
+
+AsEcosystem::AsEcosystem(std::vector<AutonomousSystem> ases, std::vector<Ixp> ixps,
+                         std::vector<AsRelationship> relationships)
+    : ases_(std::move(ases)),
+      ixps_(std::move(ixps)),
+      relationships_(std::move(relationships)) {
+  index_.reserve(ases_.size());
+  for (std::size_t i = 0; i < ases_.size(); ++i) {
+    const auto [it, fresh] = index_.emplace(net::value_of(ases_[i].asn), i);
+    if (!fresh) throw std::invalid_argument{"AsEcosystem: duplicate ASN"};
+  }
+  for (const auto& rel : relationships_) {
+    if (find(rel.customer) == nullptr || find(rel.provider) == nullptr) {
+      throw std::invalid_argument{"AsEcosystem: relationship references unknown AS"};
+    }
+  }
+  for (const auto& ixp : ixps_) {
+    for (const auto member : ixp.members) {
+      if (find(member) == nullptr) {
+        throw std::invalid_argument{"AsEcosystem: IXP member is unknown AS"};
+      }
+    }
+  }
+}
+
+const AutonomousSystem* AsEcosystem::find(net::Asn asn) const noexcept {
+  const auto it = index_.find(net::value_of(asn));
+  return it == index_.end() ? nullptr : &ases_[it->second];
+}
+
+const AutonomousSystem& AsEcosystem::at(net::Asn asn) const {
+  const auto* found = find(asn);
+  if (found == nullptr) throw std::out_of_range{"AsEcosystem::at: unknown ASN"};
+  return *found;
+}
+
+std::vector<net::Asn> AsEcosystem::providers_of(net::Asn asn) const {
+  std::vector<net::Asn> out;
+  for (const auto& rel : relationships_) {
+    if (rel.type == RelationshipType::kCustomerProvider && rel.customer == asn) {
+      out.push_back(rel.provider);
+    }
+  }
+  return out;
+}
+
+std::vector<net::Asn> AsEcosystem::customers_of(net::Asn asn) const {
+  std::vector<net::Asn> out;
+  for (const auto& rel : relationships_) {
+    if (rel.type == RelationshipType::kCustomerProvider && rel.provider == asn) {
+      out.push_back(rel.customer);
+    }
+  }
+  return out;
+}
+
+std::vector<net::Asn> AsEcosystem::peers_of(net::Asn asn) const {
+  std::vector<net::Asn> out;
+  for (const auto& rel : relationships_) {
+    if (rel.type != RelationshipType::kPeerPeer) continue;
+    if (rel.customer == asn) out.push_back(rel.provider);
+    if (rel.provider == asn) out.push_back(rel.customer);
+  }
+  return out;
+}
+
+std::vector<std::size_t> AsEcosystem::ixps_of(net::Asn asn) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ixps_.size(); ++i) {
+    if (ixps_[i].has_member(asn)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<net::Asn> AsEcosystem::eyeballs() const {
+  std::vector<net::Asn> out;
+  for (const auto& as : ases_) {
+    if (as.role == AsRole::kEyeball) out.push_back(as.asn);
+  }
+  return out;
+}
+
+std::size_t AsEcosystem::total_service_pops() const noexcept {
+  std::size_t total = 0;
+  for (const auto& as : ases_) total += as.service_pop_count();
+  return total;
+}
+
+}  // namespace eyeball::topology

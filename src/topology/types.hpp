@@ -1,0 +1,128 @@
+// The synthetic AS ecosystem: autonomous systems with roles, geographic
+// PoP footprints, prefix allocations, business relationships and IXP
+// memberships.  This is the ground truth the rest of the library measures —
+// the stand-in for the real Internet that the paper's pipeline observes
+// only through P2P samples, geo databases and BGP tables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "gazetteer/types.hpp"
+#include "net/ipv4.hpp"
+
+namespace eyeball::topology {
+
+enum class AsRole : std::uint8_t {
+  kTier1,    // global transit, default-free
+  kTransit,  // regional/national transit
+  kEyeball,  // sells connectivity to end users
+  kContent,  // hosts content, few end users
+};
+
+/// Designed geographic scope of an AS (the generator's intent; the paper's
+/// classifier infers this from samples and is validated against it).
+enum class AsLevel : std::uint8_t {
+  kCity,
+  kState,
+  kCountry,
+  kContinent,
+  kGlobal,
+};
+
+[[nodiscard]] std::string_view to_string(AsRole role) noexcept;
+[[nodiscard]] std::string_view to_string(AsLevel level) noexcept;
+
+/// One point of presence of an AS in a city.
+struct PopSite {
+  gazetteer::CityId city = gazetteer::kInvalidCity;
+  /// Fraction of the AS's residential customers homed at this PoP.
+  /// Zero for transit-only PoPs.
+  double customer_share = 0.0;
+  /// Address space announced from this PoP.
+  std::vector<net::Ipv4Prefix> prefixes;
+  /// True for PoPs used only to reach providers/peers (no end users) — the
+  /// paper's §5 first cause of validation mismatch.
+  bool transit_only = false;
+};
+
+struct AutonomousSystem {
+  net::Asn asn{};
+  std::string name;
+  AsRole role = AsRole::kEyeball;
+  AsLevel level = AsLevel::kCountry;
+  /// Home country (ISO code); empty for global networks.
+  std::string country_code;
+  /// Home admin-1 region for state-level ASes; empty otherwise.
+  std::string region;
+  gazetteer::Continent continent = gazetteer::Continent::kEurope;
+  std::vector<PopSite> pops;
+  /// Residential broadband customers (0 for non-eyeballs).
+  std::uint64_t customers = 0;
+
+  [[nodiscard]] std::uint64_t address_count() const noexcept;
+  /// PoPs that serve end users (customer_share > 0).
+  [[nodiscard]] std::size_t service_pop_count() const noexcept;
+};
+
+struct Ixp {
+  std::string name;
+  gazetteer::CityId city = gazetteer::kInvalidCity;
+  std::vector<net::Asn> members;
+
+  [[nodiscard]] bool has_member(net::Asn asn) const noexcept;
+};
+
+enum class RelationshipType : std::uint8_t {
+  kCustomerProvider,  // `customer` pays `provider`
+  kPeerPeer,          // settlement-free
+};
+
+struct AsRelationship {
+  net::Asn customer{};  // for kPeerPeer: the lower ASN of the pair
+  net::Asn provider{};  // for kPeerPeer: the higher ASN of the pair
+  RelationshipType type = RelationshipType::kCustomerProvider;
+  /// For peerings established at an IXP: its index in AsEcosystem::ixps.
+  std::optional<std::size_t> ixp_index;
+};
+
+/// The generated world.  Owns all ASes, IXPs and relationships and provides
+/// indexed lookups.  Instances are immutable after construction.
+class AsEcosystem {
+ public:
+  AsEcosystem(std::vector<AutonomousSystem> ases, std::vector<Ixp> ixps,
+              std::vector<AsRelationship> relationships);
+
+  [[nodiscard]] std::span<const AutonomousSystem> ases() const noexcept { return ases_; }
+  [[nodiscard]] std::span<const Ixp> ixps() const noexcept { return ixps_; }
+  [[nodiscard]] std::span<const AsRelationship> relationships() const noexcept {
+    return relationships_;
+  }
+
+  [[nodiscard]] const AutonomousSystem* find(net::Asn asn) const noexcept;
+  [[nodiscard]] const AutonomousSystem& at(net::Asn asn) const;
+
+  [[nodiscard]] std::vector<net::Asn> providers_of(net::Asn asn) const;
+  [[nodiscard]] std::vector<net::Asn> customers_of(net::Asn asn) const;
+  [[nodiscard]] std::vector<net::Asn> peers_of(net::Asn asn) const;
+  /// IXP indices where `asn` is a member.
+  [[nodiscard]] std::vector<std::size_t> ixps_of(net::Asn asn) const;
+
+  [[nodiscard]] std::vector<net::Asn> eyeballs() const;
+
+  /// Total number of (AS, service PoP) pairs — a scale diagnostic.
+  [[nodiscard]] std::size_t total_service_pops() const noexcept;
+
+ private:
+  std::vector<AutonomousSystem> ases_;
+  std::vector<Ixp> ixps_;
+  std::vector<AsRelationship> relationships_;
+  std::unordered_map<std::uint32_t, std::size_t> index_;
+};
+
+}  // namespace eyeball::topology

@@ -1,0 +1,41 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eyeball::util {
+
+std::string fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+std::string with_commas(long long value) {
+  const bool negative = value < 0;
+  unsigned long long magnitude =
+      negative ? 0ULL - static_cast<unsigned long long>(value)
+               : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run != 0 && run % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++run;
+  }
+  if (negative) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::string in_thousands(long long value) {
+  return std::to_string((value + 500) / 1000);
+}
+
+std::string percent(double fraction, int digits) {
+  return fixed(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace eyeball::util

@@ -1,0 +1,20 @@
+// Small numeric-formatting helpers shared by the bench binaries.
+#pragma once
+
+#include <string>
+
+namespace eyeball::util {
+
+/// Fixed-point decimal with `digits` fraction digits ("0.130").
+[[nodiscard]] std::string fixed(double value, int digits);
+
+/// Integer with thousands separators ("18,004").
+[[nodiscard]] std::string with_commas(long long value);
+
+/// Count scaled to thousands, rounded ("18004" users -> "18" at scale 1000).
+[[nodiscard]] std::string in_thousands(long long value);
+
+/// Percentage with one fraction digit ("41.0%").
+[[nodiscard]] std::string percent(double fraction, int digits = 1);
+
+}  // namespace eyeball::util

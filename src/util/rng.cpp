@@ -1,0 +1,79 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eyeball::util {
+
+std::uint64_t Rng::poisson(double lambda) noexcept {
+  // Knuth for small lambda, normal approximation for large.
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++k;
+      product *= uniform();
+    }
+    return k;
+  }
+  const double draw = normal(lambda, std::sqrt(lambda));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument{"ZipfSampler: n must be positive"};
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range{"ZipfSampler::pmf"};
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument{"DiscreteSampler: weights must be non-empty"};
+  }
+  cdf_.resize(weights.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) {
+      throw std::invalid_argument{"DiscreteSampler: negative weight"};
+    }
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument{"DiscreteSampler: all weights are zero"};
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double DiscreteSampler::probability(std::size_t index) const {
+  if (index >= cdf_.size()) throw std::out_of_range{"DiscreteSampler::probability"};
+  return index == 0 ? cdf_[0] : cdf_[index] - cdf_[index - 1];
+}
+
+}  // namespace eyeball::util

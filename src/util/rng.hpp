@@ -1,0 +1,194 @@
+// Deterministic pseudo-random number generation for all stochastic
+// components of the library.
+//
+// Every generator in this project is seeded explicitly so that every
+// experiment (table/figure reproduction) is exactly reproducible.  We use
+// xoshiro256** (public-domain, Blackman & Vigna) seeded through splitmix64,
+// rather than std::mt19937, because its output sequence is identical across
+// standard-library implementations and it is cheap to fork into independent
+// streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace eyeball::util {
+
+/// splitmix64 step: used for seeding and for cheap stateless hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of two values (for deriving per-entity seeds).
+/// Two chained splitmix64 rounds so nearby (a, b) pairs do not collide.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a;
+  const std::uint64_t first = splitmix64(s);
+  s = b ^ first;
+  return splitmix64(s);
+}
+
+/// FNV-1a hash of a string, for deriving seeds from names.
+[[nodiscard]] constexpr std::uint64_t hash_string(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xe7e8a1d5f0c4b3a2ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent generator (for per-AS / per-city streams).
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept {
+    return Rng{mix64((*this)(), salt)};
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    // Lemire's unbiased bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method (cached spare).
+  [[nodiscard]] double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  [[nodiscard]] double exponential(double rate) noexcept {
+    return -std::log1p(-uniform()) / rate;
+  }
+
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Pareto (Lomax-style with scale xm, shape alpha): xm / U^{1/alpha}.
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept {
+    return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+  }
+
+  [[nodiscard]] std::uint64_t poisson(double lambda) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Zipf(s) sampler over ranks {0, .., n-1} using precomputed CDF inversion.
+/// Used for market-share and swarm-popularity distributions.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  /// Probability mass of rank k.
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1.
+};
+
+/// Sampler over arbitrary non-negative weights (alias-free CDF inversion;
+/// O(log n) per draw, fine for our sizes).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double probability(std::size_t index) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace eyeball::util

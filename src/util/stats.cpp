@@ -1,0 +1,119 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eyeball::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double combined = n1 + n2;
+  mean_ += delta * n2 / combined;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / combined;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument{"percentile: empty sample"};
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument{"percentile: q outside [0,100]"};
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument{"mean: empty sample"};
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> values) : sorted_(std::move(values)) {
+  if (sorted_.empty()) throw std::invalid_argument{"EmpiricalCdf: empty sample"};
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"EmpiricalCdf::quantile"};
+  return percentile(sorted_, q * 100.0);
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::trace(double lo, double hi,
+                                                     std::size_t steps) const {
+  if (steps < 2) throw std::invalid_argument{"EmpiricalCdf::trace: steps < 2"};
+  std::vector<Point> points;
+  points.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(steps - 1);
+    points.push_back({x, at(x)});
+  }
+  return points;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+  if (bins == 0) throw std::invalid_argument{"Histogram: bins must be positive"};
+  if (!(hi > lo)) throw std::invalid_argument{"Histogram: hi must exceed lo"};
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range{"Histogram::bin_low"};
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const { return bin_low(bin) + width_; }
+
+double Histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range{"Histogram::count"};
+  return counts_[bin];
+}
+
+}  // namespace eyeball::util

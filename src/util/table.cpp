@@ -1,0 +1,137 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eyeball::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument{"TextTable: empty header"};
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument{"TextTable: row width does not match header"};
+  }
+  rows_.push_back({std::move(cells), rule_pending_});
+  rule_pending_ = false;
+}
+
+void TextTable::add_rule() { rule_pending_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto horizontal_rule = [&] {
+    std::string rule = "+";
+    for (std::size_t w : widths) {
+      rule += std::string(w + 2, '-');
+      rule += '+';
+    }
+    rule += '\n';
+    return rule;
+  }();
+
+  const auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += cells[c];
+      line += std::string(widths[c] - cells[c].size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = horizontal_rule;
+  out += render_cells(header_);
+  out += horizontal_rule;
+  for (const auto& row : rows_) {
+    if (row.rule_before) out += horizontal_rule;
+    out += render_cells(row.cells);
+  }
+  out += horizontal_rule;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.render();
+}
+
+AsciiChart::AsciiChart(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  if (width_ < 10 || height_ < 4) throw std::invalid_argument{"AsciiChart: too small"};
+}
+
+void AsciiChart::add_series(std::string label, std::vector<double> xs,
+                            std::vector<double> ys) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument{"AsciiChart: xs/ys mismatch or empty"};
+  }
+  static constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+  const char glyph = kGlyphs[series_.size() % std::size(kGlyphs)];
+  series_.push_back({std::move(label), std::move(xs), std::move(ys), glyph});
+}
+
+std::string AsciiChart::render() const {
+  if (series_.empty()) return "(empty chart)\n";
+
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -min_x;
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -min_y;
+  for (const auto& s : series_) {
+    for (double x : s.xs) {
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x);
+    }
+    for (double y : s.ys) {
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+    }
+  }
+  if (max_x == min_x) max_x = min_x + 1.0;
+  if (max_y == min_y) max_y = min_y + 1.0;
+
+  std::vector<std::string> canvas(height_, std::string(width_, ' '));
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx = (s.xs[i] - min_x) / (max_x - min_x);
+      const double fy = (s.ys[i] - min_y) / (max_y - min_y);
+      const auto col = static_cast<std::size_t>(std::lround(fx * static_cast<double>(width_ - 1)));
+      const auto row_from_bottom =
+          static_cast<std::size_t>(std::lround(fy * static_cast<double>(height_ - 1)));
+      canvas[height_ - 1 - row_from_bottom][col] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!y_label_.empty()) os << y_label_ << '\n';
+  for (std::size_t r = 0; r < height_; ++r) {
+    const double y = max_y - (max_y - min_y) * static_cast<double>(r) /
+                                 static_cast<double>(height_ - 1);
+    os << std::string(8 - std::min<std::size_t>(8, std::to_string(static_cast<int>(y)).size()),
+                      ' ')
+       << static_cast<int>(std::lround(y)) << " |" << canvas[r] << '\n';
+  }
+  os << std::string(9, ' ') << '+' << std::string(width_, '-') << '\n';
+  os << std::string(10, ' ') << static_cast<int>(std::lround(min_x))
+     << std::string(width_ > 12 ? width_ - 12 : 1, ' ') << static_cast<int>(std::lround(max_x))
+     << '\n';
+  if (!x_label_.empty()) os << std::string(10, ' ') << x_label_ << '\n';
+  for (const auto& s : series_) os << "    " << s.glyph << " = " << s.label << '\n';
+  return os.str();
+}
+
+}  // namespace eyeball::util

@@ -1,0 +1,61 @@
+// Plain-text table rendering for the reproduction harness: every bench
+// binary prints the same rows/columns the paper's tables and figures report.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eyeball::util {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric formatting is the
+/// caller's job (see format.hpp).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::string render() const;
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool rule_pending_ = false;
+};
+
+/// Renders an ASCII line plot of one or more (x, y) series; used to print
+/// CDF figures (Figure 2a/2b) in the terminal.
+class AsciiChart {
+ public:
+  AsciiChart(std::size_t width, std::size_t height);
+
+  void add_series(std::string label, std::vector<double> xs, std::vector<double> ys);
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Series {
+    std::string label;
+    std::vector<double> xs;
+    std::vector<double> ys;
+    char glyph;
+  };
+  std::size_t width_;
+  std::size_t height_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace eyeball::util

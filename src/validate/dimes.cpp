@@ -1,0 +1,46 @@
+#include "validate/dimes.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace eyeball::validate {
+
+std::vector<DimesEntry> simulate_dimes(const topology::AsEcosystem& ecosystem,
+                                       const gazetteer::Gazetteer& gazetteer,
+                                       const DimesConfig& config) {
+  std::vector<DimesEntry> out;
+  for (const auto& as : ecosystem.ases()) {
+    if (as.role != topology::AsRole::kEyeball) continue;
+    util::Rng rng{util::mix64(config.seed, net::value_of(as.asn))};
+
+    DimesEntry entry;
+    entry.asn = as.asn;
+
+    // Service PoPs sorted by customer share: discovery decays with rank.
+    std::vector<const topology::PopSite*> service;
+    for (const auto& pop : as.pops) {
+      if (pop.transit_only) {
+        if (rng.bernoulli(config.transit_pop_prob)) {
+          entry.pops.push_back(gazetteer.city(pop.city).location);
+        }
+      } else {
+        service.push_back(&pop);
+      }
+    }
+    std::sort(service.begin(), service.end(), [](const auto* a, const auto* b) {
+      return a->customer_share > b->customer_share;
+    });
+    double probability = config.top_pop_prob;
+    for (const auto* pop : service) {
+      if (rng.bernoulli(probability)) {
+        entry.pops.push_back(gazetteer.city(pop->city).location);
+      }
+      probability *= config.rank_decay;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace eyeball::validate

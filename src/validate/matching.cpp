@@ -1,0 +1,49 @@
+#include "validate/matching.hpp"
+
+namespace eyeball::validate {
+
+double MatchStats::reference_recall() const noexcept {
+  return reference_count == 0
+             ? 0.0
+             : static_cast<double>(reference_matched) / static_cast<double>(reference_count);
+}
+
+double MatchStats::candidate_precision() const noexcept {
+  return candidate_count == 0
+             ? 0.0
+             : static_cast<double>(candidate_matched) / static_cast<double>(candidate_count);
+}
+
+bool MatchStats::perfect_precision() const noexcept {
+  return candidate_count > 0 && candidate_matched == candidate_count;
+}
+
+bool MatchStats::covers_reference() const noexcept {
+  return reference_matched == reference_count;
+}
+
+MatchStats match_pops(std::span<const geo::GeoPoint> reference,
+                      std::span<const geo::GeoPoint> candidates, double radius_km) {
+  MatchStats stats;
+  stats.reference_count = reference.size();
+  stats.candidate_count = candidates.size();
+  for (const auto& ref : reference) {
+    for (const auto& cand : candidates) {
+      if (geo::distance_km(ref, cand) <= radius_km) {
+        ++stats.reference_matched;
+        break;
+      }
+    }
+  }
+  for (const auto& cand : candidates) {
+    for (const auto& ref : reference) {
+      if (geo::distance_km(ref, cand) <= radius_km) {
+        ++stats.candidate_matched;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace eyeball::validate

@@ -1,0 +1,35 @@
+// PoP matching (paper §5): a discovered PoP matches a reported PoP when
+// their distance is below the city radius (40 km) — "matching PoPs at the
+// city level".
+#pragma once
+
+#include <span>
+
+#include "geo/point.hpp"
+
+namespace eyeball::validate {
+
+struct MatchStats {
+  std::size_t reference_count = 0;
+  std::size_t candidate_count = 0;
+  /// Reference entries with at least one candidate within the radius.
+  std::size_t reference_matched = 0;
+  /// Candidate entries with at least one reference within the radius.
+  std::size_t candidate_matched = 0;
+
+  /// Paper Fig. 2(a): fraction of ground-truth PoPs found.
+  [[nodiscard]] double reference_recall() const noexcept;
+  /// Paper Fig. 2(b): fraction of discovered PoPs that are real.
+  [[nodiscard]] double candidate_precision() const noexcept;
+  /// True when every candidate matches (Fig. 2(b)'s "perfect match").
+  [[nodiscard]] bool perfect_precision() const noexcept;
+  /// True when candidates cover all references (superset in the DIMES
+  /// comparison sense).
+  [[nodiscard]] bool covers_reference() const noexcept;
+};
+
+[[nodiscard]] MatchStats match_pops(std::span<const geo::GeoPoint> reference,
+                                    std::span<const geo::GeoPoint> candidates,
+                                    double radius_km = 40.0);
+
+}  // namespace eyeball::validate

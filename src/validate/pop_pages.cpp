@@ -1,0 +1,194 @@
+#include "validate/pop_pages.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace eyeball::validate {
+namespace {
+
+const char* kind_label(PublishedPop::Kind kind) {
+  switch (kind) {
+    case PublishedPop::Kind::kService: return "core PoP";
+    case PublishedPop::Kind::kTransitOnly: return "interconnection site";
+    case PublishedPop::Kind::kAccessPoint: return "access point";
+  }
+  return "site";
+}
+
+/// Extracts the first "number, number"-like coordinate pair from a line.
+/// Accepts "(45.46, 9.19)", "45.4642 | 9.1900", "45.46N 9.19E".
+std::optional<geo::GeoPoint> extract_coordinates(std::string_view line) {
+  std::vector<double> numbers;
+  std::vector<char> suffixes;
+  for (std::size_t i = 0; i < line.size() && numbers.size() < 4; ++i) {
+    const char c = line[i];
+    if ((c >= '0' && c <= '9') || (c == '-' && i + 1 < line.size() &&
+                                   line[i + 1] >= '0' && line[i + 1] <= '9')) {
+      double value = 0.0;
+      const auto* begin = line.data() + i;
+      const auto* end = line.data() + line.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, value);
+      if (ec == std::errc{}) {
+        // Only consider decimals (coordinates); skip bare integers like
+        // postal codes unless they carry an N/E/S/W suffix.
+        const bool has_dot =
+            std::string_view{begin, static_cast<std::size_t>(ptr - begin)}.find('.') !=
+            std::string_view::npos;
+        const char suffix = ptr != end ? *ptr : ' ';
+        if (has_dot || suffix == 'N' || suffix == 'S' || suffix == 'E' || suffix == 'W') {
+          numbers.push_back(value);
+          suffixes.push_back(suffix);
+        }
+        i = static_cast<std::size_t>(ptr - line.data()) - 1;
+      }
+    }
+  }
+  if (numbers.size() < 2) return std::nullopt;
+  double lat = numbers[0];
+  double lon = numbers[1];
+  if (suffixes[0] == 'S') lat = -lat;
+  if (suffixes[1] == 'W') lon = -lon;
+  const geo::GeoPoint point{lat, lon};
+  if (!geo::is_valid(point)) return std::nullopt;
+  return point;
+}
+
+/// City name heuristics per format; empty when none found.
+std::string extract_name(std::string_view line) {
+  // Bullet: "* Name (..." — take between "* " and " (".
+  if (line.starts_with("* ")) {
+    const auto paren = line.find(" (");
+    if (paren != std::string_view::npos) {
+      return std::string{line.substr(2, paren - 2)};
+    }
+  }
+  // Table: "| Name | ..." — first cell.
+  if (line.starts_with("| ")) {
+    const auto bar = line.find(" |", 2);
+    if (bar != std::string_view::npos) {
+      return std::string{line.substr(2, bar - 2)};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string render_pop_page(const ReferenceEntry& entry,
+                            const gazetteer::Gazetteer& gaz, PageFormat format) {
+  std::string out;
+  switch (format) {
+    case PageFormat::kBulletList: {
+      out += "Network points of presence\n==========================\n";
+      for (const auto& pop : entry.pops) {
+        out += "* ";
+        out += std::string{gaz.city(pop.city).name};
+        out += " (" + util::fixed(pop.location.lat_deg, 4) + ", " +
+               util::fixed(pop.location.lon_deg, 4) + ") - ";
+        out += kind_label(pop.kind);
+        out += '\n';
+      }
+      break;
+    }
+    case PageFormat::kTable: {
+      out += "| City | Region | Latitude | Longitude |\n";
+      out += "|------|--------|----------|-----------|\n";
+      for (const auto& pop : entry.pops) {
+        const auto& city = gaz.city(pop.city);
+        out += "| " + std::string{city.name} + " | " + std::string{city.region} +
+               " | " + util::fixed(pop.location.lat_deg, 4) + " | " +
+               util::fixed(pop.location.lon_deg, 4) + " |\n";
+      }
+      break;
+    }
+    case PageFormat::kProse: {
+      out += "Our backbone is present in ";
+      for (std::size_t i = 0; i < entry.pops.size(); ++i) {
+        const auto& pop = entry.pops[i];
+        if (i > 0) out += i + 1 == entry.pops.size() ? " and " : ", ";
+        out += std::string{gaz.city(pop.city).name};
+        const double lat = pop.location.lat_deg;
+        const double lon = pop.location.lon_deg;
+        out += " (" + util::fixed(std::abs(lat), 2) + (lat >= 0 ? "N" : "S") + " " +
+               util::fixed(std::abs(lon), 2) + (lon >= 0 ? "E" : "W") + ")";
+      }
+      out += ".\n";
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<ScrapedPop>> scrape_pop_page(std::string_view page) {
+  std::vector<ScrapedPop> out;
+
+  // Line-oriented formats first: only bullet ("* ") and table ("| ") lines
+  // are one-PoP-per-line; anything else is left to the prose pass.
+  std::string_view rest = page;
+  while (!rest.empty()) {
+    const auto newline = rest.find('\n');
+    std::string_view line = newline == std::string_view::npos ? rest : rest.substr(0, newline);
+    rest.remove_prefix(newline == std::string_view::npos ? rest.size() : newline + 1);
+    if (!(line.starts_with("* ") || line.starts_with("| "))) continue;
+    if (line.find("Latitude") != std::string_view::npos ||
+        line.find("---") != std::string_view::npos) {
+      continue;
+    }
+    const auto coordinates = extract_coordinates(line);
+    if (!coordinates) continue;
+    ScrapedPop pop;
+    pop.location = *coordinates;
+    pop.city_name = extract_name(line);
+    out.push_back(std::move(pop));
+  }
+
+  // Prose fallback: split on "(...)" groups.
+  if (out.empty()) {
+    std::string_view text = page;
+    std::size_t cursor = 0;
+    while ((cursor = text.find('(')) != std::string_view::npos) {
+      const auto close = text.find(')', cursor);
+      if (close == std::string_view::npos) break;
+      const auto coordinates = extract_coordinates(text.substr(cursor, close - cursor));
+      if (coordinates) {
+        // Name: the word(s) before the parenthesis.
+        std::string_view before = text.substr(0, cursor);
+        const auto comma = before.find_last_of(",.");
+        std::string name{before.substr(comma == std::string_view::npos ? 0 : comma + 1)};
+        while (!name.empty() && (name.front() == ' ')) name.erase(0, 1);
+        while (!name.empty() && (name.back() == ' ')) name.pop_back();
+        // Drop leading prose like "Our backbone is present in".
+        const auto in_pos = name.rfind(" in ");
+        if (in_pos != std::string::npos) name.erase(0, in_pos + 4);
+        if (name.starts_with("and ")) name.erase(0, 4);
+        out.push_back({std::move(name), *coordinates});
+      }
+      text.remove_prefix(close + 1);
+    }
+  }
+
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+std::vector<std::vector<geo::GeoPoint>> scrape_reference_dataset(
+    const std::vector<ReferenceEntry>& reference, const gazetteer::Gazetteer& gazetteer) {
+  std::vector<std::vector<geo::GeoPoint>> out;
+  out.reserve(reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    // Rotate through formats, like heterogeneous real pages.
+    const auto format = static_cast<PageFormat>(i % 3);
+    const auto page = render_pop_page(reference[i], gazetteer, format);
+    std::vector<geo::GeoPoint> locations;
+    if (const auto scraped = scrape_pop_page(page)) {
+      for (const auto& pop : *scraped) locations.push_back(pop.location);
+    }
+    out.push_back(std::move(locations));
+  }
+  return out;
+}
+
+}  // namespace eyeball::validate

@@ -1,0 +1,55 @@
+// Published PoP pages: generation and scraping.
+//
+// The paper's reference dataset came from manually scraping ISP web pages,
+// noting that "many ISPs do not post this information online or do not use
+// a consistent terminology or approach for listing these PoPs".  This
+// module closes that loop: it renders a ReferenceEntry into one of several
+// page formats an ISP might use, and provides a tolerant scraper that
+// parses any of them back into PoP locations — so the reference pipeline
+// can be exercised end-to-end through its textual form.
+//
+// Formats:
+//   kBulletList   "* Milan (45.46, 9.19) - core PoP"
+//   kTable        "| Milan | Lombardy | 45.4642 | 9.1900 |"
+//   kProse        "Our network is present in Milan (45.46N 9.19E), ..."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gazetteer/gazetteer.hpp"
+#include "validate/reference.hpp"
+
+namespace eyeball::validate {
+
+enum class PageFormat : std::uint8_t {
+  kBulletList,
+  kTable,
+  kProse,
+};
+
+/// Renders the published PoP list of one AS as a web page body in the given
+/// format.  Deterministic.
+[[nodiscard]] std::string render_pop_page(const ReferenceEntry& entry,
+                                          const gazetteer::Gazetteer& gazetteer,
+                                          PageFormat format);
+
+struct ScrapedPop {
+  std::string city_name;
+  geo::GeoPoint location;
+};
+
+/// Tolerant scraper: detects the format and extracts (name, coordinates)
+/// pairs.  Unparseable lines are skipped (never throws on page content);
+/// returns nullopt only when the text contains no recognizable PoP at all.
+[[nodiscard]] std::optional<std::vector<ScrapedPop>> scrape_pop_page(std::string_view page);
+
+/// Round-trip helper: renders and re-scrapes every entry, returning the
+/// scraped locations per AS (used to feed the validation harness through
+/// the textual channel).
+[[nodiscard]] std::vector<std::vector<geo::GeoPoint>> scrape_reference_dataset(
+    const std::vector<ReferenceEntry>& reference, const gazetteer::Gazetteer& gazetteer);
+
+}  // namespace eyeball::validate

@@ -1,0 +1,79 @@
+#include "validate/reference.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace eyeball::validate {
+
+std::vector<geo::GeoPoint> ReferenceEntry::locations() const {
+  std::vector<geo::GeoPoint> out;
+  out.reserve(pops.size());
+  for (const auto& pop : pops) out.push_back(pop.location);
+  return out;
+}
+
+std::vector<ReferenceEntry> build_reference_dataset(
+    const topology::AsEcosystem& ecosystem, const gazetteer::Gazetteer& gazetteer,
+    std::size_t count, const PublicationNoise& noise) {
+  // Candidates: state- and country-level eyeballs, largest (by PoP count,
+  // then customers) first — big ISPs are the ones that publish PoP pages.
+  std::vector<const topology::AutonomousSystem*> candidates;
+  for (const auto& as : ecosystem.ases()) {
+    if (as.role != topology::AsRole::kEyeball) continue;
+    if (as.level == topology::AsLevel::kState || as.level == topology::AsLevel::kCountry ||
+        as.level == topology::AsLevel::kContinent) {
+      candidates.push_back(&as);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto* a, const auto* b) {
+              if (a->pops.size() != b->pops.size()) return a->pops.size() > b->pops.size();
+              return a->customers > b->customers;
+            });
+  if (candidates.size() > count) candidates.resize(count);
+
+  std::vector<ReferenceEntry> out;
+  out.reserve(candidates.size());
+  for (const auto* as : candidates) {
+    util::Rng rng{util::mix64(noise.seed, net::value_of(as->asn))};
+    ReferenceEntry entry;
+    entry.asn = as->asn;
+    for (const auto& pop : as->pops) {
+      const auto& city = gazetteer.city(pop.city);
+      if (pop.transit_only) {
+        if (noise.include_transit_only) {
+          entry.pops.push_back({city.location, pop.city, PublishedPop::Kind::kTransitOnly});
+        }
+        continue;
+      }
+      if (rng.bernoulli(noise.omit_prob)) continue;  // obsolete / unlisted
+      entry.pops.push_back({city.location, pop.city, PublishedPop::Kind::kService});
+
+      // Access points: aggregation sites around the metro that the ISP's
+      // page lists alongside true PoPs.
+      const double expected =
+          noise.access_points_per_pop * std::min(1.0, pop.customer_share * 4.0);
+      const std::uint64_t extras = rng.poisson(expected);
+      for (std::uint64_t i = 0; i < extras; ++i) {
+        const auto location =
+            geo::destination(city.location, rng.uniform(0.0, 360.0),
+                             rng.uniform(2.0, noise.access_point_radius_km));
+        entry.pops.push_back({location, pop.city, PublishedPop::Kind::kAccessPoint});
+      }
+    }
+    if (!entry.pops.empty()) out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<geo::GeoPoint> true_service_pops(const topology::AutonomousSystem& as,
+                                             const gazetteer::Gazetteer& gazetteer) {
+  std::vector<geo::GeoPoint> out;
+  for (const auto& pop : as.pops) {
+    if (!pop.transit_only) out.push_back(gazetteer.city(pop.city).location);
+  }
+  return out;
+}
+
+}  // namespace eyeball::validate

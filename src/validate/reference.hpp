@@ -1,0 +1,67 @@
+// Reference ("ground truth") PoP dataset.
+//
+// The paper validates against PoP lists that 45 ISPs publish on their
+// websites, noting three defects it later observes: transit-only PoPs away
+// from customers, access points listed as PoPs, and obsolete/missing
+// entries.  The registry reproduces exactly that: it starts from the
+// generator's true PoP set and perturbs it with a publication-noise model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gazetteer/gazetteer.hpp"
+#include "geo/point.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::validate {
+
+struct PublishedPop {
+  geo::GeoPoint location;
+  gazetteer::CityId city = gazetteer::kInvalidCity;
+  /// Why this entry exists (kept for diagnostics; matching ignores it).
+  enum class Kind : std::uint8_t {
+    kService,      // a real customer-serving PoP
+    kTransitOnly,  // interconnection site with no end users
+    kAccessPoint,  // access/aggregation point the ISP lists as a "PoP"
+  } kind = Kind::kService;
+};
+
+struct ReferenceEntry {
+  net::Asn asn{};
+  std::vector<PublishedPop> pops;
+
+  [[nodiscard]] std::vector<geo::GeoPoint> locations() const;
+};
+
+struct PublicationNoise {
+  /// Probability that a true service PoP is absent from the published list
+  /// (obsolete page, unlisted site).
+  double omit_prob = 0.12;
+  /// Published lists include interconnection-only PoPs.
+  bool include_transit_only = true;
+  /// Expected number of access-point entries listed per service PoP,
+  /// scaled by the PoP's customer share (big metros list many).  Tuned so
+  /// the reference lists average tens of entries per AS, like the paper's
+  /// 43.7 reported PoPs per reference AS.
+  double access_points_per_pop = 4.0;
+  /// Access points scatter this far (km) around the PoP city.
+  double access_point_radius_km = 35.0;
+  std::uint64_t seed = 0x90f7;
+};
+
+/// Builds the reference dataset: the `count` largest state-/country-level
+/// eyeball ASes (the paper found published lists for 45 of 672 searched),
+/// each with a noise-perturbed published PoP list.
+[[nodiscard]] std::vector<ReferenceEntry> build_reference_dataset(
+    const topology::AsEcosystem& ecosystem, const gazetteer::Gazetteer& gazetteer,
+    std::size_t count = 45, const PublicationNoise& noise = {});
+
+/// The clean (noise-free) true service-PoP locations of an AS — used by
+/// oracle tests.
+[[nodiscard]] std::vector<geo::GeoPoint> true_service_pops(
+    const topology::AutonomousSystem& as, const gazetteer::Gazetteer& gazetteer);
+
+}  // namespace eyeball::validate

@@ -1,0 +1,87 @@
+#include "validate/report.hpp"
+
+namespace eyeball::validate {
+
+ValidationReport validate_against_reference(const core::EyeballPipeline& pipeline,
+                                            const core::TargetDataset& dataset,
+                                            const std::vector<ReferenceEntry>& reference,
+                                            const std::vector<double>& bandwidths,
+                                            double match_radius_km) {
+  ValidationReport report;
+
+  // Reference ASes that survived dataset conditioning.
+  std::vector<const ReferenceEntry*> usable;
+  std::size_t reference_pop_total = 0;
+  for (const auto& entry : reference) {
+    if (dataset.find(entry.asn) != nullptr) {
+      usable.push_back(&entry);
+      reference_pop_total += entry.pops.size();
+    }
+  }
+  report.reference_as_count = usable.size();
+  report.avg_reference_pops_per_as =
+      usable.empty() ? 0.0
+                     : static_cast<double>(reference_pop_total) /
+                           static_cast<double>(usable.size());
+
+  for (const double bandwidth : bandwidths) {
+    BandwidthValidation sweep;
+    sweep.bandwidth_km = bandwidth;
+    std::size_t inferred_pop_total = 0;
+    std::size_t perfect = 0;
+    for (const auto* entry : usable) {
+      const auto* peers = dataset.find(entry->asn);
+      const auto pops = pipeline.pop_footprint(*peers, bandwidth);
+      const auto inferred = pops.pop_locations(pipeline.gazetteer());
+      inferred_pop_total += inferred.size();
+
+      const auto stats = match_pops(entry->locations(), inferred, match_radius_km);
+      sweep.reference_recall.push_back(stats.reference_recall());
+      sweep.candidate_precision.push_back(stats.candidate_precision());
+      if (stats.perfect_precision()) ++perfect;
+    }
+    sweep.as_count = usable.size();
+    sweep.avg_pops_per_as =
+        usable.empty() ? 0.0
+                       : static_cast<double>(inferred_pop_total) /
+                             static_cast<double>(usable.size());
+    sweep.perfect_precision_fraction =
+        usable.empty() ? 0.0
+                       : static_cast<double>(perfect) / static_cast<double>(usable.size());
+    report.sweeps.push_back(std::move(sweep));
+  }
+  return report;
+}
+
+DimesComparison compare_with_dimes(const core::EyeballPipeline& pipeline,
+                                   const core::TargetDataset& dataset,
+                                   const std::vector<DimesEntry>& dimes,
+                                   double bandwidth_km, double match_radius_km) {
+  DimesComparison out;
+  std::size_t kde_total = 0;
+  std::size_t dimes_total = 0;
+  std::size_t supersets = 0;
+  for (const auto& entry : dimes) {
+    if (entry.pops.empty()) continue;  // AS invisible to traceroute
+    const auto* peers = dataset.find(entry.asn);
+    if (peers == nullptr) continue;  // AS not in our conditioned dataset
+    ++out.common_as_count;
+    const auto pops = pipeline.pop_footprint(*peers, bandwidth_km);
+    const auto inferred = pops.pop_locations(pipeline.gazetteer());
+    kde_total += inferred.size();
+    dimes_total += entry.pops.size();
+    const auto stats = match_pops(entry.pops, inferred, match_radius_km);
+    if (stats.covers_reference()) ++supersets;
+  }
+  if (out.common_as_count > 0) {
+    out.kde_avg_pops = static_cast<double>(kde_total) /
+                       static_cast<double>(out.common_as_count);
+    out.dimes_avg_pops = static_cast<double>(dimes_total) /
+                         static_cast<double>(out.common_as_count);
+    out.superset_fraction = static_cast<double>(supersets) /
+                            static_cast<double>(out.common_as_count);
+  }
+  return out;
+}
+
+}  // namespace eyeball::validate

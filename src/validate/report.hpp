@@ -1,0 +1,57 @@
+// Validation experiment driver (paper §5 / Figure 2).
+//
+// For each kernel bandwidth in the sweep, runs the PoP inference over every
+// reference AS that survived dataset conditioning and matches the inferred
+// PoPs against the published lists.  Produces the per-AS recall (Fig. 2a)
+// and precision (Fig. 2b) samples plus the scalar summaries the paper
+// quotes (average PoPs per AS, perfect-match fraction).
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "validate/dimes.hpp"
+#include "validate/matching.hpp"
+#include "validate/reference.hpp"
+
+namespace eyeball::validate {
+
+struct BandwidthValidation {
+  double bandwidth_km = 0.0;
+  /// Per-AS fraction of ground-truth PoPs matched (Fig. 2a CDF samples).
+  std::vector<double> reference_recall;
+  /// Per-AS fraction of inferred PoPs that match ground truth (Fig. 2b).
+  std::vector<double> candidate_precision;
+  double avg_pops_per_as = 0.0;
+  double perfect_precision_fraction = 0.0;
+  std::size_t as_count = 0;
+};
+
+struct ValidationReport {
+  std::vector<BandwidthValidation> sweeps;
+  double avg_reference_pops_per_as = 0.0;
+  std::size_t reference_as_count = 0;
+};
+
+[[nodiscard]] ValidationReport validate_against_reference(
+    const core::EyeballPipeline& pipeline, const core::TargetDataset& dataset,
+    const std::vector<ReferenceEntry>& reference, const std::vector<double>& bandwidths,
+    double match_radius_km = 40.0);
+
+struct DimesComparison {
+  std::size_t common_as_count = 0;
+  double kde_avg_pops = 0.0;
+  double dimes_avg_pops = 0.0;
+  /// Fraction of common ASes whose KDE PoPs cover every DIMES PoP
+  /// (paper: "for 80% of eyeball ASes our identified PoPs are a clear
+  /// superset of reported PoPs").
+  double superset_fraction = 0.0;
+};
+
+[[nodiscard]] DimesComparison compare_with_dimes(const core::EyeballPipeline& pipeline,
+                                                 const core::TargetDataset& dataset,
+                                                 const std::vector<DimesEntry>& dimes,
+                                                 double bandwidth_km = 40.0,
+                                                 double match_radius_km = 40.0);
+
+}  // namespace eyeball::validate

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "bgp/rib.hpp"
+#include "gazetteer/gazetteer.hpp"
+#include "topology/generator.hpp"
+#include "topology/ground_truth.hpp"
+
+namespace eyeball::bgp {
+namespace {
+
+struct Fixture {
+  gazetteer::Gazetteer gaz = gazetteer::Gazetteer::builtin();
+  topology::AsEcosystem eco = [this] {
+    topology::EcosystemConfig config;
+    config.seed = 21;
+    return topology::generate_ecosystem(gaz, config.scaled(0.05));
+  }();
+  RibSnapshot rib = RibSnapshot::from_ecosystem(eco, 3);
+};
+
+const Fixture& fixture() {
+  static const Fixture instance;
+  return instance;
+}
+
+TEST(RibSnapshot, RejectsEmptyPath) {
+  std::vector<RibEntry> entries{{*net::Ipv4Prefix::parse("10.0.0.0/8"), {}}};
+  EXPECT_THROW(RibSnapshot{std::move(entries)}, std::invalid_argument);
+}
+
+TEST(RibSnapshot, OneEntryPerAnnouncedPrefix) {
+  const auto& f = fixture();
+  std::size_t announced = 0;
+  for (const auto& as : f.eco.ases()) {
+    for (const auto& pop : as.pops) announced += pop.prefixes.size();
+  }
+  EXPECT_EQ(f.rib.size(), announced);
+}
+
+TEST(RibSnapshot, OriginMatchesGroundTruth) {
+  const auto& f = fixture();
+  const topology::GroundTruthLocator locator{f.eco, f.gaz};
+  int checked = 0;
+  for (const auto& as : f.eco.ases()) {
+    for (const auto& pop : as.pops) {
+      for (const auto& prefix : pop.prefixes) {
+        const auto ip = net::Ipv4Address{prefix.address().value() + 3};
+        EXPECT_EQ(f.rib.origin(ip), locator.origin(ip));
+        EXPECT_EQ(f.rib.origin(ip), as.asn);
+        if (++checked > 300) return;
+      }
+    }
+  }
+}
+
+TEST(RibSnapshot, UnroutedSpaceHasNoOrigin) {
+  EXPECT_FALSE(fixture().rib.origin(net::Ipv4Address{223, 255, 255, 254}));
+}
+
+TEST(RibSnapshot, PathsEndAtOrigin) {
+  const auto& f = fixture();
+  for (const auto& entry : f.rib.entries()) {
+    ASSERT_FALSE(entry.as_path.empty());
+    // Origin must actually own the prefix.
+    const auto& as = f.eco.at(entry.origin());
+    bool owns = false;
+    for (const auto& pop : as.pops) {
+      for (const auto& prefix : pop.prefixes) {
+        if (prefix == entry.prefix) owns = true;
+      }
+    }
+    EXPECT_TRUE(owns) << entry.prefix.to_string();
+  }
+}
+
+TEST(RibSnapshot, PathsHaveNoLoops) {
+  const auto& f = fixture();
+  for (const auto& entry : f.rib.entries()) {
+    std::set<std::uint32_t> seen;
+    for (const auto asn : entry.as_path) {
+      EXPECT_TRUE(seen.insert(net::value_of(asn)).second)
+          << "loop in path for " << entry.prefix.to_string();
+    }
+  }
+}
+
+TEST(RibSnapshot, PathsRespectProviderChains) {
+  // Every adjacent pair (a, b) in a path (a closer to collector) must be a
+  // known relationship edge: b customer of a, a customer of b, or peers.
+  const auto& f = fixture();
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (const auto& rel : f.eco.relationships()) {
+    edges.emplace(net::value_of(rel.customer), net::value_of(rel.provider));
+    edges.emplace(net::value_of(rel.provider), net::value_of(rel.customer));
+  }
+  std::size_t checked = 0;
+  for (const auto& entry : f.rib.entries()) {
+    for (std::size_t i = 1; i < entry.as_path.size(); ++i) {
+      const auto a = net::value_of(entry.as_path[i - 1]);
+      const auto b = net::value_of(entry.as_path[i]);
+      EXPECT_TRUE(edges.count({a, b}) > 0)
+          << "no relationship between AS" << a << " and AS" << b;
+    }
+    if (++checked > 500) break;
+  }
+}
+
+TEST(RibSnapshot, DumpParseRoundTrip) {
+  const auto& f = fixture();
+  const std::string text = f.rib.dump();
+  const auto parsed = RibSnapshot::parse(text);
+  ASSERT_EQ(parsed.size(), f.rib.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed.entries()[i].prefix, f.rib.entries()[i].prefix);
+    EXPECT_EQ(parsed.entries()[i].as_path, f.rib.entries()[i].as_path);
+  }
+}
+
+TEST(RibSnapshot, ParseAcceptsBlankLines) {
+  const auto rib = RibSnapshot::parse("10.0.0.0/8|1 2 3\n\n11.0.0.0/8|4\n");
+  EXPECT_EQ(rib.size(), 2u);
+  EXPECT_EQ(rib.origin(net::Ipv4Address{10, 1, 1, 1}), net::Asn{3});
+  EXPECT_EQ(rib.origin(net::Ipv4Address{11, 1, 1, 1}), net::Asn{4});
+}
+
+TEST(RibSnapshot, ParseRejectsMalformed) {
+  EXPECT_THROW((void)RibSnapshot::parse("10.0.0.0/8 1 2 3\n"), std::invalid_argument);
+  EXPECT_THROW((void)RibSnapshot::parse("10.0.0.0|1\n"), std::invalid_argument);
+  EXPECT_THROW((void)RibSnapshot::parse("10.0.0.0/8|\n"), std::invalid_argument);
+  EXPECT_THROW((void)RibSnapshot::parse("10.0.0.0/8|x y\n"), std::invalid_argument);
+  EXPECT_THROW((void)RibSnapshot::parse("300.0.0.0/8|1\n"), std::invalid_argument);
+}
+
+TEST(RibSnapshot, MoreSpecificWinsAfterParse) {
+  const auto rib = RibSnapshot::parse("10.0.0.0/8|1\n10.1.0.0/16|2\n");
+  EXPECT_EQ(rib.origin(net::Ipv4Address{10, 1, 2, 3}), net::Asn{2});
+  EXPECT_EQ(rib.origin(net::Ipv4Address{10, 2, 2, 3}), net::Asn{1});
+}
+
+TEST(IpToAsMapper, DelegatesToRib) {
+  const auto& f = fixture();
+  const IpToAsMapper mapper{f.rib};
+  const auto& as = f.eco.ases()[10];
+  ASSERT_FALSE(as.pops.empty());
+  const auto ip = as.pops[0].prefixes[0].first();
+  EXPECT_EQ(mapper.map(ip), as.asn);
+  EXPECT_FALSE(mapper.map(net::Ipv4Address{223, 255, 255, 254}));
+}
+
+TEST(RibSnapshot, FromEcosystemDeterministicPerSeed) {
+  const auto& f = fixture();
+  const auto a = RibSnapshot::from_ecosystem(f.eco, 3);
+  const auto b = RibSnapshot::from_ecosystem(f.eco, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].as_path, b.entries()[i].as_path);
+  }
+}
+
+}  // namespace
+}  // namespace eyeball::bgp

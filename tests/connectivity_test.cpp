@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "connectivity/as_graph.hpp"
+#include "util/rng.hpp"
+#include "connectivity/case_study.hpp"
+#include "connectivity/rai_scenario.hpp"
+#include "connectivity/traceroute.hpp"
+#include "gazetteer/gazetteer.hpp"
+#include "pipeline_fixture.hpp"
+
+namespace eyeball::connectivity {
+namespace {
+
+const gazetteer::Gazetteer& gaz() {
+  static const auto instance = gazetteer::Gazetteer::builtin();
+  return instance;
+}
+
+const RaiScenario& scenario() {
+  static const RaiScenario instance = build_rai_scenario(gaz());
+  return instance;
+}
+
+// ---- AsGraph on the hand-built scenario ----
+
+TEST(AsGraph, NeighbourQueries) {
+  const AsGraph graph{scenario().ecosystem};
+  const auto providers = graph.providers(scenario().rai);
+  EXPECT_EQ(providers.size(), 5u);
+  const auto peers = graph.peers(scenario().rai);
+  EXPECT_EQ(peers.size(), 3u);
+  EXPECT_TRUE(graph.customers(scenario().rai).empty());
+  EXPECT_THROW((void)graph.providers(net::Asn{424242}), std::out_of_range);
+}
+
+TEST(AsGraph, CustomerConeSizes) {
+  const AsGraph graph{scenario().ecosystem};
+  // RAI has no customers: cone of 1.
+  EXPECT_EQ(graph.customer_cone_size(scenario().rai), 1u);
+  // Infostrada's cone contains RAI.
+  EXPECT_GE(graph.customer_cone_size(scenario().infostrada), 2u);
+  // A tier-1 sees a large cone.
+  EXPECT_GT(graph.customer_cone_size(scenario().tier1_a), 4u);
+}
+
+TEST(AsGraph, SelfRouteIsTrivial) {
+  const AsGraph graph{scenario().ecosystem};
+  const auto route = graph.best_route(scenario().rai, scenario().rai);
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->path.size(), 1u);
+}
+
+TEST(AsGraph, DirectProviderRoute) {
+  const AsGraph graph{scenario().ecosystem};
+  const auto route = graph.best_route(scenario().rai, scenario().infostrada);
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->route_class, RouteClass::kProvider);
+  ASSERT_EQ(route->path.size(), 2u);
+  EXPECT_EQ(route->path[0], scenario().rai);
+  EXPECT_EQ(route->path[1], scenario().infostrada);
+}
+
+TEST(AsGraph, PeerRoutePreferredOverProviderDetour) {
+  const AsGraph graph{scenario().ecosystem};
+  // RAI -> GARR: direct peering at MIX beats any transit path.
+  const auto route = graph.best_route(scenario().rai, scenario().garr);
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->route_class, RouteClass::kPeer);
+  ASSERT_EQ(route->path.size(), 2u);
+  EXPECT_EQ(route->path[1], scenario().garr);
+}
+
+TEST(AsGraph, CustomerRoutePreferred) {
+  const AsGraph graph{scenario().ecosystem};
+  // Infostrada -> RAI: RAI is a direct customer.
+  const auto route = graph.best_route(scenario().infostrada, scenario().rai);
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->route_class, RouteClass::kCustomer);
+  EXPECT_EQ(route->path.size(), 2u);
+}
+
+TEST(AsGraph, ValleyFreePathsOnly) {
+  // vantage (DE) -> RAI must go up through tier-1, then down: no route may
+  // traverse customer -> provider after a down/peer step.
+  const AsGraph graph{scenario().ecosystem};
+  const auto route = graph.best_route(scenario().vantage, scenario().rai);
+  ASSERT_TRUE(route);
+  ASSERT_GE(route->path.size(), 3u);
+  EXPECT_EQ(route->path.front(), scenario().vantage);
+  EXPECT_EQ(route->path.back(), scenario().rai);
+
+  // Verify valley-freeness structurally: classify each hop and check the
+  // up* peer? down* shape.
+  const auto& eco = scenario().ecosystem;
+  enum Phase { kUp, kPeered, kDown } phase = kUp;
+  for (std::size_t i = 1; i < route->path.size(); ++i) {
+    const auto from = route->path[i - 1];
+    const auto to = route->path[i];
+    const auto providers = eco.providers_of(from);
+    const auto customers = eco.customers_of(from);
+    const auto peers = eco.peers_of(from);
+    const bool up = std::find(providers.begin(), providers.end(), to) != providers.end();
+    const bool down = std::find(customers.begin(), customers.end(), to) != customers.end();
+    const bool peer = std::find(peers.begin(), peers.end(), to) != peers.end();
+    ASSERT_TRUE(up || down || peer);
+    if (up) {
+      EXPECT_EQ(phase, kUp) << "valley at hop " << i;
+    } else if (peer) {
+      EXPECT_EQ(phase, kUp) << "second peer hop at " << i;
+      phase = kPeered;
+    } else {
+      phase = kDown;
+    }
+  }
+}
+
+TEST(AsGraph, UnreachableWithoutRelationships) {
+  topology::AutonomousSystem a;
+  a.asn = net::Asn{1};
+  topology::AutonomousSystem b;
+  b.asn = net::Asn{2};
+  const topology::AsEcosystem eco{{a, b}, {}, {}};
+  const AsGraph graph{eco};
+  EXPECT_FALSE(graph.best_route(net::Asn{1}, net::Asn{2}));
+  EXPECT_FALSE(graph.reachable(net::Asn{1}, net::Asn{2}));
+}
+
+TEST(AsGraph, GeneratedEcosystemFullyConnected) {
+  const auto& f = eyeball::testing::shared_fixture();
+  const AsGraph graph{f.eco};
+  // Sample random pairs: the generator guarantees provider chains to
+  // tier-1s, so everything should be mutually reachable.
+  const auto all = graph.all_ases();
+  util::Rng rng{4};
+  for (int i = 0; i < 40; ++i) {
+    const auto src = all[rng.uniform_index(all.size())];
+    const auto dst = all[rng.uniform_index(all.size())];
+    EXPECT_TRUE(graph.reachable(src, dst))
+        << net::to_string(src) << " -> " << net::to_string(dst);
+  }
+}
+
+TEST(AsGraph, RouteClassPreferenceOrder) {
+  // Customer routes must beat peer routes even when longer by a hop.
+  topology::AutonomousSystem nodes[4];
+  for (int i = 0; i < 4; ++i) nodes[i].asn = net::Asn{static_cast<std::uint32_t>(i + 1)};
+  using RT = topology::RelationshipType;
+  // 1 has customer 2; 2 has customer 4.  1 peers with 3; 3 has customer 4.
+  std::vector<topology::AsRelationship> rels{
+      {net::Asn{2}, net::Asn{1}, RT::kCustomerProvider, {}},
+      {net::Asn{4}, net::Asn{2}, RT::kCustomerProvider, {}},
+      {net::Asn{1}, net::Asn{3}, RT::kPeerPeer, {}},
+      {net::Asn{4}, net::Asn{3}, RT::kCustomerProvider, {}},
+  };
+  const topology::AsEcosystem eco{{nodes[0], nodes[1], nodes[2], nodes[3]}, {}, rels};
+  const AsGraph graph{eco};
+  const auto route = graph.best_route(net::Asn{1}, net::Asn{4});
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->route_class, RouteClass::kCustomer);
+  ASSERT_EQ(route->path.size(), 3u);
+  EXPECT_EQ(route->path[1], net::Asn{2});
+}
+
+// ---- Traceroute ----
+
+TEST(Traceroute, ResolvesTargetIpToOriginAs) {
+  const auto& s = scenario();
+  const bgp::RibSnapshot rib = bgp::RibSnapshot::from_ecosystem(s.ecosystem, 1);
+  const AsGraph graph{s.ecosystem};
+  const TracerouteSimulator sim{graph, rib};
+
+  const auto& rai = s.ecosystem.at(s.rai);
+  const auto target = rai.pops[0].prefixes[0].first();
+  const auto result = sim.trace(s.vantage, target);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->origin, s.rai);
+  EXPECT_EQ(result->route.path.back(), s.rai);
+  // The penultimate hop must be one of RAI's five providers or peers.
+  const auto penultimate = result->route.path[result->route.path.size() - 2];
+  const auto providers = s.ecosystem.providers_of(s.rai);
+  EXPECT_NE(std::find(providers.begin(), providers.end(), penultimate), providers.end());
+}
+
+TEST(Traceroute, UnroutedTargetFails) {
+  const auto& s = scenario();
+  const bgp::RibSnapshot rib = bgp::RibSnapshot::from_ecosystem(s.ecosystem, 1);
+  const AsGraph graph{s.ecosystem};
+  const TracerouteSimulator sim{graph, rib};
+  EXPECT_FALSE(sim.trace(s.vantage, net::Ipv4Address{223, 255, 255, 254}));
+}
+
+TEST(Traceroute, FormatPath) {
+  Route route;
+  route.path = {net::Asn{3320}, net::Asn{1239}, net::Asn{8234}};
+  EXPECT_EQ(TracerouteSimulator::format_path(route), "AS3320 AS1239 AS8234");
+}
+
+// ---- RAI scenario integrity (paper §6 facts) ----
+
+TEST(RaiScenario, FiveUpstreamsWithExpectedMix) {
+  const auto& s = scenario();
+  const auto providers = s.ecosystem.providers_of(s.rai);
+  ASSERT_EQ(providers.size(), 5u);
+  int global = 0;
+  for (const auto provider : providers) {
+    if (s.ecosystem.at(provider).level == topology::AsLevel::kGlobal) ++global;
+  }
+  EXPECT_EQ(global, 2);  // Easynet and Colt
+}
+
+TEST(RaiScenario, RaiAtMixNotNamex) {
+  const auto& s = scenario();
+  EXPECT_TRUE(s.ecosystem.ixps()[s.mix_index].has_member(s.rai));
+  EXPECT_FALSE(s.ecosystem.ixps()[s.namex_index].has_member(s.rai));
+  EXPECT_EQ(s.ecosystem.ixps()[s.mix_index].name, "MIX");
+  EXPECT_EQ(s.ecosystem.ixps()[s.namex_index].name, "NaMEX");
+}
+
+TEST(RaiScenario, PeersAtMixMatchPaper) {
+  const auto& s = scenario();
+  const auto peers = s.ecosystem.peers_of(s.rai);
+  ASSERT_EQ(peers.size(), 3u);
+  for (const auto peer : peers) {
+    EXPECT_TRUE(peer == s.garr || peer == s.asdasd || peer == s.itgate);
+  }
+  // GARR is also at NaMEX; ASDASD and ITGate are not.
+  EXPECT_TRUE(s.ecosystem.ixps()[s.namex_index].has_member(s.garr));
+  EXPECT_FALSE(s.ecosystem.ixps()[s.namex_index].has_member(s.asdasd));
+  EXPECT_FALSE(s.ecosystem.ixps()[s.namex_index].has_member(s.itgate));
+}
+
+TEST(RaiScenario, RaiIsRomeOnlyCityLevel) {
+  const auto& s = scenario();
+  const auto& rai = s.ecosystem.at(s.rai);
+  EXPECT_EQ(rai.level, topology::AsLevel::kCity);
+  EXPECT_EQ(rai.customers, RaiScenario::kRaiUsers);
+  ASSERT_EQ(rai.service_pop_count(), 1u);
+  EXPECT_EQ(gaz().city(rai.pops[0].city).name, "Rome");
+}
+
+// ---- Case-study analyzer ----
+
+TEST(CaseStudy, RaiReportMatchesPaperNarrative) {
+  const auto& s = scenario();
+  const auto report = analyze_connectivity(s.ecosystem, gaz(), s.rai);
+  EXPECT_EQ(report.name, "RAI");
+  EXPECT_EQ(report.level, topology::AsLevel::kCity);
+  EXPECT_EQ(gaz().city(report.home_city).name, "Rome");
+  EXPECT_EQ(report.upstreams.size(), 5u);
+  ASSERT_EQ(report.memberships.size(), 1u);
+  EXPECT_EQ(report.memberships[0].name, "MIX");
+  EXPECT_FALSE(report.memberships[0].local);  // Milan is ~480 km from Rome
+  EXPECT_EQ(report.memberships[0].peers_there.size(), 3u);
+  // NaMEX is the skipped local IXP.
+  ASSERT_EQ(report.skipped_local_ixps.size(), 1u);
+  EXPECT_EQ(report.skipped_local_ixps[0], "NaMEX");
+}
+
+TEST(CaseStudy, RaiSurprisesIncludeAllFourFindings) {
+  const auto& s = scenario();
+  const auto report = analyze_connectivity(s.ecosystem, gaz(), s.rai);
+  // Rich upstreams, global providers, remote peering, skipped local IXP.
+  EXPECT_EQ(report.surprises.size(), 4u);
+}
+
+TEST(CaseStudy, WellBehavedAsHasNoSurprises) {
+  const auto& s = scenario();
+  // Infostrada: country-level, 1 provider, local peering at MIX (Milan PoP).
+  const auto report = analyze_connectivity(s.ecosystem, gaz(), s.infostrada);
+  EXPECT_TRUE(report.surprises.empty()) << report.surprises.front();
+}
+
+TEST(CaseStudy, WorksOnGeneratedEcosystem) {
+  const auto& f = eyeball::testing::shared_fixture();
+  const auto eyeballs = f.eco.eyeballs();
+  std::size_t with_surprises = 0;
+  for (const auto asn : eyeballs) {
+    const auto report = analyze_connectivity(f.eco, f.gaz, asn);
+    EXPECT_EQ(report.asn, asn);
+    EXPECT_FALSE(report.upstreams.empty());
+    if (!report.surprises.empty()) ++with_surprises;
+  }
+  // The generator's multi-homing and remote peering must make the paper's
+  // point: a nontrivial share of eyeballs have "surprising" connectivity.
+  EXPECT_GT(with_surprises, eyeballs.size() / 10);
+}
+
+}  // namespace
+}  // namespace eyeball::connectivity

@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/classifier.hpp"
+#include "util/rng.hpp"
+#include "core/dataset.hpp"
+#include "core/multi_bandwidth.hpp"
+#include "core/pipeline.hpp"
+#include "pipeline_fixture.hpp"
+#include "util/stats.hpp"
+
+namespace eyeball::core {
+namespace {
+
+using eyeball::testing::shared_fixture;
+
+// ---- Dataset conditioning (§2) ----
+
+TEST(Dataset, StatsAccountForEverySample) {
+  const auto& f = shared_fixture();
+  const auto& stats = f.dataset.stats();
+  EXPECT_EQ(stats.raw_samples, f.crawl.samples.size());
+  EXPECT_EQ(stats.raw_samples, stats.missing_geo + stats.high_error + stats.unmapped_as +
+                                   stats.peers_in_small_ases + stats.final_peers);
+  EXPECT_GT(stats.final_ases, 0u);
+  EXPECT_GT(stats.final_peers, 0u);
+}
+
+TEST(Dataset, EveryAsMeetsMinimumPeers) {
+  const auto& f = shared_fixture();
+  for (const auto& as : f.dataset.ases()) {
+    EXPECT_GE(as.peers.size(), f.pipeline.config().dataset.min_peers_per_as);
+  }
+}
+
+TEST(Dataset, GeoErrorFilterHolds) {
+  const auto& f = shared_fixture();
+  const double cap = f.pipeline.config().dataset.max_geo_error_km;
+  for (const auto& as : f.dataset.ases()) {
+    for (const auto& peer : as.peers) {
+      EXPECT_LE(peer.geo_error_km, cap);
+    }
+  }
+}
+
+TEST(Dataset, P90ErrorRuleHolds) {
+  const auto& f = shared_fixture();
+  for (const auto& as : f.dataset.ases()) {
+    const auto errors = as.geo_errors();
+    EXPECT_LE(util::percentile(errors, 90.0),
+              f.pipeline.config().dataset.max_p90_geo_error_km);
+  }
+}
+
+TEST(Dataset, PeersMapToTheirAs) {
+  const auto& f = shared_fixture();
+  for (const auto& as : f.dataset.ases()) {
+    std::size_t checked = 0;
+    for (const auto& peer : as.peers) {
+      EXPECT_EQ(f.rib.origin(peer.ip), as.asn);
+      if (++checked > 20) break;
+    }
+  }
+}
+
+TEST(Dataset, OnlyEyeballAsesSurvive) {
+  const auto& f = shared_fixture();
+  for (const auto& as : f.dataset.ases()) {
+    EXPECT_EQ(f.eco.at(as.asn).role, topology::AsRole::kEyeball);
+  }
+}
+
+TEST(Dataset, FindWorks) {
+  const auto& f = shared_fixture();
+  ASSERT_FALSE(f.dataset.ases().empty());
+  const auto asn = f.dataset.ases()[0].asn;
+  EXPECT_NE(f.dataset.find(asn), nullptr);
+  EXPECT_EQ(f.dataset.find(net::Asn{4294900000u}), nullptr);
+}
+
+TEST(Dataset, TighterErrorThresholdKeepsFewerPeers) {
+  const auto& f = shared_fixture();
+  DatasetConfig strict;
+  strict.max_geo_error_km = 20.0;
+  const DatasetBuilder builder{f.primary, f.secondary, f.mapper, strict};
+  const auto strict_dataset = builder.build(f.crawl.samples);
+  EXPECT_LT(strict_dataset.stats().final_peers, f.dataset.stats().final_peers);
+  EXPECT_GT(strict_dataset.stats().high_error, f.dataset.stats().high_error);
+}
+
+TEST(Dataset, HigherMinPeersKeepsFewerAses) {
+  const auto& f = shared_fixture();
+  DatasetConfig strict;
+  strict.min_peers_per_as = 5000;
+  const DatasetBuilder builder{f.primary, f.secondary, f.mapper, strict};
+  const auto strict_dataset = builder.build(f.crawl.samples);
+  EXPECT_LE(strict_dataset.stats().final_ases, f.dataset.stats().final_ases);
+}
+
+TEST(AsPeerSet, AccessorsConsistent) {
+  const auto& f = shared_fixture();
+  const auto& as = f.dataset.ases()[0];
+  EXPECT_EQ(as.locations().size(), as.peers.size());
+  EXPECT_EQ(as.geo_errors().size(), as.peers.size());
+  std::size_t total = 0;
+  for (const auto app : p2p::kAllApps) total += as.count_for(app);
+  EXPECT_EQ(total, as.peers.size());
+}
+
+// ---- Classification (§2, >95% rule) ----
+
+TEST(Classifier, RecoversDesignedLevelMostly) {
+  const auto& f = shared_fixture();
+  const AsClassifier classifier{f.gaz};
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (const auto& as : f.dataset.ases()) {
+    const auto result = classifier.classify(as);
+    const auto designed = f.eco.at(as.asn).level;
+    ++total;
+    if (result.level == designed) ++agree;
+  }
+  ASSERT_GT(total, 0u);
+  // Geo noise and >95% strictness blur some boundaries; the bulk must agree.
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.5);
+}
+
+TEST(Classifier, CityLevelAsClassifiedAtMostState) {
+  // A designed city-level AS must never be classified country or wider:
+  // all its users sit in one metro (modulo geo error ≤ 80 km).
+  const auto& f = shared_fixture();
+  const AsClassifier classifier{f.gaz};
+  for (const auto& as : f.dataset.ases()) {
+    if (f.eco.at(as.asn).level != topology::AsLevel::kCity) continue;
+    const auto result = classifier.classify(as);
+    EXPECT_LE(static_cast<int>(result.level),
+              static_cast<int>(topology::AsLevel::kCountry))
+        << f.eco.at(as.asn).name;
+  }
+}
+
+TEST(Classifier, DominantShareExceedsThresholdForNonGlobal) {
+  const auto& f = shared_fixture();
+  const AsClassifier classifier{f.gaz};
+  for (const auto& as : f.dataset.ases()) {
+    const auto result = classifier.classify(as);
+    if (result.level != topology::AsLevel::kGlobal) {
+      EXPECT_GT(result.dominant_share, 0.95);
+      EXPECT_FALSE(result.dominant_region.empty());
+    }
+  }
+}
+
+TEST(Classifier, ThresholdValidation) {
+  const auto& f = shared_fixture();
+  EXPECT_THROW(AsClassifier(f.gaz, 0.4), std::invalid_argument);
+  EXPECT_THROW(AsClassifier(f.gaz, 1.5), std::invalid_argument);
+  EXPECT_NO_THROW(AsClassifier(f.gaz, 0.95));
+}
+
+TEST(Classifier, RejectsEmptyPeerSet) {
+  const auto& f = shared_fixture();
+  const AsClassifier classifier{f.gaz};
+  AsPeerSet empty;
+  EXPECT_THROW((void)classifier.classify(empty), std::invalid_argument);
+}
+
+TEST(Classifier, SyntheticSingleCityIsCityLevel) {
+  const auto& f = shared_fixture();
+  const AsClassifier classifier{f.gaz};
+  AsPeerSet set;
+  set.asn = net::Asn{64512};
+  const auto rome = f.gaz.city(*f.gaz.find_by_name("Rome", "IT"));
+  for (int i = 0; i < 100; ++i) {
+    set.peers.push_back({net::Ipv4Address{static_cast<std::uint32_t>(i)}, p2p::App::kKad,
+                         geo::destination(rome.location, i * 3.6, 5.0), 0.0});
+  }
+  const auto result = classifier.classify(set);
+  EXPECT_EQ(result.level, topology::AsLevel::kCity);
+  EXPECT_EQ(result.dominant_region, "Rome");
+  EXPECT_EQ(result.continent, gazetteer::Continent::kEurope);
+}
+
+TEST(Classifier, SyntheticTwoCountriesIsContinentLevel) {
+  const auto& f = shared_fixture();
+  const AsClassifier classifier{f.gaz};
+  AsPeerSet set;
+  set.asn = net::Asn{64513};
+  const auto rome = f.gaz.city(*f.gaz.find_by_name("Rome", "IT")).location;
+  const auto paris = f.gaz.city(*f.gaz.find_by_name("Paris", "FR")).location;
+  for (int i = 0; i < 50; ++i) {
+    set.peers.push_back({net::Ipv4Address{static_cast<std::uint32_t>(i)}, p2p::App::kKad,
+                         rome, 0.0});
+    set.peers.push_back({net::Ipv4Address{static_cast<std::uint32_t>(1000 + i)},
+                         p2p::App::kKad, paris, 0.0});
+  }
+  EXPECT_EQ(classifier.classify(set).level, topology::AsLevel::kContinent);
+}
+
+// ---- Footprint estimation (§3) ----
+
+TEST(Footprint, EstimateProducesPeaksAndContour) {
+  const auto& f = shared_fixture();
+  const GeoFootprintEstimator estimator;
+  const auto& as = *std::max_element(
+      f.dataset.ases().begin(), f.dataset.ases().end(),
+      [](const auto& a, const auto& b) { return a.peers.size() < b.peers.size(); });
+  const auto footprint = estimator.estimate(as);
+  EXPECT_EQ(footprint.sample_count, as.peers.size());
+  EXPECT_DOUBLE_EQ(footprint.bandwidth_km, 40.0);
+  EXPECT_FALSE(footprint.peaks.empty());
+  EXPECT_FALSE(footprint.contour.partitions.empty());
+  EXPECT_NEAR(footprint.grid.integral(), 1.0, 0.05);
+}
+
+TEST(Footprint, PeaksNearTruePopCities) {
+  const auto& f = shared_fixture();
+  const GeoFootprintEstimator estimator;
+  const auto& as = f.dataset.ases()[0];
+  const auto footprint = estimator.estimate(as);
+  const auto& true_as = f.eco.at(as.asn);
+  // The strongest peak must fall within 60 km of some true service PoP.
+  ASSERT_FALSE(footprint.peaks.empty());
+  double best = 1e18;
+  for (const auto& pop : true_as.pops) {
+    if (pop.transit_only) continue;
+    best = std::min(best, geo::distance_km(footprint.peaks[0].location,
+                                           f.gaz.city(pop.city).location));
+  }
+  EXPECT_LT(best, 60.0);
+}
+
+TEST(Footprint, BandwidthOverrideChangesResolution) {
+  const auto& f = shared_fixture();
+  const GeoFootprintEstimator estimator;
+  const AsPeerSet* country_as = nullptr;
+  for (const auto& as : f.dataset.ases()) {
+    if (f.eco.at(as.asn).level == topology::AsLevel::kCountry &&
+        f.eco.at(as.asn).service_pop_count() >= 4) {
+      country_as = &as;
+      break;
+    }
+  }
+  ASSERT_NE(country_as, nullptr);
+  const auto fine = estimator.estimate(*country_as, 10.0);
+  const auto coarse = estimator.estimate(*country_as, 80.0);
+  EXPECT_GE(fine.peaks.size(), coarse.peaks.size());
+}
+
+TEST(Footprint, AdaptiveBandwidthRespectsFloor) {
+  const auto& f = shared_fixture();
+  const GeoFootprintEstimator estimator;
+  const auto& as = f.dataset.ases()[0];
+  const double bw = estimator.adaptive_bandwidth_km(as, 40.0);
+  EXPECT_GE(bw, 40.0);
+  const auto errors = as.geo_errors();
+  EXPECT_GE(bw, util::percentile(errors, 90.0));
+}
+
+// ---- PoP mapping (§4) ----
+
+TEST(PopMapping, PopsAreSortedAndUniqueCities) {
+  const auto& f = shared_fixture();
+  const auto& as = f.dataset.ases()[0];
+  const auto analysis = f.pipeline.analyze(as);
+  std::set<gazetteer::CityId> seen;
+  for (std::size_t i = 0; i < analysis.pops.pops.size(); ++i) {
+    EXPECT_TRUE(seen.insert(analysis.pops.pops[i].city).second);
+    if (i > 0) {
+      EXPECT_GE(analysis.pops.pops[i - 1].score, analysis.pops.pops[i].score);
+    }
+  }
+}
+
+TEST(PopMapping, RecoversMajorityOfTruePops) {
+  const auto& f = shared_fixture();
+  std::size_t found = 0;
+  std::size_t total = 0;
+  for (const auto& as : f.dataset.ases()) {
+    const auto pops = f.pipeline.pop_footprint(as, 40.0);
+    const auto& true_as = f.eco.at(as.asn);
+    for (const auto& pop : true_as.pops) {
+      if (pop.transit_only || pop.customer_share < 0.05) continue;
+      ++total;
+      if (pops.has_city(pop.city)) ++found;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(found) / static_cast<double>(total), 0.7);
+}
+
+TEST(PopMapping, ScoresTrackCustomerShares) {
+  const auto& f = shared_fixture();
+  // For a country-level AS with well-separated PoPs, inferred scores should
+  // correlate with the true customer shares.
+  for (const auto& as : f.dataset.ases()) {
+    const auto& true_as = f.eco.at(as.asn);
+    if (true_as.service_pop_count() < 3) continue;
+    const auto pops = f.pipeline.pop_footprint(as, 40.0);
+    if (pops.pops.size() < 2) continue;
+    // Find the true share of the top inferred city; it should be among the
+    // larger shares.
+    double top_inferred_share = 0.0;
+    double max_share = 0.0;
+    for (const auto& pop : true_as.pops) {
+      max_share = std::max(max_share, pop.customer_share);
+      if (pop.city == pops.pops[0].city) top_inferred_share = pop.customer_share;
+    }
+    if (max_share > 0.0 && top_inferred_share > 0.0) {
+      EXPECT_GT(top_inferred_share, 0.3 * max_share) << true_as.name;
+      return;  // one solid AS checked is enough
+    }
+  }
+}
+
+TEST(PopMapping, DescribeFormatsLikePaper) {
+  const auto& f = shared_fixture();
+  const PopCityMapper mapper{f.gaz};
+  const GeoFootprintEstimator estimator;
+  const auto& as = f.dataset.ases()[0];
+  const auto pops = mapper.map(estimator.estimate(as));
+  const std::string text = mapper.describe(pops);
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text.back(), ']');
+  if (!pops.pops.empty()) {
+    EXPECT_NE(text.find("(."), std::string::npos) << text;
+  }
+}
+
+TEST(PopMapping, UnmappedPeaksCountedNotListed) {
+  const auto& f = shared_fixture();
+  const PopCityMapper mapper{f.gaz};
+  // Construct a footprint whose peak is in the middle of the ocean.
+  AsPeerSet set;
+  set.asn = net::Asn{64514};
+  for (int i = 0; i < 2000; ++i) {
+    set.peers.push_back({net::Ipv4Address{static_cast<std::uint32_t>(i)}, p2p::App::kKad,
+                         geo::destination({30.0, -45.0}, i % 360, (i % 40) * 1.0), 0.0});
+  }
+  const GeoFootprintEstimator estimator;
+  const auto pops = mapper.map(estimator.estimate(set));
+  EXPECT_TRUE(pops.pops.empty());
+  EXPECT_GT(pops.unmapped_peaks, 0u);
+}
+
+// ---- Pipeline facade ----
+
+TEST(Pipeline, AnalyzeBundlesAllOutputs) {
+  const auto& f = shared_fixture();
+  const auto& as = f.dataset.ases()[0];
+  const auto analysis = f.pipeline.analyze(as);
+  EXPECT_EQ(analysis.asn, as.asn);
+  EXPECT_FALSE(analysis.footprint.peaks.empty());
+  EXPECT_GT(analysis.classification.dominant_share, 0.0);
+}
+
+TEST(Pipeline, PopFootprintMatchesAnalyze) {
+  const auto& f = shared_fixture();
+  const auto& as = f.dataset.ases()[0];
+  const auto analysis = f.pipeline.analyze(as, 40.0);
+  const auto pops = f.pipeline.pop_footprint(as, 40.0);
+  ASSERT_EQ(analysis.pops.pops.size(), pops.pops.size());
+  for (std::size_t i = 0; i < pops.pops.size(); ++i) {
+    EXPECT_EQ(analysis.pops.pops[i].city, pops.pops[i].city);
+  }
+}
+
+// ---- Multi-bandwidth refinement (§5 future work) ----
+
+TEST(MultiBandwidth, NeverLosesTopPop) {
+  const auto& f = shared_fixture();
+  const GeoFootprintEstimator estimator;
+  const MultiBandwidthRefiner refiner{f.gaz, estimator};
+  const auto& as = f.dataset.ases()[0];
+  const auto coarse = f.pipeline.pop_footprint(as, 40.0);
+  const auto refined = refiner.refine(as);
+  ASSERT_FALSE(coarse.pops.empty());
+  ASSERT_FALSE(refined.pops.pops.empty());
+  // The refined list must still contain (or split near) the top coarse PoP.
+  const auto top_city = f.gaz.city(coarse.pops[0].city).location;
+  double best = 1e18;
+  for (const auto& pop : refined.pops.pops) {
+    best = std::min(best, geo::distance_km(top_city, f.gaz.city(pop.city).location));
+  }
+  EXPECT_LT(best, 45.0);
+}
+
+TEST(MultiBandwidth, ScoreMassConserved) {
+  const auto& f = shared_fixture();
+  const GeoFootprintEstimator estimator;
+  const MultiBandwidthRefiner refiner{f.gaz, estimator};
+  const auto& as = f.dataset.ases()[0];
+  const auto coarse = f.pipeline.pop_footprint(as, 40.0);
+  const auto refined = refiner.refine(as);
+  double coarse_mass = 0.0;
+  for (const auto& pop : coarse.pops.size() ? coarse.pops : refined.pops.pops) {
+    coarse_mass += pop.score;
+  }
+  double refined_mass = 0.0;
+  for (const auto& pop : refined.pops.pops) refined_mass += pop.score;
+  EXPECT_NEAR(refined_mass, coarse_mass, 0.25 * coarse_mass + 1e-9);
+}
+
+TEST(MultiBandwidth, SplitsMergedNeighbours) {
+  // Synthetic AS with two PoPs 60 km apart: one coarse (80 km) peak, split
+  // by the fine pass.
+  const auto& f = shared_fixture();
+  AsPeerSet set;
+  set.asn = net::Asn{64515};
+  const auto milan = f.gaz.city(*f.gaz.find_by_name("Milan", "IT")).location;
+  const auto novara = f.gaz.city(*f.gaz.find_by_name("Novara", "IT")).location;
+  util::Rng rng{5};
+  for (int i = 0; i < 1500; ++i) {
+    const auto& center = i % 2 == 0 ? milan : novara;
+    set.peers.push_back({net::Ipv4Address{static_cast<std::uint32_t>(i)}, p2p::App::kKad,
+                         geo::destination(center, rng.uniform(0.0, 360.0),
+                                          rng.uniform(0.0, 6.0)),
+                         0.0});
+  }
+  const GeoFootprintEstimator estimator;
+  MultiBandwidthConfig config;
+  config.coarse_bandwidth_km = 80.0;
+  config.fine_bandwidth_km = 12.0;
+  const MultiBandwidthRefiner refiner{f.gaz, estimator, config};
+  const auto coarse = PopCityMapper{f.gaz}.map(estimator.estimate(set, 80.0));
+  const auto refined = refiner.refine(set);
+  EXPECT_GE(refined.pops.pops.size(), coarse.pops.size());
+  EXPECT_GE(refined.splits, 1u);
+}
+
+}  // namespace
+}  // namespace eyeball::core

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gazetteer/gazetteer.hpp"
+#include "gazetteer/world_data.hpp"
+#include "gazetteer/zip_lattice.hpp"
+
+namespace eyeball::gazetteer {
+namespace {
+
+class GazetteerTest : public ::testing::Test {
+ protected:
+  static const Gazetteer& gaz() {
+    static const Gazetteer instance = Gazetteer::builtin();
+    return instance;
+  }
+};
+
+TEST_F(GazetteerTest, BuiltinHasSubstantialCoverage) {
+  EXPECT_GE(gaz().cities().size(), 450u);
+  EXPECT_GE(gaz().countries().size(), 40u);
+}
+
+TEST_F(GazetteerTest, AllCoordinatesValid) {
+  for (const auto& city : gaz().cities()) {
+    EXPECT_TRUE(geo::is_valid(city.location)) << city.name;
+    EXPECT_GT(city.population, 0u) << city.name;
+    EXPECT_FALSE(city.name.empty());
+    EXPECT_FALSE(city.region.empty()) << city.name;
+    EXPECT_EQ(city.country_code.size(), 2u) << city.name;
+  }
+}
+
+TEST_F(GazetteerTest, IdsMatchIndices) {
+  for (std::size_t i = 0; i < gaz().cities().size(); ++i) {
+    EXPECT_EQ(gaz().cities()[i].id, static_cast<CityId>(i));
+    EXPECT_EQ(&gaz().city(static_cast<CityId>(i)), &gaz().cities()[i]);
+  }
+}
+
+TEST_F(GazetteerTest, NoDuplicateNameWithinCountry) {
+  std::set<std::pair<std::string_view, std::string_view>> seen;
+  for (const auto& city : gaz().cities()) {
+    EXPECT_TRUE(seen.emplace(city.country_code, city.name).second)
+        << "duplicate " << city.name << " in " << city.country_code;
+  }
+}
+
+TEST_F(GazetteerTest, PaperItalianCitiesPresent) {
+  // Every city in the paper's AS3269 PoP list must exist for Figure 1.
+  for (const auto name : {"Milan", "Rome", "Florence", "Venice", "Naples", "Turin",
+                          "Ancona", "Catania", "Palermo", "Pescara", "Bari",
+                          "Catanzaro", "Cagliari", "Sassari"}) {
+    EXPECT_TRUE(gaz().find_by_name(name, "IT").has_value()) << name;
+  }
+}
+
+TEST_F(GazetteerTest, FindByNameRespectsCountryFilter) {
+  EXPECT_TRUE(gaz().find_by_name("Rome", "IT"));
+  EXPECT_FALSE(gaz().find_by_name("Rome", "FR"));
+  EXPECT_TRUE(gaz().find_by_name("Rome"));
+  EXPECT_FALSE(gaz().find_by_name("Atlantis"));
+}
+
+TEST_F(GazetteerTest, NearestCityOfCityCenterIsItself) {
+  for (const auto name : {"Rome", "Tokyo", "New York", "Sydney", "Moscow"}) {
+    const auto id = gaz().find_by_name(name);
+    ASSERT_TRUE(id);
+    EXPECT_EQ(gaz().nearest_city(gaz().city(*id).location), *id) << name;
+  }
+}
+
+TEST_F(GazetteerTest, NearestCityForOffsetPoint) {
+  const auto milan = gaz().find_by_name("Milan", "IT");
+  ASSERT_TRUE(milan);
+  // 5 km west of Milan is still closest to Milan (Monza lies to the NE).
+  const auto p = geo::destination(gaz().city(*milan).location, 270.0, 5.0);
+  EXPECT_EQ(gaz().nearest_city(p), *milan);
+}
+
+TEST_F(GazetteerTest, NearestCityAgreesWithBruteForce) {
+  // Property: grid-accelerated query == linear scan, on a lat/lon sweep.
+  for (double lat = -60.0; lat <= 70.0; lat += 13.0) {
+    for (double lon = -170.0; lon < 180.0; lon += 23.0) {
+      const geo::GeoPoint p{lat, lon};
+      CityId best = kInvalidCity;
+      double best_dist = 1e18;
+      for (const auto& city : gaz().cities()) {
+        const double d = geo::distance_km(p, city.location);
+        if (d < best_dist) {
+          best_dist = d;
+          best = city.id;
+        }
+      }
+      const CityId got = gaz().nearest_city(p);
+      EXPECT_NEAR(geo::distance_km(p, gaz().city(got).location), best_dist, 1e-6)
+          << "at (" << lat << "," << lon << ")";
+    }
+  }
+}
+
+TEST_F(GazetteerTest, CitiesWithinRadius) {
+  const auto rome = gaz().find_by_name("Rome", "IT");
+  ASSERT_TRUE(rome);
+  const auto& rome_city = gaz().city(*rome);
+  const auto within = gaz().cities_within(rome_city.location, 250.0);
+  EXPECT_FALSE(within.empty());
+  for (const CityId id : within) {
+    EXPECT_LE(geo::distance_km(rome_city.location, gaz().city(id).location), 250.0);
+  }
+  // Naples (~190 km) should be inside; Milan (~477 km) outside.
+  const auto naples = gaz().find_by_name("Naples", "IT");
+  const auto milan = gaz().find_by_name("Milan", "IT");
+  EXPECT_NE(std::find(within.begin(), within.end(), *naples), within.end());
+  EXPECT_EQ(std::find(within.begin(), within.end(), *milan), within.end());
+}
+
+TEST_F(GazetteerTest, LargestCityWithinPicksByPopulation) {
+  // Between Milan and Monza, Milan wins by population.
+  const auto monza = gaz().find_by_name("Monza", "IT");
+  ASSERT_TRUE(monza);
+  const auto winner = gaz().largest_city_within(gaz().city(*monza).location, 40.0);
+  ASSERT_TRUE(winner);
+  EXPECT_EQ(gaz().city(*winner).name, "Milan");
+}
+
+TEST_F(GazetteerTest, LargestCityWithinEmptyRegion) {
+  // Middle of the Atlantic: nothing within 40 km.
+  EXPECT_FALSE(gaz().largest_city_within({30.0, -45.0}, 40.0).has_value());
+}
+
+TEST_F(GazetteerTest, CountryAndRegionQueries) {
+  const auto italian = gaz().cities_in_country("IT");
+  EXPECT_GE(italian.size(), 40u);
+  for (const CityId id : italian) EXPECT_EQ(gaz().city(id).country_code, "IT");
+
+  const auto lombardy = gaz().cities_in_region("IT", "Lombardy");
+  EXPECT_GE(lombardy.size(), 3u);  // Milan, Brescia, Monza, Bergamo
+  for (const CityId id : lombardy) EXPECT_EQ(gaz().city(id).region, "Lombardy");
+
+  const auto europe = gaz().cities_in_continent(Continent::kEurope);
+  EXPECT_GT(europe.size(), 150u);
+}
+
+TEST_F(GazetteerTest, CountryMetadata) {
+  const Country* italy = gaz().find_country("IT");
+  ASSERT_NE(italy, nullptr);
+  EXPECT_EQ(italy->name, "Italy");
+  EXPECT_EQ(italy->continent, Continent::kEurope);
+  EXPECT_EQ(gaz().find_country("XX"), nullptr);
+}
+
+TEST_F(GazetteerTest, CountryPopulationIsSumOfCities) {
+  std::uint64_t expected = 0;
+  for (const auto& city : gaz().cities()) {
+    if (city.country_code == "IT") expected += city.population;
+  }
+  EXPECT_EQ(gaz().country_population("IT"), expected);
+  EXPECT_GT(expected, 10000000u);
+}
+
+TEST_F(GazetteerTest, ContinentCodes) {
+  EXPECT_EQ(to_code(Continent::kNorthAmerica), "NA");
+  EXPECT_EQ(to_code(Continent::kEurope), "EU");
+  EXPECT_EQ(to_code(Continent::kAsia), "AS");
+  EXPECT_EQ(to_string(Continent::kOceania), "Oceania");
+}
+
+TEST_F(GazetteerTest, CityRadiusScalesWithPopulation) {
+  const auto& rome = gaz().city(*gaz().find_by_name("Rome", "IT"));
+  const auto& siena = gaz().city(*gaz().find_by_name("Siena", "IT"));
+  EXPECT_GT(rome.radius_km(), siena.radius_km());
+  EXPECT_GE(siena.radius_km(), 2.0);
+  EXPECT_LE(rome.radius_km(), 30.0);
+}
+
+TEST(GazetteerConstruction, RejectsEmpty) {
+  EXPECT_THROW(Gazetteer{std::vector<City>{}}, std::invalid_argument);
+}
+
+TEST(GazetteerConstruction, RejectsInvalidCoordinates) {
+  City bad;
+  bad.name = "Nowhere";
+  bad.region = "X";
+  bad.country_code = "XX";
+  bad.location = {100.0, 0.0};
+  bad.population = 1;
+  EXPECT_THROW(Gazetteer{std::vector<City>{bad}}, std::invalid_argument);
+}
+
+TEST_F(GazetteerTest, ZipCentroidsDeterministic) {
+  const auto& milan = gaz().city(*gaz().find_by_name("Milan", "IT"));
+  const auto a = zip_centroids(milan);
+  const auto b = zip_centroids(milan);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST_F(GazetteerTest, ZipCentroidCountScalesWithPopulation) {
+  const auto& milan = gaz().city(*gaz().find_by_name("Milan", "IT"));
+  const auto& siena = gaz().city(*gaz().find_by_name("Siena", "IT"));
+  EXPECT_GT(zip_centroids(milan).size(), zip_centroids(siena).size());
+  EXPECT_GE(zip_centroids(siena).size(), 3u);
+}
+
+TEST_F(GazetteerTest, ZipCentroidsNearCity) {
+  const auto& milan = gaz().city(*gaz().find_by_name("Milan", "IT"));
+  for (const auto& zip : zip_centroids(milan)) {
+    EXPECT_LE(geo::distance_km(zip, milan.location), 2.5 * milan.radius_km() + 0.1);
+  }
+}
+
+TEST_F(GazetteerTest, ZipCentroidsRespectConfig) {
+  const auto& milan = gaz().city(*gaz().find_by_name("Milan", "IT"));
+  ZipLatticeConfig config;
+  config.max_zips_per_city = 5;
+  EXPECT_EQ(zip_centroids(milan, config).size(), 5u);
+
+  ZipLatticeConfig other;
+  other.seed = 999;
+  EXPECT_NE(zip_centroids(milan)[0], zip_centroids(milan, other)[0]);
+}
+
+TEST_F(GazetteerTest, SnapToZipReturnsLatticeMember) {
+  const auto& milan = gaz().city(*gaz().find_by_name("Milan", "IT"));
+  const auto lattice = zip_centroids(milan);
+  const auto snapped = snap_to_zip(milan, milan.location);
+  EXPECT_NE(std::find(lattice.begin(), lattice.end(), snapped), lattice.end());
+}
+
+TEST_F(GazetteerTest, SatelliteFabricExists) {
+  std::size_t satellites = 0;
+  std::size_t real_cities = 0;
+  for (const auto& city : gaz().cities()) {
+    if (city.is_satellite) {
+      ++satellites;
+      EXPECT_NE(city.name.find("(satellite"), std::string_view::npos) << city.name;
+      EXPECT_GE(city.population, 15000u);
+      EXPECT_LT(city.population, 80000u);
+    } else {
+      ++real_cities;
+      EXPECT_EQ(city.name.find("(satellite"), std::string_view::npos) << city.name;
+    }
+  }
+  EXPECT_GE(real_cities, 450u);
+  // Every metro >= 150k spawns towns: the fabric outnumbers the cities.
+  EXPECT_GT(satellites, real_cities);
+}
+
+TEST_F(GazetteerTest, SatellitesInheritParentAdminDivision) {
+  const auto& milan = gaz().city(*gaz().find_by_name("Milan", "IT"));
+  std::size_t found = 0;
+  for (const auto& city : gaz().cities()) {
+    if (!city.is_satellite || city.name.find("Milan (satellite") != 0) continue;
+    ++found;
+    EXPECT_EQ(city.region, milan.region);
+    EXPECT_EQ(city.country_code, "IT");
+    EXPECT_EQ(city.continent, gazetteer::Continent::kEurope);
+    // On the user-placement lattice: within its 2.5x spread cap.
+    EXPECT_LE(geo::distance_km(city.location, milan.location), 2.5 * 24.0 + 0.1);
+  }
+  EXPECT_GT(found, 5u);
+}
+
+TEST_F(GazetteerTest, MetroCenterBeatsSatellitesByPopulation) {
+  // largest_city_within from any satellite of Rome must return Rome itself
+  // when Rome is inside the radius.
+  const auto rome = *gaz().find_by_name("Rome", "IT");
+  for (const auto& city : gaz().cities()) {
+    if (!city.is_satellite || city.name.find("Rome (satellite") != 0) continue;
+    if (geo::distance_km(city.location, gaz().city(rome).location) > 35.0) continue;
+    const auto winner = gaz().largest_city_within(city.location, 40.0);
+    ASSERT_TRUE(winner);
+    EXPECT_EQ(gaz().city(*winner).name, "Rome");
+  }
+}
+
+TEST(WorldData, CountryLookup) {
+  ASSERT_NE(find_builtin_country("IT"), nullptr);
+  EXPECT_EQ(find_builtin_country("IT")->name, "Italy");
+  EXPECT_EQ(find_builtin_country("ZZ"), nullptr);
+}
+
+}  // namespace
+}  // namespace eyeball::gazetteer

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace eyeball::geo {
+namespace {
+
+constexpr GeoPoint kRome{41.9028, 12.4964};
+constexpr GeoPoint kMilan{45.4642, 9.1900};
+constexpr GeoPoint kNewYork{40.7128, -74.0060};
+constexpr GeoPoint kLondon{51.5074, -0.1278};
+
+TEST(GeoPoint, Validity) {
+  EXPECT_TRUE(is_valid({0, 0}));
+  EXPECT_TRUE(is_valid({-90, -180}));
+  EXPECT_FALSE(is_valid({90.1, 0}));
+  EXPECT_FALSE(is_valid({0, 180.0}));
+  EXPECT_FALSE(is_valid({0, 181}));
+  EXPECT_FALSE(is_valid({std::nan(""), 0}));
+}
+
+TEST(GeoPoint, NormalizeWrapsLongitude) {
+  EXPECT_NEAR(normalized({0, 190}).lon_deg, -170, 1e-9);
+  EXPECT_NEAR(normalized({0, -190}).lon_deg, 170, 1e-9);
+  EXPECT_NEAR(normalized({0, 360}).lon_deg, 0, 1e-9);
+  EXPECT_NEAR(normalized({95, 0}).lat_deg, 90, 1e-9);
+}
+
+TEST(Distance, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(distance_km(kRome, kRome), 0.0);
+}
+
+TEST(Distance, SymmetricAndPositive) {
+  EXPECT_NEAR(distance_km(kRome, kMilan), distance_km(kMilan, kRome), 1e-9);
+  EXPECT_GT(distance_km(kRome, kMilan), 0.0);
+}
+
+TEST(Distance, KnownCityPairs) {
+  // Rome-Milan ~477 km, London-New York ~5570 km.
+  EXPECT_NEAR(distance_km(kRome, kMilan), 477.0, 10.0);
+  EXPECT_NEAR(distance_km(kLondon, kNewYork), 5570.0, 60.0);
+}
+
+TEST(Distance, OneDegreeOfLatitude) {
+  EXPECT_NEAR(distance_km({0, 0}, {1, 0}), kKmPerDegreeLat, 0.5);
+  EXPECT_NEAR(distance_km({45, 7}, {46, 7}), kKmPerDegreeLat, 0.5);
+}
+
+TEST(Distance, TriangleInequalitySamples) {
+  const std::vector<GeoPoint> points{kRome, kMilan, kLondon, kNewYork, {0, 0}, {45, 100}};
+  for (const auto& a : points) {
+    for (const auto& b : points) {
+      for (const auto& c : points) {
+        EXPECT_LE(distance_km(a, c), distance_km(a, b) + distance_km(b, c) + 1e-6);
+      }
+    }
+  }
+}
+
+TEST(ApproxDistance, CloseToHaversineAtShortRange) {
+  // Points within a few hundred km: equirectangular error well under 1%.
+  const GeoPoint near_rome{42.3, 13.1};
+  const double exact = distance_km(kRome, near_rome);
+  const double approx = approx_distance_km(kRome, near_rome);
+  EXPECT_NEAR(approx, exact, exact * 0.01);
+}
+
+TEST(Bearing, CardinalDirections) {
+  EXPECT_NEAR(initial_bearing_deg({0, 0}, {1, 0}), 0.0, 0.01);    // north
+  EXPECT_NEAR(initial_bearing_deg({0, 0}, {0, 1}), 90.0, 0.01);   // east
+  EXPECT_NEAR(initial_bearing_deg({1, 0}, {0, 0}), 180.0, 0.01);  // south
+  EXPECT_NEAR(initial_bearing_deg({0, 1}, {0, 0}), 270.0, 0.01);  // west
+}
+
+TEST(Destination, RoundTripsDistance) {
+  for (const double bearing : {0.0, 45.0, 90.0, 135.0, 200.0, 315.0}) {
+    for (const double km : {1.0, 10.0, 100.0, 500.0}) {
+      const GeoPoint there = destination(kRome, bearing, km);
+      EXPECT_NEAR(distance_km(kRome, there), km, km * 0.001 + 0.001)
+          << "bearing=" << bearing << " km=" << km;
+    }
+  }
+}
+
+TEST(Destination, ZeroDistanceIsIdentity) {
+  const GeoPoint there = destination(kMilan, 123.0, 0.0);
+  EXPECT_NEAR(there.lat_deg, kMilan.lat_deg, 1e-9);
+  EXPECT_NEAR(there.lon_deg, kMilan.lon_deg, 1e-9);
+}
+
+TEST(Destination, BearingMatches) {
+  const GeoPoint there = destination(kRome, 60.0, 200.0);
+  EXPECT_NEAR(initial_bearing_deg(kRome, there), 60.0, 0.5);
+}
+
+TEST(KmPerDegreeLon, ShrinksTowardPoles) {
+  EXPECT_NEAR(km_per_degree_lon(0.0), kKmPerDegreeLat, 0.5);
+  EXPECT_GT(km_per_degree_lon(0.0), km_per_degree_lon(45.0));
+  EXPECT_GT(km_per_degree_lon(45.0), km_per_degree_lon(80.0));
+  EXPECT_NEAR(km_per_degree_lon(90.0), 0.0, 1e-9);
+}
+
+TEST(BoundingBox, ConstructionValidation) {
+  EXPECT_NO_THROW(BoundingBox(0, 1, 0, 1));
+  EXPECT_THROW(BoundingBox(1, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(BoundingBox(0, 1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(BoundingBox(-91, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(BoundingBox(0, 1, 0, 181), std::invalid_argument);
+}
+
+TEST(BoundingBox, AroundContainsAllPoints) {
+  const std::vector<GeoPoint> points{kRome, kMilan, kLondon};
+  const auto box = BoundingBox::around(points);
+  for (const auto& p : points) EXPECT_TRUE(box.contains(p));
+  EXPECT_DOUBLE_EQ(box.min_lat(), kRome.lat_deg);
+  EXPECT_DOUBLE_EQ(box.max_lat(), kLondon.lat_deg);
+}
+
+TEST(BoundingBox, AroundRejectsEmpty) {
+  EXPECT_THROW(BoundingBox::around({}), std::invalid_argument);
+}
+
+TEST(BoundingBox, ExpansionAddsMargin) {
+  const std::vector<GeoPoint> points{kRome};
+  const auto box = BoundingBox::around(points).expanded_km(100.0);
+  EXPECT_TRUE(box.contains(destination(kRome, 0, 99)));
+  EXPECT_TRUE(box.contains(destination(kRome, 90, 99)));
+  EXPECT_TRUE(box.contains(destination(kRome, 180, 99)));
+  EXPECT_FALSE(box.contains(destination(kRome, 0, 150)));
+}
+
+TEST(BoundingBox, ExpansionClampsAtPoles) {
+  const std::vector<GeoPoint> points{{89.0, 0.0}};
+  const auto box = BoundingBox::around(points).expanded_km(500.0);
+  EXPECT_LE(box.max_lat(), 90.0);
+}
+
+TEST(BoundingBox, DimensionsRoughlyConsistent) {
+  const BoundingBox box{41.0, 46.0, 9.0, 13.0};
+  EXPECT_NEAR(box.height_km(), 5.0 * kKmPerDegreeLat, 1.0);
+  EXPECT_NEAR(box.width_km(), 4.0 * km_per_degree_lon(43.5), 1.0);
+  EXPECT_NEAR(box.center().lat_deg, 43.5, 1e-9);
+  EXPECT_NEAR(box.center().lon_deg, 11.0, 1e-9);
+}
+
+TEST(ToString, FormatsCoordinates) {
+  EXPECT_EQ(to_string({41.9028, 12.4964}), "(41.9028, 12.4964)");
+}
+
+}  // namespace
+}  // namespace eyeball::geo

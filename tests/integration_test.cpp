@@ -1,0 +1,226 @@
+// End-to-end integration tests: the complete paper pipeline from synthetic
+// world to PoP-level footprints, validation and the case study, run on one
+// shared small ecosystem.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "connectivity/as_graph.hpp"
+#include "connectivity/case_study.hpp"
+#include "connectivity/rai_scenario.hpp"
+#include "connectivity/traceroute.hpp"
+#include "core/multi_bandwidth.hpp"
+#include "pipeline_fixture.hpp"
+#include "validate/dimes.hpp"
+#include "validate/reference.hpp"
+#include "validate/report.hpp"
+
+namespace eyeball {
+namespace {
+
+using eyeball::testing::shared_fixture;
+
+TEST(Integration, DatasetHasMeaningfulScale) {
+  const auto& f = shared_fixture();
+  EXPECT_GT(f.crawl.samples.size(), 50000u);
+  EXPECT_GT(f.dataset.stats().final_ases, 10u);
+  EXPECT_GT(f.dataset.stats().final_peers, 30000u);
+}
+
+TEST(Integration, FullAnalysisOnEveryTargetAs) {
+  const auto& f = shared_fixture();
+  for (const auto& as : f.dataset.ases()) {
+    const auto analysis = f.pipeline.analyze(as);
+    EXPECT_FALSE(analysis.footprint.peaks.empty()) << net::to_string(as.asn);
+    EXPECT_FALSE(analysis.pops.pops.empty()) << net::to_string(as.asn);
+    EXPECT_GT(analysis.pops.pops[0].score, 0.0);
+  }
+}
+
+TEST(Integration, InferredPopCountTracksTruePopCount) {
+  const auto& f = shared_fixture();
+  // Across the dataset, ASes with more true service PoPs should on average
+  // yield more inferred PoPs.
+  double small_true = 0.0;
+  double small_inferred = 0.0;
+  std::size_t small_n = 0;
+  double large_true = 0.0;
+  double large_inferred = 0.0;
+  std::size_t large_n = 0;
+  for (const auto& as : f.dataset.ases()) {
+    const auto true_pops = f.eco.at(as.asn).service_pop_count();
+    const auto inferred = f.pipeline.pop_footprint(as, 40.0).pops.size();
+    if (true_pops <= 2) {
+      small_true += static_cast<double>(true_pops);
+      small_inferred += static_cast<double>(inferred);
+      ++small_n;
+    } else {
+      large_true += static_cast<double>(true_pops);
+      large_inferred += static_cast<double>(inferred);
+      ++large_n;
+    }
+  }
+  if (small_n > 0 && large_n > 0) {
+    EXPECT_GT(large_inferred / static_cast<double>(large_n),
+              small_inferred / static_cast<double>(small_n));
+  }
+}
+
+TEST(Integration, Figure1StyleBandwidthSweepOnItalianStyleAs) {
+  // An AS with several well-separated PoPs shows the paper's Figure 1
+  // behaviour: resolution decreases (peak count drops) as bandwidth grows
+  // 20 -> 40 -> 60 km.
+  const auto& f = shared_fixture();
+  const core::AsPeerSet* target = nullptr;
+  for (const auto& as : f.dataset.ases()) {
+    if (f.eco.at(as.asn).service_pop_count() >= 5 && as.peers.size() > 3000) {
+      target = &as;
+      break;
+    }
+  }
+  if (target == nullptr) GTEST_SKIP() << "no large multi-PoP AS in small fixture";
+  const auto at20 = f.pipeline.analyze(*target, 20.0);
+  const auto at40 = f.pipeline.analyze(*target, 40.0);
+  const auto at60 = f.pipeline.analyze(*target, 60.0);
+  EXPECT_GE(at20.footprint.peaks.size(), at40.footprint.peaks.size());
+  EXPECT_GE(at40.footprint.peaks.size(), at60.footprint.peaks.size());
+}
+
+TEST(Integration, ValidationAndDimesReproducePaperShape) {
+  const auto& f = shared_fixture();
+  const auto reference = validate::build_reference_dataset(f.eco, f.gaz, 20);
+  const auto report = validate::validate_against_reference(f.pipeline, f.dataset,
+                                                           reference, {10.0, 40.0, 80.0});
+  ASSERT_EQ(report.sweeps.size(), 3u);
+  // Shape claims from §5: pop counts decrease with bandwidth, precision
+  // increases with bandwidth.
+  EXPECT_GT(report.sweeps[0].avg_pops_per_as, report.sweeps[2].avg_pops_per_as);
+  EXPECT_LE(report.sweeps[0].perfect_precision_fraction,
+            report.sweeps[2].perfect_precision_fraction + 1e-9);
+
+  const auto dimes = validate::simulate_dimes(f.eco, f.gaz);
+  const auto comparison = validate::compare_with_dimes(f.pipeline, f.dataset, dimes);
+  EXPECT_GT(comparison.kde_avg_pops, 1.5 * comparison.dimes_avg_pops);
+}
+
+TEST(Integration, RaiCaseStudyEndToEnd) {
+  // Build the §6 scenario, crawl it, run the full pipeline on RAI's peers,
+  // and confirm both the geography (Rome-only city-level AS) and the
+  // surprising connectivity.
+  const auto gaz = gazetteer::Gazetteer::builtin();
+  const auto scenario = connectivity::build_rai_scenario(gaz);
+  const topology::GroundTruthLocator truth{scenario.ecosystem, gaz};
+  const geodb::SyntheticGeoDatabase primary{"a", truth, geodb::ErrorModel{}, 1};
+  const geodb::SyntheticGeoDatabase secondary{"b", truth, geodb::ErrorModel{}, 2};
+  const auto rib = bgp::RibSnapshot::from_ecosystem(scenario.ecosystem, 1);
+  const bgp::IpToAsMapper mapper{rib};
+  const core::EyeballPipeline pipeline{gaz, primary, secondary, mapper};
+
+  p2p::CrawlerConfig crawl_config;
+  crawl_config.seed = 99;
+  crawl_config.coverage = 1.0;
+  // Boost penetration so RAI's 3000 users yield >= 1000 peers.
+  crawl_config.penetration.set_rates(gazetteer::Continent::kEurope, {0.5, 0.2, 0.2});
+  const auto crawl = p2p::Crawler{scenario.ecosystem, gaz, crawl_config}.crawl();
+  const auto dataset = pipeline.build_dataset(crawl.samples);
+
+  const auto* rai_peers = dataset.find(scenario.rai);
+  ASSERT_NE(rai_peers, nullptr) << "RAI did not survive conditioning";
+  const auto analysis = pipeline.analyze(*rai_peers);
+  EXPECT_EQ(analysis.classification.level, topology::AsLevel::kCity);
+  EXPECT_EQ(analysis.classification.dominant_region, "Rome");
+  ASSERT_FALSE(analysis.pops.pops.empty());
+  EXPECT_EQ(gaz.city(analysis.pops.pops[0].city).name, "Rome");
+
+  // Geography says "simple AS"; the relationship data says otherwise.
+  const auto report = connectivity::analyze_connectivity(scenario.ecosystem, gaz,
+                                                         scenario.rai);
+  EXPECT_EQ(report.upstreams.size(), 5u);
+  EXPECT_EQ(report.surprises.size(), 4u);
+
+  // Traceroute validation: an external probe reaches RAI through one of its
+  // providers; RAI reaches its MIX peers directly.
+  const connectivity::AsGraph graph{scenario.ecosystem};
+  const connectivity::TracerouteSimulator sim{graph, rib};
+  const auto& rai_as = scenario.ecosystem.at(scenario.rai);
+  const auto trace = sim.trace(scenario.vantage, rai_as.pops[0].prefixes[0].first());
+  ASSERT_TRUE(trace);
+  EXPECT_EQ(trace->origin, scenario.rai);
+  const auto peer_route = sim.trace_as(scenario.rai, scenario.itgate);
+  ASSERT_TRUE(peer_route);
+  EXPECT_EQ(peer_route->route_class, connectivity::RouteClass::kPeer);
+}
+
+TEST(Integration, InfostradaFootprintSpansItaly) {
+  // The paper's "natural provider" example: Infostrada is Italy-wide with
+  // PoPs across the country, including Rome.
+  const auto gaz = gazetteer::Gazetteer::builtin();
+  const auto scenario = connectivity::build_rai_scenario(gaz);
+  const topology::GroundTruthLocator truth{scenario.ecosystem, gaz};
+  const geodb::SyntheticGeoDatabase primary{"a", truth, geodb::ErrorModel{}, 1};
+  const geodb::SyntheticGeoDatabase secondary{"b", truth, geodb::ErrorModel{}, 2};
+  const auto rib = bgp::RibSnapshot::from_ecosystem(scenario.ecosystem, 1);
+  const bgp::IpToAsMapper mapper{rib};
+  const core::EyeballPipeline pipeline{gaz, primary, secondary, mapper};
+
+  p2p::CrawlerConfig crawl_config;
+  crawl_config.coverage = 0.05;
+  const auto crawl = p2p::Crawler{scenario.ecosystem, gaz, crawl_config}.crawl();
+  const auto dataset = pipeline.build_dataset(crawl.samples);
+  const auto* peers = dataset.find(scenario.infostrada);
+  ASSERT_NE(peers, nullptr);
+  const auto analysis = pipeline.analyze(*peers);
+  EXPECT_EQ(analysis.classification.level, topology::AsLevel::kCountry);
+  EXPECT_EQ(analysis.classification.dominant_region, "IT");
+  // PoPs across Italy including Rome and Milan.
+  EXPECT_GE(analysis.pops.pops.size(), 4u);
+  const auto rome = *gaz.find_by_name("Rome", "IT");
+  const auto milan = *gaz.find_by_name("Milan", "IT");
+  EXPECT_TRUE(analysis.pops.has_city(rome));
+  EXPECT_TRUE(analysis.pops.has_city(milan));
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  // Two identical fixtures must produce byte-identical PoP footprints.
+  const eyeball::testing::PipelineFixture a{0.02, 0.25, 123};
+  const eyeball::testing::PipelineFixture b{0.02, 0.25, 123};
+  ASSERT_EQ(a.dataset.ases().size(), b.dataset.ases().size());
+  for (std::size_t i = 0; i < a.dataset.ases().size(); ++i) {
+    const auto pa = a.pipeline.pop_footprint(a.dataset.ases()[i], 40.0);
+    const auto pb = b.pipeline.pop_footprint(b.dataset.ases()[i], 40.0);
+    ASSERT_EQ(pa.pops.size(), pb.pops.size());
+    for (std::size_t j = 0; j < pa.pops.size(); ++j) {
+      EXPECT_EQ(pa.pops[j].city, pb.pops[j].city);
+      EXPECT_DOUBLE_EQ(pa.pops[j].score, pb.pops[j].score);
+    }
+  }
+}
+
+TEST(Integration, BiasAblationLosesPops) {
+  // §4.3: significant sampling bias (blackouts) hides PoPs from inference.
+  const auto& clean = shared_fixture();
+
+  p2p::CrawlerConfig biased_config;
+  biased_config.seed = 77;
+  biased_config.coverage = 0.25;
+  biased_config.bias.blackout_prob = 0.5;
+  const auto biased_crawl =
+      p2p::Crawler{clean.eco, clean.gaz, biased_config}.crawl();
+  const auto biased_dataset = clean.pipeline.build_dataset(biased_crawl.samples);
+
+  std::size_t clean_pops = 0;
+  std::size_t biased_pops = 0;
+  std::size_t compared = 0;
+  for (const auto& as : clean.dataset.ases()) {
+    const auto* biased_as = biased_dataset.find(as.asn);
+    if (biased_as == nullptr) continue;
+    clean_pops += clean.pipeline.pop_footprint(as, 40.0).pops.size();
+    biased_pops += clean.pipeline.pop_footprint(*biased_as, 40.0).pops.size();
+    ++compared;
+  }
+  ASSERT_GT(compared, 3u);
+  EXPECT_LT(biased_pops, clean_pops);
+}
+
+}  // namespace
+}  // namespace eyeball

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace eyeball::net {
+namespace {
+
+TEST(Ipv4Address, OctetConstruction) {
+  const Ipv4Address ip{192, 168, 1, 42};
+  EXPECT_EQ(ip.value(), 0xc0a8012aU);
+  EXPECT_EQ(ip.octet(0), 192);
+  EXPECT_EQ(ip.octet(1), 168);
+  EXPECT_EQ(ip.octet(2), 1);
+  EXPECT_EQ(ip.octet(3), 42);
+}
+
+TEST(Ipv4Address, BitAccess) {
+  const Ipv4Address ip{128, 0, 0, 1};
+  EXPECT_TRUE(ip.bit(0));
+  EXPECT_FALSE(ip.bit(1));
+  EXPECT_TRUE(ip.bit(31));
+}
+
+TEST(Ipv4Address, ParseValid) {
+  const auto ip = Ipv4Address::parse("10.20.30.40");
+  ASSERT_TRUE(ip);
+  EXPECT_EQ(*ip, Ipv4Address(10, 20, 30, 40));
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xffffffffU);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Address::parse("01.2.3.4"));
+  EXPECT_FALSE(Ipv4Address::parse("-1.2.3.4"));
+}
+
+TEST(Ipv4Address, ToStringRoundTrip) {
+  const Ipv4Address ip{203, 0, 113, 7};
+  EXPECT_EQ(ip.to_string(), "203.0.113.7");
+  EXPECT_EQ(*Ipv4Address::parse(ip.to_string()), ip);
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(1, 0, 0, 0), Ipv4Address(2, 0, 0, 0));
+  EXPECT_LT(Ipv4Address(1, 0, 0, 1), Ipv4Address(1, 0, 1, 0));
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix p{Ipv4Address{192, 168, 1, 99}, 24};
+  EXPECT_EQ(p.address(), Ipv4Address(192, 168, 1, 0));
+  EXPECT_EQ(p.length(), 24);
+}
+
+TEST(Ipv4Prefix, SizeFirstLast) {
+  const Ipv4Prefix p{Ipv4Address{10, 0, 0, 0}, 22};
+  EXPECT_EQ(p.size(), 1024u);
+  EXPECT_EQ(p.first(), Ipv4Address(10, 0, 0, 0));
+  EXPECT_EQ(p.last(), Ipv4Address(10, 0, 3, 255));
+}
+
+TEST(Ipv4Prefix, ContainsAddress) {
+  const Ipv4Prefix p{Ipv4Address{172, 16, 0, 0}, 12};
+  EXPECT_TRUE(p.contains(Ipv4Address(172, 16, 0, 1)));
+  EXPECT_TRUE(p.contains(Ipv4Address(172, 31, 255, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Address(172, 32, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Address(10, 0, 0, 1)));
+}
+
+TEST(Ipv4Prefix, ContainsPrefix) {
+  const Ipv4Prefix big{Ipv4Address{10, 0, 0, 0}, 8};
+  const Ipv4Prefix small{Ipv4Address{10, 1, 0, 0}, 16};
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(Ipv4Prefix, ZeroLengthCoversEverything) {
+  const Ipv4Prefix all{Ipv4Address{1, 2, 3, 4}, 0};
+  EXPECT_EQ(all.address().value(), 0u);
+  EXPECT_EQ(all.size(), 1ULL << 32);
+  EXPECT_TRUE(all.contains(Ipv4Address(255, 255, 255, 255)));
+}
+
+TEST(Ipv4Prefix, Halves) {
+  const Ipv4Prefix p{Ipv4Address{10, 0, 0, 0}, 8};
+  EXPECT_EQ(p.lower_half(), Ipv4Prefix(Ipv4Address(10, 0, 0, 0), 9));
+  EXPECT_EQ(p.upper_half(), Ipv4Prefix(Ipv4Address(10, 128, 0, 0), 9));
+}
+
+TEST(Ipv4Prefix, ParseValid) {
+  const auto p = Ipv4Prefix::parse("192.0.2.0/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 24);
+  EXPECT_EQ(p->address(), Ipv4Address(192, 0, 2, 0));
+  EXPECT_EQ(Ipv4Prefix::parse("0.0.0.0/0")->size(), 1ULL << 32);
+}
+
+TEST(Ipv4Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse("192.0.2.0"));
+  EXPECT_FALSE(Ipv4Prefix::parse("192.0.2.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("192.0.2.0/"));
+  EXPECT_FALSE(Ipv4Prefix::parse("/24"));
+  EXPECT_FALSE(Ipv4Prefix::parse("192.0.2.0/24x"));
+}
+
+TEST(Ipv4Prefix, ToStringRoundTrip) {
+  const Ipv4Prefix p{Ipv4Address{198, 51, 100, 0}, 25};
+  EXPECT_EQ(p.to_string(), "198.51.100.0/25");
+  EXPECT_EQ(*Ipv4Prefix::parse(p.to_string()), p);
+}
+
+TEST(Asn, Formatting) {
+  EXPECT_EQ(to_string(Asn{8234}), "AS8234");
+  EXPECT_EQ(value_of(Asn{65535}), 65535u);
+}
+
+TEST(PrefixTrie, EmptyTrieMatchesNothing) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.longest_match(Ipv4Address{1, 2, 3, 4}));
+}
+
+TEST(PrefixTrie, ExactAndLongestMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 2);
+  trie.insert(*Ipv4Prefix::parse("10.1.2.0/24"), 3);
+
+  EXPECT_EQ(trie.longest_match(Ipv4Address(10, 1, 2, 3)), 3);
+  EXPECT_EQ(trie.longest_match(Ipv4Address(10, 1, 3, 3)), 2);
+  EXPECT_EQ(trie.longest_match(Ipv4Address(10, 2, 0, 1)), 1);
+  EXPECT_FALSE(trie.longest_match(Ipv4Address(11, 0, 0, 1)));
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix{Ipv4Address{0}, 0}, 99);
+  EXPECT_EQ(trie.longest_match(Ipv4Address(8, 8, 8, 8)), 99);
+  EXPECT_EQ(trie.longest_match(Ipv4Address(255, 255, 255, 255)), 99);
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 7));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.longest_match(Ipv4Address(10, 0, 0, 1)), 7);
+}
+
+TEST(PrefixTrie, HostRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("192.0.2.1/32"), 5);
+  EXPECT_EQ(trie.longest_match(Ipv4Address(192, 0, 2, 1)), 5);
+  EXPECT_FALSE(trie.longest_match(Ipv4Address(192, 0, 2, 2)));
+}
+
+TEST(PrefixTrie, ExactMatchIgnoresCoveringPrefixes) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_FALSE(trie.exact_match(*Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(trie.exact_match(*Ipv4Prefix::parse("10.0.0.0/8")), 1);
+}
+
+TEST(PrefixTrie, Erase) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 2);
+  EXPECT_TRUE(trie.erase(*Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_FALSE(trie.erase(*Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.longest_match(Ipv4Address(10, 1, 2, 3)), 1);
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("20.0.0.0/8"), 2);
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Ipv4Prefix::parse("10.128.0.0/9"), 3);
+  std::vector<std::pair<std::string, int>> seen;
+  trie.for_each([&](const Ipv4Prefix& p, int v) { seen.emplace_back(p.to_string(), v); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].first, "10.0.0.0/8");
+  EXPECT_EQ(seen[1].first, "10.128.0.0/9");
+  EXPECT_EQ(seen[2].first, "20.0.0.0/8");
+}
+
+TEST(PrefixTrie, RandomizedAgainstLinearScan) {
+  // Property test: trie LPM == brute-force longest matching prefix.
+  util::Rng rng{99};
+  std::vector<std::pair<Ipv4Prefix, int>> table;
+  PrefixTrie<int> trie;
+  for (int i = 0; i < 300; ++i) {
+    const auto length = static_cast<int>(8 + rng.uniform_index(17));  // 8..24
+    const Ipv4Prefix prefix{Ipv4Address{static_cast<std::uint32_t>(rng())}, length};
+    if (trie.insert(prefix, i)) {
+      table.emplace_back(prefix, i);
+    } else {
+      for (auto& [p, v] : table) {
+        if (p == prefix) v = i;
+      }
+    }
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Address ip{static_cast<std::uint32_t>(rng())};
+    std::optional<int> expected;
+    int best_length = -1;
+    for (const auto& [p, v] : table) {
+      if (p.contains(ip) && p.length() > best_length) {
+        best_length = p.length();
+        expected = v;
+      }
+    }
+    EXPECT_EQ(trie.longest_match(ip), expected) << ip.to_string();
+  }
+}
+
+TEST(PrefixTrie, LongestMatchEntryReportsPrefixLength) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 2);
+  const auto entry = trie.longest_match_entry(Ipv4Address(10, 1, 200, 9));
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->first.length(), 16);
+  EXPECT_EQ(entry->second, 2);
+}
+
+}  // namespace
+}  // namespace eyeball::net

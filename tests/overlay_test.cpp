@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gazetteer/gazetteer.hpp"
+#include "p2p/overlay.hpp"
+#include "topology/generator.hpp"
+#include "topology/ground_truth.hpp"
+
+namespace eyeball::p2p {
+namespace {
+
+struct Fixture {
+  gazetteer::Gazetteer gaz = gazetteer::Gazetteer::builtin();
+  topology::AsEcosystem eco = [this] {
+    topology::EcosystemConfig config;
+    config.seed = 404;
+    return topology::generate_ecosystem(gaz, config.scaled(0.02));
+  }();
+
+  OverlayPopulationConfig population_config = [] {
+    OverlayPopulationConfig config;
+    config.seed = 404;
+    // Boost penetration so the small test ecosystem yields a real overlay.
+    config.penetration.set_rates(gazetteer::Continent::kNorthAmerica, {0.015, 0.015, 0.015});
+    config.penetration.set_rates(gazetteer::Continent::kEurope, {0.015, 0.015, 0.015});
+    config.penetration.set_rates(gazetteer::Continent::kAsia, {0.015, 0.015, 0.015});
+    return config;
+  }();
+
+  OverlayPopulation kad_population{eco, App::kKad, population_config};
+};
+
+const Fixture& fixture() {
+  static const Fixture instance;
+  return instance;
+}
+
+TEST(OverlayPopulation, MembersAreUniqueAndSorted) {
+  const auto& nodes = fixture().kad_population.nodes();
+  ASSERT_GT(nodes.size(), 1000u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i - 1].ip, nodes[i].ip);
+  }
+}
+
+TEST(OverlayPopulation, OnlineFractionNearConfig) {
+  const auto& population = fixture().kad_population;
+  const double fraction = static_cast<double>(population.online_count()) /
+                          static_cast<double>(population.nodes().size());
+  EXPECT_NEAR(fraction, 0.75, 0.03);
+}
+
+TEST(OverlayPopulation, MembersBelongToEyeballs) {
+  const auto& f = fixture();
+  const topology::GroundTruthLocator locator{f.eco, f.gaz};
+  std::size_t checked = 0;
+  for (const auto& node : f.kad_population.nodes()) {
+    const auto truth = locator.locate(node.ip);
+    ASSERT_TRUE(truth);
+    EXPECT_EQ(f.eco.at(truth->asn).role, topology::AsRole::kEyeball);
+    if (++checked > 500) break;
+  }
+}
+
+TEST(OverlayPopulation, NodeIdsUniformish) {
+  // Top bit of the DHT id should split the population roughly in half.
+  const auto& nodes = fixture().kad_population.nodes();
+  std::size_t high = 0;
+  for (const auto& node : nodes) {
+    if (node.node_id >> 63) ++high;
+  }
+  const double fraction = static_cast<double>(high) / static_cast<double>(nodes.size());
+  EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+TEST(KadNetwork, DenseSweepReachesNearlyAllOnlineNodes) {
+  const auto& f = fixture();
+  const KadNetwork kad{f.kad_population, 1};
+  CrawlStats stats;
+  // One zone per ~2 nodes: practically exhaustive, like real Kad crawlers.
+  const auto samples = kad.crawl(f.kad_population.nodes().size() / 2, &stats);
+  EXPECT_GT(stats.discovered,
+            static_cast<std::size_t>(0.95 * static_cast<double>(
+                                                f.kad_population.online_count())));
+  EXPECT_EQ(samples.size(), stats.discovered);
+}
+
+TEST(KadNetwork, CoverageGrowsWithZones) {
+  const auto& f = fixture();
+  const KadNetwork kad{f.kad_population, 1};
+  const auto sparse = kad.crawl(50);
+  const auto dense = kad.crawl(2000);
+  EXPECT_GT(dense.size(), sparse.size());
+}
+
+TEST(KadNetwork, SamplesAreUnique) {
+  const auto& f = fixture();
+  const KadNetwork kad{f.kad_population, 1};
+  const auto samples = kad.crawl(500);
+  std::set<std::uint32_t> ips;
+  for (const auto& sample : samples) {
+    EXPECT_TRUE(ips.insert(sample.ip.value()).second);
+    EXPECT_EQ(sample.app, App::kKad);
+  }
+}
+
+TEST(GnutellaNetwork, BfsCoversGiantComponent) {
+  const auto& f = fixture();
+  const OverlayPopulation population{f.eco, App::kGnutella, f.population_config};
+  const GnutellaNetwork gnutella{population, 7};
+  ASSERT_GT(gnutella.ultrapeer_count(), 10u);
+  CrawlStats stats;
+  const auto samples = gnutella.crawl(5, &stats);
+  // Degree-10 random graphs are connected with overwhelming probability:
+  // the crawl should see the vast majority of online nodes.
+  EXPECT_GT(samples.size(),
+            static_cast<std::size_t>(0.9 * static_cast<double>(population.online_count())));
+  EXPECT_GT(stats.queries, 0u);
+}
+
+TEST(GnutellaNetwork, OfflineNodesNotDiscovered) {
+  const auto& f = fixture();
+  const OverlayPopulation population{f.eco, App::kGnutella, f.population_config};
+  const GnutellaNetwork gnutella{population, 7};
+  const auto samples = gnutella.crawl(5);
+  std::set<std::uint32_t> online_ips;
+  for (const auto& node : population.nodes()) {
+    if (node.online) online_ips.insert(node.ip.value());
+  }
+  for (const auto& sample : samples) {
+    EXPECT_TRUE(online_ips.count(sample.ip.value()) > 0);
+  }
+}
+
+TEST(SwarmNetwork, TopTorrentCrawlMissesTail) {
+  const auto& f = fixture();
+  const OverlayPopulation population{f.eco, App::kBitTorrent, f.population_config};
+  const SwarmNetwork swarms{population, 9, 500};
+  const auto few = swarms.crawl(10, 200);
+  const auto many = swarms.crawl(500, 200);
+  EXPECT_GT(many.size(), few.size());
+  EXPECT_LT(few.size(), population.online_count());
+}
+
+TEST(SwarmNetwork, ScrapeCapLimitsPerSwarmSamples) {
+  const auto& f = fixture();
+  const OverlayPopulation population{f.eco, App::kBitTorrent, f.population_config};
+  const SwarmNetwork swarms{population, 9, 500};
+  CrawlStats small_cap;
+  CrawlStats large_cap;
+  (void)swarms.crawl(20, 10, &small_cap);
+  (void)swarms.crawl(20, 10000, &large_cap);
+  EXPECT_LT(small_cap.discovered, large_cap.discovered);
+  EXPECT_LE(small_cap.discovered, 20u * 10u);
+}
+
+TEST(SwarmNetwork, DeterministicCrawls) {
+  const auto& f = fixture();
+  const OverlayPopulation population{f.eco, App::kBitTorrent, f.population_config};
+  const SwarmNetwork swarms{population, 9, 300};
+  const auto a = swarms.crawl(50, 100);
+  const auto b = swarms.crawl(50, 100);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Overlays, StructuralBiasDiffersByApplication) {
+  // The three crawls see different subsets of the same world — the
+  // mechanism behind the paper's per-application sample skew.
+  const auto& f = fixture();
+  const KadNetwork kad{f.kad_population, 1};
+  const OverlayPopulation gnutella_population{f.eco, App::kGnutella, f.population_config};
+  const GnutellaNetwork gnutella{gnutella_population, 7};
+  const OverlayPopulation bt_population{f.eco, App::kBitTorrent, f.population_config};
+  const SwarmNetwork swarms{bt_population, 9, 500};
+
+  const double kad_coverage =
+      static_cast<double>(kad.crawl(f.kad_population.nodes().size() / 2).size()) /
+      static_cast<double>(f.kad_population.online_count());
+  const double bt_coverage =
+      static_cast<double>(swarms.crawl(25, 50).size()) /
+      static_cast<double>(bt_population.online_count());
+  // Kad sweeps are near-exhaustive; scraping a few swarms is not.
+  EXPECT_GT(kad_coverage, 0.9);
+  EXPECT_LT(bt_coverage, 0.7);
+}
+
+}  // namespace
+}  // namespace eyeball::p2p

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gazetteer/gazetteer.hpp"
+#include "p2p/app.hpp"
+#include "p2p/crawler.hpp"
+#include "topology/generator.hpp"
+#include "topology/ground_truth.hpp"
+
+namespace eyeball::p2p {
+namespace {
+
+struct Fixture {
+  gazetteer::Gazetteer gaz = gazetteer::Gazetteer::builtin();
+  topology::AsEcosystem eco = [this] {
+    topology::EcosystemConfig config;
+    config.seed = 31;
+    return topology::generate_ecosystem(gaz, config.scaled(0.05));
+  }();
+};
+
+const Fixture& fixture() {
+  static const Fixture instance;
+  return instance;
+}
+
+TEST(App, Names) {
+  EXPECT_EQ(to_string(App::kKad), "Kad");
+  EXPECT_EQ(to_string(App::kBitTorrent), "BitTorrent");
+  EXPECT_EQ(to_string(App::kGnutella), "Gnutella");
+}
+
+TEST(PenetrationModel, RegionalSkewMatchesTable1) {
+  const PenetrationModel model;
+  using gazetteer::Continent;
+  // NA: Gnutella dominates; EU and Asia: Kad dominates.
+  EXPECT_GT(model.base_rate(App::kGnutella, Continent::kNorthAmerica),
+            model.base_rate(App::kKad, Continent::kNorthAmerica));
+  EXPECT_GT(model.base_rate(App::kKad, Continent::kEurope),
+            model.base_rate(App::kGnutella, Continent::kEurope));
+  EXPECT_GT(model.base_rate(App::kKad, Continent::kAsia),
+            model.base_rate(App::kBitTorrent, Continent::kAsia));
+}
+
+TEST(PenetrationModel, CountryNoiseDeterministic) {
+  const PenetrationModel model;
+  const double a = model.rate(App::kKad, gazetteer::Continent::kEurope, "IT", 5);
+  const double b = model.rate(App::kKad, gazetteer::Continent::kEurope, "IT", 5);
+  const double c = model.rate(App::kKad, gazetteer::Continent::kEurope, "DE", 5);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(PenetrationModel, SetRatesOverrides) {
+  PenetrationModel model;
+  model.set_rates(gazetteer::Continent::kEurope, {0.5, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(model.base_rate(App::kKad, gazetteer::Continent::kEurope), 0.5);
+  EXPECT_DOUBLE_EQ(model.base_rate(App::kBitTorrent, gazetteer::Continent::kEurope), 0.0);
+}
+
+TEST(Crawler, DeterministicForSameConfig) {
+  const auto& f = fixture();
+  CrawlerConfig config;
+  config.seed = 9;
+  config.coverage = 0.05;
+  const Crawler crawler{f.eco, f.gaz, config};
+  const auto a = crawler.crawl();
+  const auto b = crawler.crawl();
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i], b.samples[i]);
+  }
+}
+
+TEST(Crawler, SamplesAreUniquePerApp) {
+  const auto& f = fixture();
+  CrawlerConfig config;
+  config.seed = 9;
+  config.coverage = 0.1;
+  const auto result = Crawler{f.eco, f.gaz, config}.crawl();
+  for (std::size_t i = 1; i < result.samples.size(); ++i) {
+    EXPECT_NE(result.samples[i - 1], result.samples[i]);
+  }
+}
+
+TEST(Crawler, SamplesBelongToEyeballServicePrefixes) {
+  const auto& f = fixture();
+  const topology::GroundTruthLocator locator{f.eco, f.gaz};
+  CrawlerConfig config;
+  config.seed = 9;
+  config.coverage = 0.02;
+  const auto result = Crawler{f.eco, f.gaz, config}.crawl();
+  ASSERT_FALSE(result.samples.empty());
+  for (const auto& sample : result.samples) {
+    const auto truth = locator.locate(sample.ip);
+    ASSERT_TRUE(truth);
+    EXPECT_EQ(f.eco.at(truth->asn).role, topology::AsRole::kEyeball);
+    EXPECT_FALSE(truth->transit_only);
+  }
+}
+
+TEST(Crawler, SampleCountScalesWithCoverage) {
+  const auto& f = fixture();
+  CrawlerConfig low;
+  low.seed = 9;
+  low.coverage = 0.02;
+  CrawlerConfig high = low;
+  high.coverage = 0.2;
+  const auto few = Crawler{f.eco, f.gaz, low}.crawl();
+  const auto many = Crawler{f.eco, f.gaz, high}.crawl();
+  EXPECT_GT(many.samples.size(), few.samples.size() * 5);
+}
+
+TEST(Crawler, RegionalAppMixMatchesPenetration) {
+  const auto& f = fixture();
+  const topology::GroundTruthLocator locator{f.eco, f.gaz};
+  CrawlerConfig config;
+  config.seed = 9;
+  config.coverage = 0.15;
+  const auto result = Crawler{f.eco, f.gaz, config}.crawl();
+  std::map<std::pair<gazetteer::Continent, App>, std::size_t> counts;
+  for (const auto& sample : result.samples) {
+    const auto truth = locator.locate(sample.ip);
+    ASSERT_TRUE(truth);
+    ++counts[{f.eco.at(truth->asn).continent, sample.app}];
+  }
+  using gazetteer::Continent;
+  const auto count_of = [&](Continent continent, App app) {
+    return counts[{continent, app}];
+  };
+  // The paper's Table 1 shape: Gnutella wins NA, Kad wins EU and Asia.
+  EXPECT_GT(count_of(Continent::kNorthAmerica, App::kGnutella),
+            count_of(Continent::kNorthAmerica, App::kKad));
+  EXPECT_GT(count_of(Continent::kEurope, App::kKad),
+            count_of(Continent::kEurope, App::kGnutella));
+  EXPECT_GT(count_of(Continent::kAsia, App::kKad),
+            count_of(Continent::kAsia, App::kGnutella));
+}
+
+TEST(Crawler, CrawlAsMatchesAsSubset) {
+  const auto& f = fixture();
+  CrawlerConfig config;
+  config.seed = 9;
+  config.coverage = 0.05;
+  const Crawler crawler{f.eco, f.gaz, config};
+  const topology::GroundTruthLocator locator{f.eco, f.gaz};
+
+  const auto eyeballs = f.eco.eyeballs();
+  ASSERT_FALSE(eyeballs.empty());
+  const auto& as = f.eco.at(eyeballs[0]);
+  const auto samples = crawler.crawl_as(as);
+  for (const auto& sample : samples) {
+    const auto truth = locator.locate(sample.ip);
+    ASSERT_TRUE(truth);
+    EXPECT_EQ(truth->asn, as.asn);
+  }
+}
+
+TEST(Crawler, NonEyeballProducesNoSamples) {
+  const auto& f = fixture();
+  CrawlerConfig config;
+  config.coverage = 1.0;
+  const Crawler crawler{f.eco, f.gaz, config};
+  for (const auto& as : f.eco.ases()) {
+    if (as.role == topology::AsRole::kTransit || as.role == topology::AsRole::kTier1) {
+      EXPECT_TRUE(crawler.crawl_as(as).empty()) << as.name;
+    }
+  }
+}
+
+TEST(Crawler, BlackoutBiasSuppressesPops) {
+  const auto& f = fixture();
+  CrawlerConfig clean;
+  clean.seed = 9;
+  clean.coverage = 0.1;
+  CrawlerConfig biased = clean;
+  biased.bias.blackout_prob = 1.0;  // every PoP dark
+  const auto with = Crawler{f.eco, f.gaz, clean}.crawl();
+  const auto without = Crawler{f.eco, f.gaz, biased}.crawl();
+  EXPECT_GT(with.samples.size(), 0u);
+  EXPECT_EQ(without.samples.size(), 0u);
+}
+
+TEST(Crawler, MildBiasReducesButKeepsSamples) {
+  const auto& f = fixture();
+  CrawlerConfig clean;
+  clean.seed = 9;
+  clean.coverage = 0.1;
+  CrawlerConfig biased = clean;
+  biased.bias.mild_bias_prob = 1.0;  // every PoP rate in [0.1, 0.6]
+  const auto full = Crawler{f.eco, f.gaz, clean}.crawl();
+  const auto reduced = Crawler{f.eco, f.gaz, biased}.crawl();
+  EXPECT_GT(reduced.samples.size(), 0u);
+  EXPECT_LT(reduced.samples.size(), full.samples.size() * 7 / 10);
+}
+
+TEST(CrawlResult, CountForSumsToTotal) {
+  const auto& f = fixture();
+  CrawlerConfig config;
+  config.seed = 9;
+  config.coverage = 0.05;
+  const auto result = Crawler{f.eco, f.gaz, config}.crawl();
+  std::size_t total = 0;
+  for (const auto app : kAllApps) total += result.count_for(app);
+  EXPECT_EQ(total, result.samples.size());
+}
+
+}  // namespace
+}  // namespace eyeball::p2p

@@ -1,0 +1,57 @@
+// Shared end-to-end fixture: a small but complete world (gazetteer ->
+// ecosystem -> ground truth -> dual geo databases -> RIB -> crawl ->
+// pipeline), built once per test binary.
+#pragma once
+
+#include "bgp/rib.hpp"
+#include "core/pipeline.hpp"
+#include "gazetteer/gazetteer.hpp"
+#include "geodb/synthetic_db.hpp"
+#include "p2p/crawler.hpp"
+#include "topology/generator.hpp"
+#include "topology/ground_truth.hpp"
+
+namespace eyeball::testing {
+
+struct PipelineFixture {
+  gazetteer::Gazetteer gaz = gazetteer::Gazetteer::builtin();
+  topology::AsEcosystem eco;
+  topology::GroundTruthLocator truth;
+  geodb::SyntheticGeoDatabase primary;
+  geodb::SyntheticGeoDatabase secondary;
+  bgp::RibSnapshot rib;
+  bgp::IpToAsMapper mapper;
+  core::EyeballPipeline pipeline;
+  p2p::CrawlResult crawl;
+  core::TargetDataset dataset;
+
+  explicit PipelineFixture(double scale = 0.05, double coverage = 0.25,
+                           std::uint64_t seed = 77,
+                           core::PipelineConfig pipeline_config = {})
+      : eco([&] {
+          topology::EcosystemConfig config;
+          config.seed = seed;
+          return topology::generate_ecosystem(gaz, config.scaled(scale));
+        }()),
+        truth(eco, gaz),
+        primary("geoip-city-like", truth, geodb::ErrorModel{}, 0xaaaa),
+        secondary("ip2location-like", truth, geodb::ErrorModel{}, 0xbbbb),
+        rib(bgp::RibSnapshot::from_ecosystem(eco, seed)),
+        mapper(rib),
+        pipeline(gaz, primary, secondary, mapper, pipeline_config),
+        crawl([&] {
+          p2p::CrawlerConfig config;
+          config.seed = seed;
+          config.coverage = coverage;
+          return p2p::Crawler{eco, gaz, config}.crawl();
+        }()),
+        dataset(pipeline.build_dataset(crawl.samples)) {}
+};
+
+/// The fixture is expensive; share one instance per binary.
+inline const PipelineFixture& shared_fixture() {
+  static const PipelineFixture instance;
+  return instance;
+}
+
+}  // namespace eyeball::testing

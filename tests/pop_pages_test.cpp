@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "pipeline_fixture.hpp"
+#include "validate/matching.hpp"
+#include "validate/pop_pages.hpp"
+#include "validate/reference.hpp"
+
+namespace eyeball::validate {
+namespace {
+
+using eyeball::testing::shared_fixture;
+
+class PopPagesTest : public ::testing::Test {
+ protected:
+  static const std::vector<ReferenceEntry>& reference() {
+    static const auto instance =
+        build_reference_dataset(shared_fixture().eco, shared_fixture().gaz, 8);
+    return instance;
+  }
+};
+
+TEST_F(PopPagesTest, BulletListRoundTrip) {
+  const auto& f = shared_fixture();
+  for (const auto& entry : reference()) {
+    const auto page = render_pop_page(entry, f.gaz, PageFormat::kBulletList);
+    const auto scraped = scrape_pop_page(page);
+    ASSERT_TRUE(scraped) << page;
+    ASSERT_EQ(scraped->size(), entry.pops.size());
+    for (std::size_t i = 0; i < entry.pops.size(); ++i) {
+      EXPECT_LT(geo::distance_km((*scraped)[i].location, entry.pops[i].location), 0.1);
+      EXPECT_EQ((*scraped)[i].city_name, f.gaz.city(entry.pops[i].city).name);
+    }
+  }
+}
+
+TEST_F(PopPagesTest, TableRoundTrip) {
+  const auto& f = shared_fixture();
+  const auto& entry = reference().front();
+  const auto page = render_pop_page(entry, f.gaz, PageFormat::kTable);
+  const auto scraped = scrape_pop_page(page);
+  ASSERT_TRUE(scraped);
+  ASSERT_EQ(scraped->size(), entry.pops.size());
+  EXPECT_EQ((*scraped)[0].city_name, f.gaz.city(entry.pops[0].city).name);
+}
+
+TEST_F(PopPagesTest, ProseRoundTripRecoversLocations) {
+  const auto& f = shared_fixture();
+  const auto& entry = reference().front();
+  const auto page = render_pop_page(entry, f.gaz, PageFormat::kProse);
+  const auto scraped = scrape_pop_page(page);
+  ASSERT_TRUE(scraped);
+  ASSERT_EQ(scraped->size(), entry.pops.size());
+  // Prose coordinates carry only 2 decimals (~1 km): allow a small error.
+  for (std::size_t i = 0; i < entry.pops.size(); ++i) {
+    EXPECT_LT(geo::distance_km((*scraped)[i].location, entry.pops[i].location), 2.0);
+  }
+}
+
+TEST_F(PopPagesTest, ProseHandlesSouthernWesternHemispheres) {
+  ReferenceEntry entry;
+  entry.asn = net::Asn{65000};
+  const auto& f = shared_fixture();
+  const auto sydney = f.gaz.find_by_name("Sydney");
+  const auto buenos_aires = f.gaz.find_by_name("Buenos Aires");
+  ASSERT_TRUE(sydney && buenos_aires);
+  entry.pops.push_back({f.gaz.city(*sydney).location, *sydney,
+                        PublishedPop::Kind::kService});
+  entry.pops.push_back({f.gaz.city(*buenos_aires).location, *buenos_aires,
+                        PublishedPop::Kind::kService});
+  const auto page = render_pop_page(entry, f.gaz, PageFormat::kProse);
+  const auto scraped = scrape_pop_page(page);
+  ASSERT_TRUE(scraped);
+  ASSERT_EQ(scraped->size(), 2u);
+  EXPECT_LT((*scraped)[0].location.lat_deg, 0.0);  // Sydney is south
+  EXPECT_LT((*scraped)[1].location.lon_deg, 0.0);  // Buenos Aires is west
+}
+
+TEST_F(PopPagesTest, ScraperIgnoresJunk) {
+  EXPECT_FALSE(scrape_pop_page("About us\nContact\nCareers\n"));
+  EXPECT_FALSE(scrape_pop_page(""));
+  // Junk lines between valid ones are skipped, not fatal.
+  const auto scraped = scrape_pop_page(
+      "Welcome!\n* Milan (45.4642, 9.1900) - core PoP\n<script>junk</script>\n");
+  ASSERT_TRUE(scraped);
+  EXPECT_EQ(scraped->size(), 1u);
+  EXPECT_EQ((*scraped)[0].city_name, "Milan");
+}
+
+TEST_F(PopPagesTest, ScraperSkipsBareIntegers) {
+  // Postal codes / AS numbers without decimals must not become coordinates.
+  EXPECT_FALSE(scrape_pop_page("* Milan office, ZIP 20121, phone 02 1234\n"));
+}
+
+TEST_F(PopPagesTest, ScrapedDatasetMatchesDirectDataset) {
+  // The textual channel must not lose PoPs: matching scraped locations
+  // against the direct reference locations is perfect at city radius.
+  const auto& f = shared_fixture();
+  const auto scraped = scrape_reference_dataset(reference(), f.gaz);
+  ASSERT_EQ(scraped.size(), reference().size());
+  for (std::size_t i = 0; i < scraped.size(); ++i) {
+    const auto stats = match_pops(reference()[i].locations(), scraped[i], 5.0);
+    EXPECT_TRUE(stats.covers_reference()) << "entry " << i;
+    EXPECT_TRUE(stats.perfect_precision()) << "entry " << i;
+  }
+}
+
+}  // namespace
+}  // namespace eyeball::validate

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gazetteer/gazetteer.hpp"
+#include "topology/generator.hpp"
+#include "topology/ground_truth.hpp"
+#include "topology/ip_allocator.hpp"
+#include "topology/types.hpp"
+
+namespace eyeball::topology {
+namespace {
+
+const gazetteer::Gazetteer& gaz() {
+  static const auto instance = gazetteer::Gazetteer::builtin();
+  return instance;
+}
+
+/// A small but complete ecosystem shared across tests.
+const AsEcosystem& small_ecosystem() {
+  static const AsEcosystem instance = [] {
+    EcosystemConfig config;
+    config.seed = 7;
+    return generate_ecosystem(gaz(), config.scaled(0.08));
+  }();
+  return instance;
+}
+
+TEST(Ipv4SpaceAllocator, LengthForSizes) {
+  EXPECT_EQ(Ipv4SpaceAllocator::length_for(1), 32);
+  EXPECT_EQ(Ipv4SpaceAllocator::length_for(2), 31);
+  EXPECT_EQ(Ipv4SpaceAllocator::length_for(256), 24);
+  EXPECT_EQ(Ipv4SpaceAllocator::length_for(257), 23);
+  EXPECT_EQ(Ipv4SpaceAllocator::length_for(1 << 20), 12);
+}
+
+TEST(Ipv4SpaceAllocator, BlocksAreAlignedAndDisjoint) {
+  Ipv4SpaceAllocator allocator;
+  std::vector<net::Ipv4Prefix> blocks;
+  for (int i = 0; i < 50; ++i) {
+    blocks.push_back(allocator.allocate(12 + (i % 12)));
+  }
+  for (const auto& block : blocks) {
+    EXPECT_EQ(block.address().value() % block.size(), 0u) << block.to_string();
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      EXPECT_FALSE(blocks[i].contains(blocks[j])) << i << " " << j;
+      EXPECT_FALSE(blocks[j].contains(blocks[i])) << i << " " << j;
+    }
+  }
+}
+
+TEST(Ipv4SpaceAllocator, SkipsReservedRanges) {
+  Ipv4SpaceAllocator allocator;
+  for (int i = 0; i < 2000; ++i) {
+    const auto block = allocator.allocate(16);
+    const auto top = block.address().octet(0);
+    EXPECT_NE(top, 0);
+    EXPECT_NE(top, 10);
+    EXPECT_NE(top, 127);
+    EXPECT_LT(top, 224);
+  }
+}
+
+TEST(Ipv4SpaceAllocator, RejectsBadLength) {
+  Ipv4SpaceAllocator allocator;
+  EXPECT_THROW((void)allocator.allocate(7), std::invalid_argument);
+  EXPECT_THROW((void)allocator.allocate(33), std::invalid_argument);
+}
+
+TEST(Ipv4SpaceAllocator, ExhaustsEventually) {
+  Ipv4SpaceAllocator allocator;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 300; ++i) (void)allocator.allocate(8);
+      },
+      std::length_error);
+}
+
+TEST(AsEcosystemTypes, RoleAndLevelNames) {
+  EXPECT_EQ(to_string(AsRole::kEyeball), "eyeball");
+  EXPECT_EQ(to_string(AsRole::kTier1), "tier1");
+  EXPECT_EQ(to_string(AsLevel::kCity), "city");
+  EXPECT_EQ(to_string(AsLevel::kGlobal), "global");
+}
+
+TEST(AsEcosystemTypes, RejectsDuplicateAsn) {
+  AutonomousSystem a;
+  a.asn = net::Asn{5};
+  AutonomousSystem b;
+  b.asn = net::Asn{5};
+  EXPECT_THROW(AsEcosystem({a, b}, {}, {}), std::invalid_argument);
+}
+
+TEST(AsEcosystemTypes, RejectsDanglingRelationship) {
+  AutonomousSystem a;
+  a.asn = net::Asn{5};
+  std::vector<AsRelationship> rels{
+      {net::Asn{5}, net::Asn{6}, RelationshipType::kCustomerProvider, {}}};
+  EXPECT_THROW(AsEcosystem({a}, {}, rels), std::invalid_argument);
+}
+
+TEST(AsEcosystemTypes, RejectsUnknownIxpMember) {
+  AutonomousSystem a;
+  a.asn = net::Asn{5};
+  Ixp ixp;
+  ixp.name = "X-IX";
+  ixp.city = 0;
+  ixp.members = {net::Asn{99}};
+  EXPECT_THROW(AsEcosystem({a}, {ixp}, {}), std::invalid_argument);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  EcosystemConfig config;
+  config.seed = 42;
+  const auto a = generate_ecosystem(gaz(), config.scaled(0.05));
+  const auto b = generate_ecosystem(gaz(), config.scaled(0.05));
+  ASSERT_EQ(a.ases().size(), b.ases().size());
+  for (std::size_t i = 0; i < a.ases().size(); ++i) {
+    EXPECT_EQ(a.ases()[i].asn, b.ases()[i].asn);
+    EXPECT_EQ(a.ases()[i].customers, b.ases()[i].customers);
+    EXPECT_EQ(a.ases()[i].pops.size(), b.ases()[i].pops.size());
+  }
+  EXPECT_EQ(a.relationships().size(), b.relationships().size());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  EcosystemConfig config;
+  config.seed = 1;
+  const auto a = generate_ecosystem(gaz(), config.scaled(0.05));
+  config.seed = 2;
+  const auto b = generate_ecosystem(gaz(), config.scaled(0.05));
+  // Same counts, different customer draws.
+  bool any_difference = false;
+  for (std::size_t i = 0; i < std::min(a.ases().size(), b.ases().size()); ++i) {
+    if (a.ases()[i].customers != b.ases()[i].customers) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, ProducesAllRoles) {
+  const auto& eco = small_ecosystem();
+  std::map<AsRole, int> roles;
+  for (const auto& as : eco.ases()) ++roles[as.role];
+  EXPECT_GT(roles[AsRole::kTier1], 0);
+  EXPECT_GT(roles[AsRole::kTransit], 0);
+  EXPECT_GT(roles[AsRole::kEyeball], 0);
+  EXPECT_GT(roles[AsRole::kContent], 0);
+}
+
+TEST(Generator, EyeballCountsMatchConfig) {
+  EcosystemConfig config;
+  config.seed = 11;
+  const auto scaled = config.scaled(0.05);
+  const auto eco = generate_ecosystem(gaz(), scaled);
+  std::map<std::pair<gazetteer::Continent, AsLevel>, int> counts;
+  for (const auto& as : eco.ases()) {
+    if (as.role == AsRole::kEyeball) ++counts[{as.continent, as.level}];
+  }
+  using gazetteer::Continent;
+  const auto count_of = [&](Continent continent, AsLevel level) {
+    return counts[{continent, level}];
+  };
+  EXPECT_EQ(count_of(Continent::kNorthAmerica, AsLevel::kCity), scaled.north_america.city);
+  EXPECT_EQ(count_of(Continent::kEurope, AsLevel::kCountry), scaled.europe.country);
+  EXPECT_EQ(count_of(Continent::kAsia, AsLevel::kState), scaled.asia.state);
+}
+
+TEST(Generator, EyeballsHaveCustomersAndPops) {
+  for (const auto& as : small_ecosystem().ases()) {
+    if (as.role != AsRole::kEyeball) continue;
+    EXPECT_GE(as.customers, 30000u) << as.name;
+    EXPECT_GE(as.service_pop_count(), 1u) << as.name;
+    double total_share = 0.0;
+    for (const auto& pop : as.pops) {
+      if (!pop.transit_only) {
+        EXPECT_GT(pop.customer_share, 0.0);
+        EXPECT_FALSE(pop.prefixes.empty());
+        total_share += pop.customer_share;
+      }
+    }
+    EXPECT_NEAR(total_share, 1.0, 1e-9) << as.name;
+  }
+}
+
+TEST(Generator, CityLevelEyeballsHaveOneServicePop) {
+  for (const auto& as : small_ecosystem().ases()) {
+    if (as.role == AsRole::kEyeball && as.level == AsLevel::kCity) {
+      EXPECT_EQ(as.service_pop_count(), 1u) << as.name;
+    }
+  }
+}
+
+TEST(Generator, PopCitiesBelongToCoverageCountry) {
+  for (const auto& as : small_ecosystem().ases()) {
+    if (as.role != AsRole::kEyeball || as.country_code.empty()) continue;
+    for (const auto& pop : as.pops) {
+      if (pop.transit_only) continue;  // transit PoPs may sit anywhere
+      EXPECT_EQ(gaz().city(pop.city).country_code, as.country_code) << as.name;
+    }
+  }
+}
+
+TEST(Generator, PopsOnlyAtRealCities) {
+  // ISP PoPs live in real cities; generated satellite towns exist only for
+  // the peak-to-city mapping granularity.
+  for (const auto& as : small_ecosystem().ases()) {
+    for (const auto& pop : as.pops) {
+      EXPECT_FALSE(gaz().city(pop.city).is_satellite)
+          << as.name << " has a PoP at " << gaz().city(pop.city).name;
+    }
+  }
+}
+
+TEST(Generator, AddressPoolCoversCustomers) {
+  for (const auto& as : small_ecosystem().ases()) {
+    if (as.role != AsRole::kEyeball) continue;
+    EXPECT_GE(as.address_count(), as.customers) << as.name;
+  }
+}
+
+TEST(Generator, PrefixesGloballyDisjoint) {
+  std::vector<net::Ipv4Prefix> all;
+  for (const auto& as : small_ecosystem().ases()) {
+    for (const auto& pop : as.pops) {
+      for (const auto& prefix : pop.prefixes) all.push_back(prefix);
+    }
+  }
+  // Sort by address; overlapping aligned blocks must nest, so adjacency
+  // check suffices after sorting.
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.address().value() < b.address().value();
+  });
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_FALSE(all[i - 1].contains(all[i]) || all[i].contains(all[i - 1]))
+        << all[i - 1].to_string() << " vs " << all[i].to_string();
+  }
+}
+
+TEST(Generator, EveryEyeballHasAtLeastOneProvider) {
+  const auto& eco = small_ecosystem();
+  for (const auto& as : eco.ases()) {
+    if (as.role == AsRole::kEyeball || as.role == AsRole::kContent ||
+        as.role == AsRole::kTransit) {
+      EXPECT_GE(eco.providers_of(as.asn).size(), 1u) << as.name;
+    }
+  }
+}
+
+TEST(Generator, RelationshipsAreValleyFreeByTier) {
+  // No tier-1 is a customer of anyone.
+  const auto& eco = small_ecosystem();
+  for (const auto& rel : eco.relationships()) {
+    if (rel.type == RelationshipType::kCustomerProvider) {
+      EXPECT_NE(eco.at(rel.customer).role, AsRole::kTier1)
+          << net::to_string(rel.customer);
+    }
+  }
+}
+
+TEST(Generator, NoSelfOrDuplicateEdges) {
+  const auto& eco = small_ecosystem();
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const auto& rel : eco.relationships()) {
+    EXPECT_NE(rel.customer, rel.provider);
+    EXPECT_TRUE(
+        seen.emplace(net::value_of(rel.customer), net::value_of(rel.provider)).second);
+  }
+}
+
+TEST(Generator, IxpsAtBigCitiesAndDenserInEurope) {
+  EcosystemConfig config;
+  config.seed = 3;
+  const auto eco = generate_ecosystem(gaz(), config.scaled(0.05));
+  int europe = 0;
+  int elsewhere = 0;
+  for (const auto& ixp : eco.ixps()) {
+    const auto& city = gaz().city(ixp.city);
+    if (city.continent == gazetteer::Continent::kEurope) {
+      EXPECT_GE(city.population, config.ixp_min_population_europe);
+      ++europe;
+    } else {
+      EXPECT_GE(city.population, config.ixp_min_population_other);
+      ++elsewhere;
+    }
+  }
+  EXPECT_GT(europe, 0);
+  EXPECT_GT(elsewhere, 0);
+}
+
+TEST(Generator, IxpPeeringsReferenceSharedIxp) {
+  const auto& eco = small_ecosystem();
+  for (const auto& rel : eco.relationships()) {
+    if (rel.type == RelationshipType::kPeerPeer && rel.ixp_index) {
+      const auto& ixp = eco.ixps()[*rel.ixp_index];
+      EXPECT_TRUE(ixp.has_member(rel.customer));
+      EXPECT_TRUE(ixp.has_member(rel.provider));
+    }
+  }
+}
+
+TEST(Generator, EcosystemQueriesConsistent) {
+  const auto& eco = small_ecosystem();
+  const auto eyeballs = eco.eyeballs();
+  ASSERT_FALSE(eyeballs.empty());
+  const auto asn = eyeballs.front();
+  for (const auto provider : eco.providers_of(asn)) {
+    const auto customers = eco.customers_of(provider);
+    EXPECT_NE(std::find(customers.begin(), customers.end(), asn), customers.end());
+  }
+  for (const auto peer : eco.peers_of(asn)) {
+    const auto peers_back = eco.peers_of(peer);
+    EXPECT_NE(std::find(peers_back.begin(), peers_back.end(), asn), peers_back.end());
+  }
+}
+
+TEST(GroundTruth, LocatesAllocatedIps) {
+  const auto& eco = small_ecosystem();
+  const GroundTruthLocator locator{eco, gaz()};
+  for (const auto& as : eco.ases()) {
+    if (as.role != AsRole::kEyeball) continue;
+    for (const auto& pop : as.pops) {
+      for (const auto& prefix : pop.prefixes) {
+        const auto truth = locator.locate(prefix.first());
+        ASSERT_TRUE(truth) << prefix.to_string();
+        EXPECT_EQ(truth->asn, as.asn);
+        EXPECT_EQ(truth->city, pop.city);
+        EXPECT_EQ(truth->transit_only, pop.transit_only);
+      }
+    }
+    break;  // one AS suffices per iteration cost
+  }
+}
+
+TEST(GroundTruth, UnallocatedIpHasNoTruth) {
+  const GroundTruthLocator locator{small_ecosystem(), gaz()};
+  EXPECT_FALSE(locator.locate(net::Ipv4Address{223, 255, 255, 254}));
+  EXPECT_FALSE(locator.origin(net::Ipv4Address{223, 255, 255, 254}));
+}
+
+TEST(GroundTruth, LocationNearPopCity) {
+  const auto& eco = small_ecosystem();
+  const GroundTruthLocator locator{eco, gaz()};
+  int checked = 0;
+  for (const auto& as : eco.ases()) {
+    for (const auto& pop : as.pops) {
+      for (const auto& prefix : pop.prefixes) {
+        const auto truth = locator.locate(
+            net::Ipv4Address{prefix.address().value() + 1});
+        ASSERT_TRUE(truth);
+        const auto& city = gaz().city(pop.city);
+        const double spread =
+            GroundTruthLocator::default_zip_config().spread_factor * city.radius_km();
+        EXPECT_LE(geo::distance_km(truth->location, city.location), 2.5 * spread + 0.1);
+        if (++checked > 200) return;
+      }
+    }
+  }
+}
+
+TEST(GroundTruth, DeterministicPerIp) {
+  const GroundTruthLocator locator{small_ecosystem(), gaz()};
+  const auto& as = small_ecosystem().ases()[5];
+  ASSERT_FALSE(as.pops.empty());
+  const auto ip = as.pops[0].prefixes[0].first();
+  const auto a = locator.locate(ip);
+  const auto b = locator.locate(ip);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->location, b->location);
+}
+
+TEST(EcosystemConfig, ScalingKeepsMinimumOne) {
+  EcosystemConfig config;
+  const auto tiny = config.scaled(0.001);
+  EXPECT_GE(tiny.north_america.city, 1);
+  EXPECT_GE(tiny.europe.country, 1);
+  EXPECT_GE(tiny.tier1_count, 3);
+}
+
+}  // namespace
+}  // namespace eyeball::topology

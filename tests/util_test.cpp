@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace eyeball::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng{13};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{17};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{19};
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng{23};
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng{29};
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng{31};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, PoissonSmallLambdaMean) {
+  Rng rng{37};
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(static_cast<double>(rng.poisson(3.0)));
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+}
+
+TEST(Rng, PoissonLargeLambdaMean) {
+  Rng rng{41};
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(static_cast<double>(rng.poisson(200.0)));
+  }
+  EXPECT_NEAR(stats.mean(), 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng{43};
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng root{47};
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng{53};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Mix64, DistinctInputsDistinctOutputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 50; ++a) {
+    for (std::uint64_t b = 0; b < 50; ++b) seen.insert(mix64(a, b));
+  }
+  EXPECT_EQ(seen.size(), 2500u);
+}
+
+TEST(HashString, StableAndDiscriminating) {
+  EXPECT_EQ(hash_string("Milan"), hash_string("Milan"));
+  EXPECT_NE(hash_string("Milan"), hash_string("Rome"));
+  EXPECT_NE(hash_string(""), hash_string(" "));
+}
+
+TEST(ZipfSampler, RankZeroMostLikely) {
+  ZipfSampler zipf{100, 1.0};
+  EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(10));
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf{50, 1.2};
+  double total = 0.0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  ZipfSampler zipf{10, 1.0};
+  Rng rng{59};
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfSampler, RejectsZeroSize) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(DiscreteSampler, MatchesWeights) {
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  DiscreteSampler sampler{weights};
+  EXPECT_NEAR(sampler.probability(0), 0.1, 1e-12);
+  EXPECT_NEAR(sampler.probability(1), 0.3, 1e-12);
+  EXPECT_NEAR(sampler.probability(2), 0.6, 1e-12);
+}
+
+TEST(DiscreteSampler, RejectsBadWeights) {
+  const std::vector<double> empty;
+  EXPECT_THROW(DiscreteSampler{std::span<const double>{empty}}, std::invalid_argument);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(DiscreteSampler{std::span<const double>{negative}}, std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(DiscreteSampler{std::span<const double>{zeros}}, std::invalid_argument);
+}
+
+TEST(DiscreteSampler, ZeroWeightNeverSampled) {
+  const std::vector<double> weights{0.0, 1.0};
+  DiscreteSampler sampler{weights};
+  Rng rng{61};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 15.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i * 0.7) * 10;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(5.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Percentile, KnownValues) {
+  const std::vector<double> values{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 30);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 50);
+  EXPECT_DOUBLE_EQ(percentile(values, 25), 20);
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  const std::vector<double> values{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 5);
+  EXPECT_DOUBLE_EQ(percentile(values, 90), 9);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 50), std::invalid_argument);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(percentile(one, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(one, 101), std::invalid_argument);
+}
+
+TEST(MeanMedian, Basic) {
+  const std::vector<double> values{1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(mean(values), 22.0);
+  EXPECT_DOUBLE_EQ(median(values), 3.0);
+}
+
+TEST(EmpiricalCdf, MonotoneAndBounded) {
+  EmpiricalCdf cdf{{3.0, 1.0, 2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInvertsCdf) {
+  std::vector<double> values;
+  for (int i = 0; i <= 100; ++i) values.push_back(i);
+  EmpiricalCdf cdf{std::move(values)};
+  EXPECT_NEAR(cdf.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(cdf.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(EmpiricalCdf, TraceIsNondecreasing) {
+  EmpiricalCdf cdf{{1.0, 5.0, 9.0, 9.5}};
+  const auto trace = cdf.trace(0.0, 10.0, 21);
+  ASSERT_EQ(trace.size(), 21u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].cumulative_fraction, trace[i - 1].cumulative_fraction);
+  }
+  EXPECT_DOUBLE_EQ(trace.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(trace.back().x, 10.0);
+}
+
+TEST(EmpiricalCdf, RejectsEmpty) {
+  EXPECT_THROW(EmpiricalCdf{std::vector<double>{}}, std::invalid_argument);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to first bin
+  h.add(100.0);   // clamps to last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 4.0);
+}
+
+TEST(Histogram, RejectsDegenerate) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedCells) {
+  TextTable table{{"Region", "Count"}};
+  table.add_row({"EU", "12"});
+  table.add_row({"NA", "345"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Region"), std::string::npos);
+  EXPECT_NE(out.find("345"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table{{"a", "b"}};
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiChart, RendersSeries) {
+  AsciiChart chart{40, 10};
+  chart.add_series("line", {0, 1, 2, 3}, {0, 10, 20, 30});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("line"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsEmptySeries) {
+  AsciiChart chart{40, 10};
+  EXPECT_THROW(chart.add_series("x", {}, {}), std::invalid_argument);
+  EXPECT_THROW(chart.add_series("x", {1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(0.12999, 3), "0.130");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(18004123), "18,004,123");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Format, InThousands) {
+  EXPECT_EQ(in_thousands(18004000), "18004");
+  EXPECT_EQ(in_thousands(1499), "1");
+  EXPECT_EQ(in_thousands(1500), "2");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(0.415), "41.5%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace eyeball::util

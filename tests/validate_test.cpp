@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pipeline_fixture.hpp"
+#include "validate/dimes.hpp"
+#include "validate/matching.hpp"
+#include "validate/reference.hpp"
+#include "validate/report.hpp"
+
+namespace eyeball::validate {
+namespace {
+
+using eyeball::testing::shared_fixture;
+
+constexpr geo::GeoPoint kRome{41.9028, 12.4964};
+constexpr geo::GeoPoint kMilan{45.4642, 9.1900};
+constexpr geo::GeoPoint kNaples{40.8518, 14.2681};
+
+TEST(Matching, BasicRecallAndPrecision) {
+  const std::vector<geo::GeoPoint> reference{kRome, kMilan, kNaples};
+  const std::vector<geo::GeoPoint> candidates{kRome, kMilan,
+                                              geo::destination(kMilan, 90.0, 500.0)};
+  const auto stats = match_pops(reference, candidates, 40.0);
+  EXPECT_EQ(stats.reference_matched, 2u);
+  EXPECT_EQ(stats.candidate_matched, 2u);
+  EXPECT_NEAR(stats.reference_recall(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(stats.candidate_precision(), 2.0 / 3.0, 1e-9);
+  EXPECT_FALSE(stats.perfect_precision());
+  EXPECT_FALSE(stats.covers_reference());
+}
+
+TEST(Matching, WithinRadiusCounts) {
+  const std::vector<geo::GeoPoint> reference{kRome};
+  const std::vector<geo::GeoPoint> near{geo::destination(kRome, 45.0, 39.0)};
+  const std::vector<geo::GeoPoint> far{geo::destination(kRome, 45.0, 41.0)};
+  EXPECT_EQ(match_pops(reference, near, 40.0).reference_matched, 1u);
+  EXPECT_EQ(match_pops(reference, far, 40.0).reference_matched, 0u);
+}
+
+TEST(Matching, EmptySetsBehave) {
+  const std::vector<geo::GeoPoint> some{kRome};
+  const std::vector<geo::GeoPoint> none;
+  const auto stats = match_pops(some, none, 40.0);
+  EXPECT_DOUBLE_EQ(stats.reference_recall(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.candidate_precision(), 0.0);
+  EXPECT_FALSE(stats.perfect_precision());
+  const auto inverse = match_pops(none, some, 40.0);
+  EXPECT_TRUE(inverse.covers_reference());  // vacuously
+}
+
+TEST(Matching, PerfectPrecisionAndSuperset) {
+  const std::vector<geo::GeoPoint> reference{kRome, kMilan};
+  const std::vector<geo::GeoPoint> superset{kRome, kMilan, kNaples};
+  const auto stats = match_pops(reference, superset, 40.0);
+  EXPECT_TRUE(stats.covers_reference());
+  EXPECT_FALSE(stats.perfect_precision());
+  const auto exact = match_pops(reference, reference, 40.0);
+  EXPECT_TRUE(exact.perfect_precision());
+  EXPECT_TRUE(exact.covers_reference());
+}
+
+TEST(Reference, SelectsLargestStateAndCountryAses) {
+  const auto& f = shared_fixture();
+  const auto reference = build_reference_dataset(f.eco, f.gaz, 10);
+  EXPECT_LE(reference.size(), 10u);
+  EXPECT_GT(reference.size(), 0u);
+  for (const auto& entry : reference) {
+    const auto& as = f.eco.at(entry.asn);
+    EXPECT_EQ(as.role, topology::AsRole::kEyeball);
+    EXPECT_NE(as.level, topology::AsLevel::kCity);
+    EXPECT_FALSE(entry.pops.empty());
+  }
+}
+
+TEST(Reference, NoiseOmitsAndInflates) {
+  const auto& f = shared_fixture();
+  PublicationNoise no_noise;
+  no_noise.omit_prob = 0.0;
+  no_noise.access_points_per_pop = 0.0;
+  no_noise.include_transit_only = false;
+  const auto clean = build_reference_dataset(f.eco, f.gaz, 10, no_noise);
+
+  PublicationNoise heavy;
+  heavy.omit_prob = 0.0;
+  heavy.access_points_per_pop = 6.0;
+  const auto inflated = build_reference_dataset(f.eco, f.gaz, 10, heavy);
+
+  ASSERT_EQ(clean.size(), inflated.size());
+  std::size_t clean_total = 0;
+  std::size_t inflated_total = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    clean_total += clean[i].pops.size();
+    inflated_total += inflated[i].pops.size();
+  }
+  EXPECT_GT(inflated_total, clean_total);
+}
+
+TEST(Reference, CleanListMatchesTrueServicePops) {
+  const auto& f = shared_fixture();
+  PublicationNoise no_noise;
+  no_noise.omit_prob = 0.0;
+  no_noise.access_points_per_pop = 0.0;
+  no_noise.include_transit_only = false;
+  const auto clean = build_reference_dataset(f.eco, f.gaz, 5, no_noise);
+  for (const auto& entry : clean) {
+    const auto expected = true_service_pops(f.eco.at(entry.asn), f.gaz);
+    EXPECT_EQ(entry.pops.size(), expected.size());
+    for (const auto& pop : entry.pops) {
+      EXPECT_EQ(pop.kind, PublishedPop::Kind::kService);
+    }
+  }
+}
+
+TEST(Reference, DeterministicForSeed) {
+  const auto& f = shared_fixture();
+  const auto a = build_reference_dataset(f.eco, f.gaz, 8);
+  const auto b = build_reference_dataset(f.eco, f.gaz, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].asn, b[i].asn);
+    EXPECT_EQ(a[i].pops.size(), b[i].pops.size());
+  }
+}
+
+TEST(Dimes, DiscoversFewPopsPerAs) {
+  const auto& f = shared_fixture();
+  const auto dimes = simulate_dimes(f.eco, f.gaz);
+  ASSERT_FALSE(dimes.empty());
+  double total = 0.0;
+  for (const auto& entry : dimes) total += static_cast<double>(entry.pops.size());
+  const double avg = total / static_cast<double>(dimes.size());
+  // The paper reports 1.54 PoPs per AS for DIMES.
+  EXPECT_GT(avg, 0.5);
+  EXPECT_LT(avg, 3.5);
+}
+
+TEST(Dimes, OneEntryPerEyeball) {
+  const auto& f = shared_fixture();
+  const auto dimes = simulate_dimes(f.eco, f.gaz);
+  EXPECT_EQ(dimes.size(), f.eco.eyeballs().size());
+}
+
+TEST(Dimes, PopsAreRealPopCities) {
+  const auto& f = shared_fixture();
+  const auto dimes = simulate_dimes(f.eco, f.gaz);
+  for (const auto& entry : dimes) {
+    const auto& as = f.eco.at(entry.asn);
+    for (const auto& pop_location : entry.pops) {
+      bool matches_true_pop = false;
+      for (const auto& pop : as.pops) {
+        if (geo::distance_km(pop_location, f.gaz.city(pop.city).location) < 1.0) {
+          matches_true_pop = true;
+        }
+      }
+      EXPECT_TRUE(matches_true_pop) << as.name;
+    }
+  }
+}
+
+TEST(Report, ValidationSweepStructure) {
+  const auto& f = shared_fixture();
+  const auto reference = build_reference_dataset(f.eco, f.gaz, 15);
+  const auto report = validate_against_reference(f.pipeline, f.dataset, reference,
+                                                 {10.0, 40.0, 80.0});
+  ASSERT_EQ(report.sweeps.size(), 3u);
+  EXPECT_GT(report.reference_as_count, 0u);
+  EXPECT_GT(report.avg_reference_pops_per_as, 0.0);
+  for (const auto& sweep : report.sweeps) {
+    EXPECT_EQ(sweep.reference_recall.size(), report.reference_as_count);
+    EXPECT_EQ(sweep.candidate_precision.size(), report.reference_as_count);
+    for (const double r : sweep.reference_recall) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(Report, SmallerBandwidthFindsMorePops) {
+  // The paper: 31.9 / 13.6 / 7.3 average PoPs per AS at 10 / 40 / 80 km.
+  const auto& f = shared_fixture();
+  const auto reference = build_reference_dataset(f.eco, f.gaz, 15);
+  const auto report = validate_against_reference(f.pipeline, f.dataset, reference,
+                                                 {10.0, 40.0, 80.0});
+  ASSERT_EQ(report.sweeps.size(), 3u);
+  EXPECT_GE(report.sweeps[0].avg_pops_per_as, report.sweeps[1].avg_pops_per_as);
+  EXPECT_GE(report.sweeps[1].avg_pops_per_as, report.sweeps[2].avg_pops_per_as);
+}
+
+TEST(Report, LargerBandwidthMoreReliable) {
+  // Figure 2(b): larger bandwidth -> higher precision / more perfect
+  // matches.
+  const auto& f = shared_fixture();
+  const auto reference = build_reference_dataset(f.eco, f.gaz, 15);
+  const auto report = validate_against_reference(f.pipeline, f.dataset, reference,
+                                                 {10.0, 80.0});
+  ASSERT_EQ(report.sweeps.size(), 2u);
+  const auto avg = [](const std::vector<double>& v) {
+    double total = 0.0;
+    for (const double x : v) total += x;
+    return v.empty() ? 0.0 : total / static_cast<double>(v.size());
+  };
+  // Average precision trends up with bandwidth (small tolerance: suburb
+  // peaks at fine bandwidth still fall inside the 40 km match radius, so
+  // the average moves less than the perfect-match fraction).
+  EXPECT_GE(avg(report.sweeps[1].candidate_precision),
+            avg(report.sweeps[0].candidate_precision) - 0.03);
+  // The paper's headline Fig. 2(b) claim: perfect matches grow sharply
+  // with bandwidth (60% at 80 km vs 5% at 10 km).
+  EXPECT_GT(report.sweeps[1].perfect_precision_fraction,
+            report.sweeps[0].perfect_precision_fraction);
+}
+
+TEST(Report, DimesComparisonShape) {
+  // §5: KDE finds several times more PoPs than traceroute-based DIMES and
+  // is a superset for most ASes.
+  const auto& f = shared_fixture();
+  const auto dimes = simulate_dimes(f.eco, f.gaz);
+  const auto comparison = compare_with_dimes(f.pipeline, f.dataset, dimes, 40.0);
+  ASSERT_GT(comparison.common_as_count, 0u);
+  EXPECT_GT(comparison.kde_avg_pops, comparison.dimes_avg_pops);
+  EXPECT_GT(comparison.superset_fraction, 0.5);
+}
+
+}  // namespace
+}  // namespace eyeball::validate
