@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_kde.dir/bm_kde.cpp.o"
+  "CMakeFiles/bm_kde.dir/bm_kde.cpp.o.d"
+  "bm_kde"
+  "bm_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_pipeline.dir/bm_pipeline.cpp.o"
+  "CMakeFiles/bm_pipeline.dir/bm_pipeline.cpp.o.d"
+  "bm_pipeline"
+  "bm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_prefix_trie.dir/bm_prefix_trie.cpp.o"
+  "CMakeFiles/bm_prefix_trie.dir/bm_prefix_trie.cpp.o.d"
+  "bm_prefix_trie"
+  "bm_prefix_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_prefix_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/repro_ablations.cpp" "bench/CMakeFiles/repro_ablations.dir/repro_ablations.cpp.o" "gcc" "bench/CMakeFiles/repro_ablations.dir/repro_ablations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/connectivity/CMakeFiles/eyeball_connectivity.dir/DependInfo.cmake"
+  "/root/repo/build/src/validate/CMakeFiles/eyeball_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eyeball_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kde/CMakeFiles/eyeball_kde.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/eyeball_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/eyeball_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geodb/CMakeFiles/eyeball_geodb.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/eyeball_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/gazetteer/CMakeFiles/eyeball_gazetteer.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eyeball_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eyeball_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eyeball_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

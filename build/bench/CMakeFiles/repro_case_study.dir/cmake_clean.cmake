@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_case_study.dir/repro_case_study.cpp.o"
+  "CMakeFiles/repro_case_study.dir/repro_case_study.cpp.o.d"
+  "repro_case_study"
+  "repro_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_churn.dir/repro_churn.cpp.o"
+  "CMakeFiles/repro_churn.dir/repro_churn.cpp.o.d"
+  "repro_churn"
+  "repro_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

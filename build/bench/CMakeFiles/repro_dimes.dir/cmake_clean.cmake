@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_dimes.dir/repro_dimes.cpp.o"
+  "CMakeFiles/repro_dimes.dir/repro_dimes.cpp.o.d"
+  "repro_dimes"
+  "repro_dimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_dimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig1_kde.dir/repro_fig1_kde.cpp.o"
+  "CMakeFiles/repro_fig1_kde.dir/repro_fig1_kde.cpp.o.d"
+  "repro_fig1_kde"
+  "repro_fig1_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig1_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig2_validation.dir/repro_fig2_validation.cpp.o"
+  "CMakeFiles/repro_fig2_validation.dir/repro_fig2_validation.cpp.o.d"
+  "repro_fig2_validation"
+  "repro_fig2_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig2_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ixp_peering.dir/repro_ixp_peering.cpp.o"
+  "CMakeFiles/repro_ixp_peering.dir/repro_ixp_peering.cpp.o.d"
+  "repro_ixp_peering"
+  "repro_ixp_peering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ixp_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

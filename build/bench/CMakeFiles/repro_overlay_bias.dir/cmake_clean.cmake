@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_overlay_bias.dir/repro_overlay_bias.cpp.o"
+  "CMakeFiles/repro_overlay_bias.dir/repro_overlay_bias.cpp.o.d"
+  "repro_overlay_bias"
+  "repro_overlay_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_overlay_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

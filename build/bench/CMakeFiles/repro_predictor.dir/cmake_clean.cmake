@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_predictor.dir/repro_predictor.cpp.o"
+  "CMakeFiles/repro_predictor.dir/repro_predictor.cpp.o.d"
+  "repro_predictor"
+  "repro_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/as_footprint_survey.dir/as_footprint_survey.cpp.o"
+  "CMakeFiles/as_footprint_survey.dir/as_footprint_survey.cpp.o.d"
+  "as_footprint_survey"
+  "as_footprint_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/as_footprint_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

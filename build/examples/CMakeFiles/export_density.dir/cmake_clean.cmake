@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_density.dir/export_density.cpp.o"
+  "CMakeFiles/export_density.dir/export_density.cpp.o.d"
+  "export_density"
+  "export_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_resolution.dir/multi_resolution.cpp.o"
+  "CMakeFiles/multi_resolution.dir/multi_resolution.cpp.o.d"
+  "multi_resolution"
+  "multi_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

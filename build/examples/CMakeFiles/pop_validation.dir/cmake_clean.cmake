@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop_validation.dir/pop_validation.cpp.o"
+  "CMakeFiles/pop_validation.dir/pop_validation.cpp.o.d"
+  "pop_validation"
+  "pop_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_bgp.dir/relationship_inference.cpp.o"
+  "CMakeFiles/eyeball_bgp.dir/relationship_inference.cpp.o.d"
+  "CMakeFiles/eyeball_bgp.dir/rib.cpp.o"
+  "CMakeFiles/eyeball_bgp.dir/rib.cpp.o.d"
+  "libeyeball_bgp.a"
+  "libeyeball_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

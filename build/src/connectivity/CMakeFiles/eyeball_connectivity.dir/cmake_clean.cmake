@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_connectivity.dir/as_graph.cpp.o"
+  "CMakeFiles/eyeball_connectivity.dir/as_graph.cpp.o.d"
+  "CMakeFiles/eyeball_connectivity.dir/case_study.cpp.o"
+  "CMakeFiles/eyeball_connectivity.dir/case_study.cpp.o.d"
+  "CMakeFiles/eyeball_connectivity.dir/ixp_analysis.cpp.o"
+  "CMakeFiles/eyeball_connectivity.dir/ixp_analysis.cpp.o.d"
+  "CMakeFiles/eyeball_connectivity.dir/predictor.cpp.o"
+  "CMakeFiles/eyeball_connectivity.dir/predictor.cpp.o.d"
+  "CMakeFiles/eyeball_connectivity.dir/rai_scenario.cpp.o"
+  "CMakeFiles/eyeball_connectivity.dir/rai_scenario.cpp.o.d"
+  "CMakeFiles/eyeball_connectivity.dir/traceroute.cpp.o"
+  "CMakeFiles/eyeball_connectivity.dir/traceroute.cpp.o.d"
+  "libeyeball_connectivity.a"
+  "libeyeball_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_core.dir/classifier.cpp.o"
+  "CMakeFiles/eyeball_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/eyeball_core.dir/dataset.cpp.o"
+  "CMakeFiles/eyeball_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/eyeball_core.dir/footprint.cpp.o"
+  "CMakeFiles/eyeball_core.dir/footprint.cpp.o.d"
+  "CMakeFiles/eyeball_core.dir/multi_bandwidth.cpp.o"
+  "CMakeFiles/eyeball_core.dir/multi_bandwidth.cpp.o.d"
+  "CMakeFiles/eyeball_core.dir/pipeline.cpp.o"
+  "CMakeFiles/eyeball_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/eyeball_core.dir/pop_mapper.cpp.o"
+  "CMakeFiles/eyeball_core.dir/pop_mapper.cpp.o.d"
+  "libeyeball_core.a"
+  "libeyeball_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

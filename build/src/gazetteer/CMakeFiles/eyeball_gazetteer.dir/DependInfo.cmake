@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gazetteer/gazetteer.cpp" "src/gazetteer/CMakeFiles/eyeball_gazetteer.dir/gazetteer.cpp.o" "gcc" "src/gazetteer/CMakeFiles/eyeball_gazetteer.dir/gazetteer.cpp.o.d"
+  "/root/repo/src/gazetteer/world_data.cpp" "src/gazetteer/CMakeFiles/eyeball_gazetteer.dir/world_data.cpp.o" "gcc" "src/gazetteer/CMakeFiles/eyeball_gazetteer.dir/world_data.cpp.o.d"
+  "/root/repo/src/gazetteer/zip_lattice.cpp" "src/gazetteer/CMakeFiles/eyeball_gazetteer.dir/zip_lattice.cpp.o" "gcc" "src/gazetteer/CMakeFiles/eyeball_gazetteer.dir/zip_lattice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/eyeball_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eyeball_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_gazetteer.dir/gazetteer.cpp.o"
+  "CMakeFiles/eyeball_gazetteer.dir/gazetteer.cpp.o.d"
+  "CMakeFiles/eyeball_gazetteer.dir/world_data.cpp.o"
+  "CMakeFiles/eyeball_gazetteer.dir/world_data.cpp.o.d"
+  "CMakeFiles/eyeball_gazetteer.dir/zip_lattice.cpp.o"
+  "CMakeFiles/eyeball_gazetteer.dir/zip_lattice.cpp.o.d"
+  "libeyeball_gazetteer.a"
+  "libeyeball_gazetteer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_gazetteer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eyeball_gazetteer.
+# This may be replaced when dependencies are built.

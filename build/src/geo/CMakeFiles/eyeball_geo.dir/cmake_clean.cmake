@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_geo.dir/point.cpp.o"
+  "CMakeFiles/eyeball_geo.dir/point.cpp.o.d"
+  "libeyeball_geo.a"
+  "libeyeball_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

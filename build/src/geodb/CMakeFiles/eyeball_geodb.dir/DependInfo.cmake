@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geodb/synthetic_db.cpp" "src/geodb/CMakeFiles/eyeball_geodb.dir/synthetic_db.cpp.o" "gcc" "src/geodb/CMakeFiles/eyeball_geodb.dir/synthetic_db.cpp.o.d"
+  "/root/repo/src/geodb/table_db.cpp" "src/geodb/CMakeFiles/eyeball_geodb.dir/table_db.cpp.o" "gcc" "src/geodb/CMakeFiles/eyeball_geodb.dir/table_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/eyeball_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/gazetteer/CMakeFiles/eyeball_gazetteer.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eyeball_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eyeball_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eyeball_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_geodb.dir/synthetic_db.cpp.o"
+  "CMakeFiles/eyeball_geodb.dir/synthetic_db.cpp.o.d"
+  "CMakeFiles/eyeball_geodb.dir/table_db.cpp.o"
+  "CMakeFiles/eyeball_geodb.dir/table_db.cpp.o.d"
+  "libeyeball_geodb.a"
+  "libeyeball_geodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_geodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeyeball_geodb.a"
+)

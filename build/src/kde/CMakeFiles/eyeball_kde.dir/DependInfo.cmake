@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kde/bandwidth.cpp" "src/kde/CMakeFiles/eyeball_kde.dir/bandwidth.cpp.o" "gcc" "src/kde/CMakeFiles/eyeball_kde.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/kde/contour.cpp" "src/kde/CMakeFiles/eyeball_kde.dir/contour.cpp.o" "gcc" "src/kde/CMakeFiles/eyeball_kde.dir/contour.cpp.o.d"
+  "/root/repo/src/kde/estimator.cpp" "src/kde/CMakeFiles/eyeball_kde.dir/estimator.cpp.o" "gcc" "src/kde/CMakeFiles/eyeball_kde.dir/estimator.cpp.o.d"
+  "/root/repo/src/kde/export.cpp" "src/kde/CMakeFiles/eyeball_kde.dir/export.cpp.o" "gcc" "src/kde/CMakeFiles/eyeball_kde.dir/export.cpp.o.d"
+  "/root/repo/src/kde/grid.cpp" "src/kde/CMakeFiles/eyeball_kde.dir/grid.cpp.o" "gcc" "src/kde/CMakeFiles/eyeball_kde.dir/grid.cpp.o.d"
+  "/root/repo/src/kde/peaks.cpp" "src/kde/CMakeFiles/eyeball_kde.dir/peaks.cpp.o" "gcc" "src/kde/CMakeFiles/eyeball_kde.dir/peaks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/eyeball_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eyeball_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_kde.dir/bandwidth.cpp.o"
+  "CMakeFiles/eyeball_kde.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/eyeball_kde.dir/contour.cpp.o"
+  "CMakeFiles/eyeball_kde.dir/contour.cpp.o.d"
+  "CMakeFiles/eyeball_kde.dir/estimator.cpp.o"
+  "CMakeFiles/eyeball_kde.dir/estimator.cpp.o.d"
+  "CMakeFiles/eyeball_kde.dir/export.cpp.o"
+  "CMakeFiles/eyeball_kde.dir/export.cpp.o.d"
+  "CMakeFiles/eyeball_kde.dir/grid.cpp.o"
+  "CMakeFiles/eyeball_kde.dir/grid.cpp.o.d"
+  "CMakeFiles/eyeball_kde.dir/peaks.cpp.o"
+  "CMakeFiles/eyeball_kde.dir/peaks.cpp.o.d"
+  "libeyeball_kde.a"
+  "libeyeball_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

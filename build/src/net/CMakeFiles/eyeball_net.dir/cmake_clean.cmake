@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_net.dir/ipv4.cpp.o"
+  "CMakeFiles/eyeball_net.dir/ipv4.cpp.o.d"
+  "libeyeball_net.a"
+  "libeyeball_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

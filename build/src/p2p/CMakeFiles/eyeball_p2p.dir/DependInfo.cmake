@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/app.cpp" "src/p2p/CMakeFiles/eyeball_p2p.dir/app.cpp.o" "gcc" "src/p2p/CMakeFiles/eyeball_p2p.dir/app.cpp.o.d"
+  "/root/repo/src/p2p/churn.cpp" "src/p2p/CMakeFiles/eyeball_p2p.dir/churn.cpp.o" "gcc" "src/p2p/CMakeFiles/eyeball_p2p.dir/churn.cpp.o.d"
+  "/root/repo/src/p2p/crawler.cpp" "src/p2p/CMakeFiles/eyeball_p2p.dir/crawler.cpp.o" "gcc" "src/p2p/CMakeFiles/eyeball_p2p.dir/crawler.cpp.o.d"
+  "/root/repo/src/p2p/overlay.cpp" "src/p2p/CMakeFiles/eyeball_p2p.dir/overlay.cpp.o" "gcc" "src/p2p/CMakeFiles/eyeball_p2p.dir/overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/eyeball_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/gazetteer/CMakeFiles/eyeball_gazetteer.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eyeball_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eyeball_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eyeball_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_p2p.dir/app.cpp.o"
+  "CMakeFiles/eyeball_p2p.dir/app.cpp.o.d"
+  "CMakeFiles/eyeball_p2p.dir/churn.cpp.o"
+  "CMakeFiles/eyeball_p2p.dir/churn.cpp.o.d"
+  "CMakeFiles/eyeball_p2p.dir/crawler.cpp.o"
+  "CMakeFiles/eyeball_p2p.dir/crawler.cpp.o.d"
+  "CMakeFiles/eyeball_p2p.dir/overlay.cpp.o"
+  "CMakeFiles/eyeball_p2p.dir/overlay.cpp.o.d"
+  "libeyeball_p2p.a"
+  "libeyeball_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

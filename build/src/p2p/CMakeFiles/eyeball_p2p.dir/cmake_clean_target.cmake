@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeyeball_p2p.a"
+)

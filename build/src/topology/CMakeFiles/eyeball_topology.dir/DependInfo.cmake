@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/generator.cpp" "src/topology/CMakeFiles/eyeball_topology.dir/generator.cpp.o" "gcc" "src/topology/CMakeFiles/eyeball_topology.dir/generator.cpp.o.d"
+  "/root/repo/src/topology/ground_truth.cpp" "src/topology/CMakeFiles/eyeball_topology.dir/ground_truth.cpp.o" "gcc" "src/topology/CMakeFiles/eyeball_topology.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/topology/ip_allocator.cpp" "src/topology/CMakeFiles/eyeball_topology.dir/ip_allocator.cpp.o" "gcc" "src/topology/CMakeFiles/eyeball_topology.dir/ip_allocator.cpp.o.d"
+  "/root/repo/src/topology/types.cpp" "src/topology/CMakeFiles/eyeball_topology.dir/types.cpp.o" "gcc" "src/topology/CMakeFiles/eyeball_topology.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gazetteer/CMakeFiles/eyeball_gazetteer.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eyeball_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eyeball_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eyeball_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_topology.dir/generator.cpp.o"
+  "CMakeFiles/eyeball_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/eyeball_topology.dir/ground_truth.cpp.o"
+  "CMakeFiles/eyeball_topology.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/eyeball_topology.dir/ip_allocator.cpp.o"
+  "CMakeFiles/eyeball_topology.dir/ip_allocator.cpp.o.d"
+  "CMakeFiles/eyeball_topology.dir/types.cpp.o"
+  "CMakeFiles/eyeball_topology.dir/types.cpp.o.d"
+  "libeyeball_topology.a"
+  "libeyeball_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_util.dir/format.cpp.o"
+  "CMakeFiles/eyeball_util.dir/format.cpp.o.d"
+  "CMakeFiles/eyeball_util.dir/rng.cpp.o"
+  "CMakeFiles/eyeball_util.dir/rng.cpp.o.d"
+  "CMakeFiles/eyeball_util.dir/stats.cpp.o"
+  "CMakeFiles/eyeball_util.dir/stats.cpp.o.d"
+  "CMakeFiles/eyeball_util.dir/table.cpp.o"
+  "CMakeFiles/eyeball_util.dir/table.cpp.o.d"
+  "libeyeball_util.a"
+  "libeyeball_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

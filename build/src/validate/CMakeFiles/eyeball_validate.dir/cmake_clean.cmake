@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyeball_validate.dir/dimes.cpp.o"
+  "CMakeFiles/eyeball_validate.dir/dimes.cpp.o.d"
+  "CMakeFiles/eyeball_validate.dir/matching.cpp.o"
+  "CMakeFiles/eyeball_validate.dir/matching.cpp.o.d"
+  "CMakeFiles/eyeball_validate.dir/pop_pages.cpp.o"
+  "CMakeFiles/eyeball_validate.dir/pop_pages.cpp.o.d"
+  "CMakeFiles/eyeball_validate.dir/reference.cpp.o"
+  "CMakeFiles/eyeball_validate.dir/reference.cpp.o.d"
+  "CMakeFiles/eyeball_validate.dir/report.cpp.o"
+  "CMakeFiles/eyeball_validate.dir/report.cpp.o.d"
+  "libeyeball_validate.a"
+  "libeyeball_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyeball_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

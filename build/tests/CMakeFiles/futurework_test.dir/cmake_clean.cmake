@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurework_test.dir/futurework_test.cpp.o"
+  "CMakeFiles/futurework_test.dir/futurework_test.cpp.o.d"
+  "futurework_test"
+  "futurework_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

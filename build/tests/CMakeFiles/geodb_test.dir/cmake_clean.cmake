@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geodb_test.dir/geodb_test.cpp.o"
+  "CMakeFiles/geodb_test.dir/geodb_test.cpp.o.d"
+  "geodb_test"
+  "geodb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geodb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

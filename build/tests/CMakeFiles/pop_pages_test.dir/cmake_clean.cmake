@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop_pages_test.dir/pop_pages_test.cpp.o"
+  "CMakeFiles/pop_pages_test.dir/pop_pages_test.cpp.o.d"
+  "pop_pages_test"
+  "pop_pages_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop_pages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
