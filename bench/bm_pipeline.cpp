@@ -6,6 +6,7 @@
 #include "common.hpp"
 #include "core/classifier.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "gazetteer/gazetteer.hpp"
 
 namespace {
@@ -52,6 +53,56 @@ void BM_AnalyzeAs(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * biggest->peers.size());
 }
 BENCHMARK(BM_AnalyzeAs)->Unit(benchmark::kMillisecond);
+
+/// Synthetic workload for the parallel engine: `count` eyeball-AS peer sets,
+/// each a few city-scale clusters somewhere in Europe.  Built directly (no
+/// crawl) so the bench isolates the analyze fan-out.
+std::vector<core::AsPeerSet> synthetic_ases(std::size_t count, std::size_t peers_each) {
+  util::Rng rng{42};
+  std::vector<core::AsPeerSet> out;
+  out.reserve(count);
+  for (std::size_t a = 0; a < count; ++a) {
+    core::AsPeerSet as;
+    as.asn = net::Asn{static_cast<std::uint32_t>(10000 + a)};
+    std::vector<geo::GeoPoint> centers;
+    const std::size_t clusters = 1 + rng.uniform_index(4);
+    for (std::size_t c = 0; c < clusters; ++c) {
+      centers.push_back({rng.uniform(36.0, 55.0), rng.uniform(-5.0, 25.0)});
+    }
+    as.peers.reserve(peers_each);
+    for (std::size_t i = 0; i < peers_each; ++i) {
+      core::PeerRecord rec;
+      rec.ip = net::Ipv4Address{static_cast<std::uint32_t>(rng())};
+      const auto& center = centers[rng.uniform_index(centers.size())];
+      rec.location = geo::destination(center, rng.uniform(0.0, 360.0),
+                                      rng.exponential(1.0 / 20.0));
+      rec.geo_error_km = rng.uniform(0.0, 40.0);
+      as.peers.push_back(rec);
+    }
+    out.push_back(std::move(as));
+  }
+  return out;
+}
+
+// The acceptance workload for the parallel per-AS engine: 200 synthetic
+// ASes analyzed end-to-end (KDE -> contour -> peaks -> PoP mapping) with a
+// threads axis (1/2/4/hardware).  Output is bit-identical across thread
+// counts; only wall clock moves.
+void BM_PipelineAnalyzeAllThreads(benchmark::State& state) {
+  const auto& w = world();
+  static const auto ases = synthetic_ases(200, 400);
+  const auto threads = static_cast<std::size_t>(state.range(0));  // 0 = hardware
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.pipeline.analyze_all(ases, threads));
+  }
+  const auto effective =
+      threads == 0 ? util::ThreadPool::shared().worker_count() : threads;
+  state.SetLabel(std::to_string(effective) + " threads, " +
+                 std::to_string(ases.size()) + " ASes");
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(ases.size()));
+}
+BENCHMARK(BM_PipelineAnalyzeAllThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PopFootprintBandwidth(benchmark::State& state) {
   const auto& w = world();

@@ -40,25 +40,32 @@ int main() {
             << util::with_commas((long long)dataset.stats().final_peers)
             << " conditioned peers)\n\n";
 
+  // Analyze every AS on the shared pool (0 = one chunk per hardware
+  // thread); results come back in dataset order, identical to the serial
+  // per-AS loop.
+  const auto analyses = pipeline.analyze_all(dataset.ases(), 0);
+
   // Sort by size for a readable report.
-  std::vector<const core::AsPeerSet*> order;
-  for (const auto& as : dataset.ases()) order.push_back(&as);
-  std::sort(order.begin(), order.end(),
-            [](const auto* a, const auto* b) { return a->peers.size() > b->peers.size(); });
+  std::vector<std::size_t> order(analyses.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto ases = dataset.ases();
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ases[a].peers.size() > ases[b].peers.size();
+  });
 
   util::TextTable table{{"AS", "peers", "level", "region", "area km^2", "PoPs",
                          "top PoP cities (density)"}};
-  const core::PopCityMapper pop_mapper{gaz};
-  for (const auto* as : order) {
-    const auto analysis = pipeline.analyze(*as);
+  for (const auto index : order) {
+    const auto& as = ases[index];
+    const auto& analysis = analyses[index];
     std::string top;
     for (std::size_t i = 0; i < std::min<std::size_t>(3, analysis.pops.pops.size()); ++i) {
       if (i > 0) top += ", ";
       top += std::string{gaz.city(analysis.pops.pops[i].city).name} + " (" +
              util::fixed(analysis.pops.pops[i].score, 2) + ")";
     }
-    table.add_row({net::to_string(as->asn),
-                   util::with_commas((long long)as->peers.size()),
+    table.add_row({net::to_string(as.asn),
+                   util::with_commas((long long)as.peers.size()),
                    std::string{topology::to_string(analysis.classification.level)},
                    analysis.classification.dominant_region,
                    util::with_commas((long long)analysis.footprint.contour.total_area_km2()),

@@ -1,5 +1,9 @@
 #include "core/pipeline.hpp"
 
+#include <optional>
+
+#include "util/thread_pool.hpp"
+
 namespace eyeball::core {
 
 EyeballPipeline::EyeballPipeline(const gazetteer::Gazetteer& gazetteer,
@@ -32,6 +36,30 @@ AsAnalysis EyeballPipeline::analyze(const AsPeerSet& peers, double bandwidth_km)
 PopFootprint EyeballPipeline::pop_footprint(const AsPeerSet& peers,
                                             double bandwidth_km) const {
   return mapper_.map(estimator_.estimate(peers, bandwidth_km));
+}
+
+std::vector<AsAnalysis> EyeballPipeline::analyze_all(
+    std::span<const AsPeerSet> ases) const {
+  return analyze_all(ases, config_.threads);
+}
+
+std::vector<AsAnalysis> EyeballPipeline::analyze_all(std::span<const AsPeerSet> ases,
+                                                     std::size_t threads) const {
+  auto& pool = util::ThreadPool::shared();
+  const std::size_t ways = threads == 0 ? pool.worker_count() : threads;
+  // Slots keep the output in input order whatever the chunk schedule; each
+  // chunk only touches its own indices, so no synchronization is needed.
+  std::vector<std::optional<AsAnalysis>> slots(ases.size());
+  pool.parallel_for(
+      0, ases.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) slots[i] = analyze(ases[i]);
+      },
+      ways);
+  std::vector<AsAnalysis> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
 }
 
 }  // namespace eyeball::core

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/thread_pool.hpp"
+
 namespace eyeball::kde {
 namespace {
 
@@ -89,13 +91,22 @@ DensityGrid KernelDensityEstimator::estimate(std::span<const geo::GeoPoint> poin
   const std::size_t cols = grid.cols();
   std::vector<double> scratch(grid.values().size(), 0.0);
 
+  auto& pool = util::ThreadPool::shared();
+  const std::size_t ways =
+      config_.threads == 0 ? pool.worker_count() : config_.threads;
+
   // Horizontal pass: per-row kernel width (cells shrink toward the poles).
-  // Kernels are cached on quantized sigma to avoid rebuilding per row.
+  // Kernels are cached on quantized sigma; the whole quantized set is built
+  // up front so the parallel region only reads the cache — no locking.  The
+  // key is clamped to >= 1: a coarse grid (max_cells coarsening) can push
+  // sigma below half a quantization step, and an unclamped key of 0 would
+  // ask for a sigma-0 kernel whose taps are NaN (0/0 in the exponent).
   std::map<long, std::vector<double>> kernel_cache;
+  std::vector<const std::vector<double>*> row_kernels(rows);
   for (std::size_t r = 0; r < rows; ++r) {
     const double sigma_cells =
         config_.bandwidth_km / std::max(1e-6, grid.cell_width_km(r));
-    const long key = std::lround(sigma_cells * 64.0);
+    const long key = std::max(1L, std::lround(sigma_cells * 64.0));
     auto it = kernel_cache.find(key);
     if (it == kernel_cache.end()) {
       it = kernel_cache
@@ -103,22 +114,42 @@ DensityGrid KernelDensityEstimator::estimate(std::span<const geo::GeoPoint> poin
                                          config_.truncate_sigmas))
                .first;
     }
-    convolve(grid.values().data() + r * cols, scratch.data() + r * cols, cols, 1,
-             it->second);
+    row_kernels[r] = &it->second;
   }
+  pool.parallel_for(
+      0, rows,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          convolve(grid.values().data() + r * cols, scratch.data() + r * cols, cols,
+                   1, *row_kernels[r]);
+        }
+      },
+      ways);
 
   // Vertical pass: constant kernel width.
   const double sigma_rows = config_.bandwidth_km / grid.cell_height_km();
   const auto vertical = make_kernel(sigma_rows, config_.truncate_sigmas);
-  for (std::size_t c = 0; c < cols; ++c) {
-    convolve(scratch.data() + c, grid.values().data() + c, rows, cols, vertical);
-  }
+  pool.parallel_for(
+      0, cols,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          convolve(scratch.data() + c, grid.values().data() + c, rows, cols,
+                   vertical);
+        }
+      },
+      ways);
 
   // Normalize: expected count per cell -> probability density per km^2.
-  for (std::size_t r = 0; r < rows; ++r) {
-    const double scale = 1.0 / (static_cast<double>(used) * grid.cell_area_km2(r));
-    for (std::size_t c = 0; c < cols; ++c) grid.at(r, c) *= scale;
-  }
+  pool.parallel_for(
+      0, rows,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const double scale =
+              1.0 / (static_cast<double>(used) * grid.cell_area_km2(r));
+          for (std::size_t c = 0; c < cols; ++c) grid.at(r, c) *= scale;
+        }
+      },
+      ways);
   return grid;
 }
 
@@ -132,17 +163,25 @@ DensityGrid KernelDensityEstimator::estimate_exact(std::span<const geo::GeoPoint
   const double support = sigma * config_.truncate_sigmas;
   const double norm = 1.0 / (2.0 * std::numbers::pi * sigma * sigma *
                              static_cast<double>(points.size()));
-  for (std::size_t r = 0; r < grid.rows(); ++r) {
-    for (std::size_t c = 0; c < grid.cols(); ++c) {
-      const geo::GeoPoint center = grid.center_of(r, c);
-      double acc = 0.0;
-      for (const auto& p : points) {
-        const double d = geo::approx_distance_km(center, p);
-        if (d <= support) acc += std::exp(-0.5 * (d / sigma) * (d / sigma));
-      }
-      grid.at(r, c) = acc * norm;
-    }
-  }
+  auto& pool = util::ThreadPool::shared();
+  const std::size_t ways =
+      config_.threads == 0 ? pool.worker_count() : config_.threads;
+  pool.parallel_for(
+      0, grid.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          for (std::size_t c = 0; c < grid.cols(); ++c) {
+            const geo::GeoPoint center = grid.center_of(r, c);
+            double acc = 0.0;
+            for (const auto& p : points) {
+              const double d = geo::approx_distance_km(center, p);
+              if (d <= support) acc += std::exp(-0.5 * (d / sigma) * (d / sigma));
+            }
+            grid.at(r, c) = acc * norm;
+          }
+        }
+      },
+      ways);
   return grid;
 }
 

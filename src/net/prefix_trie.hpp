@@ -55,12 +55,19 @@ class PrefixTrie {
   }
 
   /// Longest match returned together with its prefix (for diagnostics).
+  /// The reported prefix is canonical — host bits of the lookup address
+  /// beyond the match depth are zeroed, so it compares equal to the prefix
+  /// that was inserted.
   [[nodiscard]] std::optional<std::pair<Ipv4Prefix, Value>> longest_match_entry(
       Ipv4Address ip) const {
     std::optional<std::pair<Ipv4Prefix, Value>> best;
     std::uint32_t node = 0;
     for (int depth = 0;; ++depth) {
       if (nodes_[node].value.has_value()) {
+        // The prefix is rebuilt from the lookup address; Ipv4Prefix's
+        // constructor must clear the host bits beyond `depth` or they would
+        // leak into callers comparing against the RIB.  The regression test
+        // pins that canonicalization.
         best = {Ipv4Prefix{ip, depth}, *nodes_[node].value};
       }
       if (depth == 32) break;

@@ -98,10 +98,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x, double weight) noexcept {
-  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(bin)] += weight;
   total_ += weight;
+  // The negated comparison routes NaN to underflow instead of feeding it to
+  // the float->int cast (undefined behaviour for NaN).
+  if (!(x >= lo_)) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  // x just below hi_ can round into bin == size() through the division.
+  bin = std::min(bin, counts_.size() - 1);
+  counts_[bin] += weight;
 }
 
 double Histogram::bin_low(std::size_t bin) const {

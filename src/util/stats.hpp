@@ -62,8 +62,10 @@ class EmpiricalCdf {
   std::vector<double> sorted_;
 };
 
-/// Fixed-width histogram over [lo, hi); values outside are clamped to the
-/// edge bins.  Used by density diagnostics and the bias ablation.
+/// Fixed-width histogram over [lo, hi).  Out-of-range samples are counted
+/// in dedicated underflow/overflow tallies rather than being folded into
+/// the edge bins (which would inflate the tails of the validation CDFs).
+/// Used by density diagnostics and the bias ablation.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -73,13 +75,24 @@ class Histogram {
   [[nodiscard]] double bin_low(std::size_t bin) const;
   [[nodiscard]] double bin_high(std::size_t bin) const;
   [[nodiscard]] double count(std::size_t bin) const;
+  /// Everything ever added, including out-of-range weight.
   [[nodiscard]] double total() const noexcept { return total_; }
+  /// Weight of samples below lo (NaN counts here too — it fits no bin).
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  /// Weight of samples at or above hi.
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+  /// Weight that actually landed in a bin.
+  [[nodiscard]] double in_range() const noexcept {
+    return total_ - underflow_ - overflow_;
+  }
 
  private:
   double lo_;
   double hi_;
   double width_;
   double total_ = 0.0;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
   std::vector<double> counts_;
 };
 

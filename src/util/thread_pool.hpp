@@ -1,0 +1,80 @@
+// Fixed-size worker pool for the per-AS and per-row fan-out in the hot
+// paths (pipeline analysis, KDE convolution passes).
+//
+// Deliberately simple — no work stealing, no task priorities: a mutex-
+// protected queue, `submit` returning a std::future, and a blocking
+// `parallel_for` that splits an index range into contiguous chunks.  Each
+// chunk writes disjoint output and the chunk boundaries depend only on the
+// range and the requested concurrency, so parallel results are bit-identical
+// to the serial ones as long as each index's computation is independent.
+//
+// Nesting: a `parallel_for` issued from inside a worker thread runs inline
+// on that worker (no re-submission), which both avoids deadlocking a pool
+// that is already saturated with the outer loop's chunks and keeps the
+// outer fan-out the only level of parallelism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace eyeball::util {
+
+class ThreadPool {
+ public:
+  /// `worker_count` == 0 means one worker per hardware thread.
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues `task` and returns a future for its result.  Exceptions thrown
+  /// by the task surface from future::get().
+  template <typename F>
+  [[nodiscard]] auto submit(F&& task) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    auto packaged =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
+    std::future<Result> future = packaged->get_future();
+    enqueue([packaged] { (*packaged)(); });
+    return future;
+  }
+
+  /// Runs `body(chunk_begin, chunk_end)` over [begin, end) split into at most
+  /// `max_concurrency` contiguous chunks (0 = one per worker), blocking until
+  /// every chunk finished.  Runs inline when the effective concurrency is 1,
+  /// the range is empty, or the caller is itself a pool worker.  The first
+  /// exception thrown by any chunk is rethrown.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t max_concurrency = 0);
+
+  /// True when called from one of any ThreadPool's worker threads.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+  /// Process-wide pool with one worker per hardware thread, created on first
+  /// use.  Callers cap their share with parallel_for's `max_concurrency`.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace eyeball::util

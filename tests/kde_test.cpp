@@ -393,6 +393,33 @@ TEST(Contour, EmptyGridEmptyFootprint) {
   EXPECT_TRUE(footprint.partitions.empty());
 }
 
+// Regression: when the grid coarsens itself (max_cells budget) the per-row
+// sigma can drop below half a quantization step; the kernel-cache key then
+// rounded to 0 and make_kernel(0, ...) produced all-NaN taps (0/0 in the
+// exponent), silently corrupting the whole surface.  The key is clamped to
+// >= 1 now, so the estimate stays finite.
+TEST(Estimator, TinySigmaToCellRatioStaysFinite) {
+  KdeConfig config;
+  config.bandwidth_km = 1.0;  // pathological: kernel far below cell size
+  config.cell_km = 0.5;
+  config.max_cells = 100;  // forces ~hundreds-of-km cells over this box
+  const KernelDensityEstimator estimator{config};
+  const geo::BoundingBox box{35.0, 60.0, -10.0, 30.0};
+  std::vector<geo::GeoPoint> points;
+  for (const auto& p : cloud(kRome, 400.0, 200, 31)) points.push_back(p);
+  for (const auto& p : cloud(kMilan, 400.0, 200, 32)) points.push_back(p);
+
+  const auto grid = estimator.estimate(points, box);
+  double sum = 0.0;
+  for (const double v : grid.values()) {
+    ASSERT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_GT(sum, 0.0);
+  EXPECT_TRUE(std::isfinite(grid.integral()));
+}
+
 TEST(Contour, BoundarySegmentsSitNearLevel) {
   KdeConfig config;
   config.bandwidth_km = 30.0;

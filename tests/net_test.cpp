@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <optional>
 
@@ -233,6 +234,46 @@ TEST(PrefixTrie, LongestMatchEntryReportsPrefixLength) {
   ASSERT_TRUE(entry);
   EXPECT_EQ(entry->first.length(), 16);
   EXPECT_EQ(entry->second, 2);
+}
+
+// Regression: the reported prefix is rebuilt from the lookup address, so the
+// host bits beyond the match depth must be zeroed — the entry has to compare
+// equal to the prefix that was inserted, not to the host re-labelled with a
+// mask length.
+TEST(PrefixTrie, LongestMatchEntryReturnsCanonicalInsertedPrefix) {
+  PrefixTrie<int> trie;
+  const auto inserted = *Ipv4Prefix::parse("10.1.0.0/16");
+  trie.insert(inserted, 7);
+  const auto entry = trie.longest_match_entry(Ipv4Address(10, 1, 200, 9));
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->first, inserted);
+  EXPECT_EQ(entry->first.address(), inserted.address());
+  EXPECT_EQ(entry->first.to_string(), "10.1.0.0/16");
+}
+
+TEST(PrefixTrie, LongestMatchEntryCanonicalOnRandomTables) {
+  util::Rng rng{4242};
+  PrefixTrie<int> trie;
+  std::vector<Ipv4Prefix> prefixes;
+  for (int i = 0; i < 200; ++i) {
+    const auto length = static_cast<int>(8 + rng.uniform_index(17));  // 8..24
+    const Ipv4Prefix prefix{Ipv4Address{static_cast<std::uint32_t>(rng())}, length};
+    trie.insert(prefix, i);
+    prefixes.push_back(prefix);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const Ipv4Address ip{static_cast<std::uint32_t>(rng())};
+    const auto entry = trie.longest_match_entry(ip);
+    if (!entry) continue;
+    // The reported prefix must contain the lookup address, carry no host
+    // bits, and be one of the inserted prefixes.
+    EXPECT_TRUE(entry->first.contains(ip)) << ip.to_string();
+    EXPECT_EQ(entry->first.address().value() & ~entry->first.netmask(), 0u)
+        << entry->first.to_string();
+    EXPECT_NE(std::find(prefixes.begin(), prefixes.end(), entry->first),
+              prefixes.end())
+        << entry->first.to_string();
+  }
 }
 
 }  // namespace

@@ -1,0 +1,231 @@
+// util::ThreadPool unit tests plus the determinism contract of the parallel
+// execution engine: the KDE convolution passes and the pipeline's per-AS
+// fan-out must produce bit-identical results at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/multi_bandwidth.hpp"
+#include "kde/estimator.hpp"
+#include "pipeline_fixture.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eyeball {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  util::ThreadPool pool{2};
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitRunsOnWorkerThread) {
+  util::ThreadPool pool{2};
+  EXPECT_FALSE(util::ThreadPool::on_worker_thread());
+  auto future = pool.submit([] { return util::ThreadPool::on_worker_thread(); });
+  EXPECT_TRUE(future.get());
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromWorker) {
+  util::ThreadPool pool{2};
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error{"boom"}; });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  util::ThreadPool pool{4};
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t lo, std::size_t) {
+                          if (lo == 0) throw std::invalid_argument{"chunk 0"};
+                        }),
+      std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  util::ThreadPool pool{2};
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForRangeSmallerThanWorkers) {
+  util::ThreadPool pool{8};
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(0, 3, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  util::ThreadPool pool{4};
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(10, 10 + kCount, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i - 10];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRespectsMaxConcurrency) {
+  util::ThreadPool pool{8};
+  std::atomic<int> chunks{0};
+  pool.parallel_for(
+      0, 1000, [&](std::size_t, std::size_t) { ++chunks; }, 3);
+  EXPECT_LE(chunks.load(), 3);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineOnWorker) {
+  util::ThreadPool pool{2};
+  std::atomic<int> inner_chunks{0};
+  pool.parallel_for(0, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // A nested parallel_for from a worker must not re-enter the queue —
+      // it runs the whole inner range as one inline chunk.
+      util::ThreadPool::shared().parallel_for(
+          0, 100, [&](std::size_t b, std::size_t e) {
+            EXPECT_EQ(b, 0u);
+            EXPECT_EQ(e, 100u);
+            ++inner_chunks;
+          });
+    }
+  });
+  EXPECT_EQ(inner_chunks.load(), 4);
+}
+
+std::vector<geo::GeoPoint> scattered_points(std::size_t count, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<geo::GeoPoint> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back({rng.uniform(38.0, 46.0), rng.uniform(7.0, 18.0)});
+  }
+  return points;
+}
+
+TEST(ParallelKde, BinnedEstimateBitIdenticalAcrossThreadCounts) {
+  const auto points = scattered_points(20000, 11);
+  kde::KdeConfig serial_config;
+  serial_config.bandwidth_km = 40.0;
+  serial_config.cell_km = 5.0;
+  serial_config.threads = 1;
+  const kde::KernelDensityEstimator serial{serial_config};
+  const auto box = serial.padded_box(points);
+  const auto reference = serial.estimate(points, box);
+
+  for (const std::size_t threads : {2u, 4u, 0u}) {
+    kde::KdeConfig config = serial_config;
+    config.threads = threads;
+    const kde::KernelDensityEstimator estimator{config};
+    const auto grid = estimator.estimate(points, box);
+    ASSERT_EQ(grid.values().size(), reference.values().size());
+    EXPECT_EQ(grid.values(), reference.values()) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelKde, ExactEstimateBitIdenticalAcrossThreadCounts) {
+  const auto points = scattered_points(300, 12);
+  kde::KdeConfig serial_config;
+  serial_config.bandwidth_km = 40.0;
+  serial_config.cell_km = 20.0;
+  serial_config.threads = 1;
+  const kde::KernelDensityEstimator serial{serial_config};
+  const auto box = serial.padded_box(points);
+  const auto reference = serial.estimate_exact(points, box);
+
+  kde::KdeConfig parallel_config = serial_config;
+  parallel_config.threads = 4;
+  const kde::KernelDensityEstimator parallel{parallel_config};
+  EXPECT_EQ(parallel.estimate_exact(points, box).values(), reference.values());
+}
+
+bool same_analysis(const core::AsAnalysis& a, const core::AsAnalysis& b) {
+  if (a.asn != b.asn) return false;
+  if (a.classification.level != b.classification.level ||
+      a.classification.dominant_region != b.classification.dominant_region ||
+      a.classification.dominant_share != b.classification.dominant_share) {
+    return false;
+  }
+  if (a.footprint.grid.values() != b.footprint.grid.values()) return false;
+  if (a.footprint.peaks.size() != b.footprint.peaks.size()) return false;
+  for (std::size_t i = 0; i < a.footprint.peaks.size(); ++i) {
+    const auto& pa = a.footprint.peaks[i];
+    const auto& pb = b.footprint.peaks[i];
+    if (pa.location != pb.location || pa.density != pb.density ||
+        pa.score != pb.score || pa.row != pb.row || pa.col != pb.col) {
+      return false;
+    }
+  }
+  if (a.pops.unmapped_peaks != b.pops.unmapped_peaks) return false;
+  if (a.pops.pops.size() != b.pops.pops.size()) return false;
+  for (std::size_t i = 0; i < a.pops.pops.size(); ++i) {
+    const auto& pa = a.pops.pops[i];
+    const auto& pb = b.pops.pops[i];
+    if (pa.city != pb.city || pa.score != pb.score ||
+        pa.peak_density != pb.peak_density || pa.peak_location != pb.peak_location) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ParallelPipeline, AnalyzeAllMatchesSerialOnSyntheticTopology) {
+  const auto& fixture = testing::shared_fixture();
+  const auto ases = fixture.dataset.ases();
+  ASSERT_FALSE(ases.empty());
+
+  const auto serial = fixture.pipeline.analyze_all(ases, 1);
+  ASSERT_EQ(serial.size(), ases.size());
+  // Serial fan-out equals the plain per-AS loop.
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    EXPECT_TRUE(same_analysis(serial[i], fixture.pipeline.analyze(ases[i]))) << i;
+  }
+
+  for (const std::size_t threads : {2u, 4u, 0u}) {
+    const auto parallel = fixture.pipeline.analyze_all(ases, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(same_analysis(serial[i], parallel[i]))
+          << "threads=" << threads << " as index " << i;
+    }
+  }
+}
+
+TEST(ParallelPipeline, MultiBandwidthRefineMatchesSerial) {
+  const auto& fixture = testing::shared_fixture();
+  const auto ases = fixture.dataset.ases();
+  ASSERT_FALSE(ases.empty());
+  const core::GeoFootprintEstimator estimator{fixture.pipeline.config().footprint};
+
+  core::MultiBandwidthConfig serial_config;
+  serial_config.threads = 1;
+  core::MultiBandwidthConfig parallel_config;
+  parallel_config.threads = 2;
+  const core::MultiBandwidthRefiner serial{fixture.gaz, estimator, serial_config};
+  const core::MultiBandwidthRefiner parallel{fixture.gaz, estimator, parallel_config};
+
+  const auto& as = ases.front();
+  const auto a = serial.refine(as);
+  const auto b = parallel.refine(as);
+  EXPECT_EQ(a.splits, b.splits);
+  ASSERT_EQ(a.pops.pops.size(), b.pops.pops.size());
+  EXPECT_EQ(a.pops.unmapped_peaks, b.pops.unmapped_peaks);
+  for (std::size_t i = 0; i < a.pops.pops.size(); ++i) {
+    EXPECT_EQ(a.pops.pops[i].city, b.pops.pops[i].city);
+    EXPECT_EQ(a.pops.pops[i].score, b.pops.pops[i].score);
+    EXPECT_EQ(a.pops.pops[i].peak_density, b.pops.pops[i].peak_density);
+    EXPECT_EQ(a.pops.pops[i].peak_location, b.pops.pops[i].peak_location);
+  }
+}
+
+}  // namespace
+}  // namespace eyeball

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -313,17 +314,41 @@ TEST(EmpiricalCdf, RejectsEmpty) {
   EXPECT_THROW(EmpiricalCdf{std::vector<double>{}}, std::invalid_argument);
 }
 
-TEST(Histogram, BinningAndClamping) {
+TEST(Histogram, BinningBasics) {
   Histogram h{0.0, 10.0, 10};
   h.add(0.5);
   h.add(9.5);
-  h.add(-100.0);  // clamps to first bin
-  h.add(100.0);   // clamps to last bin
-  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
-  EXPECT_DOUBLE_EQ(h.count(9), 2.0);
-  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
   EXPECT_DOUBLE_EQ(h.bin_low(3), 3.0);
   EXPECT_DOUBLE_EQ(h.bin_high(3), 4.0);
+}
+
+// Regression: out-of-range samples used to be clamped into the edge bins,
+// silently inflating the tail counts of the validation CDFs.  They must be
+// tallied separately instead.
+TEST(Histogram, OutOfRangeCountedSeparatelyNotClamped) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);      // below lo: underflow, not bin 0
+  h.add(100.0, 2.0);  // above hi: overflow, not bin 9
+  h.add(10.0);        // hi itself is outside [lo, hi)
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 3.0);
+  EXPECT_DOUBLE_EQ(h.in_range(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 6.0);
+}
+
+TEST(Histogram, NanGoesToUnderflowNotABin) {
+  Histogram h{0.0, 10.0, 4};
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.in_range(), 0.0);
+  for (std::size_t b = 0; b < h.bin_count(); ++b) EXPECT_DOUBLE_EQ(h.count(b), 0.0);
 }
 
 TEST(Histogram, RejectsDegenerate) {
