@@ -1,0 +1,67 @@
+// Sharded dataset-build benchmarks (the §2 conditioning stage): geo-mapping
+// + inter-database error filter + BGP LPM grouping + per-AS filters over the
+// full crawl, with a threads axis (1/2/4/hardware).  Results are
+// byte-identical across the axis; only wall clock moves.  The committed
+// baseline lives in BENCH_dataset.json (see README "Benchmarks").
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace eyeball;
+
+const bench::World& world() {
+  static const bench::World instance = bench::World::generated(0.05, 0.2);
+  return instance;
+}
+
+void BM_DatasetBuildThreads(benchmark::State& state) {
+  const auto& w = world();
+  const auto threads = static_cast<std::size_t>(state.range(0));  // 0 = hardware
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.pipeline.build_dataset(w.crawl.samples, threads));
+  }
+  const auto effective =
+      threads == 0 ? util::ThreadPool::shared().worker_count() : threads;
+  state.SetLabel(std::to_string(effective) + " threads, " +
+                 std::to_string(w.crawl.samples.size()) + " samples");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.crawl.samples.size()));
+}
+BENCHMARK(BM_DatasetBuildThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// The same build with the per-shard lookup memo disabled — the delta is
+// what IP repetition in the crawl buys the geo-mapping stage.
+void BM_DatasetBuildNoMemo(benchmark::State& state) {
+  const auto& w = world();
+  core::DatasetConfig config = w.pipeline.config().dataset;
+  config.lookup_memo_slots = 0;
+  const core::DatasetBuilder builder{w.primary, w.secondary, w.mapper, config};
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(w.crawl.samples, threads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.crawl.samples.size()));
+}
+BENCHMARK(BM_DatasetBuildNoMemo)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void BM_DatasetFind(benchmark::State& state) {
+  const auto& w = world();
+  const auto ases = w.dataset.ases();
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.dataset.find(ases[cursor].asn));
+    cursor = (cursor + 1) % ases.size();
+  }
+  state.SetLabel(std::to_string(ases.size()) + " ASes");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DatasetFind);
+
+}  // namespace
+
+BENCHMARK_MAIN();

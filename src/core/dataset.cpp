@@ -1,9 +1,14 @@
 #include "core/dataset.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
+#include <ostream>
+#include <utility>
 
+#include "geodb/lookup_memo.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace eyeball::core {
 
@@ -22,19 +27,90 @@ std::vector<geo::GeoPoint> AsPeerSet::locations() const {
 
 std::vector<double> AsPeerSet::geo_errors() const {
   std::vector<double> out;
-  out.reserve(peers.size());
-  for (const auto& p : peers) out.push_back(p.geo_error_km);
+  geo_errors(out);
   return out;
 }
 
+void AsPeerSet::geo_errors(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(peers.size());
+  for (const auto& p : peers) out.push_back(p.geo_error_km);
+}
+
+namespace {
+
+template <typename Visit>
+void visit_stats(const DatasetStats& stats, Visit&& visit) {
+  visit("raw_samples", stats.raw_samples);
+  visit("missing_geo", stats.missing_geo);
+  visit("high_error", stats.high_error);
+  visit("unmapped_as", stats.unmapped_as);
+  visit("peers_in_small_ases", stats.peers_in_small_ases);
+  visit("ases_below_min_peers", stats.ases_below_min_peers);
+  visit("ases_above_p90_error", stats.ases_above_p90_error);
+  visit("final_peers", stats.final_peers);
+  visit("final_ases", stats.final_ases);
+}
+
+}  // namespace
+
+std::string to_string(const DatasetStats& stats) {
+  std::string out;
+  visit_stats(stats, [&](const char* name, std::size_t value) {
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  });
+  return out;
+}
+
+std::string diff_stats(const DatasetStats& expected, const DatasetStats& actual) {
+  std::string out;
+  std::vector<std::pair<const char*, std::size_t>> lhs;
+  visit_stats(expected, [&](const char* name, std::size_t value) {
+    lhs.emplace_back(name, value);
+  });
+  std::size_t i = 0;
+  visit_stats(actual, [&](const char* name, std::size_t value) {
+    if (lhs[i].second != value) {
+      if (!out.empty()) out += ' ';
+      out += name;
+      out += ": expected ";
+      out += std::to_string(lhs[i].second);
+      out += ", got ";
+      out += std::to_string(value);
+    }
+    ++i;
+  });
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const DatasetStats& stats) {
+  return os << to_string(stats);
+}
+
 TargetDataset::TargetDataset(std::vector<AsPeerSet> ases, DatasetStats stats)
-    : ases_(std::move(ases)), stats_(stats) {}
+    : ases_(std::move(ases)), stats_(stats) {
+  by_asn_.resize(ases_.size());
+  for (std::uint32_t i = 0; i < by_asn_.size(); ++i) by_asn_[i] = i;
+  // Stable so duplicate ASNs keep construction order and find() returns
+  // the same entry the old linear scan did.
+  std::stable_sort(by_asn_.begin(), by_asn_.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return net::value_of(ases_[a].asn) < net::value_of(ases_[b].asn);
+                   });
+}
 
 const AsPeerSet* TargetDataset::find(net::Asn asn) const noexcept {
-  for (const auto& as : ases_) {
-    if (as.asn == asn) return &as;
-  }
-  return nullptr;
+  const std::uint32_t key = net::value_of(asn);
+  const auto it = std::lower_bound(
+      by_asn_.begin(), by_asn_.end(), key,
+      [this](std::uint32_t index, std::uint32_t k) {
+        return net::value_of(ases_[index].asn) < k;
+      });
+  if (it == by_asn_.end() || net::value_of(ases_[*it].asn) != key) return nullptr;
+  return &ases_[*it];
 }
 
 DatasetBuilder::DatasetBuilder(const geodb::GeoDatabase& primary,
@@ -42,51 +118,132 @@ DatasetBuilder::DatasetBuilder(const geodb::GeoDatabase& primary,
                                const bgp::IpToAsMapper& mapper, DatasetConfig config)
     : primary_(primary), secondary_(secondary), mapper_(mapper), config_(config) {}
 
+namespace {
+
+/// One shard's private output: peer buckets in ASN order plus the partial
+/// per-sample drop counters.  No shard ever touches another's state.
+struct BuildShard {
+  std::map<std::uint32_t, AsPeerSet> by_as;
+  std::size_t missing_geo = 0;
+  std::size_t high_error = 0;
+  std::size_t unmapped_as = 0;
+};
+
+}  // namespace
+
 TargetDataset DatasetBuilder::build(std::span<const p2p::PeerSample> samples) const {
+  return build(samples, config_.threads);
+}
+
+TargetDataset DatasetBuilder::build(std::span<const p2p::PeerSample> samples,
+                                    std::size_t threads) const {
   DatasetStats stats;
   stats.raw_samples = samples.size();
+  auto& pool = util::ThreadPool::shared();
 
+  // Stage 1: shard the sample span into contiguous chunks; every worker
+  // geo-maps, error-filters and LPM-groups into its own BuildShard (the
+  // trie/table lookups are read-only, so the hot loop takes no locks).
+  // The ordered reduction then appends each shard's peers per AS in shard
+  // order — shard chunks are contiguous and in sample order, so the merged
+  // per-AS peer order is exactly the serial loop's, whatever `threads` is.
   std::map<std::uint32_t, AsPeerSet> by_as;
-  for (const auto& sample : samples) {
-    // Geo-map with both databases; require city-level records from both
-    // (the paper drops ~2.4 M peers lacking one).
-    const auto primary_record = primary_.lookup(sample.ip);
-    const auto secondary_record = secondary_.lookup(sample.ip);
-    if (!primary_record || !secondary_record) {
-      ++stats.missing_geo;
-      continue;
-    }
-    const double error_km =
-        geo::distance_km(primary_record->location, secondary_record->location);
-    if (error_km > config_.max_geo_error_km) {
-      ++stats.high_error;
-      continue;
-    }
-    const auto asn = mapper_.map(sample.ip);
-    if (!asn) {
-      ++stats.unmapped_as;
-      continue;
-    }
-    auto& set = by_as[net::value_of(*asn)];
-    set.asn = *asn;
-    set.peers.push_back(PeerRecord{sample.ip, sample.app, primary_record->location,
-                                   error_km, primary_record->city_id});
-  }
+  pool.parallel_map_reduce(
+      0, samples.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        BuildShard shard;
+        geodb::LookupMemo primary{primary_, config_.lookup_memo_slots};
+        geodb::LookupMemo secondary{secondary_, config_.lookup_memo_slots};
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto& sample = samples[i];
+          // Geo-map with both databases; require city-level records from
+          // both (the paper drops ~2.4 M peers lacking one).
+          const auto primary_record = primary.lookup(sample.ip);
+          const auto secondary_record = secondary.lookup(sample.ip);
+          if (!primary_record || !secondary_record) {
+            ++shard.missing_geo;
+            continue;
+          }
+          const double error_km =
+              geo::distance_km(primary_record->location, secondary_record->location);
+          if (error_km > config_.max_geo_error_km) {
+            ++shard.high_error;
+            continue;
+          }
+          const auto asn = mapper_.map(sample.ip);
+          if (!asn) {
+            ++shard.unmapped_as;
+            continue;
+          }
+          auto& set = shard.by_as[net::value_of(*asn)];
+          set.asn = *asn;
+          set.peers.push_back(PeerRecord{sample.ip, sample.app,
+                                         primary_record->location, error_km,
+                                         primary_record->city_id});
+        }
+        return shard;
+      },
+      [&](BuildShard shard) {
+        stats.missing_geo += shard.missing_geo;
+        stats.high_error += shard.high_error;
+        stats.unmapped_as += shard.unmapped_as;
+        for (auto& [asn_value, set] : shard.by_as) {
+          auto& merged = by_as[asn_value];
+          if (merged.peers.empty()) {
+            merged = std::move(set);
+          } else {
+            merged.peers.insert(merged.peers.end(),
+                                std::make_move_iterator(set.peers.begin()),
+                                std::make_move_iterator(set.peers.end()));
+          }
+        }
+      },
+      threads);
+
+  // Stage 2: the per-AS filter over the merged buckets.  Verdicts are
+  // independent per bucket, so they parallelize into disjoint slots; the
+  // counters and the kept list then accrue in ASN order below, exactly like
+  // the serial loop.
+  std::vector<AsPeerSet> buckets;
+  buckets.reserve(by_as.size());
+  for (auto& [asn_value, set] : by_as) buckets.push_back(std::move(set));
+
+  enum Verdict : std::uint8_t { kKeep, kBelowMinPeers, kAboveP90Error };
+  std::vector<std::uint8_t> verdicts(buckets.size(), kKeep);
+  pool.parallel_for(
+      0, buckets.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> scratch;  // one allocation per chunk, not per AS
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto& set = buckets[i];
+          if (set.peers.size() < config_.min_peers_per_as) {
+            verdicts[i] = kBelowMinPeers;
+            continue;
+          }
+          set.geo_errors(scratch);
+          if (util::percentile_in_place(scratch, 90.0) > config_.max_p90_geo_error_km) {
+            verdicts[i] = kAboveP90Error;
+          }
+        }
+      },
+      threads);
 
   std::vector<AsPeerSet> kept;
-  for (auto& [asn_value, set] : by_as) {
-    if (set.peers.size() < config_.min_peers_per_as) {
-      ++stats.ases_below_min_peers;
-      stats.peers_in_small_ases += set.peers.size();
-      continue;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    auto& set = buckets[i];
+    switch (verdicts[i]) {
+      case kBelowMinPeers:
+        ++stats.ases_below_min_peers;
+        stats.peers_in_small_ases += set.peers.size();
+        break;
+      case kAboveP90Error:
+        ++stats.ases_above_p90_error;
+        break;
+      default:
+        stats.final_peers += set.peers.size();
+        kept.push_back(std::move(set));
+        break;
     }
-    const auto errors = set.geo_errors();
-    if (util::percentile(errors, 90.0) > config_.max_p90_geo_error_km) {
-      ++stats.ases_above_p90_error;
-      continue;
-    }
-    stats.final_peers += set.peers.size();
-    kept.push_back(std::move(set));
   }
   stats.final_ases = kept.size();
   return TargetDataset{std::move(kept), stats};

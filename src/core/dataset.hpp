@@ -13,8 +13,10 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bgp/rib.hpp"
@@ -46,6 +48,10 @@ struct AsPeerSet {
   [[nodiscard]] std::size_t count_for(p2p::App app) const noexcept;
   [[nodiscard]] std::vector<geo::GeoPoint> locations() const;
   [[nodiscard]] std::vector<double> geo_errors() const;
+  /// Allocation-free variant: overwrites `out` (clearing first) so hot
+  /// loops — the builder's per-AS p90 filter — can reuse one scratch
+  /// buffer across ASes.
+  void geo_errors(std::vector<double>& out) const;
 };
 
 struct DatasetConfig {
@@ -55,6 +61,18 @@ struct DatasetConfig {
   std::size_t min_peers_per_as = 1000;
   /// Drop ASes whose 90th-percentile geo error exceeds this (§3.1).
   double max_p90_geo_error_km = 80.0;
+  /// Shard count for the dataset build: the sample span is split into this
+  /// many deterministic contiguous chunks over util::ThreadPool::shared(),
+  /// each chunk geo-maps/filters/LPM-groups into private state, and shards
+  /// are merged in shard order.  1 = serial, 0 = one shard per hardware
+  /// thread.  Results (peer order, stats, kept-AS list) are byte-identical
+  /// at any setting.
+  std::size_t threads = 1;
+  /// Per-shard direct-mapped memo over each geo database (see
+  /// geodb::LookupMemo); crawls re-observe IPs heavily, so this short-
+  /// circuits repeated lookups.  0 disables.  Never changes results:
+  /// lookups are deterministic per IP.
+  std::size_t lookup_memo_slots = 8192;
 };
 
 struct DatasetStats {
@@ -67,7 +85,19 @@ struct DatasetStats {
   std::size_t ases_above_p90_error = 0;
   std::size_t final_peers = 0;
   std::size_t final_ases = 0;
+
+  friend bool operator==(const DatasetStats&, const DatasetStats&) = default;
 };
+
+/// One-line "counter=value" rendering of every field, e.g. for logging.
+[[nodiscard]] std::string to_string(const DatasetStats& stats);
+/// Names the counters on which `actual` diverges from `expected`, or ""
+/// when equal — the determinism tests use it so a failure says *which*
+/// counter moved, not just that two opaque structs differ.
+[[nodiscard]] std::string diff_stats(const DatasetStats& expected,
+                                     const DatasetStats& actual);
+/// Streams to_string (this is what gtest prints on EXPECT_EQ failure).
+std::ostream& operator<<(std::ostream& os, const DatasetStats& stats);
 
 /// The conditioned dataset: one AsPeerSet per eligible eyeball AS.
 class TargetDataset {
@@ -75,11 +105,16 @@ class TargetDataset {
   TargetDataset(std::vector<AsPeerSet> ases, DatasetStats stats);
 
   [[nodiscard]] std::span<const AsPeerSet> ases() const noexcept { return ases_; }
+  /// O(log n) via the ASN-sorted index built at construction (the repro
+  /// benches call this per AS in loops); equivalent to a linear scan,
+  /// including returning the *first* entry on duplicate ASNs.
   [[nodiscard]] const AsPeerSet* find(net::Asn asn) const noexcept;
   [[nodiscard]] const DatasetStats& stats() const noexcept { return stats_; }
 
  private:
   std::vector<AsPeerSet> ases_;
+  /// Indices into ases_, stably sorted by ASN.
+  std::vector<std::uint32_t> by_asn_;
   DatasetStats stats_;
 };
 
@@ -88,7 +123,18 @@ class DatasetBuilder {
   DatasetBuilder(const geodb::GeoDatabase& primary, const geodb::GeoDatabase& secondary,
                  const bgp::IpToAsMapper& mapper, DatasetConfig config = {});
 
+  /// Sharded build (§2 conditioning) at the configured
+  /// DatasetConfig::threads.  Stage 1 splits the samples into contiguous
+  /// shards, each doing both geo lookups, the geo-error filter, and the LPM
+  /// grouping into private per-shard buckets + counters (lock-free); shards
+  /// merge in shard order, so per-AS peer order keeps the sample order.
+  /// Stage 2 applies the min-peers / p90 filter to the merged buckets in
+  /// parallel and folds verdicts in ASN order.  Output is byte-identical to
+  /// the serial loop at any thread count.
   [[nodiscard]] TargetDataset build(std::span<const p2p::PeerSample> samples) const;
+  /// Same with an explicit shard count (benchmark threads axis).
+  [[nodiscard]] TargetDataset build(std::span<const p2p::PeerSample> samples,
+                                    std::size_t threads) const;
 
  private:
   const geodb::GeoDatabase& primary_;

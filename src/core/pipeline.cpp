@@ -22,6 +22,11 @@ TargetDataset EyeballPipeline::build_dataset(
   return builder_.build(samples);
 }
 
+TargetDataset EyeballPipeline::build_dataset(std::span<const p2p::PeerSample> samples,
+                                             std::size_t threads) const {
+  return builder_.build(samples, threads);
+}
+
 AsAnalysis EyeballPipeline::analyze(const AsPeerSet& peers) const {
   return analyze(peers, config_.footprint.kde.bandwidth_km);
 }

@@ -46,7 +46,12 @@ class EyeballPipeline {
   [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
   [[nodiscard]] const gazetteer::Gazetteer& gazetteer() const noexcept { return gaz_; }
 
+  /// §2 conditioning, sharded at `DatasetConfig::threads` (see
+  /// DatasetBuilder::build — byte-identical at any thread count).
   [[nodiscard]] TargetDataset build_dataset(std::span<const p2p::PeerSample> samples) const;
+  /// Same with an explicit shard count (benchmark threads axis).
+  [[nodiscard]] TargetDataset build_dataset(std::span<const p2p::PeerSample> samples,
+                                            std::size_t threads) const;
 
   /// Classification + footprint + PoP footprint at the configured bandwidth.
   [[nodiscard]] AsAnalysis analyze(const AsPeerSet& peers) const;

@@ -37,6 +37,14 @@ class GeoDatabase {
 
   /// City-level record for `ip`, or nullopt when the database has no
   /// city-level entry (the paper drops ~2.4 M peers for this reason).
+  ///
+  /// Thread-safety contract: implementations must be safe for concurrent
+  /// `lookup` calls from multiple threads on the same const instance, and
+  /// repeated lookups of the same IP must return the same record — the
+  /// sharded dataset build fans lookups out over a thread pool and may
+  /// memoize per worker (see LookupMemo).  Both shipped implementations
+  /// satisfy this: lookups read only immutable state (tries, tables,
+  /// per-IP-seeded RNG streams).
   [[nodiscard]] virtual std::optional<GeoRecord> lookup(net::Ipv4Address ip) const = 0;
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;

@@ -1,0 +1,74 @@
+// Per-thread geo-lookup memo.
+//
+// Crawl samples carry heavy IP repetition (dynamic-IP churn re-observes the
+// same hosts across snapshots, and dense PoPs are sampled many times), so
+// the dataset build's two `GeoDatabase::lookup` calls per sample often re-do
+// work.  LookupMemo is a small direct-mapped cache over one database,
+// keyed by the exact IP: because `lookup` is required to be deterministic
+// per IP (see GeoDatabase), a hit returns byte-identical answers and the
+// memo is invisible to results at any size, including 0 (disabled).
+//
+// The memo itself is intentionally NOT thread-safe: each dataset-build
+// shard owns private memos, so the hot path stays lock-free.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geodb/geo_database.hpp"
+#include "net/ipv4.hpp"
+
+namespace eyeball::geodb {
+
+class LookupMemo {
+ public:
+  /// `slots` == 0 disables memoization (every lookup hits the database).
+  /// Other values are rounded up to a power of two for cheap indexing.
+  explicit LookupMemo(const GeoDatabase& db, std::size_t slots)
+      : db_(&db) {
+    if (slots == 0) return;
+    std::size_t rounded = 1;
+    while (rounded < slots) rounded <<= 1;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  [[nodiscard]] std::optional<GeoRecord> lookup(net::Ipv4Address ip) {
+    if (slots_.empty()) return db_->lookup(ip);
+    // Mix the high bits down so IPs from one allocation block spread over
+    // the table instead of fighting for one slot.
+    std::uint32_t h = ip.value();
+    h ^= h >> 16;
+    h *= 0x45d9f3bu;
+    h ^= h >> 16;
+    Slot& slot = slots_[h & mask_];
+    if (slot.used && slot.ip == ip) {
+      ++hits_;
+      return slot.record;
+    }
+    ++misses_;
+    slot.used = true;
+    slot.ip = ip;
+    slot.record = db_->lookup(ip);
+    return slot.record;
+  }
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Slot {
+    net::Ipv4Address ip;
+    std::optional<GeoRecord> record;
+    bool used = false;
+  };
+
+  const GeoDatabase* db_;
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace eyeball::geodb

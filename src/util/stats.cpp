@@ -44,15 +44,19 @@ double RunningStats::variance() const noexcept {
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 double percentile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  return percentile_in_place(sorted, q);
+}
+
+double percentile_in_place(std::span<double> values, double q) {
   if (values.empty()) throw std::invalid_argument{"percentile: empty sample"};
   if (q < 0.0 || q > 100.0) throw std::invalid_argument{"percentile: q outside [0,100]"};
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
-  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  std::sort(values.begin(), values.end());
+  const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const auto hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  return values[lo] + frac * (values[hi] - values[lo]);
 }
 
 double mean(std::span<const double> values) {

@@ -60,8 +60,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               std::size_t max_concurrency) {
   if (begin >= end) return;
   const std::size_t count = end - begin;
-  std::size_t ways = max_concurrency == 0 ? worker_count()
-                                          : std::min(max_concurrency, worker_count());
+  // The chunk count honors the *requested* concurrency, clamped only by the
+  // range — not by the pool size — so chunk boundaries (and anything that
+  // merges per-chunk state in order) are machine-independent.  Requesting
+  // more chunks than workers just queues them.
+  std::size_t ways = max_concurrency == 0 ? worker_count() : max_concurrency;
   ways = std::min(ways, count);
   if (ways <= 1 || on_worker_thread()) {
     body(begin, end);

@@ -2,11 +2,14 @@
 // paths (pipeline analysis, KDE convolution passes).
 //
 // Deliberately simple — no work stealing, no task priorities: a mutex-
-// protected queue, `submit` returning a std::future, and a blocking
-// `parallel_for` that splits an index range into contiguous chunks.  Each
-// chunk writes disjoint output and the chunk boundaries depend only on the
-// range and the requested concurrency, so parallel results are bit-identical
-// to the serial ones as long as each index's computation is independent.
+// protected queue, `submit` returning a std::future, a blocking
+// `parallel_for` that splits an index range into contiguous chunks, and a
+// `parallel_map_reduce` that additionally gives each chunk a private state
+// and folds the states back in chunk order (the shard-then-merge shape the
+// dataset build uses).  Each chunk writes disjoint output and the chunk
+// boundaries depend only on the range and the requested concurrency, so
+// parallel results are bit-identical to the serial ones as long as each
+// index's computation is independent.
 //
 // Nesting: a `parallel_for` issued from inside a worker thread runs inline
 // on that worker (no re-submission), which both avoids deadlocking a pool
@@ -58,6 +61,56 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t max_concurrency = 0);
+
+  /// Map/reduce over [begin, end): the range is split into the same
+  /// deterministic contiguous chunks as `parallel_for`, each chunk runs
+  /// `map(chunk_lo, chunk_hi)` on the pool into a private `State` (no shared
+  /// mutable data), and the caller then folds the states with
+  /// `reduce(state)` strictly in chunk order.  Because chunks are contiguous
+  /// and reduction is ordered, any reduce that concatenates or accumulates
+  /// per-index results reproduces the serial left-to-right fold exactly, at
+  /// any concurrency.  Runs inline (one chunk) when the effective
+  /// concurrency is 1, the range is empty, or the caller is a pool worker.
+  /// The first exception thrown by a map chunk is rethrown after all chunks
+  /// finished; reduce runs on the calling thread only.
+  template <typename Map, typename Reduce>
+  void parallel_map_reduce(std::size_t begin, std::size_t end, const Map& map,
+                           const Reduce& reduce, std::size_t max_concurrency = 0) {
+    using State = std::invoke_result_t<const Map&, std::size_t, std::size_t>;
+    if (begin >= end) return;
+    const std::size_t count = end - begin;
+    // Same machine-independent chunking rule as parallel_for: the requested
+    // concurrency alone (clamped by the range) decides the chunk boundaries,
+    // so the reduce sees identical shard slices on any pool size.
+    std::size_t ways = max_concurrency == 0 ? worker_count() : max_concurrency;
+    ways = std::min(ways, count);
+    if (ways <= 1 || on_worker_thread()) {
+      reduce(map(begin, end));
+      return;
+    }
+
+    const std::size_t chunk = (count + ways - 1) / ways;
+    std::vector<std::future<State>> futures;
+    futures.reserve(ways);
+    for (std::size_t w = 0; w < ways; ++w) {
+      const std::size_t lo = begin + w * chunk;
+      if (lo >= end) break;
+      const std::size_t hi = std::min(end, lo + chunk);
+      futures.push_back(submit([&map, lo, hi] { return map(lo, hi); }));
+    }
+
+    // Drain every chunk before rethrowing so no worker still touches the
+    // caller's captures when an exception unwinds.
+    std::exception_ptr first_error;
+    for (auto& future : futures) {
+      try {
+        reduce(future.get());
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
 
   /// True when called from one of any ThreadPool's worker threads.
   [[nodiscard]] static bool on_worker_thread() noexcept;

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
 
 #include "core/classifier.hpp"
 #include "util/rng.hpp"
@@ -106,6 +109,237 @@ TEST(AsPeerSet, AccessorsConsistent) {
   std::size_t total = 0;
   for (const auto app : p2p::kAllApps) total += as.count_for(app);
   EXPECT_EQ(total, as.peers.size());
+}
+
+TEST(AsPeerSet, GeoErrorsScratchOverloadMatchesAndReuses) {
+  const auto& f = shared_fixture();
+  std::vector<double> scratch{1.0, 2.0, 3.0};  // stale content must be cleared
+  for (const auto& as : f.dataset.ases()) {
+    as.geo_errors(scratch);
+    EXPECT_EQ(scratch, as.geo_errors());
+  }
+}
+
+TEST(Dataset, FindAgreesWithLinearScan) {
+  const auto& f = shared_fixture();
+  const auto scan = [&](net::Asn asn) -> const AsPeerSet* {
+    for (const auto& as : f.dataset.ases()) {
+      if (as.asn == asn) return &as;
+    }
+    return nullptr;
+  };
+  for (const auto& as : f.dataset.ases()) {
+    EXPECT_EQ(f.dataset.find(as.asn), scan(as.asn));
+  }
+  // Probe ASNs around every present one so misses exercise both lower_bound
+  // outcomes (between entries and past the end).
+  for (const auto& as : f.dataset.ases()) {
+    const auto value = net::value_of(as.asn);
+    for (const auto probe : {net::Asn{value - 1}, net::Asn{value + 1}}) {
+      EXPECT_EQ(f.dataset.find(probe), scan(probe)) << value;
+    }
+  }
+  EXPECT_EQ(f.dataset.find(net::Asn{4294900000u}), nullptr);
+}
+
+TEST(Dataset, FindReturnsFirstOfDuplicateAsns) {
+  AsPeerSet first;
+  first.asn = net::Asn{7};
+  first.peers.push_back({net::Ipv4Address{1}, p2p::App::kKad, {0.0, 0.0}, 0.0});
+  AsPeerSet second;
+  second.asn = net::Asn{7};
+  const TargetDataset dataset{{first, second}, DatasetStats{}};
+  ASSERT_NE(dataset.find(net::Asn{7}), nullptr);
+  EXPECT_EQ(dataset.find(net::Asn{7}), &dataset.ases()[0]);
+}
+
+TEST(DatasetStats, EqualityAndDiffNameDivergedCounters) {
+  const auto& f = shared_fixture();
+  DatasetStats a = f.dataset.stats();
+  DatasetStats b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(diff_stats(a, b), "");
+  b.high_error += 3;
+  b.final_peers += 1;
+  EXPECT_NE(a, b);
+  const auto diff = diff_stats(a, b);
+  EXPECT_NE(diff.find("high_error"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("final_peers"), std::string::npos) << diff;
+  EXPECT_EQ(diff.find("missing_geo"), std::string::npos) << diff;
+}
+
+TEST(DatasetStats, ToStringListsEveryCounter) {
+  DatasetStats stats;
+  stats.raw_samples = 12;
+  stats.final_ases = 3;
+  const auto text = to_string(stats);
+  EXPECT_NE(text.find("raw_samples=12"), std::string::npos) << text;
+  EXPECT_NE(text.find("final_ases=3"), std::string::npos) << text;
+  EXPECT_NE(text.find("ases_above_p90_error=0"), std::string::npos) << text;
+}
+
+// ---- Builder edge cases (pinned pre/post parallel rewrite) ----
+
+/// Answers every IP with one fixed record; pairs of these give every sample
+/// an exact, controllable inter-database error.
+class FixedGeoDatabase final : public geodb::GeoDatabase {
+ public:
+  FixedGeoDatabase(std::string name, geo::GeoPoint location)
+      : name_(std::move(name)), location_(location) {}
+  [[nodiscard]] std::optional<geodb::GeoRecord> lookup(net::Ipv4Address) const override {
+    return geodb::GeoRecord{"Rome", "Lazio", "IT", location_, gazetteer::kInvalidCity};
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+ private:
+  std::string name_;
+  geo::GeoPoint location_;
+};
+
+/// A database with no city-level record for any IP.
+class EmptyGeoDatabase final : public geodb::GeoDatabase {
+ public:
+  [[nodiscard]] std::optional<geodb::GeoRecord> lookup(net::Ipv4Address) const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "empty"; }
+};
+
+std::vector<p2p::PeerSample> samples_in(std::uint8_t first_octet, std::size_t count) {
+  std::vector<p2p::PeerSample> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({net::Ipv4Address{first_octet, 0, 0, static_cast<std::uint8_t>(i)},
+                   p2p::App::kKad});
+  }
+  return out;
+}
+
+bgp::RibSnapshot two_as_rib() {
+  return bgp::RibSnapshot{{
+      {net::Ipv4Prefix{net::Ipv4Address{10, 0, 0, 0}, 8}, {net::Asn{100}}},
+      {net::Ipv4Prefix{net::Ipv4Address{20, 0, 0, 0}, 8}, {net::Asn{200}}},
+  }};
+}
+
+TEST(DatasetBuilderEdge, EmptySampleSpan) {
+  const geo::GeoPoint rome{41.9, 12.5};
+  const FixedGeoDatabase primary{"a", rome};
+  const FixedGeoDatabase secondary{"b", rome};
+  const auto rib = two_as_rib();
+  const bgp::IpToAsMapper mapper{rib};
+  const DatasetBuilder builder{primary, secondary, mapper, {}};
+  const auto dataset = builder.build({});
+  EXPECT_TRUE(dataset.ases().empty());
+  EXPECT_EQ(dataset.stats(), DatasetStats{}) << to_string(dataset.stats());
+  EXPECT_EQ(dataset.find(net::Asn{100}), nullptr);
+}
+
+TEST(DatasetBuilderEdge, AllSamplesMissingGeo) {
+  const geo::GeoPoint rome{41.9, 12.5};
+  const FixedGeoDatabase primary{"a", rome};
+  const EmptyGeoDatabase secondary;
+  const auto rib = two_as_rib();
+  const bgp::IpToAsMapper mapper{rib};
+  const DatasetBuilder builder{primary, secondary, mapper, {}};
+  const auto dataset = builder.build(samples_in(10, 50));
+  EXPECT_TRUE(dataset.ases().empty());
+  EXPECT_EQ(dataset.stats().raw_samples, 50u);
+  EXPECT_EQ(dataset.stats().missing_geo, 50u);
+  EXPECT_EQ(dataset.stats().final_peers, 0u);
+}
+
+TEST(DatasetBuilderEdge, AllSamplesUnmapped) {
+  const geo::GeoPoint rome{41.9, 12.5};
+  const FixedGeoDatabase primary{"a", rome};
+  const FixedGeoDatabase secondary{"b", rome};
+  const auto rib = two_as_rib();
+  const bgp::IpToAsMapper mapper{rib};
+  const DatasetBuilder builder{primary, secondary, mapper, {}};
+  // 30.x.x.x is covered by neither RIB prefix.
+  const auto dataset = builder.build(samples_in(30, 40));
+  EXPECT_TRUE(dataset.ases().empty());
+  EXPECT_EQ(dataset.stats().unmapped_as, 40u);
+  EXPECT_EQ(dataset.stats().missing_geo, 0u);
+}
+
+TEST(DatasetBuilderEdge, AsExactlyAtMinPeersIsKept) {
+  const geo::GeoPoint rome{41.9, 12.5};
+  const FixedGeoDatabase primary{"a", rome};
+  const FixedGeoDatabase secondary{"b", rome};
+  const auto rib = two_as_rib();
+  const bgp::IpToAsMapper mapper{rib};
+  DatasetConfig config;
+  config.min_peers_per_as = 5;
+  const DatasetBuilder builder{primary, secondary, mapper, config};
+  auto samples = samples_in(10, 5);  // AS100: exactly the minimum
+  const auto below = samples_in(20, 4);  // AS200: one short
+  samples.insert(samples.end(), below.begin(), below.end());
+  const auto dataset = builder.build(samples);
+  ASSERT_EQ(dataset.ases().size(), 1u);
+  EXPECT_EQ(dataset.ases()[0].asn, net::Asn{100});
+  EXPECT_EQ(dataset.ases()[0].peers.size(), 5u);
+  EXPECT_EQ(dataset.stats().ases_below_min_peers, 1u);
+  EXPECT_EQ(dataset.stats().peers_in_small_ases, 4u);
+  EXPECT_EQ(dataset.stats().final_peers, 5u);
+  EXPECT_EQ(dataset.stats().final_ases, 1u);
+}
+
+TEST(DatasetBuilderEdge, P90ErrorBoundaryEqualityIsKept) {
+  // Both filters are strict '>': an AS whose p90 geo error equals the cap
+  // exactly must survive, and one epsilon below the cap must drop it.
+  const geo::GeoPoint rome{41.9, 12.5};
+  const geo::GeoPoint offset = geo::destination(rome, 90.0, 50.0);
+  const double error_km = geo::distance_km(rome, offset);
+  const FixedGeoDatabase primary{"a", rome};
+  const FixedGeoDatabase secondary{"b", offset};
+  const auto rib = two_as_rib();
+  const bgp::IpToAsMapper mapper{rib};
+
+  DatasetConfig config;
+  config.min_peers_per_as = 3;
+  config.max_geo_error_km = error_km;  // per-IP filter passes on equality too
+  config.max_p90_geo_error_km = error_km;
+  const auto samples = samples_in(10, 8);
+  const auto kept = DatasetBuilder{primary, secondary, mapper, config}.build(samples);
+  ASSERT_EQ(kept.ases().size(), 1u);
+  EXPECT_EQ(kept.stats().ases_above_p90_error, 0u);
+  for (const auto& peer : kept.ases()[0].peers) {
+    EXPECT_EQ(peer.geo_error_km, error_km);
+  }
+
+  config.max_p90_geo_error_km = std::nextafter(error_km, 0.0);
+  const auto dropped = DatasetBuilder{primary, secondary, mapper, config}.build(samples);
+  EXPECT_TRUE(dropped.ases().empty());
+  EXPECT_EQ(dropped.stats().ases_above_p90_error, 1u);
+  EXPECT_EQ(dropped.stats().final_peers, 0u);
+}
+
+TEST(DatasetBuilderEdge, EdgeCasesIdenticalWhenSharded) {
+  // The edge paths (empty buckets, boundary equality) through the sharded
+  // build at several thread counts.
+  const geo::GeoPoint rome{41.9, 12.5};
+  const FixedGeoDatabase primary{"a", rome};
+  const FixedGeoDatabase secondary{"b", rome};
+  const auto rib = two_as_rib();
+  const bgp::IpToAsMapper mapper{rib};
+  DatasetConfig config;
+  config.min_peers_per_as = 5;
+  const DatasetBuilder builder{primary, secondary, mapper, config};
+  auto samples = samples_in(10, 5);
+  const auto below = samples_in(20, 4);
+  samples.insert(samples.end(), below.begin(), below.end());
+  const auto serial = builder.build(samples, 1);
+  for (const std::size_t threads : {2u, 4u, 0u}) {
+    const auto parallel = builder.build(samples, threads);
+    EXPECT_EQ(serial.stats(), parallel.stats())
+        << diff_stats(serial.stats(), parallel.stats());
+    ASSERT_EQ(parallel.ases().size(), serial.ases().size());
+    for (std::size_t i = 0; i < serial.ases().size(); ++i) {
+      EXPECT_EQ(serial.ases()[i].asn, parallel.ases()[i].asn);
+      EXPECT_EQ(serial.ases()[i].peers.size(), parallel.ases()[i].peers.size());
+    }
+  }
 }
 
 // ---- Classification (§2, >95% rule) ----

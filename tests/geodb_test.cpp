@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "gazetteer/gazetteer.hpp"
+#include "geodb/lookup_memo.hpp"
 #include "geodb/synthetic_db.hpp"
 #include "topology/generator.hpp"
 #include "topology/ground_truth.hpp"
@@ -207,6 +208,51 @@ TEST(SyntheticGeoDatabase, NameIsExposed) {
   const auto& f = fixture();
   const SyntheticGeoDatabase db{"GeoIP-City-like", f.truth, {}, 1};
   EXPECT_EQ(db.name(), "GeoIP-City-like");
+}
+
+TEST(LookupMemo, AnswersMatchDatabaseIncludingMisses) {
+  const auto& f = fixture();
+  const SyntheticGeoDatabase db{"memoized", f.truth, {}, 21};
+  LookupMemo memo{db, 64};  // tiny, to force evictions
+  auto ips = f.sample_ips(400);
+  ips.push_back(net::Ipv4Address{203, 0, 113, 1});  // unallocated: no record
+  // Each IP is queried twice back-to-back (a guaranteed hit even after
+  // collisions evict older slots) while cycling 400 IPs through 64 slots
+  // keeps evictions and overwrites in play.
+  for (int round = 0; round < 2; ++round) {
+    for (const auto ip : ips) {
+      const auto direct = db.lookup(ip);
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        const auto memoized = memo.lookup(ip);
+        ASSERT_EQ(direct.has_value(), memoized.has_value()) << ip.to_string();
+        if (direct) {
+          EXPECT_EQ(direct->city, memoized->city);
+          EXPECT_EQ(direct->location, memoized->location);
+          EXPECT_EQ(direct->city_id, memoized->city_id);
+        }
+      }
+    }
+  }
+  EXPECT_GT(memo.hits(), 0u);
+  EXPECT_GT(memo.misses(), 0u);
+}
+
+TEST(LookupMemo, ZeroSlotsDisablesCaching) {
+  const auto& f = fixture();
+  const SyntheticGeoDatabase db{"uncached", f.truth, {}, 22};
+  LookupMemo memo{db, 0};
+  const auto ips = f.sample_ips(16);
+  for (int round = 0; round < 2; ++round) {
+    for (const auto ip : ips) {
+      const auto direct = db.lookup(ip);
+      const auto memoized = memo.lookup(ip);
+      ASSERT_EQ(direct.has_value(), memoized.has_value());
+      if (direct) {
+        EXPECT_EQ(direct->location, memoized->location);
+      }
+    }
+  }
+  EXPECT_EQ(memo.hits(), 0u);
 }
 
 }  // namespace

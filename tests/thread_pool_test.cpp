@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <numeric>
+#include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/multi_bandwidth.hpp"
@@ -84,6 +86,31 @@ TEST(ThreadPool, ParallelForRespectsMaxConcurrency) {
   EXPECT_LE(chunks.load(), 3);
 }
 
+TEST(ThreadPool, ChunkCountIndependentOfPoolSize) {
+  // Chunk boundaries must depend only on the range and the requested
+  // concurrency, never on how many workers happen to exist — a 1-worker
+  // pool asked for 4 chunks still produces 4 (queued) chunks, so the
+  // sharded merge order is identical on any machine.
+  util::ThreadPool pool{1};
+  std::atomic<int> chunks{0};
+  pool.parallel_for(
+      0, 1000, [&](std::size_t, std::size_t) { ++chunks; }, 4);
+  EXPECT_EQ(chunks.load(), 4);
+
+  std::vector<std::pair<std::size_t, std::size_t>> seen;
+  pool.parallel_map_reduce(
+      0, 1000,
+      [](std::size_t lo, std::size_t hi) { return std::make_pair(lo, hi); },
+      [&](std::pair<std::size_t, std::size_t> bounds) { seen.push_back(bounds); },
+      4);
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen.front().first, 0u);
+  EXPECT_EQ(seen.back().second, 1000u);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].first, seen[i - 1].second);
+  }
+}
+
 TEST(ThreadPool, NestedParallelForRunsInlineOnWorker) {
   util::ThreadPool pool{2};
   std::atomic<int> inner_chunks{0};
@@ -100,6 +127,69 @@ TEST(ThreadPool, NestedParallelForRunsInlineOnWorker) {
     }
   });
   EXPECT_EQ(inner_chunks.load(), 4);
+}
+
+TEST(ThreadPool, MapReduceSumMatchesSerial) {
+  util::ThreadPool pool{4};
+  constexpr std::size_t kCount = 10000;
+  long long total = 0;
+  pool.parallel_map_reduce(
+      0, kCount,
+      [](std::size_t lo, std::size_t hi) {
+        long long sum = 0;
+        for (std::size_t i = lo; i < hi; ++i) sum += static_cast<long long>(i);
+        return sum;
+      },
+      [&](long long chunk_sum) { total += chunk_sum; });
+  EXPECT_EQ(total, static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+TEST(ThreadPool, MapReduceReducesInChunkOrder) {
+  util::ThreadPool pool{4};
+  // Each chunk returns its own bounds; the ordered reduction must see them
+  // left-to-right and covering the range exactly once, however the chunks
+  // were scheduled.
+  std::vector<std::pair<std::size_t, std::size_t>> seen;
+  pool.parallel_map_reduce(
+      5, 505,
+      [](std::size_t lo, std::size_t hi) { return std::make_pair(lo, hi); },
+      [&](std::pair<std::size_t, std::size_t> bounds) { seen.push_back(bounds); });
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front().first, 5u);
+  EXPECT_EQ(seen.back().second, 505u);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].first, seen[i - 1].second);
+  }
+}
+
+TEST(ThreadPool, MapReduceEmptyRangeAndConcurrencyOne) {
+  util::ThreadPool pool{4};
+  int reduces = 0;
+  pool.parallel_map_reduce(
+      3, 3, [](std::size_t, std::size_t) { return 0; }, [&](int) { ++reduces; });
+  EXPECT_EQ(reduces, 0);
+  // max_concurrency 1 runs inline as a single chunk.
+  pool.parallel_map_reduce(
+      0, 100, [](std::size_t lo, std::size_t hi) { return hi - lo; },
+      [&](std::size_t n) {
+        EXPECT_EQ(n, 100u);
+        ++reduces;
+      },
+      1);
+  EXPECT_EQ(reduces, 1);
+}
+
+TEST(ThreadPool, MapReducePropagatesMapException) {
+  util::ThreadPool pool{4};
+  EXPECT_THROW(
+      pool.parallel_map_reduce(
+          0, 100,
+          [](std::size_t lo, std::size_t) -> int {
+            if (lo == 0) throw std::invalid_argument{"chunk 0"};
+            return 0;
+          },
+          [](int) {}),
+      std::invalid_argument);
 }
 
 std::vector<geo::GeoPoint> scattered_points(std::size_t count, std::uint64_t seed) {
@@ -198,6 +288,54 @@ TEST(ParallelPipeline, AnalyzeAllMatchesSerialOnSyntheticTopology) {
           << "threads=" << threads << " as index " << i;
     }
   }
+}
+
+void expect_same_dataset(const core::TargetDataset& reference,
+                         const core::TargetDataset& candidate, std::size_t threads) {
+  EXPECT_EQ(reference.stats(), candidate.stats())
+      << "threads=" << threads << " diverged: "
+      << core::diff_stats(reference.stats(), candidate.stats());
+  ASSERT_EQ(reference.ases().size(), candidate.ases().size()) << "threads=" << threads;
+  for (std::size_t a = 0; a < reference.ases().size(); ++a) {
+    const auto& ra = reference.ases()[a];
+    const auto& ca = candidate.ases()[a];
+    EXPECT_EQ(ra.asn, ca.asn) << "threads=" << threads << " as index " << a;
+    ASSERT_EQ(ra.peers.size(), ca.peers.size())
+        << "threads=" << threads << " as index " << a;
+    for (std::size_t p = 0; p < ra.peers.size(); ++p) {
+      const auto& rp = ra.peers[p];
+      const auto& cp = ca.peers[p];
+      const bool same = rp.ip == cp.ip && rp.app == cp.app &&
+                        rp.location == cp.location &&
+                        rp.geo_error_km == cp.geo_error_km &&
+                        rp.reported_city == cp.reported_city;
+      EXPECT_TRUE(same) << "threads=" << threads << " as index " << a << " peer " << p;
+      if (!same) return;
+    }
+  }
+}
+
+TEST(ParallelDataset, ShardedBuildByteIdenticalAcrossThreadCounts) {
+  const auto& fixture = testing::shared_fixture();
+  const auto samples = std::span<const p2p::PeerSample>{fixture.crawl.samples};
+
+  const auto reference = fixture.pipeline.build_dataset(samples, 1);
+  // The serial shard path is the fixture dataset's own build.
+  expect_same_dataset(fixture.dataset, reference, 1);
+
+  for (const std::size_t threads : {2u, 3u, 4u, 0u}) {
+    expect_same_dataset(reference, fixture.pipeline.build_dataset(samples, threads),
+                        threads);
+  }
+}
+
+TEST(ParallelDataset, LookupMemoInvisibleToResults) {
+  const auto& fixture = testing::shared_fixture();
+  core::DatasetConfig no_memo = fixture.pipeline.config().dataset;
+  no_memo.lookup_memo_slots = 0;
+  const core::DatasetBuilder builder{fixture.primary, fixture.secondary,
+                                     fixture.mapper, no_memo};
+  expect_same_dataset(fixture.dataset, builder.build(fixture.crawl.samples, 4), 4);
 }
 
 TEST(ParallelPipeline, MultiBandwidthRefineMatchesSerial) {

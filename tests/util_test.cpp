@@ -277,6 +277,19 @@ TEST(Percentile, RejectsBadInput) {
   EXPECT_THROW(percentile(one, 101), std::invalid_argument);
 }
 
+TEST(Percentile, InPlaceMatchesCopyingVariantAndSorts) {
+  const std::vector<double> values{7, 3, 9, 1, 5, 5, 2};
+  for (const double q : {0.0, 10.0, 50.0, 90.0, 100.0}) {
+    std::vector<double> scratch = values;
+    EXPECT_DOUBLE_EQ(percentile_in_place(scratch, q), percentile(values, q)) << q;
+    EXPECT_TRUE(std::is_sorted(scratch.begin(), scratch.end()));
+  }
+  std::vector<double> empty;
+  EXPECT_THROW((void)percentile_in_place(empty, 50), std::invalid_argument);
+  std::vector<double> one{1.0};
+  EXPECT_THROW((void)percentile_in_place(one, 101), std::invalid_argument);
+}
+
 TEST(MeanMedian, Basic) {
   const std::vector<double> values{1, 2, 3, 4, 100};
   EXPECT_DOUBLE_EQ(mean(values), 22.0);
