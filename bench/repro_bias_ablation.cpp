@@ -41,7 +41,8 @@ BiasOutcome evaluate(const bench::World& world) {
       }
     }
   }
-  outcome.pop_recall = total == 0 ? 0.0 : static_cast<double>(found) / total;
+  outcome.pop_recall =
+      total == 0 ? 0.0 : static_cast<double>(found) / static_cast<double>(total);
   outcome.score_error = score_error.mean();
   return outcome;
 }

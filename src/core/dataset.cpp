@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "geodb/lookup_memo.hpp"
+#include "util/check.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -207,6 +208,14 @@ TargetDataset DatasetBuilder::build(std::span<const p2p::PeerSample> samples,
   std::vector<AsPeerSet> buckets;
   buckets.reserve(by_as.size());
   for (auto& [asn_value, set] : by_as) buckets.push_back(std::move(set));
+  // The kept-AS list below inherits its order from this vector; it must be
+  // ASN-ascending (the std::map guarantees it today) or the final dataset
+  // ceases to be byte-identical to the serial build.
+  EYEBALL_DCHECK(std::is_sorted(buckets.begin(), buckets.end(),
+                                [](const AsPeerSet& a, const AsPeerSet& b) {
+                                  return net::value_of(a.asn) < net::value_of(b.asn);
+                                }),
+                 "merged AS buckets must stay in ascending ASN order");
 
   enum Verdict : std::uint8_t { kKeep, kBelowMinPeers, kAboveP90Error };
   std::vector<std::uint8_t> verdicts(buckets.size(), kKeep);

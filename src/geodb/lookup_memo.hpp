@@ -18,6 +18,7 @@
 
 #include "geodb/geo_database.hpp"
 #include "net/ipv4.hpp"
+#include "util/check.hpp"
 
 namespace eyeball::geodb {
 
@@ -32,6 +33,10 @@ class LookupMemo {
     while (rounded < slots) rounded <<= 1;
     slots_.resize(rounded);
     mask_ = rounded - 1;
+    // The `h & mask_` slot index below is only uniform (and in range) when
+    // the table size stays a power of two.
+    EYEBALL_DCHECK((slots_.size() & mask_) == 0 && slots_.size() == mask_ + 1,
+                   "memo table size must be a power of two");
   }
 
   [[nodiscard]] std::optional<GeoRecord> lookup(net::Ipv4Address ip) {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace eyeball::kde {
@@ -13,6 +14,7 @@ namespace {
 
 /// Normalized, truncated 1-D Gaussian taps for a given sigma (in cells).
 std::vector<double> make_kernel(double sigma_cells, double truncate_sigmas) {
+  EYEBALL_DCHECK(sigma_cells > 0.0, "kernel sigma must be positive (NaN taps otherwise)");
   const auto radius = static_cast<std::size_t>(std::ceil(sigma_cells * truncate_sigmas));
   std::vector<double> taps(2 * radius + 1);
   double sum = 0.0;
@@ -107,6 +109,7 @@ DensityGrid KernelDensityEstimator::estimate(std::span<const geo::GeoPoint> poin
     const double sigma_cells =
         config_.bandwidth_km / std::max(1e-6, grid.cell_width_km(r));
     const long key = std::max(1L, std::lround(sigma_cells * 64.0));
+    EYEBALL_DCHECK(key >= 1, "quantized kernel cache key must stay >= 1");
     auto it = kernel_cache.find(key);
     if (it == kernel_cache.end()) {
       it = kernel_cache

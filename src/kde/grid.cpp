@@ -15,20 +15,29 @@ DensityGrid::DensityGrid(const geo::BoundingBox& box, double cell_km,
   const double lon_scale = std::max(1.0, geo::km_per_degree_lon(mid_lat));
 
   // Grow the cell size if the requested resolution would blow the budget.
+  // The budget comparison happens in double, before any float->int cast: a
+  // tiny cell_km can make want_rows*want_cols exceed SIZE_MAX, and casting
+  // such a value to size_t is undefined behaviour.
   for (;;) {
     dlat_deg_ = cell_km_ / geo::kKmPerDegreeLat;
     dlon_deg_ = cell_km_ / lon_scale;
-    const double want_rows = std::ceil((box.max_lat() - box.min_lat()) / dlat_deg_);
-    const double want_cols = std::ceil((box.max_lon() - box.min_lon()) / dlon_deg_);
-    rows_ = std::max<std::size_t>(1, static_cast<std::size_t>(want_rows));
-    cols_ = std::max<std::size_t>(1, static_cast<std::size_t>(want_cols));
-    if (rows_ * cols_ <= max_cells) break;
+    const double want_rows =
+        std::max(1.0, std::ceil((box.max_lat() - box.min_lat()) / dlat_deg_));
+    const double want_cols =
+        std::max(1.0, std::ceil((box.max_lon() - box.min_lon()) / dlon_deg_));
+    if (want_rows * want_cols <= static_cast<double>(max_cells)) {
+      rows_ = static_cast<std::size_t>(want_rows);
+      cols_ = static_cast<std::size_t>(want_cols);
+      break;
+    }
     cell_km_ *= 1.5;
   }
+  EYEBALL_DCHECK(rows_ * cols_ <= max_cells, "cell budget violated after coarsening");
   values_.assign(rows_ * cols_, 0.0);
 }
 
 geo::GeoPoint DensityGrid::center_of(std::size_t row, std::size_t col) const noexcept {
+  EYEBALL_DCHECK(row < rows_ && col < cols_, "cell center queried out of bounds");
   return {box_.min_lat() + (static_cast<double>(row) + 0.5) * dlat_deg_,
           box_.min_lon() + (static_cast<double>(col) + 0.5) * dlon_deg_};
 }
@@ -44,6 +53,7 @@ std::optional<std::pair<std::size_t, std::size_t>> DensityGrid::cell_of(
 }
 
 double DensityGrid::row_lat(std::size_t row) const noexcept {
+  EYEBALL_DCHECK(row < rows_, "row latitude queried out of bounds");
   return box_.min_lat() + (static_cast<double>(row) + 0.5) * dlat_deg_;
 }
 

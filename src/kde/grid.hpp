@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "geo/point.hpp"
+#include "util/check.hpp"
 
 namespace eyeball::kde {
 
@@ -29,9 +30,11 @@ class DensityGrid {
   [[nodiscard]] double cell_km() const noexcept { return cell_km_; }
 
   [[nodiscard]] double value(std::size_t row, std::size_t col) const {
+    EYEBALL_DCHECK(row < rows_ && col < cols_, "grid read out of bounds");
     return values_[row * cols_ + col];
   }
   [[nodiscard]] double& at(std::size_t row, std::size_t col) {
+    EYEBALL_DCHECK(row < rows_ && col < cols_, "grid write out of bounds");
     return values_[row * cols_ + col];
   }
   [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }

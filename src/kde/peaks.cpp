@@ -5,6 +5,8 @@
 #include <numbers>
 #include <queue>
 
+#include "util/check.hpp"
+
 namespace eyeball::kde {
 namespace {
 
@@ -19,6 +21,11 @@ double parabolic_offset(double left, double center, double right) noexcept {
 }  // namespace
 
 std::vector<Peak> find_peaks(const DensityGrid& grid, const PeakConfig& config) {
+  // Paper §4.1 keeps peaks with D > alpha * Dmax; alpha outside (0, 1] keeps
+  // everything or nothing and signals a mis-wired caller, not a valid run.
+  EYEBALL_DCHECK(config.alpha > 0.0 && config.alpha <= 1.0,
+                 "peak threshold alpha must lie in (0, 1]");
+  EYEBALL_DCHECK(config.bandwidth_km > 0.0, "peak score needs a positive bandwidth");
   const auto max = grid.max_cell();
   if (!max) return {};
   const double threshold = config.alpha * max->value;

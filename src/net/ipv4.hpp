@@ -11,6 +11,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/check.hpp"
+
 namespace eyeball::net {
 
 /// An IPv4 address stored as a host-order 32-bit integer.
@@ -25,10 +27,12 @@ class Ipv4Address {
 
   [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
   [[nodiscard]] constexpr std::uint8_t octet(int index) const noexcept {
+    EYEBALL_DCHECK(index >= 0 && index < 4, "octet index outside [0, 3] shifts UB");
     return static_cast<std::uint8_t>(value_ >> (8 * (3 - index)));
   }
   /// Bit `i` counted from the most significant (bit 0 = 128.0.0.0).
   [[nodiscard]] constexpr bool bit(int i) const noexcept {
+    EYEBALL_DCHECK(i >= 0 && i < 32, "bit index outside [0, 31] shifts UB");
     return ((value_ >> (31 - i)) & 1U) != 0;
   }
 
@@ -49,7 +53,9 @@ class Ipv4Prefix {
   /// Canonicalizes: host bits of `address` beyond `length` are cleared.
   constexpr Ipv4Prefix(Ipv4Address address, int length) noexcept
       : address_(Ipv4Address{length == 0 ? 0 : (address.value() & mask_for(length))}),
-        length_(length) {}
+        length_(length) {
+    EYEBALL_DCHECK(length >= 0 && length <= 32, "prefix length outside [0, 32]");
+  }
 
   [[nodiscard]] constexpr Ipv4Address address() const noexcept { return address_; }
   [[nodiscard]] constexpr int length() const noexcept { return length_; }
@@ -73,9 +79,11 @@ class Ipv4Prefix {
 
   /// The two halves of this prefix (length + 1).  Valid for length < 32.
   [[nodiscard]] constexpr Ipv4Prefix lower_half() const noexcept {
+    EYEBALL_DCHECK(length_ < 32, "a /32 has no halves");
     return {address_, length_ + 1};
   }
   [[nodiscard]] constexpr Ipv4Prefix upper_half() const noexcept {
+    EYEBALL_DCHECK(length_ < 32, "a /32 has no halves");
     return {Ipv4Address{address_.value() | (1U << (31 - length_))}, length_ + 1};
   }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/ipv4.hpp"
+#include "util/check.hpp"
 
 namespace eyeball::net {
 
@@ -23,6 +24,11 @@ class PrefixTrie {
   /// Inserts or overwrites the value at `prefix`.  Returns true if a new
   /// entry was created, false if an existing one was replaced.
   bool insert(const Ipv4Prefix& prefix, Value value) {
+    // Ipv4Prefix's constructor canonicalizes, so a non-canonical prefix here
+    // means someone bypassed it (e.g. a future binary-deserialization path);
+    // the trie walk below silently files the entry under the wrong subtree.
+    EYEBALL_DCHECK((prefix.address().value() & ~prefix.netmask()) == 0,
+                   "trie keys must be canonical (host bits zeroed)");
     std::uint32_t node = 0;
     for (int depth = 0; depth < prefix.length(); ++depth) {
       const int branch = prefix.address().bit(depth) ? 1 : 0;
@@ -124,6 +130,7 @@ class PrefixTrie {
 
   template <typename Visitor>
   void walk(std::uint32_t node, Ipv4Prefix prefix, Visitor& visit) const {
+    EYEBALL_DCHECK(node < nodes_.size(), "trie arena index out of range");
     if (nodes_[node].value.has_value()) visit(prefix, *nodes_[node].value);
     if (prefix.length() == 32) return;
     if (nodes_[node].children[0] != kNull) {

@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace eyeball::util {
 
 /// splitmix64 step: used for seeding and for cheap stateless hashing.
@@ -90,6 +92,7 @@ class Rng {
 
   /// Uniform integer in [0, n).  n must be > 0.
   [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    EYEBALL_DCHECK(n > 0, "uniform_index over an empty range divides by zero");
     // Lemire's unbiased bounded generation.
     std::uint64_t x = (*this)();
     __uint128_t m = static_cast<__uint128_t>(x) * n;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace eyeball::util {
 
 void RunningStats::add(double x) noexcept {
@@ -50,10 +52,16 @@ double percentile(std::span<const double> values, double q) {
 
 double percentile_in_place(std::span<double> values, double q) {
   if (values.empty()) throw std::invalid_argument{"percentile: empty sample"};
-  if (q < 0.0 || q > 100.0) throw std::invalid_argument{"percentile: q outside [0,100]"};
+  // The negated comparison also rejects NaN: a NaN q would sail through
+  // `q < 0 || q > 100`, poison `rank`, and hit the float->int cast below
+  // (undefined behaviour for NaN).
+  if (!(q >= 0.0 && q <= 100.0)) {
+    throw std::invalid_argument{"percentile: q outside [0,100]"};
+  }
   std::sort(values.begin(), values.end());
   const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
+  EYEBALL_DCHECK(lo < values.size(), "percentile rank landed outside the sample");
   const auto hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return values[lo] + frac * (values[hi] - values[lo]);
@@ -79,7 +87,7 @@ double EmpiricalCdf::at(double x) const noexcept {
 }
 
 double EmpiricalCdf::quantile(double q) const {
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"EmpiricalCdf::quantile"};
+  if (!(q >= 0.0 && q <= 1.0)) throw std::invalid_argument{"EmpiricalCdf::quantile"};
   return percentile(sorted_, q * 100.0);
 }
 
@@ -95,10 +103,13 @@ std::vector<EmpiricalCdf::Point> EmpiricalCdf::trace(double lo, double hi,
   return points;
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  // Validate before deriving width_ so the member never holds a 0-division
+  // artifact (bins == 0) or a NaN (inverted/NaN bounds), even transiently.
   if (bins == 0) throw std::invalid_argument{"Histogram: bins must be positive"};
   if (!(hi > lo)) throw std::invalid_argument{"Histogram: hi must exceed lo"};
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0.0);
 }
 
 void Histogram::add(double x, double weight) noexcept {
@@ -116,6 +127,7 @@ void Histogram::add(double x, double weight) noexcept {
   auto bin = static_cast<std::size_t>((x - lo_) / width_);
   // x just below hi_ can round into bin == size() through the division.
   bin = std::min(bin, counts_.size() - 1);
+  EYEBALL_DCHECK(bin < counts_.size(), "histogram bin index out of range");
   counts_[bin] += weight;
 }
 

@@ -95,7 +95,7 @@ class Histogram {
  private:
   double lo_;
   double hi_;
-  double width_;
+  double width_ = 0.0;
   double total_ = 0.0;
   double underflow_ = 0.0;
   double overflow_ = 0.0;

@@ -72,14 +72,20 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
 
   const std::size_t chunk = (count + ways - 1) / ways;
+  EYEBALL_DCHECK(chunk > 0, "parallel_for chunking degenerated to empty chunks");
   std::vector<std::future<void>> futures;
   futures.reserve(ways);
+  [[maybe_unused]] std::size_t previous_hi = begin;
   for (std::size_t w = 0; w < ways; ++w) {
     const std::size_t lo = begin + w * chunk;
     if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk);
+    EYEBALL_DCHECK(lo == previous_hi && lo < hi && hi <= end,
+                   "chunks must tile the range contiguously and in order");
+    previous_hi = hi;
     futures.push_back(submit([&body, lo, hi] { body(lo, hi); }));
   }
+  EYEBALL_DCHECK(previous_hi == end, "chunks must cover the whole range");
 
   std::exception_ptr first_error;
   for (auto& future : futures) {

@@ -19,6 +19,8 @@
 
 #include <condition_variable>
 #include <cstddef>
+
+#include "util/check.hpp"
 #include <deque>
 #include <functional>
 #include <future>
@@ -90,14 +92,22 @@ class ThreadPool {
     }
 
     const std::size_t chunk = (count + ways - 1) / ways;
+    EYEBALL_DCHECK(chunk > 0, "map/reduce chunking degenerated to empty shards");
     std::vector<std::future<State>> futures;
     futures.reserve(ways);
+    [[maybe_unused]] std::size_t previous_hi = begin;
     for (std::size_t w = 0; w < ways; ++w) {
       const std::size_t lo = begin + w * chunk;
       if (lo >= end) break;
       const std::size_t hi = std::min(end, lo + chunk);
+      // The ordered reduce below is only byte-identical to the serial fold
+      // if shards tile [begin, end) contiguously, in order, with no overlap.
+      EYEBALL_DCHECK(lo == previous_hi && lo < hi && hi <= end,
+                     "shards must tile the range contiguously and in order");
+      previous_hi = hi;
       futures.push_back(submit([&map, lo, hi] { return map(lo, hi); }));
     }
+    EYEBALL_DCHECK(previous_hi == end, "shards must cover the whole range");
 
     // Drain every chunk before rethrowing so no worker still touches the
     // caller's captures when an exception unwinds.

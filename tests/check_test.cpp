@@ -1,0 +1,67 @@
+// EYEBALL_DCHECK behavior: compiled out in optimized builds (the condition
+// is never evaluated), aborts with a diagnostic in Debug/sanitized builds.
+// The death tests run under the check.sh sanitizer gates, where DCHECKs are
+// forced on; in the fast tier-1 build they skip.
+#include <gtest/gtest.h>
+
+#include "geo/point.hpp"
+#include "kde/grid.hpp"
+#include "kde/peaks.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace eyeball {
+namespace {
+
+TEST(Dcheck, PassingConditionIsQuiet) {
+  EYEBALL_DCHECK(2 + 2 == 4, "arithmetic still works");
+  SUCCEED();
+}
+
+TEST(Dcheck, ConditionNotEvaluatedWhenCompiledOut) {
+  if (util::dchecks_enabled()) {
+    GTEST_SKIP() << "dchecks are active in this build";
+  }
+  int evaluations = 0;
+  // "unused" when the macro compiles out — which is exactly the point.
+  [[maybe_unused]] const auto count_and_fail = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  EYEBALL_DCHECK(count_and_fail(), "must not run in optimized builds");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(DcheckDeathTest, FailingConditionAbortsWithDiagnostic) {
+  if (!util::dchecks_enabled()) {
+    GTEST_SKIP() << "dchecks compiled out of this build";
+  }
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(EYEBALL_DCHECK(1 == 2, "forced failure"),
+               "EYEBALL_DCHECK failed.*forced failure");
+}
+
+TEST(DcheckDeathTest, PeakAlphaContractEnforced) {
+  if (!util::dchecks_enabled()) {
+    GTEST_SKIP() << "dchecks compiled out of this build";
+  }
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const geo::BoundingBox box{40.0, 42.0, 10.0, 13.0};
+  kde::DensityGrid grid{box, 10.0};
+  kde::PeakConfig config;
+  config.alpha = 0.0;
+  EXPECT_DEATH((void)kde::find_peaks(grid, config), "alpha must lie in \\(0, 1\\]");
+}
+
+TEST(DcheckDeathTest, GridBoundsContractEnforced) {
+  if (!util::dchecks_enabled()) {
+    GTEST_SKIP() << "dchecks compiled out of this build";
+  }
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const geo::BoundingBox box{40.0, 42.0, 10.0, 13.0};
+  const kde::DensityGrid grid{box, 10.0};
+  EXPECT_DEATH((void)grid.value(grid.rows(), 0), "grid read out of bounds");
+}
+
+}  // namespace
+}  // namespace eyeball

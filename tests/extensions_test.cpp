@@ -267,7 +267,9 @@ TEST(IxpAnalysis, GeneratedWorldShowsEuropeanRemotePeering) {
   // Remote membership share is highest in Europe.
   const auto remote_share = [](const connectivity::ContinentPeeringProfile& p) {
     const auto total = p.local_memberships + p.remote_memberships;
-    return total == 0 ? 0.0 : static_cast<double>(p.remote_memberships) / total;
+    return total == 0 ? 0.0
+                      : static_cast<double>(p.remote_memberships) /
+                            static_cast<double>(total);
   };
   EXPECT_GE(remote_share(europe), remote_share(report.continents[0]));
 }

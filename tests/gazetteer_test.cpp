@@ -95,7 +95,7 @@ TEST_F(GazetteerTest, NearestCityAgreesWithBruteForce) {
       }
       const CityId got = gaz().nearest_city(p);
       EXPECT_NEAR(geo::distance_km(p, gaz().city(got).location), best_dist, 1e-6)
-          << "at (" << lat << "," << lon << ")";
+          << "at (" << lat << "," << lon << "), brute-force best=" << best;
     }
   }
 }

@@ -120,7 +120,7 @@ TEST(BoundingBox, AroundContainsAllPoints) {
 }
 
 TEST(BoundingBox, AroundRejectsEmpty) {
-  EXPECT_THROW(BoundingBox::around({}), std::invalid_argument);
+  EXPECT_THROW((void)BoundingBox::around({}), std::invalid_argument);
 }
 
 TEST(BoundingBox, ExpansionAddsMargin) {

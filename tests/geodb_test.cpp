@@ -133,9 +133,9 @@ TEST(SyntheticGeoDatabase, ErrorMixtureProducesExpectedDistances) {
     }
   }
   const auto total = static_cast<double>(ips.size());
-  EXPECT_NEAR(exact / total, model.exact, 0.05);
-  EXPECT_GT(near / total, 0.05);          // wrong-zip mass
-  EXPECT_NEAR(wrong / total, 0.08, 0.05);  // wrong-city + far mass
+  EXPECT_NEAR(static_cast<double>(exact) / total, model.exact, 0.05);
+  EXPECT_GT(static_cast<double>(near) / total, 0.05);          // wrong-zip mass
+  EXPECT_NEAR(static_cast<double>(wrong) / total, 0.08, 0.05);  // wrong-city + far mass
 }
 
 TEST(SyntheticGeoDatabase, TwoDatabasesDisagreeIndependently) {

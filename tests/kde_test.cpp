@@ -74,6 +74,19 @@ TEST(DensityGrid, RejectsBadCellSize) {
   EXPECT_THROW(DensityGrid(box, -5.0), std::invalid_argument);
 }
 
+TEST(DensityGrid, ExtremeResolutionCoarsensWithoutOverflow) {
+  // Regression: the budget loop used to cast want_rows/want_cols to size_t
+  // *before* comparing against max_cells, so a cell size this small pushed
+  // an out-of-range double through a float->int cast (undefined behaviour,
+  // trapped by -fsanitize=undefined).  The comparison now happens in double.
+  const geo::BoundingBox box{30.0, 60.0, -10.0, 40.0};
+  const DensityGrid grid{box, 1e-30, 10000};
+  EXPECT_LE(grid.cell_count(), 10000u);
+  EXPECT_GT(grid.cell_km(), 1e-30);
+  EXPECT_GE(grid.rows(), 1u);
+  EXPECT_GE(grid.cols(), 1u);
+}
+
 TEST(DensityGrid, MaxCellFindsMaximum) {
   const geo::BoundingBox box{40.0, 41.0, 10.0, 11.0};
   DensityGrid grid{box, 10.0};

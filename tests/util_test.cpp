@@ -271,10 +271,26 @@ TEST(Percentile, InterpolatesBetweenValues) {
 
 TEST(Percentile, RejectsBadInput) {
   const std::vector<double> empty;
-  EXPECT_THROW(percentile(empty, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile(empty, 50), std::invalid_argument);
   const std::vector<double> one{1.0};
-  EXPECT_THROW(percentile(one, -1), std::invalid_argument);
-  EXPECT_THROW(percentile(one, 101), std::invalid_argument);
+  EXPECT_THROW((void)percentile(one, -1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(one, 101), std::invalid_argument);
+}
+
+TEST(Percentile, RejectsNanQuantile) {
+  // Regression: NaN compares false on both sides of the old range check, so
+  // it reached the float->int rank cast — undefined behaviour under UBSan.
+  const std::vector<double> one{1.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)percentile(one, nan), std::invalid_argument);
+  std::vector<double> scratch{2.0, 1.0};
+  EXPECT_THROW((void)percentile_in_place(scratch, nan), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, QuantileRejectsNan) {
+  const EmpiricalCdf cdf{{1.0, 2.0, 3.0}};
+  EXPECT_THROW((void)cdf.quantile(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
 }
 
 TEST(Percentile, InPlaceMatchesCopyingVariantAndSorts) {

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# tools/check.sh — the repo's static-analysis & sanitizer gate.
+#
+# Stages (fail-fast, per-stage wall time reported):
+#   tsan    EYEBALL_SANITIZE=thread build; pool/parallel determinism tests
+#   ubsan   EYEBALL_SANITIZE=undefined build; the FULL test suite, with
+#           EYEBALL_DCHECK contracts forced on and UB aborting the test
+#   tidy    clang-tidy (.clang-tidy) over src/ via compile_commands.json
+#           [skipped with a notice when clang-tidy is not installed]
+#   lint    tools/eyeball_lint.py self-test + repo scan
+#   strict  EYEBALL_STRICT=ON (-Wconversion -Wdouble-promotion -Werror) build
+#   format  clang-format --dry-run --Werror via the format-check target
+#           [skipped with a notice when clang-format is not installed]
+#
+# Usage: tools/check.sh [--jobs N]
+# Build trees live in build-tsan/, build-ubsan/, build-strict/ next to the
+# default build/ tree and are reused across runs.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+if [[ "${1:-}" == "--jobs" ]]; then
+  JOBS="$2"
+fi
+
+declare -a STAGE_NAMES=()
+declare -a STAGE_TIMES=()
+declare -a STAGE_RESULTS=()
+
+run_stage() {
+  local name="$1"
+  shift
+  local start
+  start=$(date +%s)
+  echo
+  echo "=== stage: ${name} ==="
+  if "$@"; then
+    STAGE_RESULTS+=("ok")
+  else
+    local rc=$?
+    STAGE_TIMES+=("$(( $(date +%s) - start ))")
+    STAGE_NAMES+=("${name}")
+    STAGE_RESULTS+=("FAIL")
+    report
+    echo "check.sh: stage '${name}' failed (exit ${rc})" >&2
+    exit "${rc}"
+  fi
+  STAGE_TIMES+=("$(( $(date +%s) - start ))")
+  STAGE_NAMES+=("${name}")
+}
+
+skip_stage() {
+  local name="$1" why="$2"
+  echo
+  echo "=== stage: ${name} — SKIPPED (${why}) ==="
+  STAGE_NAMES+=("${name}")
+  STAGE_TIMES+=(0)
+  STAGE_RESULTS+=("skip: ${why}")
+}
+
+report() {
+  echo
+  echo "=== check.sh stage summary ==="
+  local i
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-8s %5ss  %s\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}" \
+      "${STAGE_RESULTS[$i]}"
+  done
+}
+
+# --- tsan: the parallel-path determinism gate ------------------------------
+tsan_stage() {
+  cmake -B "${ROOT}/build-tsan" -S "${ROOT}" -DEYEBALL_SANITIZE=thread
+  cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
+  ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
+    -R 'ThreadPool|Parallel|thread_pool|Dcheck'
+}
+
+# --- ubsan: full suite with UB trapping and contracts on -------------------
+ubsan_stage() {
+  cmake -B "${ROOT}/build-ubsan" -S "${ROOT}" -DEYEBALL_SANITIZE=undefined
+  cmake --build "${ROOT}/build-ubsan" -j "${JOBS}"
+  ctest --test-dir "${ROOT}/build-ubsan" --output-on-failure -j "${JOBS}"
+}
+
+# --- tidy: .clang-tidy over src/ -------------------------------------------
+tidy_stage() {
+  cmake -B "${ROOT}/build-tidy" -S "${ROOT}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  local files
+  files=$(find "${ROOT}/src" -name '*.cpp' | sort)
+  # shellcheck disable=SC2086
+  clang-tidy -p "${ROOT}/build-tidy" --quiet ${files}
+}
+
+# --- lint: the repo-specific determinism rules -----------------------------
+lint_stage() {
+  python3 "${ROOT}/tools/eyeball_lint.py" --root "${ROOT}" --self-test
+  python3 "${ROOT}/tools/eyeball_lint.py" --root "${ROOT}"
+}
+
+# --- strict: narrowing/promotion warnings as errors ------------------------
+strict_stage() {
+  cmake -B "${ROOT}/build-strict" -S "${ROOT}" -DEYEBALL_STRICT=ON
+  cmake --build "${ROOT}/build-strict" -j "${JOBS}"
+}
+
+# --- format: style drift check ---------------------------------------------
+format_stage() {
+  cmake --build "${ROOT}/build-strict" -t format-check
+}
+
+run_stage tsan tsan_stage
+run_stage ubsan ubsan_stage
+if command -v clang-tidy > /dev/null 2>&1; then
+  run_stage tidy tidy_stage
+else
+  skip_stage tidy "clang-tidy not installed"
+fi
+if command -v python3 > /dev/null 2>&1; then
+  run_stage lint lint_stage
+else
+  skip_stage lint "python3 not installed"
+fi
+run_stage strict strict_stage
+if command -v clang-format > /dev/null 2>&1; then
+  run_stage format format_stage
+else
+  skip_stage format "clang-format not installed"
+fi
+
+report
+echo
+echo "check.sh: all stages passed"

@@ -1,0 +1,422 @@
+#!/usr/bin/env python3
+"""eyeball-lint: repo-specific determinism & UB invariants, checked statically.
+
+The parallel pipeline's correctness contract — "byte-identical to the serial
+path at any thread count" — survives refactors only if a handful of idioms
+stay out of the codebase.  Each rule below names one way that contract has
+historically been broken in systems like this:
+
+  unordered-iter-in-merge  Iterating std::unordered_{map,set} inside a
+                           *merge*/*reduce*/*fold* function or inside a
+                           parallel_map_reduce call: bucket order is
+                           implementation- and size-dependent, so the merged
+                           result ceases to be deterministic.
+  nondet-seed              std::rand/srand, std::random_device, std::mt19937,
+                           or time-derived seeding outside src/util/rng.*:
+                           all randomness must flow through the explicitly
+                           seeded xoshiro generator.
+  float-accumulate         std::accumulate with a floating-point initial
+                           value in a file that uses the thread pool:
+                           reassociating float sums changes results; parallel
+                           code must reduce through an explicit ordered fold.
+  naked-new                Raw new/delete expressions: ownership lives in
+                           containers and smart pointers (`= delete` for
+                           deleted members is, of course, fine).
+  ref-capture-parallel     A named by-reference capture ([&x]) on a lambda
+                           passed to parallel_for/parallel_map_reduce: one
+                           variable mutated from every chunk is a data race
+                           or an order dependence.  The blessed idioms are
+                           [&] with writes to disjoint indices, or private
+                           per-shard state merged in order.
+
+Suppression: a finding is silenced by an annotation on the same line or the
+line directly above, and the annotation must carry a reason:
+
+    // eyeball-lint: allow(naked-new): arena block handed to mmap teardown
+
+Annotations without a reason, naming an unknown rule, or suppressing nothing
+are themselves findings — suppressions never go stale silently.
+
+Exit status: 0 clean, 1 findings, 2 usage/self-test harness error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+RULES = {
+    "unordered-iter-in-merge":
+        "iteration over an unordered container in a merge/reduce/fold path",
+    "nondet-seed":
+        "non-deterministic randomness source outside src/util/rng",
+    "float-accumulate":
+        "std::accumulate over floats in parallel code (use an ordered fold)",
+    "naked-new":
+        "raw new/delete expression (use containers or smart pointers)",
+    "ref-capture-parallel":
+        "named by-reference capture in a parallel_for/parallel_map_reduce body",
+}
+
+META_RULES = {
+    "allow-without-reason":
+        "eyeball-lint allow(...) annotation without a ': reason' suffix",
+    "unknown-rule":
+        "eyeball-lint allow(...) annotation naming a rule that does not exist",
+    "unused-allow":
+        "eyeball-lint allow(...) annotation that suppresses nothing",
+}
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+SCAN_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
+# Files allowed to own non-deterministic-looking RNG machinery.
+NONDET_EXEMPT = ("src/util/rng.hpp", "src/util/rng.cpp")
+
+ALLOW_RE = re.compile(
+    r"//\s*eyeball-lint:\s*allow\(([A-Za-z0-9_-]+)\)(\s*:\s*(\S.*))?")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure
+    so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def matching_brace_span(text: str, open_index: int) -> int:
+    """Index one past the brace/paren that closes the one at open_index."""
+    pairs = {"{": "}", "(": ")"}
+    close = pairs[text[open_index]]
+    depth = 0
+    for i in range(open_index, len(text)):
+        if text[i] == text[open_index]:
+            depth += 1
+        elif text[i] == close:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def line_of(text: str, index: int) -> int:
+    return text.count("\n", 0, index) + 1
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __repr__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+MERGE_FN_RE = re.compile(r"\b\w*(?:merge|reduce|fold)\w*\s*\(")
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s*&?\s*(\w+)\s*[;={(]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;)]*:\s*[^)]+)\)")
+BEGIN_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*c?(?:begin|end|rbegin|rend)\s*\(")
+ACCUMULATE_RE = re.compile(r"std\s*::\s*accumulate\s*\(")
+FLOATISH_RE = re.compile(r"\d\.\d*|\.\d|\d\.?\d*f\b|\b(?:double|float)\b")
+NEW_RE = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:])")
+DELETE_RE = re.compile(r"\bdelete\b\s*(?:\[\s*\])?\s*[A-Za-z_(*&]")
+PARALLEL_CALL_RE = re.compile(r"\bparallel_(?:for|map_reduce)\s*\(")
+NAMED_REF_CAPTURE_RE = re.compile(r"\[((?:[^\[\]]*,)?\s*&\s*\w+[^\]]*)\]\s*\(")
+NONDET_PATTERNS = (
+    (re.compile(r"\bstd\s*::\s*rand\b|\bsrand\s*\("), "std::rand/srand"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(?:_64)?\b"), "std::mt19937 (stdlib-dependent stream)"),
+    (re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"), "time()-derived value"),
+)
+CLOCK_NOW_RE = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\s*\(")
+SEEDY_RE = re.compile(r"seed|rng", re.IGNORECASE)
+
+
+def unordered_names(stripped: str) -> set[str]:
+    return set(UNORDERED_DECL_RE.findall(stripped))
+
+
+def merge_scope_spans(stripped: str) -> list[tuple[int, int]]:
+    """Spans of merge/reduce/fold function bodies and parallel_map_reduce
+    call arguments (where ordered reduction is the whole point)."""
+    spans = []
+    for m in MERGE_FN_RE.finditer(stripped):
+        # Walk from the '(' to its close, then decide: definition if the next
+        # non-space token opens a body ('{' possibly after const/noexcept/->).
+        open_paren = m.end() - 1
+        after_args = matching_brace_span(stripped, open_paren)
+        tail = stripped[after_args:after_args + 120]
+        tail_head = tail.lstrip()
+        body_match = re.match(
+            r"(?:const\b\s*)?(?:noexcept\b\s*)?(?:->\s*[\w:<>&,\s]+?)?\{", tail_head)
+        if body_match:
+            brace_at = after_args + (len(tail) - len(tail_head)) + body_match.end() - 1
+            spans.append((brace_at, matching_brace_span(stripped, brace_at)))
+    for m in re.finditer(r"\bparallel_map_reduce\s*\(", stripped):
+        open_paren = m.end() - 1
+        spans.append((open_paren, matching_brace_span(stripped, open_paren)))
+    return spans
+
+
+def scan_text(rel_path: str, raw: str) -> list[Finding]:
+    findings: list[Finding] = []
+    stripped = strip_comments_and_strings(raw)
+    add = lambda line, rule, msg: findings.append(Finding(rel_path, line, rule, msg))
+
+    # --- unordered-iter-in-merge ------------------------------------------
+    names = unordered_names(stripped)
+    for lo, hi in merge_scope_spans(stripped):
+        scope = stripped[lo:hi]
+        for m in RANGE_FOR_RE.finditer(scope):
+            iterable = m.group(1).split(":", 1)[-1]
+            if "unordered_" in iterable or any(
+                    re.search(rf"\b{re.escape(n)}\b", iterable) for n in names):
+                add(line_of(stripped, lo + m.start()), "unordered-iter-in-merge",
+                    "range-for over an unordered container in an ordered "
+                    "merge/reduce path — bucket order is not deterministic")
+        for m in BEGIN_CALL_RE.finditer(scope):
+            if m.group(1) in names:
+                add(line_of(stripped, lo + m.start()), "unordered-iter-in-merge",
+                    f"iterator walk of unordered container '{m.group(1)}' in an "
+                    "ordered merge/reduce path")
+
+    # --- nondet-seed -------------------------------------------------------
+    if not rel_path.endswith(NONDET_EXEMPT):
+        for pattern, what in NONDET_PATTERNS:
+            for m in pattern.finditer(stripped):
+                add(line_of(stripped, m.start()), "nondet-seed",
+                    f"{what} — all randomness must flow through util/rng "
+                    "with an explicit seed")
+        for m in CLOCK_NOW_RE.finditer(stripped):
+            line = line_of(stripped, m.start())
+            line_text = stripped.splitlines()[line - 1]
+            if SEEDY_RE.search(line_text):
+                add(line, "nondet-seed",
+                    "clock-derived seed — derive seeds from util/rng instead")
+
+    # --- float-accumulate --------------------------------------------------
+    if PARALLEL_CALL_RE.search(stripped) or "thread_pool.hpp" in raw:
+        for m in ACCUMULATE_RE.finditer(stripped):
+            args = stripped[m.end() - 1: matching_brace_span(stripped, m.end() - 1)]
+            if FLOATISH_RE.search(args):
+                add(line_of(stripped, m.start()), "float-accumulate",
+                    "float std::accumulate in a parallel translation unit — "
+                    "reassociation changes results; use an explicit ordered fold")
+
+    # --- naked-new ---------------------------------------------------------
+    for m in NEW_RE.finditer(stripped):
+        add(line_of(stripped, m.start()), "naked-new",
+            "raw new expression — ownership belongs in containers/smart pointers")
+    for m in DELETE_RE.finditer(stripped):
+        add(line_of(stripped, m.start()), "naked-new",
+            "raw delete expression — ownership belongs in containers/smart pointers")
+
+    # --- ref-capture-parallel ---------------------------------------------
+    for m in PARALLEL_CALL_RE.finditer(stripped):
+        span = stripped[m.end() - 1: matching_brace_span(stripped, m.end() - 1)]
+        for cap in NAMED_REF_CAPTURE_RE.finditer(span):
+            captures = cap.group(1)
+            named_refs = re.findall(r"&\s*(\w+)", captures)
+            if named_refs:
+                add(line_of(stripped, m.end() - 1 + cap.start()),
+                    "ref-capture-parallel",
+                    f"lambda passed to a parallel loop captures {named_refs} by "
+                    "reference — shared mutation across chunks breaks the "
+                    "determinism contract (use [&] with disjoint writes, or "
+                    "per-shard state)")
+
+    # --- suppression handling ---------------------------------------------
+    allows = []  # (line, rule, has_reason, used)
+    raw_lines = raw.splitlines()
+    for i, line_text in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line_text)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(3)
+        if rule not in RULES:
+            findings.append(Finding(rel_path, i, "unknown-rule",
+                                    f"allow({rule}) names no known rule; known: "
+                                    + ", ".join(sorted(RULES))))
+            continue
+        if not reason:
+            findings.append(Finding(rel_path, i, "allow-without-reason",
+                                    f"allow({rule}) must explain itself: "
+                                    f"`// eyeball-lint: allow({rule}): <why>`"))
+            continue
+        allows.append({"line": i, "rule": rule, "used": False})
+
+    kept = []
+    for f in findings:
+        suppressed = False
+        for a in allows:
+            if a["rule"] == f.rule and f.line in (a["line"], a["line"] + 1):
+                a["used"] = True
+                suppressed = True
+        if not suppressed:
+            kept.append(f)
+    for a in allows:
+        if not a["used"]:
+            kept.append(Finding(rel_path, a["line"], "unused-allow",
+                                f"allow({a['rule']}) suppresses nothing — stale "
+                                "annotation, remove it"))
+    kept.sort(key=lambda f: f.line)
+    return kept
+
+
+def iter_source_files(root: Path):
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SCAN_SUFFIXES and path.is_file():
+                yield path
+
+
+def run_scan(root: Path, paths: list[Path]) -> list[Finding]:
+    findings = []
+    targets = paths if paths else list(iter_source_files(root))
+    for path in targets:
+        rel = str(path.relative_to(root)) if path.is_absolute() else str(path)
+        findings.extend(scan_text(rel, path.read_text(encoding="utf-8")))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: every rule must fire on its fixture and stay quiet on the clean
+# ones.  Fixtures live in tools/lint_fixtures/ and are never compiled.
+FIXTURE_EXPECTATIONS = {
+    "unordered_iter_in_merge.cpp": ["unordered-iter-in-merge"],
+    "nondet_seed.cpp": ["nondet-seed"],
+    "float_accumulate.cpp": ["float-accumulate"],
+    "naked_new.cpp": ["naked-new"],
+    "ref_capture_parallel.cpp": ["ref-capture-parallel"],
+    "allow_ok.cpp": [],
+    "allow_missing_reason.cpp": ["allow-without-reason", "naked-new"],
+    "allow_unknown_rule.cpp": ["unknown-rule"],
+    "allow_stale.cpp": ["unused-allow"],
+    "clean.cpp": [],
+}
+
+
+def run_self_test(root: Path) -> int:
+    fixtures = root / "tools" / "lint_fixtures"
+    failures = 0
+    for name, expected_rules in sorted(FIXTURE_EXPECTATIONS.items()):
+        path = fixtures / name
+        if not path.is_file():
+            print(f"SELF-TEST FAIL {name}: fixture missing")
+            failures += 1
+            continue
+        found = scan_text(name, path.read_text(encoding="utf-8"))
+        found_rules = sorted({f.rule for f in found})
+        if expected_rules and found_rules != sorted(set(expected_rules)):
+            print(f"SELF-TEST FAIL {name}: expected {sorted(set(expected_rules))}, "
+                  f"got {found_rules}")
+            for f in found:
+                print(f"    {f}")
+            failures += 1
+        elif not expected_rules and found:
+            print(f"SELF-TEST FAIL {name}: expected clean, got {found_rules}")
+            for f in found:
+                print(f"    {f}")
+            failures += 1
+        else:
+            label = ", ".join(expected_rules) if expected_rules else "clean"
+            print(f"self-test ok   {name}: {label}")
+    if failures:
+        print(f"\n{failures} self-test failure(s)")
+        return 2
+    print(f"\nall {len(FIXTURE_EXPECTATIONS)} lint self-tests passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=Path.cwd(),
+                        help="repository root (default: cwd)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="specific files to lint (default: src/, tests/, "
+                             "bench/, examples/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture self-tests and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, blurb in {**RULES, **META_RULES}.items():
+            print(f"{rule:26} {blurb}")
+        return 0
+    if args.self_test:
+        return run_self_test(args.root.resolve())
+
+    findings = run_scan(args.root.resolve(), args.paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\neyeball-lint: {len(findings)} finding(s)")
+        return 1
+    print("eyeball-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+// Lint fixture — must trigger: allow-without-reason AND the underlying
+// naked-new.  A reasonless annotation suppresses nothing: the suppression
+// only takes effect once it explains itself.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+
+int* leaky() {
+  // eyeball-lint: allow(naked-new)
+  return new int{42};
+}

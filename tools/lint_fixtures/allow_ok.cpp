@@ -1,0 +1,17 @@
+// Lint fixture — must be clean: a properly annotated suppression.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+
+struct Arena {
+  char* block;
+};
+
+Arena reserve(unsigned bytes) {
+  Arena a;
+  // eyeball-lint: allow(naked-new): fixture demonstrating a reasoned suppression
+  a.block = new char[bytes];
+  return a;
+}
+
+void release(Arena& a) {
+  delete[] a.block;  // eyeball-lint: allow(naked-new): paired with the arena above
+}

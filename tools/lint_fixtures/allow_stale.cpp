@@ -1,0 +1,5 @@
+// Lint fixture — must trigger: unused-allow (annotation suppresses nothing).
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+
+// eyeball-lint: allow(naked-new): the allocation below was refactored away
+int answer() { return 42; }

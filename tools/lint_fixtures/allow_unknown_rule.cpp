@@ -1,0 +1,5 @@
+// Lint fixture — must trigger: unknown-rule.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+
+// eyeball-lint: allow(no-such-rule): typo'd rule names must not silently pass
+int answer() { return 42; }

@@ -1,0 +1,32 @@
+// Lint fixture — must be clean.  Packs the near-miss cases that tripped
+// naive greps: rule keywords in comments and strings, `= delete` members,
+// identifiers containing "new", ordered-map merges, and clocks used for
+// timing rather than seeding.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+// Comments may say std::rand or std::random_device or new/delete freely.
+struct NewSample {
+  std::string renewal = "mt19937 is only a string here, not a seed";
+
+  NewSample(const NewSample&) = delete;             // deleted member, not delete-expr
+  NewSample& operator=(const NewSample&) = delete;  // same
+};
+
+// Merging an *ordered* map is exactly the blessed idiom.
+void merge_counts(std::map<int, int>& into, const std::map<int, int>& from) {
+  for (const auto& [key, count] : from) into[key] += count;
+}
+
+// Clock used for timing (no seed on the line): legitimate.
+long long elapsed_ns(const std::vector<double>& values) {
+  const auto start = std::chrono::steady_clock::now();
+  double newest_total = 0.0;  // "new" inside an identifier must not match
+  for (double v : values) newest_total += v;
+  const auto stop = std::chrono::steady_clock::now();
+  return (stop - start).count() + static_cast<long long>(newest_total);
+}

@@ -1,0 +1,14 @@
+// Lint fixture — must trigger: float-accumulate.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+void parallel_for(std::size_t, std::size_t, int);
+
+double sum_densities(const std::vector<double>& cells) {
+  parallel_for(0, cells.size(), 0);  // marks this TU as parallel code
+  // Reassociating float addition changes the total bit pattern; parallel
+  // translation units must fold in an explicit, fixed order instead.
+  return std::accumulate(cells.begin(), cells.end(), 0.0);
+}

@@ -1,0 +1,14 @@
+// Lint fixture — must trigger: naked-new.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+
+struct Grid {
+  double* cells;
+};
+
+Grid make_grid(unsigned n) {
+  Grid g;
+  g.cells = new double[n];
+  return g;
+}
+
+void free_grid(Grid& g) { delete[] g.cells; }

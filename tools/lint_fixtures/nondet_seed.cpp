@@ -1,0 +1,12 @@
+// Lint fixture — must trigger: nondet-seed.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned roll_the_dice() {
+  std::random_device entropy;          // hardware entropy: unreproducible
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  std::mt19937 twister{entropy()};     // stdlib-dependent stream
+  return twister() + static_cast<unsigned>(std::rand());
+}

@@ -1,0 +1,17 @@
+// Lint fixture — must trigger: unordered-iter-in-merge.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+struct Shard {
+  std::unordered_map<int, std::vector<double>> by_key;
+};
+
+// Iterating the unordered map while merging: bucket order decides the merged
+// peer order, which varies across libstdc++ versions and load factors.
+void merge_shards(std::vector<double>& out, const Shard& shard) {
+  for (const auto& [key, values] : shard.by_key) {
+    out.insert(out.end(), values.begin(), values.end());
+  }
+}
