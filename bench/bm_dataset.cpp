@@ -3,9 +3,21 @@
 // full crawl, with a threads axis (1/2/4/hardware).  Results are
 // byte-identical across the axis; only wall clock moves.  The committed
 // baseline lives in BENCH_dataset.json (see README "Benchmarks").
+//
+// The Streaming/Longitudinal benchmarks split the crawl into six windows
+// (the paper's six monthly snapshots) and compare the streaming ingest path
+// against rebuilding the conditioned dataset from scratch per snapshot:
+// ingesting window k must cost work proportional to window k (compare
+// StreamingIngestLastWindow against DatasetBuildThreads), while the rebuild
+// axis pays the cumulative sample count every window.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <span>
+#include <vector>
+
 #include "common.hpp"
+#include "core/streaming_dataset.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -15,6 +27,19 @@ using namespace eyeball;
 const bench::World& world() {
   static const bench::World instance = bench::World::generated(0.05, 0.2);
   return instance;
+}
+
+constexpr std::size_t kWindows = 6;
+
+/// The crawl split into six contiguous "monthly" windows.
+std::vector<std::span<const p2p::PeerSample>> crawl_windows() {
+  const std::span<const p2p::PeerSample> all{world().crawl.samples};
+  const std::size_t chunk = (all.size() + kWindows - 1) / kWindows;
+  std::vector<std::span<const p2p::PeerSample>> out;
+  for (std::size_t lo = 0; lo < all.size(); lo += chunk) {
+    out.push_back(all.subspan(lo, std::min(chunk, all.size() - lo)));
+  }
+  return out;
 }
 
 void BM_DatasetBuildThreads(benchmark::State& state) {
@@ -48,6 +73,77 @@ void BM_DatasetBuildNoMemo(benchmark::State& state) {
                           static_cast<std::int64_t>(w.crawl.samples.size()));
 }
 BENCHMARK(BM_DatasetBuildNoMemo)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// Marginal cost of the streaming path: windows 0..4 are ingested outside the
+// timed region, then only the final window's ingest is measured.  Work should
+// track the last window's sample count, not the cumulative crawl — compare
+// items/s against BM_DatasetBuildThreads at the same thread count.
+void BM_StreamingIngestLastWindow(benchmark::State& state) {
+  const auto& w = world();
+  const auto windows = crawl_windows();
+  const auto threads = static_cast<std::size_t>(state.range(0));  // 0 = hardware
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::StreamingDatasetBuilder stream = w.pipeline.streaming_builder();
+    for (std::size_t k = 0; k + 1 < windows.size(); ++k) {
+      stream.ingest(windows[k], threads);
+    }
+    state.ResumeTiming();
+    stream.ingest(windows.back(), threads);
+    benchmark::DoNotOptimize(stream.unique_samples());
+  }
+  state.SetLabel(std::to_string(windows.back().size()) + " samples in window " +
+                 std::to_string(windows.size() - 1) + " of " +
+                 std::to_string(w.crawl.samples.size()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(windows.back().size()));
+}
+BENCHMARK(BM_StreamingIngestLastWindow)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// The full longitudinal workload, streaming path: ingest each window and
+// re-filter (finalize) after every snapshot, as repro_churn does.
+void BM_LongitudinalStreamingTotal(benchmark::State& state) {
+  const auto& w = world();
+  const auto windows = crawl_windows();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::StreamingDatasetBuilder stream = w.pipeline.streaming_builder();
+    for (const auto& window : windows) {
+      stream.ingest(window, threads);
+      benchmark::DoNotOptimize(stream.finalize(threads));
+    }
+  }
+  state.SetLabel(std::to_string(windows.size()) + " windows, " +
+                 std::to_string(w.crawl.samples.size()) + " samples total");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.crawl.samples.size()));
+}
+BENCHMARK(BM_LongitudinalStreamingTotal)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// The rebuild axis the streaming path replaces: after each snapshot, rebuild
+// the conditioned dataset from scratch over the cumulative prefix.  Pays the
+// full cumulative sample count every window (quadratic in window count).
+void BM_LongitudinalRebuildTotal(benchmark::State& state) {
+  const auto& w = world();
+  const std::span<const p2p::PeerSample> all{w.crawl.samples};
+  const auto windows = crawl_windows();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::size_t end = 0;
+    for (const auto& window : windows) {
+      end += window.size();
+      benchmark::DoNotOptimize(
+          w.pipeline.build_dataset(all.subspan(0, end), threads));
+    }
+  }
+  state.SetLabel(std::to_string(windows.size()) + " rebuilds over growing prefixes");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.crawl.samples.size()));
+}
+BENCHMARK(BM_LongitudinalRebuildTotal)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DatasetFind(benchmark::State& state) {
   const auto& w = world();

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <utility>
 
+#include "core/streaming_dataset.hpp"
 #include "geodb/lookup_memo.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
@@ -63,6 +64,12 @@ std::string to_string(const DatasetStats& stats) {
     out += '=';
     out += std::to_string(value);
   });
+  // Streaming observability, outside the identity counters (see the field
+  // comment): window count only, so logs show a stream was a stream.
+  if (!stats.windows.empty()) {
+    out += " windows=";
+    out += std::to_string(stats.windows.size());
+  }
   return out;
 }
 
@@ -119,118 +126,86 @@ DatasetBuilder::DatasetBuilder(const geodb::GeoDatabase& primary,
                                const bgp::IpToAsMapper& mapper, DatasetConfig config)
     : primary_(primary), secondary_(secondary), mapper_(mapper), config_(config) {}
 
-namespace {
+namespace detail {
 
-/// One shard's private output: peer buckets in ASN order plus the partial
-/// per-sample drop counters.  No shard ever touches another's state.
-struct BuildShard {
-  std::map<std::uint32_t, AsPeerSet> by_as;
-  std::size_t missing_geo = 0;
-  std::size_t high_error = 0;
-  std::size_t unmapped_as = 0;
-};
-
-}  // namespace
-
-TargetDataset DatasetBuilder::build(std::span<const p2p::PeerSample> samples) const {
-  return build(samples, config_.threads);
+ConditionShard condition_chunk(std::span<const p2p::PeerSample> samples, std::size_t lo,
+                               std::size_t hi, geodb::LookupMemo& primary,
+                               geodb::LookupMemo& secondary,
+                               const bgp::IpToAsMapper& mapper,
+                               const DatasetConfig& config) {
+  ConditionShard shard;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto& sample = samples[i];
+    // Geo-map with both databases; require city-level records from
+    // both (the paper drops ~2.4 M peers lacking one).
+    const auto primary_record = primary.lookup(sample.ip);
+    const auto secondary_record = secondary.lookup(sample.ip);
+    if (!primary_record || !secondary_record) {
+      ++shard.dropped.missing_geo;
+      continue;
+    }
+    const double error_km =
+        geo::distance_km(primary_record->location, secondary_record->location);
+    if (error_km > config.max_geo_error_km) {
+      ++shard.dropped.high_error;
+      continue;
+    }
+    const auto asn = mapper.map(sample.ip);
+    if (!asn) {
+      ++shard.dropped.unmapped_as;
+      continue;
+    }
+    auto& set = shard.by_as[net::value_of(*asn)];
+    set.asn = *asn;
+    set.peers.push_back(PeerRecord{sample.ip, sample.app, primary_record->location,
+                                   error_km, primary_record->city_id});
+  }
+  return shard;
 }
 
-TargetDataset DatasetBuilder::build(std::span<const p2p::PeerSample> samples,
-                                    std::size_t threads) const {
-  DatasetStats stats;
-  stats.raw_samples = samples.size();
-  auto& pool = util::ThreadPool::shared();
+void merge_shard_ordered(ConditionShard shard, std::map<std::uint32_t, AsPeerSet>& by_as,
+                         ConditionCounters& dropped) {
+  dropped.missing_geo += shard.dropped.missing_geo;
+  dropped.high_error += shard.dropped.high_error;
+  dropped.unmapped_as += shard.dropped.unmapped_as;
+  for (auto& [asn_value, set] : shard.by_as) {
+    auto& merged = by_as[asn_value];
+    if (merged.peers.empty()) {
+      merged = std::move(set);
+    } else {
+      merged.peers.insert(merged.peers.end(),
+                          std::make_move_iterator(set.peers.begin()),
+                          std::make_move_iterator(set.peers.end()));
+    }
+  }
+}
 
-  // Stage 1: shard the sample span into contiguous chunks; every worker
-  // geo-maps, error-filters and LPM-groups into its own BuildShard (the
-  // trie/table lookups are read-only, so the hot loop takes no locks).
-  // The ordered reduction then appends each shard's peers per AS in shard
-  // order — shard chunks are contiguous and in sample order, so the merged
-  // per-AS peer order is exactly the serial loop's, whatever `threads` is.
-  std::map<std::uint32_t, AsPeerSet> by_as;
-  pool.parallel_map_reduce(
-      0, samples.size(),
-      [&](std::size_t lo, std::size_t hi) {
-        BuildShard shard;
-        geodb::LookupMemo primary{primary_, config_.lookup_memo_slots};
-        geodb::LookupMemo secondary{secondary_, config_.lookup_memo_slots};
-        for (std::size_t i = lo; i < hi; ++i) {
-          const auto& sample = samples[i];
-          // Geo-map with both databases; require city-level records from
-          // both (the paper drops ~2.4 M peers lacking one).
-          const auto primary_record = primary.lookup(sample.ip);
-          const auto secondary_record = secondary.lookup(sample.ip);
-          if (!primary_record || !secondary_record) {
-            ++shard.missing_geo;
-            continue;
-          }
-          const double error_km =
-              geo::distance_km(primary_record->location, secondary_record->location);
-          if (error_km > config_.max_geo_error_km) {
-            ++shard.high_error;
-            continue;
-          }
-          const auto asn = mapper_.map(sample.ip);
-          if (!asn) {
-            ++shard.unmapped_as;
-            continue;
-          }
-          auto& set = shard.by_as[net::value_of(*asn)];
-          set.asn = *asn;
-          set.peers.push_back(PeerRecord{sample.ip, sample.app,
-                                         primary_record->location, error_km,
-                                         primary_record->city_id});
-        }
-        return shard;
-      },
-      [&](BuildShard shard) {
-        stats.missing_geo += shard.missing_geo;
-        stats.high_error += shard.high_error;
-        stats.unmapped_as += shard.unmapped_as;
-        for (auto& [asn_value, set] : shard.by_as) {
-          auto& merged = by_as[asn_value];
-          if (merged.peers.empty()) {
-            merged = std::move(set);
-          } else {
-            merged.peers.insert(merged.peers.end(),
-                                std::make_move_iterator(set.peers.begin()),
-                                std::make_move_iterator(set.peers.end()));
-          }
-        }
-      },
-      threads);
-
-  // Stage 2: the per-AS filter over the merged buckets.  Verdicts are
-  // independent per bucket, so they parallelize into disjoint slots; the
-  // counters and the kept list then accrue in ASN order below, exactly like
-  // the serial loop.
-  std::vector<AsPeerSet> buckets;
-  buckets.reserve(by_as.size());
-  for (auto& [asn_value, set] : by_as) buckets.push_back(std::move(set));
-  // The kept-AS list below inherits its order from this vector; it must be
-  // ASN-ascending (the std::map guarantees it today) or the final dataset
-  // ceases to be byte-identical to the serial build.
+std::vector<AsPeerSet> filter_ases(std::span<AsPeerSet* const> buckets,
+                                   const DatasetConfig& config, std::size_t threads,
+                                   DatasetStats& stats, bool take_ownership) {
+  // The kept-AS list below inherits its order from this span; it must be
+  // ASN-ascending (the builders' std::map guarantees it today) or the final
+  // dataset ceases to be byte-identical to the serial build.
   EYEBALL_DCHECK(std::is_sorted(buckets.begin(), buckets.end(),
-                                [](const AsPeerSet& a, const AsPeerSet& b) {
-                                  return net::value_of(a.asn) < net::value_of(b.asn);
+                                [](const AsPeerSet* a, const AsPeerSet* b) {
+                                  return net::value_of(a->asn) < net::value_of(b->asn);
                                 }),
                  "merged AS buckets must stay in ascending ASN order");
 
   enum Verdict : std::uint8_t { kKeep, kBelowMinPeers, kAboveP90Error };
   std::vector<std::uint8_t> verdicts(buckets.size(), kKeep);
-  pool.parallel_for(
+  util::ThreadPool::shared().parallel_for(
       0, buckets.size(),
       [&](std::size_t lo, std::size_t hi) {
         std::vector<double> scratch;  // one allocation per chunk, not per AS
         for (std::size_t i = lo; i < hi; ++i) {
-          const auto& set = buckets[i];
-          if (set.peers.size() < config_.min_peers_per_as) {
+          const auto& set = *buckets[i];
+          if (set.peers.size() < config.min_peers_per_as) {
             verdicts[i] = kBelowMinPeers;
             continue;
           }
           set.geo_errors(scratch);
-          if (util::percentile_in_place(scratch, 90.0) > config_.max_p90_geo_error_km) {
+          if (util::percentile_in_place(scratch, 90.0) > config.max_p90_geo_error_km) {
             verdicts[i] = kAboveP90Error;
           }
         }
@@ -239,7 +214,7 @@ TargetDataset DatasetBuilder::build(std::span<const p2p::PeerSample> samples,
 
   std::vector<AsPeerSet> kept;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
-    auto& set = buckets[i];
+    AsPeerSet& set = *buckets[i];
     switch (verdicts[i]) {
       case kBelowMinPeers:
         ++stats.ases_below_min_peers;
@@ -250,12 +225,65 @@ TargetDataset DatasetBuilder::build(std::span<const p2p::PeerSample> samples,
         break;
       default:
         stats.final_peers += set.peers.size();
-        kept.push_back(std::move(set));
+        if (take_ownership) {
+          kept.push_back(std::move(set));
+        } else {
+          kept.push_back(set);
+        }
         break;
     }
   }
   stats.final_ases = kept.size();
-  return TargetDataset{std::move(kept), stats};
+  return kept;
+}
+
+}  // namespace detail
+
+TargetDataset DatasetBuilder::build(std::span<const p2p::PeerSample> samples) const {
+  return build(samples, config_.threads);
+}
+
+TargetDataset DatasetBuilder::build(std::span<const p2p::PeerSample> samples,
+                                    std::size_t threads) const {
+  DatasetStats stats;
+  stats.raw_samples = samples.size();
+
+  // Stage 1: shard the sample span into contiguous chunks; every worker
+  // geo-maps, error-filters and LPM-groups into its own ConditionShard (the
+  // trie/table lookups are read-only, so the hot loop takes no locks).
+  // The ordered reduction then appends each shard's peers per AS in shard
+  // order — shard chunks are contiguous and in sample order, so the merged
+  // per-AS peer order is exactly the serial loop's, whatever `threads` is.
+  std::map<std::uint32_t, AsPeerSet> by_as;
+  detail::ConditionCounters dropped;
+  util::ThreadPool::shared().parallel_map_reduce(
+      0, samples.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        geodb::LookupMemo primary{primary_, config_.lookup_memo_slots};
+        geodb::LookupMemo secondary{secondary_, config_.lookup_memo_slots};
+        return detail::condition_chunk(samples, lo, hi, primary, secondary, mapper_,
+                                       config_);
+      },
+      [&](detail::ConditionShard shard) {
+        detail::merge_shard_ordered(std::move(shard), by_as, dropped);
+      },
+      threads);
+  dropped.add_to(stats);
+
+  // Stage 2: the per-AS filter over the merged buckets, in ASN (map) order.
+  std::vector<AsPeerSet> owned;
+  owned.reserve(by_as.size());
+  for (auto& [asn_value, set] : by_as) owned.push_back(std::move(set));
+  std::vector<AsPeerSet*> buckets;
+  buckets.reserve(owned.size());
+  for (auto& set : owned) buckets.push_back(&set);
+  auto kept = detail::filter_ases(buckets, config_, threads, stats,
+                                  /*take_ownership=*/true);
+  return TargetDataset{std::move(kept), std::move(stats)};
+}
+
+StreamingDatasetBuilder DatasetBuilder::streaming() const {
+  return StreamingDatasetBuilder{primary_, secondary_, mapper_, config_};
 }
 
 }  // namespace eyeball::core

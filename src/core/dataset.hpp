@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <span>
 #include <string>
@@ -24,6 +25,10 @@
 #include "geodb/geo_database.hpp"
 #include "net/ipv4.hpp"
 #include "p2p/crawler.hpp"
+
+namespace eyeball::geodb {
+class LookupMemo;
+}  // namespace eyeball::geodb
 
 namespace eyeball::core {
 
@@ -75,7 +80,29 @@ struct DatasetConfig {
   std::size_t lookup_memo_slots = 8192;
 };
 
+/// Per-ingest-window observability for streaming builds (the paper's six
+/// monthly crawl snapshots).  Prefix-level geolocation drifts across crawl
+/// windows, so longitudinal studies need the window-by-window view kept
+/// visible rather than folded into the cumulative counters.
+struct WindowStats {
+  /// Samples handed to ingest() for this window, duplicates included.
+  std::size_t offered = 0;
+  /// Samples dropped by the cross-window (app, ip) first-observation dedup.
+  std::size_t duplicates = 0;
+  /// offered - duplicates: what this window contributed to conditioning.
+  std::size_t admitted = 0;
+  /// Running unique (app, ip) count after this window — the streaming
+  /// analogue of LongitudinalResult::cumulative_unique.
+  std::size_t cumulative_unique = 0;
+
+  friend bool operator==(const WindowStats&, const WindowStats&) = default;
+};
+
 struct DatasetStats {
+  /// For a one-shot build: the input span size.  For a streaming build: the
+  /// unique (app, ip) samples admitted to conditioning — i.e. the size of
+  /// the deduplicated window concatenation, which is exactly the one-shot
+  /// input the stream is equivalent to.
   std::size_t raw_samples = 0;
   std::size_t missing_geo = 0;
   std::size_t high_error = 0;
@@ -85,8 +112,22 @@ struct DatasetStats {
   std::size_t ases_above_p90_error = 0;
   std::size_t final_peers = 0;
   std::size_t final_ases = 0;
+  /// One entry per ingest() window in ingest order; empty for one-shot
+  /// builds.  Deliberately EXCLUDED from operator== / diff_stats: a
+  /// dataset's identity is its conditioning outcome, not how the samples
+  /// were batched, and the streaming-vs-one-shot byte-identity contract is
+  /// stated over the conditioning counters.
+  std::vector<WindowStats> windows;
 
-  friend bool operator==(const DatasetStats&, const DatasetStats&) = default;
+  /// Compares the conditioning counters only (see `windows`).
+  friend bool operator==(const DatasetStats& a, const DatasetStats& b) {
+    return a.raw_samples == b.raw_samples && a.missing_geo == b.missing_geo &&
+           a.high_error == b.high_error && a.unmapped_as == b.unmapped_as &&
+           a.peers_in_small_ases == b.peers_in_small_ases &&
+           a.ases_below_min_peers == b.ases_below_min_peers &&
+           a.ases_above_p90_error == b.ases_above_p90_error &&
+           a.final_peers == b.final_peers && a.final_ases == b.final_ases;
+  }
 };
 
 /// One-line "counter=value" rendering of every field, e.g. for logging.
@@ -118,6 +159,66 @@ class TargetDataset {
   DatasetStats stats_;
 };
 
+class StreamingDatasetBuilder;
+
+/// Shared internals of the §2 conditioning stages, used by both the one-shot
+/// DatasetBuilder and the StreamingDatasetBuilder so the two paths cannot
+/// drift apart.  Not a stable API — test code should go through the
+/// builders.
+namespace detail {
+
+/// Per-sample drop tallies of conditioning stage 1.
+struct ConditionCounters {
+  std::size_t missing_geo = 0;
+  std::size_t high_error = 0;
+  std::size_t unmapped_as = 0;
+
+  void add_to(DatasetStats& stats) const noexcept {
+    stats.missing_geo += missing_geo;
+    stats.high_error += high_error;
+    stats.unmapped_as += unmapped_as;
+  }
+};
+
+/// One shard's private stage-1 output: peer buckets in ASN order plus the
+/// partial drop counters.  No shard ever touches another's state.
+struct ConditionShard {
+  std::map<std::uint32_t, AsPeerSet> by_as;
+  ConditionCounters dropped;
+};
+
+/// Stage 1 over samples[lo, hi): geo-map each IP through the two memos,
+/// apply the inter-database error filter, and LPM-group survivors into the
+/// shard's private buckets.  Pure function of its inputs (the memos only
+/// cache deterministic lookups), so shards parallelize lock-free.
+[[nodiscard]] ConditionShard condition_chunk(std::span<const p2p::PeerSample> samples,
+                                             std::size_t lo, std::size_t hi,
+                                             geodb::LookupMemo& primary,
+                                             geodb::LookupMemo& secondary,
+                                             const bgp::IpToAsMapper& mapper,
+                                             const DatasetConfig& config);
+
+/// Folds one shard into the live buckets + counters.  MUST be called in
+/// shard order over contiguous, in-order sample ranges: each AS's merged
+/// peer vector is then the concatenation of its shard slices in sample
+/// order — exactly the serial loop's peer order.
+void merge_shard_ordered(ConditionShard shard,
+                         std::map<std::uint32_t, AsPeerSet>& by_as,
+                         ConditionCounters& dropped);
+
+/// Stage 2: the min-peers / p90 geo-error per-AS filter over ASN-ascending
+/// `buckets`.  Verdicts parallelize into disjoint slots at `threads`; the
+/// filter counters and the kept list then accrue in ASN order, exactly like
+/// the serial loop.  `take_ownership` moves kept sets out of the buckets
+/// (one-shot build); false copies them, leaving the live buckets intact for
+/// further ingestion (streaming finalize).
+[[nodiscard]] std::vector<AsPeerSet> filter_ases(std::span<AsPeerSet* const> buckets,
+                                                 const DatasetConfig& config,
+                                                 std::size_t threads, DatasetStats& stats,
+                                                 bool take_ownership);
+
+}  // namespace detail
+
 class DatasetBuilder {
  public:
   DatasetBuilder(const geodb::GeoDatabase& primary, const geodb::GeoDatabase& secondary,
@@ -135,6 +236,11 @@ class DatasetBuilder {
   /// Same with an explicit shard count (benchmark threads axis).
   [[nodiscard]] TargetDataset build(std::span<const p2p::PeerSample> samples,
                                     std::size_t threads) const;
+
+  /// A StreamingDatasetBuilder over the same databases/mapper/config, for
+  /// longitudinal crawls that arrive window by window (see
+  /// core/streaming_dataset.hpp for the equivalence contract).
+  [[nodiscard]] StreamingDatasetBuilder streaming() const;
 
  private:
   const geodb::GeoDatabase& primary_;

@@ -1,6 +1,8 @@
 #include "core/pipeline.hpp"
 
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "util/thread_pool.hpp"
 
@@ -25,6 +27,54 @@ TargetDataset EyeballPipeline::build_dataset(
 TargetDataset EyeballPipeline::build_dataset(std::span<const p2p::PeerSample> samples,
                                              std::size_t threads) const {
   return builder_.build(samples, threads);
+}
+
+StreamingDatasetBuilder EyeballPipeline::streaming_builder() const {
+  return builder_.streaming();
+}
+
+std::vector<AsAnalysis> EyeballPipeline::refresh_analyses(
+    const TargetDataset& dataset, std::span<const AsAnalysis> previous,
+    std::span<const net::Asn> changed) const {
+  std::unordered_set<std::uint32_t> dirty;
+  dirty.reserve(changed.size());
+  for (const auto asn : changed) dirty.insert(net::value_of(asn));
+  // First occurrence wins on duplicate ASNs, matching TargetDataset::find.
+  std::unordered_map<std::uint32_t, const AsAnalysis*> reusable;
+  reusable.reserve(previous.size());
+  for (const auto& analysis : previous) {
+    reusable.emplace(net::value_of(analysis.asn), &analysis);
+  }
+
+  const auto ases = dataset.ases();
+  std::vector<std::optional<AsAnalysis>> slots(ases.size());
+  std::vector<std::size_t> stale;  // indices that need a fresh analyze()
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    const std::uint32_t asn_value = net::value_of(ases[i].asn);
+    const auto hit = reusable.find(asn_value);
+    if (hit != reusable.end() && !dirty.contains(asn_value)) {
+      slots[i] = *hit->second;
+    } else {
+      stale.push_back(i);
+    }
+  }
+  // Same fan-out shape as analyze_all: contiguous chunks of the stale list,
+  // disjoint output slots, input-order collection.
+  auto& pool = util::ThreadPool::shared();
+  const std::size_t ways =
+      config_.threads == 0 ? pool.worker_count() : config_.threads;
+  pool.parallel_for(
+      0, stale.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          slots[stale[i]] = analyze(ases[stale[i]]);
+        }
+      },
+      ways);
+  std::vector<AsAnalysis> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
 }
 
 AsAnalysis EyeballPipeline::analyze(const AsPeerSet& peers) const {

@@ -15,6 +15,7 @@
 #include "core/dataset.hpp"
 #include "core/footprint.hpp"
 #include "core/pop_mapper.hpp"
+#include "core/streaming_dataset.hpp"
 
 namespace eyeball::core {
 
@@ -52,6 +53,22 @@ class EyeballPipeline {
   /// Same with an explicit shard count (benchmark threads axis).
   [[nodiscard]] TargetDataset build_dataset(std::span<const p2p::PeerSample> samples,
                                             std::size_t threads) const;
+
+  /// Streaming §2 conditioning over the pipeline's databases/mapper/config
+  /// for longitudinal crawls: ingest windows as they arrive, finalize() for
+  /// a snapshot byte-identical to build_dataset over the deduplicated
+  /// window concatenation (see core/streaming_dataset.hpp).
+  [[nodiscard]] StreamingDatasetBuilder streaming_builder() const;
+
+  /// Incremental re-analysis after an ingest/finalize cycle: re-analyzes
+  /// only the ASes named in `changed` (StreamingDatasetBuilder::
+  /// touched_asns()) plus any AS absent from `previous`, and reuses the
+  /// ASN-matched `previous` entry for the rest.  Entry i corresponds to
+  /// dataset.ases()[i]; the result equals analyze_all(dataset.ases()) as
+  /// long as `previous` came from the same pipeline configuration.
+  [[nodiscard]] std::vector<AsAnalysis> refresh_analyses(
+      const TargetDataset& dataset, std::span<const AsAnalysis> previous,
+      std::span<const net::Asn> changed) const;
 
   /// Classification + footprint + PoP footprint at the configured bandwidth.
   [[nodiscard]] AsAnalysis analyze(const AsPeerSet& peers) const;

@@ -1,0 +1,155 @@
+#include "core/streaming_dataset.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eyeball::core {
+
+namespace {
+
+/// Collision-free dedup key: the app tag in the high bits, the IP below.
+[[nodiscard]] constexpr std::uint64_t sample_key(const p2p::PeerSample& sample) noexcept {
+  return (static_cast<std::uint64_t>(sample.app) << 32) | sample.ip.value();
+}
+
+}  // namespace
+
+std::vector<p2p::PeerSample> dedup_first_observation(
+    std::span<const p2p::PeerSample> samples) {
+  std::vector<p2p::PeerSample> out;
+  out.reserve(samples.size());
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(samples.size());
+  for (const auto& sample : samples) {
+    if (seen.insert(sample_key(sample)).second) out.push_back(sample);
+  }
+  return out;
+}
+
+StreamingDatasetBuilder::StreamingDatasetBuilder(const geodb::GeoDatabase& primary,
+                                                 const geodb::GeoDatabase& secondary,
+                                                 const bgp::IpToAsMapper& mapper,
+                                                 DatasetConfig config)
+    : primary_(primary), secondary_(secondary), mapper_(mapper), config_(config) {}
+
+void StreamingDatasetBuilder::ensure_memo_slots(std::size_t shards) {
+  memos_.reserve(shards);
+  while (memos_.size() < shards) {
+    memos_.push_back(ShardMemos{
+        geodb::LookupMemo{primary_, config_.lookup_memo_slots},
+        geodb::LookupMemo{secondary_, config_.lookup_memo_slots}});
+  }
+}
+
+void StreamingDatasetBuilder::ingest(std::span<const p2p::PeerSample> window) {
+  ingest(window, config_.threads);
+}
+
+void StreamingDatasetBuilder::ingest(std::span<const p2p::PeerSample> window,
+                                     std::size_t threads) {
+  // Cross-window first-observation dedup (longitudinal_crawl's union
+  // semantics).  Serial and order-preserving: the admitted stream must be
+  // independent of the shard count below.
+  WindowStats window_stats;
+  window_stats.offered = window.size();
+  pending_.clear();
+  pending_.reserve(window.size());
+  for (const auto& sample : window) {
+    if (seen_.insert(sample_key(sample)).second) {
+      pending_.push_back(sample);
+    } else {
+      ++window_stats.duplicates;
+    }
+  }
+  window_stats.admitted = pending_.size();
+  window_stats.cumulative_unique = seen_.size();
+  stats_.raw_samples += window_stats.admitted;
+
+  // Stage 1 over the admitted window only, sharded exactly like the
+  // one-shot build.  Shard slices are contiguous and folded in shard
+  // order, so each AS's bucket extends in stream order — the ordered-merge
+  // invariant, applied window by window.
+  auto& pool = util::ThreadPool::shared();
+  const std::size_t count = pending_.size();
+  std::size_t ways = threads == 0 ? pool.worker_count() : threads;
+  ways = std::min(std::max<std::size_t>(ways, 1), std::max<std::size_t>(count, 1));
+  // Mirrors parallel_map_reduce's chunking rule so `lo / chunk` recovers
+  // the shard index — each concurrent shard then owns one persistent memo
+  // slot and the hot loop stays lock-free.
+  const std::size_t chunk = count == 0 ? 1 : (count + ways - 1) / ways;
+  ensure_memo_slots(ways);
+  detail::ConditionCounters dropped;
+  const std::span<const p2p::PeerSample> admitted{pending_};
+  pool.parallel_map_reduce(
+      0, count,
+      [&](std::size_t lo, std::size_t hi) {
+        const std::size_t shard = lo / chunk;
+        EYEBALL_DCHECK(shard < memos_.size(),
+                       "shard index must address a persistent memo slot");
+        auto& memos = memos_[shard];
+        return detail::condition_chunk(admitted, lo, hi, memos.primary,
+                                       memos.secondary, mapper_, config_);
+      },
+      [&](detail::ConditionShard shard) {
+        for (const auto& [asn_value, set] : shard.by_as) touched_.insert(asn_value);
+        detail::merge_shard_ordered(std::move(shard), by_as_, dropped);
+      },
+      ways);
+  dropped.add_to(stats_);
+  stats_.windows.push_back(window_stats);
+}
+
+TargetDataset StreamingDatasetBuilder::finalize() { return finalize(config_.threads); }
+
+TargetDataset StreamingDatasetBuilder::finalize(std::size_t threads) {
+  DatasetStats stats = stats_;  // stage-1 counters + window snapshots
+  std::vector<AsPeerSet*> buckets;
+  buckets.reserve(by_as_.size());
+  for (auto& [asn_value, set] : by_as_) buckets.push_back(&set);
+  // Copies kept sets out; the live buckets stay intact for further ingests.
+  auto kept = detail::filter_ases(buckets, config_, threads, stats,
+                                  /*take_ownership=*/false);
+  touched_.clear();
+  return TargetDataset{std::move(kept), std::move(stats)};
+}
+
+std::vector<net::Asn> StreamingDatasetBuilder::touched_asns() const {
+  std::vector<std::uint32_t> values(touched_.begin(), touched_.end());
+  std::sort(values.begin(), values.end());
+  std::vector<net::Asn> out;
+  out.reserve(values.size());
+  for (const auto value : values) out.push_back(net::Asn{value});
+  return out;
+}
+
+std::size_t StreamingDatasetBuilder::memo_hits() const noexcept {
+  std::size_t total = 0;
+  for (const auto& memos : memos_) total += memos.primary.hits() + memos.secondary.hits();
+  return total;
+}
+
+std::size_t StreamingDatasetBuilder::memo_misses() const noexcept {
+  std::size_t total = 0;
+  for (const auto& memos : memos_) {
+    total += memos.primary.misses() + memos.secondary.misses();
+  }
+  return total;
+}
+
+void StreamingDatasetBuilder::reset() {
+  by_as_.clear();
+  seen_.clear();
+  stats_ = DatasetStats{};
+  touched_.clear();
+  pending_.clear();
+  pending_.shrink_to_fit();
+  for (auto& memos : memos_) {
+    memos.primary.reset();
+    memos.secondary.reset();
+  }
+}
+
+}  // namespace eyeball::core

@@ -1,0 +1,138 @@
+// Streaming §2 conditioning for longitudinal crawls.
+//
+// The paper's 89.1 M-unique-IP dataset is the union of six monthly crawl
+// windows; a longitudinal study that re-runs DatasetBuilder::build per
+// snapshot pays O(windows x full-rebuild) on the most input-heavy stage of
+// the pipeline.  StreamingDatasetBuilder instead ingests windows as they
+// arrive: each ingest() runs the sharded geo-map / error-filter / LPM stage
+// for the NEW window only and merges its peers into the live ASN-ordered
+// buckets; finalize() applies the per-AS filter whenever a conditioned
+// snapshot is wanted, without consuming the live state.
+//
+// Equivalence contract (pinned by tests/streaming_dataset_test.cpp under
+// the TSan gate): after any sequence of ingest() calls, finalize() is
+// byte-identical — peers, per-AS peer order, stats, kept-AS list — to a
+// one-shot build() over dedup_first_observation(concatenated windows), at
+// any thread count and any window split.  Three properties carry it:
+//   1. Cross-window (app, ip) dedup to the FIRST observation mirrors
+//      longitudinal_crawl's union semantics, so the admitted stream is a
+//      well-defined concatenation independent of batching.
+//   2. Shards cover contiguous in-order ranges of each window and merge in
+//      shard-then-window order, so every AS's peer vector is its admitted
+//      samples in stream order (the one-shot ordered-merge invariant,
+//      applied window by window).
+//   3. The per-AS filter is a pure function of the merged buckets, so
+//      running it at finalize() time equals running it after a one-shot
+//      build — ingesting after finalize() and finalizing again just
+//      re-evaluates it on the grown buckets (an AS crossing the min-peers
+//      threshold at window k appears exactly from the k-th finalize on).
+//
+// Churn makes the per-shard geo memos worth keeping alive: a reassigned
+// address stays in the same PoP pool and recurs across windows, so the
+// persistent memos short-circuit repeated lookups across ingests (hit
+// rates are observable via memo_hits()/memo_misses()).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "geodb/lookup_memo.hpp"
+
+namespace eyeball::core {
+
+/// First-observation (app, ip) dedup of a window concatenation — exactly
+/// the sample stream a StreamingDatasetBuilder admits; build() over the
+/// result is the one-shot reference for a streaming run.
+[[nodiscard]] std::vector<p2p::PeerSample> dedup_first_observation(
+    std::span<const p2p::PeerSample> samples);
+
+class StreamingDatasetBuilder {
+ public:
+  StreamingDatasetBuilder(const geodb::GeoDatabase& primary,
+                          const geodb::GeoDatabase& secondary,
+                          const bgp::IpToAsMapper& mapper, DatasetConfig config = {});
+
+  /// Ingests one crawl window: dedups against every previously ingested
+  /// window (first observation wins, including within the window itself),
+  /// then conditions the admitted samples through the sharded stage-1 at
+  /// DatasetConfig::threads and merges them into the live buckets in shard
+  /// order.  Cost is proportional to the window, not the cumulative stream.
+  void ingest(std::span<const p2p::PeerSample> window);
+  /// Same with an explicit shard count (benchmark threads axis).
+  void ingest(std::span<const p2p::PeerSample> window, std::size_t threads);
+
+  /// Conditioned snapshot of everything ingested so far (§2 min-peers/p90
+  /// filter).  Non-destructive: ingestion may continue afterwards and a
+  /// later finalize() re-evaluates the filter on the grown buckets.  Also
+  /// clears touched_asns().
+  [[nodiscard]] TargetDataset finalize();
+  /// Same with an explicit filter concurrency (benchmark threads axis).
+  [[nodiscard]] TargetDataset finalize(std::size_t threads);
+
+  /// ASNs whose buckets gained peers since the last finalize() (or ever,
+  /// before the first), ascending — the incremental re-analysis work list
+  /// (see EyeballPipeline::refresh_analyses).
+  [[nodiscard]] std::vector<net::Asn> touched_asns() const;
+
+  /// Windows ingested so far (== stats().windows.size()).
+  [[nodiscard]] std::size_t windows_ingested() const noexcept {
+    return stats_.windows.size();
+  }
+  /// Cumulative stage-1 counters + per-window snapshots.  The stage-2
+  /// (per-AS filter) counters are only present on finalize() results.
+  [[nodiscard]] const DatasetStats& stats() const noexcept { return stats_; }
+  /// Unique (app, ip) samples admitted so far.
+  [[nodiscard]] std::size_t unique_samples() const noexcept { return seen_.size(); }
+
+  /// Aggregate hit/miss counters over the persistent per-shard geo memos
+  /// (both databases) — the observable payoff of cross-window IP reuse.
+  [[nodiscard]] std::size_t memo_hits() const noexcept;
+  [[nodiscard]] std::size_t memo_misses() const noexcept;
+  /// hits / (hits + misses); 0 before the first lookup.
+  [[nodiscard]] double memo_hit_rate() const noexcept {
+    const std::size_t total = memo_hits() + memo_misses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(memo_hits()) /
+                            static_cast<double>(total);
+  }
+
+  /// Forgets every window: buckets, dedup set, stats, and the memo
+  /// contents (tables keep their allocation).  The builder is then
+  /// equivalent to a freshly constructed one.
+  void reset();
+
+ private:
+  const geodb::GeoDatabase& primary_;
+  const geodb::GeoDatabase& secondary_;
+  bgp::IpToAsMapper mapper_;
+  DatasetConfig config_;
+
+  /// Live ASN-ordered buckets; grown by ingest, read by finalize.
+  std::map<std::uint32_t, AsPeerSet> by_as_;
+  /// Exact (app, ip) keys observed so far (app in the high bits — no
+  /// collisions, unlike a mixed hash).
+  std::unordered_set<std::uint64_t> seen_;
+  /// Cumulative stage-1 counters + per-window snapshots.
+  DatasetStats stats_;
+  /// ASN values touched by ingests since the last finalize().
+  std::unordered_set<std::uint32_t> touched_;
+  /// Window scratch: admitted samples (reused allocation across ingests).
+  std::vector<p2p::PeerSample> pending_;
+
+  /// One persistent memo pair per shard slot; grown to the largest shard
+  /// count any ingest has used.  Each concurrent shard owns exactly one
+  /// slot, so the hot path stays lock-free.
+  struct ShardMemos {
+    geodb::LookupMemo primary;
+    geodb::LookupMemo secondary;
+  };
+  std::vector<ShardMemos> memos_;
+
+  void ensure_memo_slots(std::size_t shards);
+};
+
+}  // namespace eyeball::core

@@ -10,6 +10,12 @@
 //
 // The memo itself is intentionally NOT thread-safe: each dataset-build
 // shard owns private memos, so the hot path stays lock-free.
+//
+// Lifetime: a memo may outlive one build — the streaming dataset builder
+// keeps per-shard memos across ingest() windows so cross-window IP
+// repetition (dynamic-address churn re-observes hosts) keeps paying off.
+// reset() drops the cached records and counters without reallocating, for
+// callers that restart a longitudinal study on the same databases.
 #pragma once
 
 #include <cstddef>
@@ -61,6 +67,22 @@ class LookupMemo {
 
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  /// Hits as a fraction of all lookups (0.0 before the first lookup).
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::size_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  /// Actual slot count after power-of-two rounding; 0 when disabled.
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Forgets every cached record and zeroes the hit/miss counters; the
+  /// table keeps its size (no reallocation).  Like construction, this is
+  /// invisible to lookup results.
+  void reset() noexcept {
+    for (Slot& slot : slots_) slot.used = false;
+    hits_ = 0;
+    misses_ = 0;
+  }
 
  private:
   struct Slot {

@@ -106,6 +106,7 @@ LongitudinalResult longitudinal_crawl(const topology::AsEcosystem& ecosystem,
             [](const PeerSample& a, const PeerSample& b) {
               return a.app != b.app ? a.app < b.app : a.ip < b.ip;
             });
+  result.windows = std::move(per_window);
   return result;
 }
 

@@ -33,8 +33,15 @@ struct ChurnConfig {
 };
 
 struct LongitudinalResult {
-  /// Union of all windows, unique per (app, ip).
+  /// Union of all windows, unique per (app, ip), sorted by (app, ip).
   std::vector<PeerSample> samples;
+  /// Raw per-window observations in window order, duplicates preserved —
+  /// the same (app, ip) recurs within and across windows exactly as a
+  /// crawler would re-observe it.  Feed these window by window to
+  /// core::StreamingDatasetBuilder::ingest (whose first-observation dedup
+  /// reproduces the union semantics of `samples`) instead of rebuilding
+  /// the conditioned dataset from the merged vector per snapshot.
+  std::vector<std::vector<PeerSample>> windows;
   /// Unique IPs observed after each window (cumulative).
   std::vector<std::size_t> cumulative_unique;
   /// Number of underlying users observed at least once.

@@ -120,6 +120,30 @@ TEST(AsPeerSet, GeoErrorsScratchOverloadMatchesAndReuses) {
   }
 }
 
+TEST(AsPeerSet, GeoErrorsScratchOverloadExactValuesAndOrder) {
+  AsPeerSet as;
+  as.asn = net::Asn{64500};
+  for (const double error : {12.5, 0.0, 79.9}) {
+    PeerRecord peer;
+    peer.geo_error_km = error;
+    as.peers.push_back(peer);
+  }
+  std::vector<double> scratch{-1.0};
+  as.geo_errors(scratch);
+  EXPECT_EQ(scratch, (std::vector<double>{12.5, 0.0, 79.9}));  // peer order kept
+  EXPECT_EQ(scratch, as.geo_errors());
+}
+
+TEST(AsPeerSet, GeoErrorsScratchOverloadClearsForEmptySet) {
+  // The p90 filter reuses one scratch buffer across ASes; an empty AS must
+  // leave it empty, not holding the previous AS's errors.
+  const AsPeerSet empty;
+  std::vector<double> scratch{5.0, 6.0};
+  empty.geo_errors(scratch);
+  EXPECT_TRUE(scratch.empty());
+  EXPECT_TRUE(empty.geo_errors().empty());
+}
+
 TEST(Dataset, FindAgreesWithLinearScan) {
   const auto& f = shared_fixture();
   const auto scan = [&](net::Asn asn) -> const AsPeerSet* {

@@ -3,6 +3,10 @@
 // based connectivity predictor.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
 #include "connectivity/predictor.hpp"
 #include "connectivity/rai_scenario.hpp"
 #include "kde/bandwidth.hpp"
@@ -85,6 +89,86 @@ TEST(Churn, ReassignedIpsStayInTheSamePool) {
     EXPECT_FALSE(truth->transit_only);
     if (++checked > 300) break;
   }
+}
+
+TEST(Churn, CumulativeUniqueIsMonotoneAndMatchesWindowPrefixes) {
+  const auto& f = shared_fixture();
+  p2p::ChurnConfig churn;
+  churn.windows = 5;
+  const auto result = p2p::longitudinal_crawl(f.eco, f.gaz, small_crawl_config(), churn);
+  ASSERT_EQ(result.windows.size(), 5u);
+  ASSERT_EQ(result.cumulative_unique.size(), 5u);
+  // cumulative_unique[w] is the unique (app, ip) count of windows[0..w] —
+  // monotone by construction, and recomputable from the emitted spans.
+  std::unordered_set<std::uint64_t> unique;
+  for (std::size_t w = 0; w < result.windows.size(); ++w) {
+    for (const auto& sample : result.windows[w]) {
+      unique.insert((static_cast<std::uint64_t>(sample.app) << 32) |
+                    sample.ip.value());
+    }
+    EXPECT_EQ(result.cumulative_unique[w], unique.size()) << "window " << w;
+    if (w > 0) {
+      EXPECT_GE(result.cumulative_unique[w], result.cumulative_unique[w - 1]);
+    }
+  }
+  EXPECT_EQ(result.samples.size(), unique.size());
+}
+
+TEST(Churn, DistinctUsersBoundedByWindowActives) {
+  const auto& f = shared_fixture();
+  p2p::ChurnConfig churn;
+  churn.windows = 4;
+  const auto result = p2p::longitudinal_crawl(f.eco, f.gaz, small_crawl_config(), churn);
+  // Every distinct user was observed in at least one window, so the user
+  // count cannot exceed the sum of per-window active observations.
+  std::size_t window_actives = 0;
+  for (const auto& window : result.windows) window_actives += window.size();
+  EXPECT_LE(result.distinct_users, window_actives);
+  EXPECT_GT(result.distinct_users, 0u);
+}
+
+TEST(Churn, LeaseSurvivalDeterministicAcrossIdenticalSeeds) {
+  const auto& f = shared_fixture();
+  p2p::ChurnConfig churn;
+  churn.windows = 4;
+  churn.lease_survival = 0.5;
+  const auto a = p2p::longitudinal_crawl(f.eco, f.gaz, small_crawl_config(), churn);
+  const auto b = p2p::longitudinal_crawl(f.eco, f.gaz, small_crawl_config(), churn);
+  // Same seeds => the same lease rolls, addresses and window membership,
+  // byte for byte — the property every longitudinal repro rests on.
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_EQ(a.cumulative_unique, b.cumulative_unique);
+  EXPECT_EQ(a.distinct_users, b.distinct_users);
+}
+
+TEST(Churn, ReassignedIpKeepsItsPopPoolAcrossWindows) {
+  // The header's consistency promise: a reassigned address still belongs to
+  // the same (AS, PoP) pool, so an IP observed in several windows must
+  // ground-truth to one location — the property that keeps longitudinal
+  // geo-conditioning sound.
+  const auto& f = shared_fixture();
+  p2p::ChurnConfig churn;
+  churn.windows = 4;
+  churn.lease_survival = 0.3;  // aggressive reassignment
+  const auto result = p2p::longitudinal_crawl(f.eco, f.gaz, small_crawl_config(), churn);
+  std::unordered_map<std::uint32_t, std::pair<net::Asn, geo::GeoPoint>> first_seen;
+  std::size_t recurrences = 0;
+  for (const auto& window : result.windows) {
+    for (const auto& sample : window) {
+      const auto truth = f.truth.locate(sample.ip);
+      ASSERT_TRUE(truth);
+      const auto [it, inserted] = first_seen.try_emplace(
+          sample.ip.value(), truth->asn, truth->location);
+      if (!inserted) {
+        ++recurrences;
+        EXPECT_EQ(it->second.first, truth->asn) << sample.ip.to_string();
+        EXPECT_EQ(it->second.second, truth->location) << sample.ip.to_string();
+      }
+    }
+  }
+  // Churn must actually re-observe addresses for this to mean anything.
+  EXPECT_GT(recurrences, 0u);
 }
 
 TEST(Churn, PipelineConsumesLongitudinalSamples) {

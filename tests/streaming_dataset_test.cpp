@@ -1,0 +1,344 @@
+// Differential harness for the streaming §2 conditioning path: replays the
+// same longitudinal sample stream through (a) a one-shot build over the
+// deduplicated window concatenation, (b) per-window ingest, and (c)
+// randomly-sized batch splits, and pins the StreamingDatasetBuilder
+// equivalence contract — peers, per-AS peer order, stats, and kept-AS list
+// byte-identical at any thread count and any window split.  Runs under the
+// TSan gate next to ParallelDataset.* (tools/check.sh).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "core/streaming_dataset.hpp"
+#include "p2p/churn.hpp"
+#include "pipeline_fixture.hpp"
+#include "util/rng.hpp"
+
+namespace eyeball {
+namespace {
+
+using eyeball::testing::shared_fixture;
+
+/// Longitudinal stream over the shared fixture's world, plus the one-shot
+/// reference dataset the streaming path must reproduce.  min_peers_per_as
+/// is lowered so single windows sit below the threshold ASes later cross —
+/// the interesting streaming regime.
+struct StreamWorld {
+  const testing::PipelineFixture& f = shared_fixture();
+  core::DatasetConfig config = [] {
+    auto dataset_config = shared_fixture().pipeline.config().dataset;
+    dataset_config.min_peers_per_as = 300;
+    return dataset_config;
+  }();
+  core::DatasetBuilder builder{f.primary, f.secondary, f.mapper, config};
+  p2p::LongitudinalResult churn = [this] {
+    p2p::CrawlerConfig crawl_config;
+    crawl_config.seed = 77;
+    crawl_config.coverage = 0.05;
+    p2p::ChurnConfig churn_config;
+    churn_config.seed = 2009;
+    churn_config.windows = 5;
+    churn_config.lease_survival = 0.6;
+    return p2p::longitudinal_crawl(f.eco, f.gaz, crawl_config, churn_config);
+  }();
+  /// The raw stream: windows concatenated in window order, duplicates kept.
+  std::vector<p2p::PeerSample> concatenated = [this] {
+    std::vector<p2p::PeerSample> out;
+    for (const auto& window : churn.windows) {
+      out.insert(out.end(), window.begin(), window.end());
+    }
+    return out;
+  }();
+  /// What a streaming run admits — the one-shot reference input.
+  std::vector<p2p::PeerSample> deduped = core::dedup_first_observation(concatenated);
+  core::TargetDataset reference = builder.build(deduped, 1);
+
+  [[nodiscard]] core::StreamingDatasetBuilder streaming() const {
+    return builder.streaming();
+  }
+};
+
+const StreamWorld& stream_world() {
+  static const StreamWorld instance;
+  return instance;
+}
+
+void expect_same_dataset(const core::TargetDataset& reference,
+                         const core::TargetDataset& candidate, const char* context) {
+  EXPECT_EQ(reference.stats(), candidate.stats())
+      << context << " diverged: "
+      << core::diff_stats(reference.stats(), candidate.stats());
+  ASSERT_EQ(reference.ases().size(), candidate.ases().size()) << context;
+  for (std::size_t a = 0; a < reference.ases().size(); ++a) {
+    const auto& ra = reference.ases()[a];
+    const auto& ca = candidate.ases()[a];
+    EXPECT_EQ(ra.asn, ca.asn) << context << " as index " << a;
+    ASSERT_EQ(ra.peers.size(), ca.peers.size()) << context << " as index " << a;
+    for (std::size_t p = 0; p < ra.peers.size(); ++p) {
+      const auto& rp = ra.peers[p];
+      const auto& cp = ca.peers[p];
+      const bool same = rp.ip == cp.ip && rp.app == cp.app &&
+                        rp.location == cp.location &&
+                        rp.geo_error_km == cp.geo_error_km &&
+                        rp.reported_city == cp.reported_city;
+      EXPECT_TRUE(same) << context << " as index " << a << " peer " << p;
+      if (!same) return;
+    }
+  }
+}
+
+// ---- The differential property, over the three replay shapes ----
+
+TEST(StreamingDataset, DedupFirstObservationMatchesChurnUnion) {
+  const auto& w = stream_world();
+  // The admitted stream is exactly longitudinal_crawl's union: same size as
+  // the cumulative-unique tally and the same (app, ip) set as `samples`.
+  ASSERT_EQ(w.deduped.size(), w.churn.cumulative_unique.back());
+  auto sorted = w.deduped;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const p2p::PeerSample& a, const p2p::PeerSample& b) {
+              return a.app != b.app ? a.app < b.app : a.ip < b.ip;
+            });
+  EXPECT_EQ(sorted, w.churn.samples);
+}
+
+TEST(StreamingDataset, PerWindowIngestMatchesOneShotAcrossThreadCounts) {
+  const auto& w = stream_world();
+  const std::size_t hw = 0;  // one shard per hardware thread
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, hw}) {
+    auto streaming = w.streaming();
+    for (const auto& window : w.churn.windows) streaming.ingest(window, threads);
+    expect_same_dataset(
+        w.reference, streaming.finalize(threads),
+        ("per-window ingest, threads=" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST(StreamingDataset, RandomBatchSplitsMatchOneShot) {
+  const auto& w = stream_world();
+  const std::span<const p2p::PeerSample> stream{w.concatenated};
+  // Property-style replays: batch boundaries ignore window boundaries
+  // entirely, so dedup and merge must hold at ANY split, not just the
+  // crawler's.  Thread count varies per replay.
+  const std::size_t thread_axis[] = {1, 2, 0};
+  for (const std::uint64_t seed : {11u, 23u, 47u}) {
+    util::Rng rng{seed};
+    auto streaming = w.streaming();
+    const std::size_t threads = thread_axis[seed % 3];
+    std::size_t cursor = 0;
+    std::size_t batches = 0;
+    while (cursor < stream.size()) {
+      // Batch sizes from empty to a third of the stream, hitting the
+      // empty-batch and tiny-batch edges with real probability.
+      const auto batch =
+          std::min(stream.size() - cursor, rng.uniform_index(stream.size() / 3 + 2));
+      streaming.ingest(stream.subspan(cursor, batch), threads);
+      cursor += batch;
+      ++batches;
+    }
+    ASSERT_GT(batches, 3u) << "degenerate split; property has no force";
+    expect_same_dataset(w.reference, streaming.finalize(threads),
+                        ("random splits, seed=" + std::to_string(seed)).c_str());
+  }
+}
+
+// ---- Streaming edge cases ----
+
+TEST(StreamingDataset, EmptyWindowsAreRecordedAndHarmless) {
+  const auto& w = stream_world();
+  auto streaming = w.streaming();
+  streaming.ingest({});  // empty FIRST window
+  streaming.ingest(w.churn.windows[0], 2);
+  streaming.ingest({});  // empty mid-stream window
+  for (std::size_t i = 1; i < w.churn.windows.size(); ++i) {
+    streaming.ingest(w.churn.windows[i], 2);
+  }
+  const auto& windows = streaming.stats().windows;
+  ASSERT_EQ(windows.size(), w.churn.windows.size() + 2);
+  EXPECT_EQ(windows.front(), (core::WindowStats{0, 0, 0, 0}));
+  EXPECT_EQ(windows[2].offered, 0u);
+  EXPECT_EQ(windows[2].cumulative_unique, windows[1].cumulative_unique);
+  expect_same_dataset(w.reference, streaming.finalize(2), "empty windows");
+}
+
+TEST(StreamingDataset, DuplicateWindowDedupsToFirstObservation) {
+  const auto& w = stream_world();
+  auto streaming = w.streaming();
+  streaming.ingest(w.churn.windows[0], 2);
+  // Replaying the same window must be a no-op for the conditioned state...
+  streaming.ingest(w.churn.windows[0], 2);
+  const auto& windows = streaming.stats().windows;
+  ASSERT_EQ(windows.size(), 2u);
+  // ...but fully visible in the per-window snapshot counters.  A window can
+  // carry intra-window (app, ip) repeats, so the replay's duplicate count
+  // equals the first window's ADMITTED count, not its offered count.
+  EXPECT_EQ(windows[1].offered, windows[0].offered);
+  EXPECT_EQ(windows[1].duplicates, windows[0].admitted + windows[0].duplicates);
+  EXPECT_EQ(windows[1].admitted, 0u);
+  EXPECT_EQ(windows[1].cumulative_unique, windows[0].cumulative_unique);
+  for (std::size_t i = 1; i < w.churn.windows.size(); ++i) {
+    streaming.ingest(w.churn.windows[i], 2);
+  }
+  expect_same_dataset(w.reference, streaming.finalize(2), "duplicate window");
+}
+
+TEST(StreamingDataset, FinalizePerWindowMatchesPrefixBuildsAndReFinalizes) {
+  const auto& w = stream_world();
+  auto streaming = w.streaming();
+  std::vector<p2p::PeerSample> prefix;
+  std::vector<std::set<std::uint32_t>> kept_per_window;
+  for (const auto& window : w.churn.windows) {
+    streaming.ingest(window, 2);
+    prefix.insert(prefix.end(), window.begin(), window.end());
+    // finalize() is non-destructive: this snapshot must equal the one-shot
+    // build over the deduplicated prefix, and the NEXT ingest must keep
+    // working on the live buckets (re-finalize covered by the next lap).
+    const auto snapshot = streaming.finalize(2);
+    const auto prefix_reference =
+        w.builder.build(core::dedup_first_observation(prefix), 1);
+    expect_same_dataset(prefix_reference, snapshot,
+                        ("prefix after window " +
+                         std::to_string(kept_per_window.size()))
+                            .c_str());
+    std::set<std::uint32_t> kept;
+    for (const auto& as : snapshot.ases()) kept.insert(net::value_of(as.asn));
+    kept_per_window.push_back(std::move(kept));
+  }
+  // An AS that crosses min_peers_per_as only at window k must appear in
+  // finalize() exactly from window k on — byte-identity with the prefix
+  // builds above already pins "exactly"; here we pin that the stream
+  // actually exercises a crossing (the test would otherwise have no force).
+  std::size_t crossers = 0;
+  for (const auto asn : kept_per_window.back()) {
+    if (!kept_per_window.front().contains(asn)) ++crossers;
+  }
+  EXPECT_GT(crossers, 0u)
+      << "no AS crossed the min-peers threshold mid-stream; shrink "
+         "min_peers_per_as or the window count in StreamWorld";
+}
+
+// ---- Stats, memos, reset, incremental re-analysis ----
+
+TEST(StreamingDataset, StatsAccountForEveryAdmittedSample) {
+  const auto& w = stream_world();
+  auto streaming = w.streaming();
+  std::size_t offered_total = 0;
+  for (const auto& window : w.churn.windows) {
+    streaming.ingest(window, 2);
+    offered_total += window.size();
+  }
+  const auto& stats = streaming.stats();
+  ASSERT_EQ(stats.windows.size(), w.churn.windows.size());
+  std::size_t admitted_total = 0;
+  std::size_t duplicates_total = 0;
+  for (std::size_t i = 0; i < stats.windows.size(); ++i) {
+    const auto& window = stats.windows[i];
+    EXPECT_EQ(window.offered, w.churn.windows[i].size());
+    EXPECT_EQ(window.admitted + window.duplicates, window.offered);
+    EXPECT_EQ(window.cumulative_unique, w.churn.cumulative_unique[i]);
+    admitted_total += window.admitted;
+    duplicates_total += window.duplicates;
+  }
+  EXPECT_EQ(admitted_total + duplicates_total, offered_total);
+  EXPECT_EQ(stats.raw_samples, admitted_total);
+  EXPECT_EQ(streaming.unique_samples(), admitted_total);
+  EXPECT_EQ(streaming.windows_ingested(), w.churn.windows.size());
+
+  // The finalized snapshot keeps the window trail and the one-shot
+  // conservation law: every admitted sample is dropped or kept somewhere.
+  const auto dataset = streaming.finalize(2);
+  EXPECT_EQ(dataset.stats().windows.size(), w.churn.windows.size());
+  EXPECT_EQ(dataset.stats().raw_samples,
+            dataset.stats().missing_geo + dataset.stats().high_error +
+                dataset.stats().unmapped_as + dataset.stats().peers_in_small_ases +
+                dataset.stats().final_peers);
+}
+
+TEST(StreamingDataset, PersistentMemosObserveCrossWindowRepetition) {
+  const auto& w = stream_world();
+  auto streaming = w.streaming();
+  streaming.ingest(w.churn.windows[0], 2);
+  const auto hits_after_first = streaming.memo_hits();
+  const auto misses_after_first = streaming.memo_misses();
+  EXPECT_GT(misses_after_first, 0u);
+  for (std::size_t i = 1; i < w.churn.windows.size(); ++i) {
+    streaming.ingest(w.churn.windows[i], 2);
+  }
+  // The same addresses recur across windows (same PoP pools, new users or
+  // new apps), so the persistent memos must keep accruing hits after the
+  // first window — the whole point of not rebuilding them per ingest.
+  EXPECT_GT(streaming.memo_hits(), hits_after_first);
+  EXPECT_GT(streaming.memo_misses(), misses_after_first);
+}
+
+TEST(StreamingDataset, ResetMakesTheBuilderFresh) {
+  const auto& w = stream_world();
+  auto streaming = w.streaming();
+  for (const auto& window : w.churn.windows) streaming.ingest(window, 2);
+  streaming.reset();
+  EXPECT_EQ(streaming.windows_ingested(), 0u);
+  EXPECT_EQ(streaming.unique_samples(), 0u);
+  EXPECT_EQ(streaming.memo_hits(), 0u);
+  EXPECT_EQ(streaming.memo_misses(), 0u);
+  EXPECT_TRUE(streaming.touched_asns().empty());
+  for (const auto& window : w.churn.windows) streaming.ingest(window, 2);
+  expect_same_dataset(w.reference, streaming.finalize(2), "after reset");
+}
+
+bool same_analysis(const core::AsAnalysis& a, const core::AsAnalysis& b) {
+  if (a.asn != b.asn) return false;
+  if (a.classification.level != b.classification.level ||
+      a.classification.dominant_region != b.classification.dominant_region ||
+      a.classification.dominant_share != b.classification.dominant_share) {
+    return false;
+  }
+  if (a.footprint.grid.values() != b.footprint.grid.values()) return false;
+  if (a.pops.unmapped_peaks != b.pops.unmapped_peaks) return false;
+  if (a.pops.pops.size() != b.pops.pops.size()) return false;
+  for (std::size_t i = 0; i < a.pops.pops.size(); ++i) {
+    const auto& pa = a.pops.pops[i];
+    const auto& pb = b.pops.pops[i];
+    if (pa.city != pb.city || pa.score != pb.score ||
+        pa.peak_density != pb.peak_density || pa.peak_location != pb.peak_location) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(StreamingDataset, TouchedAsnsDriveIncrementalReanalysis) {
+  const auto& w = stream_world();
+  auto streaming = w.streaming();
+  // Windows 0..k-1, snapshot, full analysis.
+  for (std::size_t i = 0; i + 1 < w.churn.windows.size(); ++i) {
+    streaming.ingest(w.churn.windows[i], 2);
+  }
+  const auto before = streaming.finalize(2);
+  const auto analyses_before = w.f.pipeline.analyze_all(before.ases(), 2);
+
+  // Window k arrives: touched_asns() (cleared by the finalize above) names
+  // exactly the buckets the new window grew.
+  streaming.ingest(w.churn.windows.back(), 2);
+  const auto touched = streaming.touched_asns();
+  ASSERT_FALSE(touched.empty());
+  EXPECT_TRUE(std::is_sorted(touched.begin(), touched.end(),
+                             [](net::Asn a, net::Asn b) {
+                               return net::value_of(a) < net::value_of(b);
+                             }));
+  const auto after = streaming.finalize(2);
+
+  // Incremental re-analysis over the touched list equals a full re-run.
+  const auto refreshed =
+      w.f.pipeline.refresh_analyses(after, analyses_before, touched);
+  const auto full = w.f.pipeline.analyze_all(after.ases(), 2);
+  ASSERT_EQ(refreshed.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_TRUE(same_analysis(refreshed[i], full[i])) << "as index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace eyeball

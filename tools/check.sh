@@ -2,7 +2,8 @@
 # tools/check.sh — the repo's static-analysis & sanitizer gate.
 #
 # Stages (fail-fast, per-stage wall time reported):
-#   tsan    EYEBALL_SANITIZE=thread build; pool/parallel determinism tests
+#   tsan    EYEBALL_SANITIZE=thread build; pool/parallel/streaming
+#           determinism tests
 #   ubsan   EYEBALL_SANITIZE=undefined build; the FULL test suite, with
 #           EYEBALL_DCHECK contracts forced on and UB aborting the test
 #   tidy    clang-tidy (.clang-tidy) over src/ via compile_commands.json
@@ -73,7 +74,7 @@ tsan_stage() {
   cmake -B "${ROOT}/build-tsan" -S "${ROOT}" -DEYEBALL_SANITIZE=thread
   cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
   ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
-    -R 'ThreadPool|Parallel|thread_pool|Dcheck'
+    -R 'ThreadPool|Parallel|thread_pool|Dcheck|Streaming|streaming'
 }
 
 # --- ubsan: full suite with UB trapping and contracts on -------------------
