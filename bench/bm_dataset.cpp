@@ -13,10 +13,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <filesystem>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "core/snapshot.hpp"
 #include "core/streaming_dataset.hpp"
 #include "util/thread_pool.hpp"
 
@@ -144,6 +148,68 @@ void BM_LongitudinalRebuildTotal(benchmark::State& state) {
 }
 BENCHMARK(BM_LongitudinalRebuildTotal)->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond);
+
+/// Scratch directory for the snapshot benchmarks, reset per run so the
+/// generation counter and prune set start from a known state.
+std::string snapshot_bench_dir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string{"eyeball_bench_"} + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+// Crash-safety economics, write side: the cost of persisting the full
+// six-window streaming state (canonical encode + CRCs + temp-fsync-rename),
+// with the snapshot size on the label.  save_snapshot prunes to the two
+// newest generations, so the loop does not grow the directory.
+void BM_SnapshotSave(benchmark::State& state) {
+  const auto& w = world();
+  core::StreamingDatasetBuilder stream = w.pipeline.streaming_builder();
+  for (const auto& window : crawl_windows()) stream.ingest(window, 0);
+  const std::string dir = snapshot_bench_dir("snapshot_save");
+  for (auto _ : state) {
+    if (!stream.save_snapshot(dir).ok()) {
+      state.SkipWithError("save_snapshot failed");
+      break;
+    }
+  }
+  const std::size_t bytes = core::SnapshotCodec::encode(stream, 0).size();
+  state.SetLabel(std::to_string(bytes) + " byte snapshot, " +
+                 std::to_string(stream.unique_samples()) + " unique samples");
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMillisecond);
+
+// Crash-safety economics, read side: restoring the six-window state into a
+// fresh builder.  items/s counts the crawl samples the restored state covers,
+// so the rate is directly comparable with BM_DatasetBuildThreads /
+// BM_LongitudinalStreamingTotal — the replay work a restore avoids.
+void BM_SnapshotRestore(benchmark::State& state) {
+  const auto& w = world();
+  core::StreamingDatasetBuilder stream = w.pipeline.streaming_builder();
+  for (const auto& window : crawl_windows()) stream.ingest(window, 0);
+  const std::string dir = snapshot_bench_dir("snapshot_restore");
+  if (!stream.save_snapshot(dir).ok()) {
+    state.SkipWithError("seed save_snapshot failed");
+    return;
+  }
+  for (auto _ : state) {
+    core::StreamingDatasetBuilder restored = w.pipeline.streaming_builder();
+    if (!restored.restore_snapshot(dir).ok()) {
+      state.SkipWithError("restore_snapshot failed");
+      break;
+    }
+    benchmark::DoNotOptimize(restored.unique_samples());
+  }
+  state.SetLabel("replaces replay of " +
+                 std::to_string(w.crawl.samples.size()) + " samples");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.crawl.samples.size()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMillisecond);
 
 void BM_DatasetFind(benchmark::State& state) {
   const auto& w = world();

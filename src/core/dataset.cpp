@@ -64,8 +64,13 @@ std::string to_string(const DatasetStats& stats) {
     out += '=';
     out += std::to_string(value);
   });
-  // Streaming observability, outside the identity counters (see the field
-  // comment): window count only, so logs show a stream was a stream.
+  // Observability outside the identity counters (see the field comments):
+  // window count and validity rejects, so logs show a stream was a stream
+  // and a hostile input was a hostile input.
+  if (stats.rejected_samples != 0) {
+    out += " rejected_samples=";
+    out += std::to_string(stats.rejected_samples);
+  }
   if (!stats.windows.empty()) {
     out += " windows=";
     out += std::to_string(stats.windows.size());
@@ -144,6 +149,14 @@ ConditionShard condition_chunk(std::span<const p2p::PeerSample> samples, std::si
       ++shard.dropped.missing_geo;
       continue;
     }
+    // A corrupt database row (NaN / out-of-range coordinates) must be
+    // rejected here: past this point its location feeds the distance
+    // computation and, if kept, the KDE — both poisoned by a single NaN.
+    if (!geo::is_valid(primary_record->location) ||
+        !geo::is_valid(secondary_record->location)) {
+      ++shard.dropped.rejected;
+      continue;
+    }
     const double error_km =
         geo::distance_km(primary_record->location, secondary_record->location);
     if (error_km > config.max_geo_error_km) {
@@ -168,6 +181,7 @@ void merge_shard_ordered(ConditionShard shard, std::map<std::uint32_t, AsPeerSet
   dropped.missing_geo += shard.dropped.missing_geo;
   dropped.high_error += shard.dropped.high_error;
   dropped.unmapped_as += shard.dropped.unmapped_as;
+  dropped.rejected += shard.dropped.rejected;
   for (auto& [asn_value, set] : shard.by_as) {
     auto& merged = by_as[asn_value];
     if (merged.peers.empty()) {

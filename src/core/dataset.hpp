@@ -89,11 +89,16 @@ struct WindowStats {
   std::size_t offered = 0;
   /// Samples dropped by the cross-window (app, ip) first-observation dedup.
   std::size_t duplicates = 0;
-  /// offered - duplicates: what this window contributed to conditioning.
+  /// offered - duplicates - rejected: what this window contributed to
+  /// conditioning.
   std::size_t admitted = 0;
   /// Running unique (app, ip) count after this window — the streaming
   /// analogue of LongitudinalResult::cumulative_unique.
   std::size_t cumulative_unique = 0;
+  /// Samples refused at the admission door: reserved/invalid IP or unknown
+  /// app tag (a hostile or corrupted crawl window).  Rejected samples never
+  /// enter the dedup set, so offered == duplicates + admitted + rejected.
+  std::size_t rejected = 0;
 
   friend bool operator==(const WindowStats&, const WindowStats&) = default;
 };
@@ -112,6 +117,14 @@ struct DatasetStats {
   std::size_t ases_above_p90_error = 0;
   std::size_t final_peers = 0;
   std::size_t final_ases = 0;
+  /// Samples refused by validity checks rather than conditioned away:
+  /// streaming admission-door rejects (reserved/invalid IP, unknown app)
+  /// plus geo-database rows with non-finite or out-of-range coordinates
+  /// caught during stage 1.  EXCLUDED from operator== like `windows`: the
+  /// door runs before dedup, so a hostile stream's rejects are visible to
+  /// the streaming builder but already filtered out of the equivalent
+  /// one-shot input (see dedup_first_observation).
+  std::size_t rejected_samples = 0;
   /// One entry per ingest() window in ingest order; empty for one-shot
   /// builds.  Deliberately EXCLUDED from operator== / diff_stats: a
   /// dataset's identity is its conditioning outcome, not how the samples
@@ -172,11 +185,17 @@ struct ConditionCounters {
   std::size_t missing_geo = 0;
   std::size_t high_error = 0;
   std::size_t unmapped_as = 0;
+  /// Database rows with non-finite / out-of-range coordinates (the invalid
+  /// rows the longitudinal geo-database literature documents in the wild) —
+  /// rejected before the distance computation so a NaN can never reach the
+  /// error filter or the KDE downstream.
+  std::size_t rejected = 0;
 
   void add_to(DatasetStats& stats) const noexcept {
     stats.missing_geo += missing_geo;
     stats.high_error += high_error;
     stats.unmapped_as += unmapped_as;
+    stats.rejected_samples += rejected;
   }
 };
 

@@ -1,0 +1,589 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "core/streaming_dataset.hpp"
+#include "util/crc32c.hpp"
+#include "util/file.hpp"
+#include "util/rng.hpp"
+
+namespace eyeball::core {
+
+namespace {
+
+// Layout constants (see the format comment in snapshot.hpp).
+constexpr char kHeadMagic[8] = {'E', 'Y', 'B', 'S', 'N', 'A', 'P', '1'};
+constexpr char kTailMagic[8] = {'E', 'Y', 'B', 'S', 'N', 'E', 'N', 'D'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8 + 4;
+constexpr std::size_t kSectionHeaderSize = 4 + 8 + 4;
+constexpr std::size_t kFooterSize = 4 + 8;
+
+// Section ids, in the order they appear in the file.
+enum SectionId : std::uint32_t {
+  kConfig = 1,
+  kBuckets = 2,
+  kSeen = 3,
+  kStats = 4,
+  kTouched = 5,
+};
+constexpr std::uint32_t kSectionCount = 5;
+
+constexpr std::size_t kPeerRecordSize = 4 + 1 + 8 + 8 + 8 + 4;
+constexpr std::size_t kBucketHeaderSize = 4 + 8;
+constexpr std::size_t kStatsCounterBytes = 10 * 8;
+constexpr std::size_t kWindowRecordSize = 5 * 8;
+constexpr std::size_t kConfigPayloadSize = 3 * 8;
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffU));
+  }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffU));
+  }
+}
+
+void put_f64(std::vector<std::byte>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader over a byte span.  Every read
+/// returns false instead of walking past the end; callers funnel a false
+/// into kCorruption.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  [[nodiscard]] bool read_u8(std::uint8_t& out) noexcept {
+    if (remaining() < 1) return false;
+    out = std::to_integer<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  [[nodiscard]] bool read_u32(std::uint32_t& out) noexcept {
+    if (remaining() < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(i)]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool read_u64(std::uint64_t& out) noexcept {
+    if (remaining() < 8) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(i)]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool read_f64(double& out) noexcept {
+    std::uint64_t bits = 0;
+    if (!read_u64(bits)) return false;
+    out = std::bit_cast<double>(bits);
+    return true;
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] util::Status corrupt(const char* what) {
+  return util::Status::corruption(what);
+}
+
+/// snapshot.<20-digit zero-padded generation>.eyb
+[[nodiscard]] std::string snapshot_filename(std::uint64_t generation) {
+  std::string digits = std::to_string(generation);
+  std::string out = "snapshot.";
+  out.append(20 - digits.size(), '0');
+  out += digits;
+  out += ".eyb";
+  return out;
+}
+
+/// Parses a snapshot filename; returns false for anything else in the dir.
+[[nodiscard]] bool parse_snapshot_filename(const std::string& name,
+                                           std::uint64_t& generation) {
+  constexpr std::string_view prefix = "snapshot.";
+  constexpr std::string_view suffix = ".eyb";
+  if (name.size() != prefix.size() + 20 + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) return false;
+  const char* first = name.data() + prefix.size();
+  const char* last = first + 20;
+  if (!std::all_of(first, last, [](char c) { return c >= '0' && c <= '9'; })) {
+    return false;
+  }
+  const auto [ptr, ec] = std::from_chars(first, last, generation);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+std::uint64_t SnapshotCodec::config_fingerprint(const DatasetConfig& config) noexcept {
+  // Only the fields that change results; see the header comment.
+  std::uint64_t fp = util::mix64(std::bit_cast<std::uint64_t>(config.max_geo_error_km),
+                                 static_cast<std::uint64_t>(config.min_peers_per_as));
+  return util::mix64(fp, std::bit_cast<std::uint64_t>(config.max_p90_geo_error_km));
+}
+
+std::vector<std::byte> SnapshotCodec::encode(const StreamingDatasetBuilder& builder,
+                                             std::uint64_t generation) {
+  std::vector<std::byte> out;
+
+  // Header.
+  for (const char c : kHeadMagic) out.push_back(static_cast<std::byte>(c));
+  put_u32(out, kFormatVersion);
+  put_u64(out, generation);
+  put_u64(out, config_fingerprint(builder.config_));
+  put_u32(out, kSectionCount);
+
+  std::vector<std::byte> payload;
+  const auto emit_section = [&out, &payload](std::uint32_t id) {
+    put_u32(out, id);
+    put_u64(out, payload.size());
+    put_u32(out, util::crc32c(payload));
+    out.insert(out.end(), payload.begin(), payload.end());
+    payload.clear();
+  };
+
+  // kConfig: the recorded result-affecting fields, human-recoverable even
+  // though the fingerprint alone decides admissibility.
+  put_f64(payload, builder.config_.max_geo_error_km);
+  put_u64(payload, static_cast<std::uint64_t>(builder.config_.min_peers_per_as));
+  put_f64(payload, builder.config_.max_p90_geo_error_km);
+  emit_section(kConfig);
+
+  // kBuckets: the live ASN-ordered peer buckets (std::map iteration is
+  // already canonical ascending order).
+  put_u64(payload, static_cast<std::uint64_t>(builder.by_as_.size()));
+  for (const auto& [asn_value, set] : builder.by_as_) {
+    put_u32(payload, asn_value);
+    put_u64(payload, static_cast<std::uint64_t>(set.peers.size()));
+    for (const PeerRecord& peer : set.peers) {
+      put_u32(payload, peer.ip.value());
+      payload.push_back(static_cast<std::byte>(peer.app));
+      put_f64(payload, peer.location.lat_deg);
+      put_f64(payload, peer.location.lon_deg);
+      put_f64(payload, peer.geo_error_km);
+      put_u32(payload, peer.reported_city);
+    }
+  }
+  emit_section(kBuckets);
+
+  // kSeen: the dedup keys, sorted so equal states encode identically.
+  std::vector<std::uint64_t> seen_keys{builder.seen_.begin(), builder.seen_.end()};
+  std::sort(seen_keys.begin(), seen_keys.end());
+  put_u64(payload, static_cast<std::uint64_t>(seen_keys.size()));
+  for (const std::uint64_t key : seen_keys) put_u64(payload, key);
+  emit_section(kSeen);
+
+  // kStats: cumulative counters + per-window snapshots.
+  put_u64(payload, static_cast<std::uint64_t>(builder.stats_.raw_samples));
+  put_u64(payload, static_cast<std::uint64_t>(builder.stats_.missing_geo));
+  put_u64(payload, static_cast<std::uint64_t>(builder.stats_.high_error));
+  put_u64(payload, static_cast<std::uint64_t>(builder.stats_.unmapped_as));
+  put_u64(payload, static_cast<std::uint64_t>(builder.stats_.peers_in_small_ases));
+  put_u64(payload, static_cast<std::uint64_t>(builder.stats_.ases_below_min_peers));
+  put_u64(payload, static_cast<std::uint64_t>(builder.stats_.ases_above_p90_error));
+  put_u64(payload, static_cast<std::uint64_t>(builder.stats_.final_peers));
+  put_u64(payload, static_cast<std::uint64_t>(builder.stats_.final_ases));
+  put_u64(payload, static_cast<std::uint64_t>(builder.stats_.rejected_samples));
+  put_u64(payload, static_cast<std::uint64_t>(builder.stats_.windows.size()));
+  for (const WindowStats& w : builder.stats_.windows) {
+    put_u64(payload, static_cast<std::uint64_t>(w.offered));
+    put_u64(payload, static_cast<std::uint64_t>(w.duplicates));
+    put_u64(payload, static_cast<std::uint64_t>(w.admitted));
+    put_u64(payload, static_cast<std::uint64_t>(w.cumulative_unique));
+    put_u64(payload, static_cast<std::uint64_t>(w.rejected));
+  }
+  emit_section(kStats);
+
+  // kTouched: sorted for canonical bytes.
+  std::vector<std::uint32_t> touched{builder.touched_.begin(), builder.touched_.end()};
+  std::sort(touched.begin(), touched.end());
+  put_u64(payload, static_cast<std::uint64_t>(touched.size()));
+  for (const std::uint32_t asn : touched) put_u32(payload, asn);
+  emit_section(kTouched);
+
+  // Footer: whole-file CRC over everything so far, then the tail magic.
+  put_u32(out, util::crc32c(out));
+  for (const char c : kTailMagic) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+util::Status SnapshotCodec::decode(std::span<const std::byte> bytes,
+                                   StreamingDatasetBuilder& builder,
+                                   std::uint64_t* generation) {
+  // ---- Envelope: magics, whole-file CRC, version, fingerprint. ----
+  if (bytes.size() < kHeaderSize + kSectionCount * kSectionHeaderSize + kFooterSize) {
+    return corrupt("snapshot truncated: shorter than the minimum envelope");
+  }
+  if (std::memcmp(bytes.data(), kHeadMagic, sizeof kHeadMagic) != 0) {
+    return corrupt("bad head magic: not a snapshot file");
+  }
+  if (std::memcmp(bytes.data() + bytes.size() - sizeof kTailMagic, kTailMagic,
+                  sizeof kTailMagic) != 0) {
+    return corrupt("bad tail magic: truncated or overwritten snapshot");
+  }
+  const std::span<const std::byte> body = bytes.first(bytes.size() - kFooterSize);
+  Reader footer{bytes.subspan(bytes.size() - kFooterSize)};
+  std::uint32_t stored_file_crc = 0;
+  if (!footer.read_u32(stored_file_crc)) return corrupt("unreadable footer");
+  // CRC before the version check: a damaged version byte is corruption; a
+  // version mismatch verdict is reserved for files that are intact.
+  if (util::crc32c(body) != stored_file_crc) {
+    return corrupt("whole-file CRC mismatch");
+  }
+
+  Reader reader{body};
+  std::uint64_t skip = 0;
+  static_cast<void>(reader.read_u64(skip));  // head magic, verified above
+  std::uint32_t version = 0;
+  std::uint64_t stored_generation = 0;
+  std::uint64_t stored_fingerprint = 0;
+  std::uint32_t section_count = 0;
+  if (!reader.read_u32(version) || !reader.read_u64(stored_generation) ||
+      !reader.read_u64(stored_fingerprint) || !reader.read_u32(section_count)) {
+    return corrupt("unreadable header");
+  }
+  if (version != kFormatVersion) {
+    std::string message = "snapshot format v";
+    message += std::to_string(version);
+    message += ", this binary reads v";
+    message += std::to_string(kFormatVersion);
+    return util::Status::version_mismatch(std::move(message));
+  }
+  if (stored_fingerprint != config_fingerprint(builder.config_)) {
+    return util::Status::config_mismatch(
+        "snapshot was written under a different dataset configuration; "
+        "loading it would silently change results");
+  }
+  if (section_count != kSectionCount) {
+    return corrupt("unexpected section count for format v1");
+  }
+
+  // ---- Section walk: bounds, per-section CRC, strict id order. ----
+  std::array<std::span<const std::byte>, kSectionCount> sections;
+  for (std::uint32_t expected_id = 1; expected_id <= kSectionCount; ++expected_id) {
+    std::uint32_t id = 0;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+    if (!reader.read_u32(id) || !reader.read_u64(size) || !reader.read_u32(crc)) {
+      return corrupt("unreadable section header");
+    }
+    if (id != expected_id) return corrupt("unknown, duplicate, or misordered section id");
+    if (size > reader.remaining()) return corrupt("section payload overruns the file");
+    const std::span<const std::byte> payload =
+        body.subspan(body.size() - reader.remaining(), static_cast<std::size_t>(size));
+    if (util::crc32c(payload) != crc) return corrupt("section CRC mismatch");
+    sections[expected_id - 1] = payload;
+    reader = Reader{body.subspan(body.size() - reader.remaining() +
+                                 static_cast<std::size_t>(size))};
+  }
+  if (reader.remaining() != 0) return corrupt("trailing garbage after the last section");
+
+  // ---- kConfig: must agree with the header fingerprint AND the live
+  // config (defense in depth; the message names the offending field). ----
+  {
+    Reader r{sections[kConfig - 1]};
+    if (sections[kConfig - 1].size() != kConfigPayloadSize) {
+      return corrupt("config section has the wrong size");
+    }
+    double max_geo = 0.0;
+    std::uint64_t min_peers = 0;
+    double max_p90 = 0.0;
+    if (!r.read_f64(max_geo) || !r.read_u64(min_peers) || !r.read_f64(max_p90)) {
+      return corrupt("unreadable config section");
+    }
+    DatasetConfig recorded;
+    recorded.max_geo_error_km = max_geo;
+    recorded.min_peers_per_as = static_cast<std::size_t>(min_peers);
+    recorded.max_p90_geo_error_km = max_p90;
+    if (config_fingerprint(recorded) != stored_fingerprint) {
+      return corrupt("config section disagrees with the header fingerprint");
+    }
+    if (std::bit_cast<std::uint64_t>(max_geo) !=
+        std::bit_cast<std::uint64_t>(builder.config_.max_geo_error_km)) {
+      return util::Status::config_mismatch("max_geo_error_km differs from the live config");
+    }
+    if (min_peers != static_cast<std::uint64_t>(builder.config_.min_peers_per_as)) {
+      return util::Status::config_mismatch("min_peers_per_as differs from the live config");
+    }
+    if (std::bit_cast<std::uint64_t>(max_p90) !=
+        std::bit_cast<std::uint64_t>(builder.config_.max_p90_geo_error_km)) {
+      return util::Status::config_mismatch(
+          "max_p90_geo_error_km differs from the live config");
+    }
+  }
+
+  // ---- Parse every data section into temporaries; nothing below touches
+  // the builder until all of them have validated. ----
+  std::map<std::uint32_t, AsPeerSet> by_as;
+  {
+    Reader r{sections[kBuckets - 1]};
+    std::uint64_t as_count = 0;
+    if (!r.read_u64(as_count)) return corrupt("unreadable bucket count");
+    if (as_count > r.remaining() / kBucketHeaderSize) {
+      return corrupt("bucket count exceeds the section payload");
+    }
+    std::uint64_t previous_asn = 0;
+    bool first = true;
+    for (std::uint64_t a = 0; a < as_count; ++a) {
+      std::uint32_t asn_value = 0;
+      std::uint64_t peer_count = 0;
+      if (!r.read_u32(asn_value) || !r.read_u64(peer_count)) {
+        return corrupt("unreadable bucket header");
+      }
+      if (!first && asn_value <= previous_asn) {
+        return corrupt("bucket ASNs not strictly ascending");
+      }
+      first = false;
+      previous_asn = asn_value;
+      if (peer_count > r.remaining() / kPeerRecordSize) {
+        return corrupt("peer count exceeds the section payload");
+      }
+      AsPeerSet set;
+      set.asn = net::Asn{asn_value};
+      set.peers.reserve(static_cast<std::size_t>(peer_count));
+      for (std::uint64_t p = 0; p < peer_count; ++p) {
+        std::uint32_t ip = 0;
+        std::uint8_t app = 0;
+        double lat = 0.0;
+        double lon = 0.0;
+        double err = 0.0;
+        std::uint32_t city = 0;
+        if (!r.read_u32(ip) || !r.read_u8(app) || !r.read_f64(lat) ||
+            !r.read_f64(lon) || !r.read_f64(err) || !r.read_u32(city)) {
+          return corrupt("unreadable peer record");
+        }
+        if (app >= p2p::kAllApps.size()) return corrupt("peer record has an unknown app tag");
+        if (!geo::is_valid(geo::GeoPoint{lat, lon})) {
+          return corrupt("peer record has out-of-range coordinates");
+        }
+        if (!std::isfinite(err) || err < 0.0) {
+          return corrupt("peer record has an invalid geo error");
+        }
+        set.peers.push_back(PeerRecord{net::Ipv4Address{ip}, static_cast<p2p::App>(app),
+                                       geo::GeoPoint{lat, lon}, err, city});
+      }
+      by_as.emplace_hint(by_as.end(), asn_value, std::move(set));
+    }
+    if (r.remaining() != 0) return corrupt("trailing bytes in the bucket section");
+  }
+
+  std::vector<std::uint64_t> seen_keys;
+  {
+    Reader r{sections[kSeen - 1]};
+    std::uint64_t count = 0;
+    if (!r.read_u64(count)) return corrupt("unreadable dedup-key count");
+    // Divide, never multiply: a hostile count must not overflow the check.
+    if (r.remaining() % 8 != 0 || count != r.remaining() / 8) {
+      return corrupt("dedup-key count disagrees with the payload");
+    }
+    seen_keys.reserve(static_cast<std::size_t>(count));
+    std::uint64_t previous = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t key = 0;
+      if (!r.read_u64(key)) return corrupt("unreadable dedup key");
+      if (i != 0 && key <= previous) return corrupt("dedup keys not strictly ascending");
+      previous = key;
+      seen_keys.push_back(key);
+    }
+  }
+
+  DatasetStats stats;
+  {
+    Reader r{sections[kStats - 1]};
+    std::uint64_t v = 0;
+    const auto read_counter = [&r, &v](std::size_t& field) {
+      if (!r.read_u64(v)) return false;
+      field = static_cast<std::size_t>(v);
+      return true;
+    };
+    if (!read_counter(stats.raw_samples) || !read_counter(stats.missing_geo) ||
+        !read_counter(stats.high_error) || !read_counter(stats.unmapped_as) ||
+        !read_counter(stats.peers_in_small_ases) ||
+        !read_counter(stats.ases_below_min_peers) ||
+        !read_counter(stats.ases_above_p90_error) || !read_counter(stats.final_peers) ||
+        !read_counter(stats.final_ases) || !read_counter(stats.rejected_samples)) {
+      return corrupt("unreadable stats counters");
+    }
+    std::uint64_t window_count = 0;
+    if (!r.read_u64(window_count)) return corrupt("unreadable window count");
+    if (r.remaining() % kWindowRecordSize != 0 ||
+        window_count != r.remaining() / kWindowRecordSize) {
+      return corrupt("window count disagrees with the payload");
+    }
+    stats.windows.reserve(static_cast<std::size_t>(window_count));
+    for (std::uint64_t i = 0; i < window_count; ++i) {
+      WindowStats w;
+      if (!read_counter(w.offered) || !read_counter(w.duplicates) ||
+          !read_counter(w.admitted) || !read_counter(w.cumulative_unique) ||
+          !read_counter(w.rejected)) {
+        return corrupt("unreadable window record");
+      }
+      stats.windows.push_back(w);
+    }
+  }
+
+  std::vector<std::uint32_t> touched;
+  {
+    Reader r{sections[kTouched - 1]};
+    std::uint64_t count = 0;
+    if (!r.read_u64(count)) return corrupt("unreadable touched count");
+    if (r.remaining() % 4 != 0 || count != r.remaining() / 4) {
+      return corrupt("touched count disagrees with the payload");
+    }
+    touched.reserve(static_cast<std::size_t>(count));
+    std::uint32_t previous = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint32_t asn = 0;
+      if (!r.read_u32(asn)) return corrupt("unreadable touched ASN");
+      if (i != 0 && asn <= previous) return corrupt("touched ASNs not strictly ascending");
+      previous = asn;
+      touched.push_back(asn);
+    }
+  }
+
+  // ---- Cross-section invariants of real builder state. ----
+  if (stats.raw_samples != seen_keys.size()) {
+    return corrupt("raw_samples disagrees with the dedup-key count");
+  }
+  if (!stats.windows.empty() &&
+      stats.windows.back().cumulative_unique != seen_keys.size()) {
+    return corrupt("last window's cumulative_unique disagrees with the dedup-key count");
+  }
+  for (const std::uint32_t asn : touched) {
+    if (by_as.find(asn) == by_as.end()) {
+      return corrupt("touched ASN has no bucket");
+    }
+  }
+
+  // ---- Commit: every check passed; replace the builder's state. ----
+  builder.by_as_ = std::move(by_as);
+  builder.seen_.clear();
+  builder.seen_.reserve(seen_keys.size());
+  builder.seen_.insert(seen_keys.begin(), seen_keys.end());
+  builder.stats_ = std::move(stats);
+  builder.touched_.clear();
+  builder.touched_.insert(touched.begin(), touched.end());
+  builder.pending_.clear();
+  // Memos restart cold: they are a deterministic cache, so this cannot
+  // change results — only the hit rate of the next few ingests.
+  for (auto& memos : builder.memos_) {
+    memos.primary.reset();
+    memos.secondary.reset();
+  }
+  builder.last_generation_ = stored_generation;
+  if (generation != nullptr) *generation = stored_generation;
+  return util::Status{};
+}
+
+util::Status StreamingDatasetBuilder::save_snapshot(const std::string& dir) {
+  return save_snapshot(dir, util::local_filesystem(), nullptr);
+}
+
+util::Status StreamingDatasetBuilder::save_snapshot(const std::string& dir,
+                                                    util::FileSystem& fs,
+                                                    std::uint64_t* generation) {
+  util::Status status = fs.create_directories(dir);
+  if (!status.ok()) return status.with_context("save_snapshot");
+
+  // Next generation: one past the newest on disk and the newest this
+  // builder has seen, so save after restore-with-fallback never reuses the
+  // number of a skipped (corrupt) newer file.
+  std::vector<std::string> names;
+  status = fs.list_dir(dir, names);
+  if (!status.ok()) return status.with_context("save_snapshot");
+  std::uint64_t max_generation = last_generation_;
+  for (const std::string& name : names) {
+    std::uint64_t gen = 0;
+    if (parse_snapshot_filename(name, gen)) max_generation = std::max(max_generation, gen);
+  }
+  const std::uint64_t next = max_generation + 1;
+
+  const std::vector<std::byte> bytes = SnapshotCodec::encode(*this, next);
+  status = util::atomic_write_file(fs, dir + "/" + snapshot_filename(next), bytes);
+  if (!status.ok()) return status.with_context("save_snapshot");
+  last_generation_ = next;
+  if (generation != nullptr) *generation = next;
+
+  // Prune: keep the two newest generations (current + last-good fallback).
+  // Best-effort — a failed unlink costs disk, not correctness.
+  std::vector<std::uint64_t> generations;
+  for (const std::string& name : names) {
+    std::uint64_t gen = 0;
+    if (parse_snapshot_filename(name, gen)) generations.push_back(gen);
+  }
+  generations.push_back(next);
+  std::sort(generations.begin(), generations.end(), std::greater<>{});
+  for (std::size_t i = 2; i < generations.size(); ++i) {
+    static_cast<void>(fs.remove_file(dir + "/" + snapshot_filename(generations[i])));
+  }
+  return util::Status{};
+}
+
+util::Status StreamingDatasetBuilder::restore_snapshot(const std::string& dir,
+                                                       SnapshotRestoreInfo* info) {
+  return restore_snapshot(dir, util::local_filesystem(), info);
+}
+
+util::Status StreamingDatasetBuilder::restore_snapshot(const std::string& dir,
+                                                       util::FileSystem& fs,
+                                                       SnapshotRestoreInfo* info) {
+  std::vector<std::string> names;
+  util::Status status = fs.list_dir(dir, names);
+  if (!status.ok()) return status.with_context("restore_snapshot");
+
+  std::vector<std::uint64_t> generations;
+  for (const std::string& name : names) {
+    std::uint64_t gen = 0;
+    if (parse_snapshot_filename(name, gen)) generations.push_back(gen);
+  }
+  if (generations.empty()) {
+    return util::Status::not_found("restore_snapshot: no snapshot files in " + dir);
+  }
+  std::sort(generations.begin(), generations.end(), std::greater<>{});
+
+  // Newest first; a corrupt/truncated/skewed generation falls back to the
+  // one before it.  decode() has the strong guarantee, so a failed attempt
+  // leaves this builder exactly as it was for the next one.
+  util::Status newest_error;
+  for (std::size_t i = 0; i < generations.size(); ++i) {
+    const std::uint64_t gen = generations[i];
+    std::vector<std::byte> bytes;
+    status = fs.read_file(dir + "/" + snapshot_filename(gen), bytes);
+    if (status.ok()) status = SnapshotCodec::decode(bytes, *this, nullptr);
+    if (status.ok()) {
+      if (info != nullptr) *info = SnapshotRestoreInfo{gen, i};
+      return util::Status{};
+    }
+    if (i == 0) {
+      newest_error = status.with_context("generation " + std::to_string(gen));
+    }
+  }
+  return newest_error.with_context("restore_snapshot: no loadable generation");
+}
+
+}  // namespace eyeball::core

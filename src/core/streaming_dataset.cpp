@@ -15,6 +15,18 @@ namespace {
   return (static_cast<std::uint64_t>(sample.app) << 32) | sample.ip.value();
 }
 
+/// The admission door for hostile windows: a sample is admitted only if its
+/// IP is plausibly an eyeball address (mirrors Ipv4SpaceAllocator's reserved
+/// ranges: 0/8, 10/8, 127/8, 224.0.0.0+) and its app tag is one of the
+/// crawled applications.  Checked BEFORE the dedup set, so a rejected
+/// sample leaves no trace — a later valid observation of the same (app, ip)
+/// is still a first observation.
+[[nodiscard]] constexpr bool is_admissible_sample(const p2p::PeerSample& sample) noexcept {
+  const std::uint32_t top = sample.ip.value() >> 24;
+  if (top == 0 || top == 10 || top == 127 || top >= 224) return false;
+  return static_cast<std::uint8_t>(sample.app) < p2p::kAllApps.size();
+}
+
 }  // namespace
 
 std::vector<p2p::PeerSample> dedup_first_observation(
@@ -24,6 +36,10 @@ std::vector<p2p::PeerSample> dedup_first_observation(
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(samples.size());
   for (const auto& sample : samples) {
+    // Same admission door as ingest(): the result must be exactly the
+    // stream a StreamingDatasetBuilder admits, or the streaming-vs-one-shot
+    // equivalence contract would break on hostile input.
+    if (!is_admissible_sample(sample)) continue;
     if (seen.insert(sample_key(sample)).second) out.push_back(sample);
   }
   return out;
@@ -58,7 +74,9 @@ void StreamingDatasetBuilder::ingest(std::span<const p2p::PeerSample> window,
   pending_.clear();
   pending_.reserve(window.size());
   for (const auto& sample : window) {
-    if (seen_.insert(sample_key(sample)).second) {
+    if (!is_admissible_sample(sample)) {
+      ++window_stats.rejected;
+    } else if (seen_.insert(sample_key(sample)).second) {
       pending_.push_back(sample);
     } else {
       ++window_stats.duplicates;
@@ -67,6 +85,7 @@ void StreamingDatasetBuilder::ingest(std::span<const p2p::PeerSample> window,
   window_stats.admitted = pending_.size();
   window_stats.cumulative_unique = seen_.size();
   stats_.raw_samples += window_stats.admitted;
+  stats_.rejected_samples += window_stats.rejected;
 
   // Stage 1 over the admitted window only, sharded exactly like the
   // one-shot build.  Shard slices are contiguous and folded in shard
@@ -146,6 +165,7 @@ void StreamingDatasetBuilder::reset() {
   touched_.clear();
   pending_.clear();
   pending_.shrink_to_fit();
+  last_generation_ = 0;
   for (auto& memos : memos_) {
     memos.primary.reset();
     memos.secondary.reset();

@@ -36,13 +36,22 @@
 #include <cstdint>
 #include <map>
 #include <span>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "core/dataset.hpp"
 #include "geodb/lookup_memo.hpp"
+#include "util/status.hpp"
+
+namespace eyeball::util {
+class FileSystem;
+}  // namespace eyeball::util
 
 namespace eyeball::core {
+
+class SnapshotCodec;
+struct SnapshotRestoreInfo;
 
 /// First-observation (app, ip) dedup of a window concatenation — exactly
 /// the sample stream a StreamingDatasetBuilder admits; build() over the
@@ -105,7 +114,37 @@ class StreamingDatasetBuilder {
   /// equivalent to a freshly constructed one.
   void reset();
 
+  /// Persists the complete logical state to `dir` as the next snapshot
+  /// generation, crash-safely (write-to-temp + fsync + atomic rename +
+  /// directory sync; see core/snapshot.hpp for the format).  The two newest
+  /// generations are retained — current plus a last-good fallback — older
+  /// ones are pruned best-effort.  `generation` (optional) receives the
+  /// generation number written.
+  [[nodiscard]] util::Status save_snapshot(const std::string& dir);
+  [[nodiscard]] util::Status save_snapshot(const std::string& dir, util::FileSystem& fs,
+                                           std::uint64_t* generation = nullptr);
+
+  /// Replaces this builder's state with the newest loadable generation in
+  /// `dir`.  Degrades gracefully: a corrupt, truncated, or version-skewed
+  /// newest file is reported through the Status taxonomy internally and the
+  /// previous generation is tried — the builder loads silently-wrong state
+  /// under NO fault (the invariant the fault-injection harness pins).
+  /// Typed refusals: kConfigMismatch when the snapshot was written under a
+  /// different result-affecting configuration, kNotFound when `dir` holds
+  /// no snapshots.  On failure the builder is untouched.  Memos restart
+  /// cold (they are caches; results are unaffected).
+  [[nodiscard]] util::Status restore_snapshot(const std::string& dir,
+                                              SnapshotRestoreInfo* info = nullptr);
+  [[nodiscard]] util::Status restore_snapshot(const std::string& dir, util::FileSystem& fs,
+                                              SnapshotRestoreInfo* info = nullptr);
+
+  /// Newest snapshot generation this builder has written or restored; 0
+  /// before either.
+  [[nodiscard]] std::uint64_t last_generation() const noexcept { return last_generation_; }
+
  private:
+  friend class SnapshotCodec;
+
   const geodb::GeoDatabase& primary_;
   const geodb::GeoDatabase& secondary_;
   bgp::IpToAsMapper mapper_;
@@ -131,6 +170,9 @@ class StreamingDatasetBuilder {
     geodb::LookupMemo secondary;
   };
   std::vector<ShardMemos> memos_;
+
+  /// Newest snapshot generation written or restored (see last_generation()).
+  std::uint64_t last_generation_ = 0;
 
   void ensure_memo_slots(std::size_t shards);
 };

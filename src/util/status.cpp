@@ -1,0 +1,50 @@
+#include "util/status.hpp"
+
+#include <ostream>
+
+namespace eyeball::util {
+
+std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kVersionMismatch:
+      return "VERSION_MISMATCH";
+    case StatusCode::kConfigMismatch:
+      return "CONFIG_MISMATCH";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out{util::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::with_context(std::string_view context) const {
+  Status out = *this;
+  if (out.ok()) return out;
+  std::string combined{context};
+  combined += ": ";
+  combined += out.message_;
+  out.message_ = std::move(combined);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.to_string();
+}
+
+}  // namespace eyeball::util

@@ -1,0 +1,96 @@
+// util::Status — the error taxonomy threaded through the I/O layer.
+//
+// Everything above the persistence layer in this library treats bad *input*
+// as an exception and bad *logic* as an EYEBALL_DCHECK.  Disk I/O fits
+// neither: failures are expected at runtime (torn writes, corrupt rows,
+// version skew across binaries — the longitudinal-geo literature documents
+// all of them in the wild), must not abort a long-lived process, and the
+// CALLER decides the policy (fall back to an older snapshot generation,
+// refuse to load, rebuild from scratch).  Status makes those outcomes typed
+// values: every checked I/O and codec entry point returns one, and the code
+// distinguishes "the disk said no" from "the bytes are lying" from "these
+// bytes are fine but belong to a different configuration".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace eyeball::util {
+
+enum class StatusCode : std::uint8_t {
+  kOk,
+  /// The caller asked for something malformed (bad path, empty payload).
+  kInvalidArgument,
+  /// The named file / snapshot generation does not exist.
+  kNotFound,
+  /// The operating system failed the operation (write, fsync, rename, read).
+  kIoError,
+  /// The bytes exist but fail validation: bad magic, checksum mismatch,
+  /// truncation, out-of-bounds section, impossible field value.
+  kCorruption,
+  /// A well-formed artifact written by an incompatible format version.
+  kVersionMismatch,
+  /// A well-formed artifact whose recorded configuration differs from the
+  /// live one — loading it would silently change results, so we refuse.
+  kConfigMismatch,
+};
+
+[[nodiscard]] std::string_view to_string(StatusCode code) noexcept;
+
+/// A (code, message) pair.  Default-constructed == OK; error states are made
+/// through the named factories so call sites read as the taxonomy:
+/// `return Status::corruption("section 3 CRC mismatch");`
+class Status {
+ public:
+  Status() = default;
+
+  [[nodiscard]] static Status invalid_argument(std::string message) {
+    return Status{StatusCode::kInvalidArgument, std::move(message)};
+  }
+  [[nodiscard]] static Status not_found(std::string message) {
+    return Status{StatusCode::kNotFound, std::move(message)};
+  }
+  [[nodiscard]] static Status io_error(std::string message) {
+    return Status{StatusCode::kIoError, std::move(message)};
+  }
+  [[nodiscard]] static Status corruption(std::string message) {
+    return Status{StatusCode::kCorruption, std::move(message)};
+  }
+  [[nodiscard]] static Status version_mismatch(std::string message) {
+    return Status{StatusCode::kVersionMismatch, std::move(message)};
+  }
+  [[nodiscard]] static Status config_mismatch(std::string message) {
+    return Status{StatusCode::kConfigMismatch, std::move(message)};
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "CORRUPTION: section 3 CRC mismatch".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Returns a copy with `detail` appended to the message — used when a
+  /// layer adds context ("generation 7: " + inner failure) without losing
+  /// the inner code.
+  [[nodiscard]] Status with_context(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Streams Status::to_string (what gtest prints on EXPECT failure).
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace eyeball::util

@@ -1,0 +1,231 @@
+// Unit coverage for the checked I/O layer: the Status taxonomy, CRC32C,
+// the atomic-write protocol, and the exact semantics of every
+// FaultInjectingFileSystem fault kind (which the snapshot fault harness
+// builds on — if these semantics drift, that harness proves nothing).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/crc32c.hpp"
+#include "util/file.hpp"
+#include "util/status.hpp"
+
+namespace eyeball {
+namespace {
+
+using util::FileFault;
+using util::Status;
+using util::StatusCode;
+
+[[nodiscard]] std::vector<std::byte> bytes_of(std::string_view text) {
+  std::vector<std::byte> out;
+  out.reserve(text.size());
+  for (const char c : text) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+/// Fresh per-test scratch directory (removed up-front so reruns of the same
+/// binary see the same filesystem state).
+[[nodiscard]] std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "eyeball_file_test_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(Status, DefaultIsOkAndFactoriesCarryTheTaxonomy) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.to_string(), "OK");
+
+  const Status corruption = Status::corruption("section 3 CRC mismatch");
+  EXPECT_FALSE(corruption.ok());
+  EXPECT_EQ(corruption.code(), StatusCode::kCorruption);
+  EXPECT_EQ(corruption.to_string(), "CORRUPTION: section 3 CRC mismatch");
+
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::io_error("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::invalid_argument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::version_mismatch("x").code(), StatusCode::kVersionMismatch);
+  EXPECT_EQ(Status::config_mismatch("x").code(), StatusCode::kConfigMismatch);
+}
+
+TEST(Status, WithContextPrependsButKeepsTheCode) {
+  const Status inner = Status::io_error("fsync failed");
+  const Status outer = inner.with_context("generation 7");
+  EXPECT_EQ(outer.code(), StatusCode::kIoError);
+  EXPECT_EQ(outer.message(), "generation 7: fsync failed");
+  // OK statuses pass through untouched: context on success is noise.
+  EXPECT_TRUE(Status{}.with_context("anything").ok());
+}
+
+TEST(Crc32c, MatchesThePublishedCheckValue) {
+  // The iSCSI/RFC 3720 check value for "123456789".
+  EXPECT_EQ(util::crc32c(bytes_of("123456789")), 0xE3069283u);
+  EXPECT_EQ(util::crc32c({}), 0u);
+}
+
+TEST(Crc32c, SeedChainingEqualsOneShot) {
+  const auto whole = bytes_of("eyeball ASes: from geography to connectivity");
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1}, whole.size() / 2,
+                                  whole.size() - 1, whole.size()}) {
+    const std::span<const std::byte> head{whole.data(), split};
+    const std::span<const std::byte> tail{whole.data() + split, whole.size() - split};
+    EXPECT_EQ(util::crc32c(tail, util::crc32c(head)), util::crc32c(whole))
+        << "split at " << split;
+  }
+}
+
+TEST(AtomicWriteFile, PublishesBytesAndLeavesNoTemp) {
+  const std::string dir = scratch_dir("publish");
+  const std::string path = dir + "/data.bin";
+  auto& fs = util::local_filesystem();
+  const auto payload = bytes_of("hello, durable world");
+  ASSERT_TRUE(util::atomic_write_file(fs, path, payload).ok());
+
+  std::vector<std::byte> read_back;
+  ASSERT_TRUE(fs.read_file(path, read_back).ok());
+  EXPECT_EQ(read_back, payload);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Overwrite is a full replacement, not an append.
+  const auto second = bytes_of("v2");
+  ASSERT_TRUE(util::atomic_write_file(fs, path, second).ok());
+  ASSERT_TRUE(fs.read_file(path, read_back).ok());
+  EXPECT_EQ(read_back, second);
+}
+
+TEST(LocalFileSystem, MissingFileIsNotFoundAndListDirIsSorted) {
+  const std::string dir = scratch_dir("listing");
+  auto& fs = util::local_filesystem();
+  std::vector<std::byte> out;
+  EXPECT_EQ(fs.read_file(dir + "/absent", out).code(), StatusCode::kNotFound);
+
+  std::vector<std::string> names;
+  EXPECT_EQ(fs.list_dir(dir + "/no_such_dir", names).code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(util::atomic_write_file(fs, dir + "/bb", bytes_of("2")).ok());
+  ASSERT_TRUE(util::atomic_write_file(fs, dir + "/aa", bytes_of("1")).ok());
+  ASSERT_TRUE(fs.list_dir(dir, names).ok());
+  EXPECT_EQ(names, (std::vector<std::string>{"aa", "bb"}));
+}
+
+// ---- Fault kinds: the exact writer-visible / on-disk split the harness
+// relies on (see the table in util/file.hpp). ----
+
+TEST(FaultInjection, ShortWriteReportsAnErrorAndAtomicWritePublishesNothing) {
+  const std::string dir = scratch_dir("short_write");
+  const std::string path = dir + "/data.bin";
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  fs.arm(FileFault{FileFault::Kind::kShortWrite, 5, 0});
+
+  const Status status = util::atomic_write_file(fs, path, bytes_of("0123456789"));
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_TRUE(fs.fault_fired());
+  // The protocol held: the failed write never reached the published name,
+  // and the temp was cleaned up.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(FaultInjection, FailedSyncReportsAnErrorAndPublishesNothing) {
+  const std::string dir = scratch_dir("failed_sync");
+  const std::string path = dir + "/data.bin";
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  fs.arm(FileFault{FileFault::Kind::kFailedSync, 0, 0});
+
+  EXPECT_EQ(util::atomic_write_file(fs, path, bytes_of("0123456789")).code(),
+            StatusCode::kIoError);
+  EXPECT_TRUE(fs.fault_fired());
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(FaultInjection, BitFlipIsSilentAndChangesExactlyOneBit) {
+  const std::string dir = scratch_dir("bit_flip");
+  const std::string path = dir + "/data.bin";
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  fs.arm(FileFault{FileFault::Kind::kBitFlip, 3, 6});
+
+  const auto payload = bytes_of("0123456789");
+  // Silent: the writer sees full success...
+  ASSERT_TRUE(util::atomic_write_file(fs, path, payload).ok());
+  EXPECT_TRUE(fs.fault_fired());
+
+  // ...but the disk is lying, in exactly one bit.
+  std::vector<std::byte> read_back;
+  ASSERT_TRUE(fs.read_file(path, read_back).ok());
+  ASSERT_EQ(read_back.size(), payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (i == 3) {
+      EXPECT_EQ(read_back[i], payload[i] ^ std::byte{1U << 6}) << "byte " << i;
+    } else {
+      EXPECT_EQ(read_back[i], payload[i]) << "byte " << i;
+    }
+  }
+}
+
+TEST(FaultInjection, TruncateIsSilentAndDropsTheTail) {
+  const std::string dir = scratch_dir("truncate");
+  const std::string path = dir + "/data.bin";
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  fs.arm(FileFault{FileFault::Kind::kTruncate, 4, 0});
+
+  // Silent: success reported, so the torn file gets renamed into place —
+  // the torn-write case the snapshot layer must catch at restore time.
+  ASSERT_TRUE(util::atomic_write_file(fs, path, bytes_of("0123456789")).ok());
+  EXPECT_TRUE(fs.fault_fired());
+  std::vector<std::byte> read_back;
+  ASSERT_TRUE(fs.read_file(path, read_back).ok());
+  EXPECT_EQ(read_back, bytes_of("0123"));
+}
+
+TEST(FaultInjection, FaultBeyondTheStreamNeverFires) {
+  const std::string dir = scratch_dir("no_fire");
+  const std::string path = dir + "/data.bin";
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  fs.arm(FileFault{FileFault::Kind::kBitFlip, 1000, 0});
+
+  const auto payload = bytes_of("short");
+  ASSERT_TRUE(util::atomic_write_file(fs, path, payload).ok());
+  EXPECT_FALSE(fs.fault_fired());
+  std::vector<std::byte> read_back;
+  ASSERT_TRUE(fs.read_file(path, read_back).ok());
+  EXPECT_EQ(read_back, payload);
+}
+
+TEST(FaultInjection, FailNextRenameBlocksPublication) {
+  const std::string dir = scratch_dir("rename");
+  const std::string path = dir + "/data.bin";
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  fs.fail_next_rename();
+
+  EXPECT_EQ(util::atomic_write_file(fs, path, bytes_of("x")).code(),
+            StatusCode::kIoError);
+  EXPECT_TRUE(fs.fault_fired());
+  EXPECT_FALSE(std::filesystem::exists(path));
+
+  // One-shot: the next write goes through.
+  EXPECT_TRUE(util::atomic_write_file(fs, path, bytes_of("x")).ok());
+}
+
+TEST(FaultInjection, FaultArmsTheNextOpenOnly) {
+  const std::string dir = scratch_dir("one_shot");
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  fs.arm(FileFault{FileFault::Kind::kShortWrite, 0, 0});
+
+  EXPECT_FALSE(util::atomic_write_file(fs, dir + "/a", bytes_of("aaaa")).ok());
+  // The armed fault was consumed by the first open.
+  EXPECT_TRUE(util::atomic_write_file(fs, dir + "/b", bytes_of("bbbb")).ok());
+  std::vector<std::byte> read_back;
+  ASSERT_TRUE(fs.read_file(dir + "/b", read_back).ok());
+  EXPECT_EQ(read_back, bytes_of("bbbb"));
+}
+
+}  // namespace
+}  // namespace eyeball

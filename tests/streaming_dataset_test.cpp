@@ -8,11 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
 #include <set>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/streaming_dataset.hpp"
+#include "geodb/geo_database.hpp"
 #include "p2p/churn.hpp"
 #include "pipeline_fixture.hpp"
 #include "util/rng.hpp"
@@ -278,14 +284,147 @@ TEST(StreamingDataset, ResetMakesTheBuilderFresh) {
   const auto& w = stream_world();
   auto streaming = w.streaming();
   for (const auto& window : w.churn.windows) streaming.ingest(window, 2);
+  EXPECT_GT(streaming.memo_hit_rate(), 0.0);
   streaming.reset();
   EXPECT_EQ(streaming.windows_ingested(), 0u);
   EXPECT_EQ(streaming.unique_samples(), 0u);
   EXPECT_EQ(streaming.memo_hits(), 0u);
   EXPECT_EQ(streaming.memo_misses(), 0u);
+  // The hit-rate pin: reset() clears the memo counters too, so the rate
+  // reads exactly like a freshly constructed builder's — not a stale
+  // average over forgotten windows.
+  EXPECT_EQ(streaming.memo_hit_rate(), 0.0);
+  EXPECT_EQ(streaming.memo_hit_rate(), w.streaming().memo_hit_rate());
   EXPECT_TRUE(streaming.touched_asns().empty());
   for (const auto& window : w.churn.windows) streaming.ingest(window, 2);
   expect_same_dataset(w.reference, streaming.finalize(2), "after reset");
+}
+
+// ---- Hostile-input hardening ----
+
+/// windows[0] with garbage spliced in: reserved-range IPs (loopback,
+/// RFC 1918, multicast, 0/8) and out-of-range app tags — the shapes a
+/// hostile or corrupted crawl feed produces.
+[[nodiscard]] std::vector<p2p::PeerSample> hostile_window(
+    std::span<const p2p::PeerSample> clean) {
+  std::vector<p2p::PeerSample> out;
+  const std::uint32_t bad_ips[] = {
+      0x00000001u,              // 0.0.0.1
+      (10u << 24) | 0x010203u,  // 10.1.2.3
+      (127u << 24) | 1u,        // 127.0.0.1
+      (224u << 24) | 5u,        // 224.0.0.5 (multicast)
+      0xffffffffu,              // 255.255.255.255
+  };
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    out.push_back(clean[i]);
+    if (i % 7 == 0) {
+      out.push_back(p2p::PeerSample{net::Ipv4Address{bad_ips[i % 5]},
+                                    clean[i].app});
+    }
+    if (i % 11 == 0) {
+      // Valid IP, impossible app tag.
+      out.push_back(p2p::PeerSample{clean[i].ip, static_cast<p2p::App>(200)});
+    }
+  }
+  return out;
+}
+
+TEST(StreamingDataset, HostileSamplesAreRejectedAtTheDoorAndCounted) {
+  const auto& w = stream_world();
+  auto streaming = w.streaming();
+  const auto hostile = hostile_window(w.churn.windows[0]);
+  ASSERT_GT(hostile.size(), w.churn.windows[0].size());
+  const std::size_t injected = hostile.size() - w.churn.windows[0].size();
+
+  streaming.ingest(hostile, 2);
+  const auto& window = streaming.stats().windows.front();
+  // Every injected sample was refused, none leaked into the dedup set, and
+  // the conservation law gains its third term.
+  EXPECT_EQ(window.rejected, injected);
+  EXPECT_EQ(window.offered, hostile.size());
+  EXPECT_EQ(window.admitted + window.duplicates + window.rejected, window.offered);
+  EXPECT_EQ(streaming.stats().rejected_samples, injected);
+  EXPECT_EQ(streaming.unique_samples(), streaming.stats().raw_samples);
+
+  // Graceful degradation, not contamination: the remaining windows ingest
+  // normally and the conditioned dataset is the clean-stream reference.
+  for (std::size_t i = 1; i < w.churn.windows.size(); ++i) {
+    streaming.ingest(w.churn.windows[i], 2);
+  }
+  expect_same_dataset(w.reference, streaming.finalize(2), "hostile window");
+}
+
+TEST(StreamingDataset, DedupAppliesTheSameDoorAsIngest) {
+  const auto& w = stream_world();
+  // The one-shot equivalent of a hostile stream must admit exactly what the
+  // streaming door admits, or the equivalence contract dies on bad input.
+  const auto hostile = hostile_window(w.churn.windows[0]);
+  std::vector<p2p::PeerSample> hostile_concat{hostile.begin(), hostile.end()};
+  for (std::size_t i = 1; i < w.churn.windows.size(); ++i) {
+    hostile_concat.insert(hostile_concat.end(), w.churn.windows[i].begin(),
+                          w.churn.windows[i].end());
+  }
+  EXPECT_EQ(core::dedup_first_observation(hostile_concat), w.deduped);
+}
+
+/// Primary-database decorator returning NaN/out-of-range coordinates for a
+/// deterministic subset of IPs — the invalid rows Gouel et al. and Shavitt
+/// & Zilberman document in real geolocation databases.
+class PoisonedDatabase final : public geodb::GeoDatabase {
+ public:
+  explicit PoisonedDatabase(const geodb::GeoDatabase& base) : base_(base) {}
+
+  [[nodiscard]] std::optional<geodb::GeoRecord> lookup(
+      net::Ipv4Address ip) const override {
+    auto record = base_.lookup(ip);
+    if (record && ip.value() % 5 == 0) {
+      record->location = ip.value() % 10 == 0
+                             ? geo::GeoPoint{std::numeric_limits<double>::quiet_NaN(),
+                                             record->location.lon_deg}
+                             : geo::GeoPoint{record->location.lat_deg, 361.0};
+    }
+    return record;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "poisoned";
+  }
+
+ private:
+  const geodb::GeoDatabase& base_;
+};
+
+TEST(StreamingDataset, CorruptDatabaseRowsAreRejectedNotPropagated) {
+  const auto& w = stream_world();
+  const PoisonedDatabase poisoned{w.f.primary};
+  core::StreamingDatasetBuilder streaming{poisoned, w.f.secondary, w.f.mapper,
+                                          w.config};
+  for (const auto& window : w.churn.windows) streaming.ingest(window, 2);
+  const auto dataset = streaming.finalize(2);
+  const auto& stats = dataset.stats();
+  ASSERT_GT(stats.rejected_samples, 0u);
+
+  // Conservation with the rejected term: every admitted sample is rejected,
+  // dropped by a conditioning stage, or kept.
+  EXPECT_EQ(stats.raw_samples,
+            stats.rejected_samples + stats.missing_geo + stats.high_error +
+                stats.unmapped_as + stats.peers_in_small_ases + stats.final_peers);
+
+  // No NaN reached the conditioned output (the whole point of the door).
+  for (const auto& as : dataset.ases()) {
+    for (const auto& peer : as.peers) {
+      ASSERT_TRUE(geo::is_valid(peer.location));
+      ASSERT_TRUE(std::isfinite(peer.geo_error_km));
+    }
+  }
+
+  // And the streaming path still equals the one-shot path over the same
+  // poisoned databases — the rejects are deterministic conditioning, not
+  // streaming-only behaviour.
+  const core::DatasetBuilder one_shot{poisoned, w.f.secondary, w.f.mapper, w.config};
+  const auto reference = one_shot.build(w.deduped, 1);
+  expect_same_dataset(reference, dataset, "poisoned database");
+  EXPECT_EQ(reference.stats().rejected_samples, stats.rejected_samples);
 }
 
 bool same_analysis(const core::AsAnalysis& a, const core::AsAnalysis& b) {

@@ -6,6 +6,11 @@
 #           determinism tests
 #   ubsan   EYEBALL_SANITIZE=undefined build; the FULL test suite, with
 #           EYEBALL_DCHECK contracts forced on and UB aborting the test
+#   snapshot-faults
+#           EYEBALL_SANITIZE=address;undefined build; the fault-injection
+#           differential harness + snapshot/file suites, so every injected
+#           short write / failed fsync / bit flip / truncation is also swept
+#           for memory errors in the failure paths it exercises
 #   tidy    clang-tidy (.clang-tidy) over src/ via compile_commands.json
 #           [skipped with a notice when clang-tidy is not installed]
 #   lint    tools/eyeball_lint.py self-test + repo scan
@@ -73,8 +78,12 @@ report() {
 tsan_stage() {
   cmake -B "${ROOT}/build-tsan" -S "${ROOT}" -DEYEBALL_SANITIZE=thread
   cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
+  # NB: 'snapshot_test' deliberately does not match snapshot_fault_test —
+  # the fault harness runs under ASan in the snapshot-faults stage instead
+  # (its interleavings are single-threaded; snapshot_test carries the
+  # restore→ingest→finalize thread axis that belongs under TSan).
   ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
-    -R 'ThreadPool|Parallel|thread_pool|Dcheck|Streaming|streaming'
+    -R 'ThreadPool|Parallel|thread_pool|Dcheck|Streaming|streaming|snapshot_test'
 }
 
 # --- ubsan: full suite with UB trapping and contracts on -------------------
@@ -82,6 +91,16 @@ ubsan_stage() {
   cmake -B "${ROOT}/build-ubsan" -S "${ROOT}" -DEYEBALL_SANITIZE=undefined
   cmake --build "${ROOT}/build-ubsan" -j "${JOBS}"
   ctest --test-dir "${ROOT}/build-ubsan" --output-on-failure -j "${JOBS}"
+}
+
+# --- snapshot-faults: the crash-safety harness under ASan+UBSan ------------
+snapshot_faults_stage() {
+  cmake -B "${ROOT}/build-aubsan" -S "${ROOT}" \
+    -DEYEBALL_SANITIZE="address;undefined"
+  cmake --build "${ROOT}/build-aubsan" -j "${JOBS}" \
+    -t snapshot_fault_test snapshot_test file_test
+  ctest --test-dir "${ROOT}/build-aubsan" --output-on-failure -j "${JOBS}" \
+    -R 'snapshot|file_test|FaultInjection|AtomicWriteFile'
 }
 
 # --- tidy: .clang-tidy over src/ -------------------------------------------
@@ -112,6 +131,7 @@ format_stage() {
 
 run_stage tsan tsan_stage
 run_stage ubsan ubsan_stage
+run_stage snapshot-faults snapshot_faults_stage
 if command -v clang-tidy > /dev/null 2>&1; then
   run_stage tidy tidy_stage
 else

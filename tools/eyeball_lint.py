@@ -28,6 +28,13 @@ historically been broken in systems like this:
                            or an order dependence.  The blessed idioms are
                            [&] with writes to disjoint indices, or private
                            per-shard state merged in order.
+  unchecked-io             A raw fwrite/fread/rename/fsync call in statement
+                           position (return value discarded) outside the
+                           checked I/O layer (src/util/file.*): a short write
+                           or failed rename that nobody looks at is exactly
+                           the torn-snapshot bug the crash-safety harness
+                           exists to catch.  All raw I/O goes through
+                           util::FileSystem's Status-returning wrappers.
 
 Suppression: a finding is silenced by an annotation on the same line or the
 line directly above, and the annotation must carry a reason:
@@ -58,6 +65,9 @@ RULES = {
         "raw new/delete expression (use containers or smart pointers)",
     "ref-capture-parallel":
         "named by-reference capture in a parallel_for/parallel_map_reduce body",
+    "unchecked-io":
+        "raw fwrite/fread/rename/fsync with its return value discarded "
+        "(route I/O through util/file's Status-returning layer)",
 }
 
 META_RULES = {
@@ -73,6 +83,9 @@ SCAN_DIRS = ("src", "tests", "bench", "examples")
 SCAN_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
 # Files allowed to own non-deterministic-looking RNG machinery.
 NONDET_EXEMPT = ("src/util/rng.hpp", "src/util/rng.cpp")
+# The checked I/O layer: the ONE place raw libc I/O calls may live (their
+# results feed util::Status there, under test by the fault harness).
+IO_EXEMPT = ("src/util/file.hpp", "src/util/file.cpp")
 
 ALLOW_RE = re.compile(
     r"//\s*eyeball-lint:\s*allow\(([A-Za-z0-9_-]+)\)(\s*:\s*(\S.*))?")
@@ -187,6 +200,37 @@ NONDET_PATTERNS = (
 CLOCK_NOW_RE = re.compile(
     r"\b(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\s*\(")
 SEEDY_RE = re.compile(r"seed|rng", re.IGNORECASE)
+IO_CALL_RE = re.compile(r"\b(fwrite|fread|rename|fsync)\s*\(")
+
+
+def io_call_in_statement_position(stripped: str, start: int) -> bool:
+    """True when the raw-I/O call at `start` discards its return value.
+
+    Heuristic: walk back over optional `std` / `::` qualifiers, then look at
+    the preceding non-space character.  A `;`, `{`, `}` (or file start) means
+    the call opens a statement, so nothing consumes the result.  Anything
+    else — `=`, `(`, `!`, `,`, a cast, `return` — means the result flows
+    somewhere.  `rename_file(` and `fs.rename(` never reach here: the word
+    boundary and the `.`/`_` context rule them out.
+    """
+    i = start
+    while True:
+        j = i
+        while j > 0 and stripped[j - 1] in " \t\n":
+            j -= 1
+        if j >= 2 and stripped[j - 2:j] == "::":
+            i = j - 2
+            continue
+        if (j >= 3 and stripped[j - 3:j] == "std"
+                and (j == 3 or not (stripped[j - 4].isalnum()
+                                    or stripped[j - 4] == "_"))):
+            i = j - 3
+            continue
+        break
+    k = i - 1
+    while k >= 0 and stripped[k] in " \t\n":
+        k -= 1
+    return k < 0 or stripped[k] in ";{}"
 
 
 def unordered_names(stripped: str) -> set[str]:
@@ -282,6 +326,15 @@ def scan_text(rel_path: str, raw: str) -> list[Finding]:
                     "determinism contract (use [&] with disjoint writes, or "
                     "per-shard state)")
 
+    # --- unchecked-io ------------------------------------------------------
+    if not rel_path.endswith(IO_EXEMPT):
+        for m in IO_CALL_RE.finditer(stripped):
+            if io_call_in_statement_position(stripped, m.start(1)):
+                add(line_of(stripped, m.start(1)), "unchecked-io",
+                    f"return value of {m.group(1)} discarded — raw I/O belongs "
+                    "in util/file's checked layer; here, at minimum, the "
+                    "result must be examined")
+
     # --- suppression handling ---------------------------------------------
     allows = []  # (line, rule, has_reason, used)
     raw_lines = raw.splitlines()
@@ -348,6 +401,7 @@ FIXTURE_EXPECTATIONS = {
     "float_accumulate.cpp": ["float-accumulate"],
     "naked_new.cpp": ["naked-new"],
     "ref_capture_parallel.cpp": ["ref-capture-parallel"],
+    "unchecked_io.cpp": ["unchecked-io"],
     "allow_ok.cpp": [],
     "allow_missing_reason.cpp": ["allow-without-reason", "naked-new"],
     "allow_unknown_rule.cpp": ["unknown-rule"],

@@ -1,0 +1,30 @@
+// Lint fixture — must trigger: unchecked-io (and nothing else).
+// Packs the near-miss cases alongside the real offenders: checked calls,
+// the repo's own rename_file/Status idiom, and member functions that merely
+// share a libc name must all stay quiet.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <cstdio>
+#include <string>
+
+struct FakeFs {
+  int rename(const std::string&, const std::string&);
+};
+
+int rename_file(const char*, const char*);
+
+void flagged(std::FILE* f, const char* buf, int fd) {
+  fwrite(buf, 1, 8, f);        // BAD: short write vanishes
+  std::fwrite(buf, 1, 8, f);   // BAD: qualified, still discarded
+  rename("a.tmp", "a");        // BAD: the torn-snapshot classic
+  ::fsync(fd);                 // BAD: "durable" write that may not be
+}
+
+bool checked(std::FILE* f, char* buf, int fd, FakeFs& fs) {
+  if (fwrite(buf, 1, 8, f) != 8) return false;       // result examined
+  const auto got = std::fread(buf, 1, 8, f);         // result captured
+  bool ok = rename("b.tmp", "b") == 0;               // result compared
+  ok = ok && ::fsync(fd) == 0;                       // result compared
+  rename_file("c.tmp", "c");                         // different function
+  fs.rename("d.tmp", "d");                           // member, not libc
+  return ok && got == 8;
+}
