@@ -47,8 +47,13 @@ PopFootprint PopCityMapper::map(const AsFootprint& footprint, double radius_km) 
   }
   out.pops.reserve(merged.size());
   for (auto& [city, entry] : merged) out.pops.push_back(entry);
-  std::sort(out.pops.begin(), out.pops.end(),
-            [](const PopEntry& a, const PopEntry& b) { return a.score > b.score; });
+  // Total order: score descending, exact ties by CityId ascending.  Two
+  // cities can accumulate identical scores (e.g. one equal-score peak
+  // each); a score-only comparator would leave their relative order to the
+  // sort implementation, breaking cross-stdlib determinism.
+  std::sort(out.pops.begin(), out.pops.end(), [](const PopEntry& a, const PopEntry& b) {
+    return a.score != b.score ? a.score > b.score : a.city < b.city;
+  });
   return out;
 }
 

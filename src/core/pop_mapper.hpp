@@ -23,7 +23,9 @@ struct PopEntry {
 };
 
 struct PopFootprint {
-  /// Entries sorted by score, descending.  Each city appears once.
+  /// Entries sorted by score descending, exact score ties by CityId
+  /// ascending (a total order — deterministic across stdlib sorts).  Each
+  /// city appears once.
   std::vector<PopEntry> pops;
   /// Peaks whose bandwidth-radius neighbourhood contains no city — noise
   /// under a proper alpha, per the paper.

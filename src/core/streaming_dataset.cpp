@@ -16,14 +16,24 @@ namespace {
 }
 
 /// The admission door for hostile windows: a sample is admitted only if its
-/// IP is plausibly an eyeball address (mirrors Ipv4SpaceAllocator's reserved
-/// ranges: 0/8, 10/8, 127/8, 224.0.0.0+) and its app tag is one of the
-/// crawled applications.  Checked BEFORE the dedup set, so a rejected
-/// sample leaves no trace — a later valid observation of the same (app, ip)
-/// is still a first observation.
+/// IP is plausibly an eyeball address and its app tag is one of the crawled
+/// applications.  Special-use address space can never geolocate to an
+/// eyeball ("Lost in the Prefix"'s failure mode), so the door rejects every
+/// non-routable range, not just the octet-aligned ones: 0/8, 10/8, 127/8,
+/// multicast/reserved (224.0.0.0+), 100.64/10 (CGNAT), 172.16/12 and
+/// 192.168/16 (RFC 1918), and 169.254/16 (link-local).  Checked BEFORE the
+/// dedup set, so a rejected sample leaves no trace — a later valid
+/// observation of the same (app, ip) is still a first observation.  Shared
+/// by ingest() and dedup_first_observation() (same TU), which keeps the
+/// streaming and one-shot doors in lockstep by construction.
 [[nodiscard]] constexpr bool is_admissible_sample(const p2p::PeerSample& sample) noexcept {
-  const std::uint32_t top = sample.ip.value() >> 24;
+  const std::uint32_t ip = sample.ip.value();
+  const std::uint32_t top = ip >> 24;
   if (top == 0 || top == 10 || top == 127 || top >= 224) return false;
+  if ((ip >> 22) == 0x191u) return false;   // 100.64.0.0/10 (CGNAT)
+  if ((ip >> 20) == 0xac1u) return false;   // 172.16.0.0/12 (RFC 1918)
+  if ((ip >> 16) == 0xa9feu) return false;  // 169.254.0.0/16 (link-local)
+  if ((ip >> 16) == 0xc0a8u) return false;  // 192.168.0.0/16 (RFC 1918)
   return static_cast<std::uint8_t>(sample.app) < p2p::kAllApps.size();
 }
 

@@ -116,8 +116,17 @@ std::vector<Peak> find_peaks(const DensityGrid& grid, const PeakConfig& config) 
     }
   }
 
-  std::sort(peaks.begin(), peaks.end(),
-            [](const Peak& a, const Peak& b) { return a.density > b.density; });
+  // Total order: density descending, exact ties (plateaus collapsed to
+  // different cells, symmetric grids) broken by grid position.  A
+  // density-only comparator leaves equal-density peaks in
+  // implementation-defined relative order — std::sort is not stable — which
+  // breaks the byte-identical determinism contract across standard
+  // libraries.
+  std::sort(peaks.begin(), peaks.end(), [](const Peak& a, const Peak& b) {
+    if (a.density != b.density) return a.density > b.density;
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+  });
   return peaks;
 }
 

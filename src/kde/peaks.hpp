@@ -29,9 +29,11 @@ struct PeakConfig {
   bool subcell_refinement = true;
 };
 
-/// All qualifying local maxima, sorted by density descending.  Plateaus
-/// (flat connected regions that dominate their surroundings) collapse to a
-/// single peak.  Empty result for an all-zero grid.
+/// All qualifying local maxima, sorted by density descending with exact
+/// density ties broken by (row, col) ascending — a total order, so the
+/// result is byte-identical across standard-library sort implementations.
+/// Plateaus (flat connected regions that dominate their surroundings)
+/// collapse to a single peak.  Empty result for an all-zero grid.
 [[nodiscard]] std::vector<Peak> find_peaks(const DensityGrid& grid,
                                            const PeakConfig& config = {});
 

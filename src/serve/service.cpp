@@ -1,0 +1,110 @@
+#include "serve/service.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace eyeball::serve {
+
+ServingSnapshot::ServingSnapshot(std::uint64_t epoch, core::TargetDataset dataset,
+                                 std::vector<core::AsAnalysis> analyses)
+    : epoch_(epoch), dataset_(std::move(dataset)), analyses_(std::move(analyses)) {
+  EYEBALL_DCHECK(analyses_.size() == dataset_.ases().size(),
+                 "snapshot analyses must be parallel to the dataset's ASes");
+}
+
+const core::AsAnalysis* ServingSnapshot::find(net::Asn asn) const noexcept {
+  const core::AsPeerSet* as = dataset_.find(asn);
+  if (as == nullptr) return nullptr;
+  // ases() and analyses_ are parallel vectors, so the dataset's index is
+  // the analysis index.
+  const auto index = static_cast<std::size_t>(as - dataset_.ases().data());
+  return &analyses_[index];
+}
+
+EyeballService::EyeballService(const core::EyeballPipeline& pipeline, ServiceConfig config)
+    : pipeline_(pipeline),
+      config_(std::move(config)),
+      builder_(pipeline.streaming_builder()) {}
+
+void EyeballService::ingest(std::span<const p2p::PeerSample> window) {
+  builder_.ingest(window);
+}
+
+std::shared_ptr<const ServingSnapshot> EyeballService::publish() {
+  // Touched set must be read BEFORE finalize(): finalize clears it.
+  std::vector<net::Asn> changed = builder_.touched_asns();
+  // The previous epoch stays pinned by this local shared_ptr, so handing
+  // its analyses span to refresh_analyses is safe even though readers may
+  // concurrently drop their own references.
+  const std::shared_ptr<const ServingSnapshot> previous = current_.load();
+  auto next = publish_from(std::move(changed),
+                           previous == nullptr
+                               ? std::span<const core::AsAnalysis>{}
+                               : previous->analyses());
+  if (!config_.snapshot_dir.empty()) {
+    // Durability is best-effort on the serving path: a failed save must not
+    // take queries down, so the status is surfaced, not thrown.
+    last_save_status_ = builder_.save_snapshot(config_.snapshot_dir);
+  }
+  return next;
+}
+
+util::Status EyeballService::restore(const std::string& dir,
+                                     core::SnapshotRestoreInfo* info) {
+  if (util::Status status = builder_.restore_snapshot(dir, info); !status.ok()) {
+    return status;
+  }
+  // The restored touched-set is relative to the snapshot's own history, not
+  // to whatever this service last published — republish from scratch (an
+  // empty `previous` makes refresh_analyses re-analyze every AS).
+  (void)publish_from({}, {});
+  return util::Status{};
+}
+
+std::shared_ptr<const ServingSnapshot> EyeballService::publish_from(
+    std::vector<net::Asn> changed, std::span<const core::AsAnalysis> previous) {
+  core::TargetDataset dataset = builder_.finalize(config_.threads);
+  std::vector<core::AsAnalysis> analyses =
+      pipeline_.refresh_analyses(dataset, previous, changed);
+  const std::uint64_t epoch = this->epoch() + 1;
+  auto next = std::make_shared<const ServingSnapshot>(epoch, std::move(dataset),
+                                                      std::move(analyses));
+  // The store is the publication point: the snapshot is fully constructed
+  // and never mutated again, so readers that load the pointer see a
+  // complete epoch or the previous one — never a mix.
+  current_.store(next);
+  return next;
+}
+
+std::uint64_t EyeballService::epoch() const {
+  const std::shared_ptr<const ServingSnapshot> snap = current_.load();
+  return snap == nullptr ? 0 : snap->epoch();
+}
+
+AnalysisRef EyeballService::query(net::Asn asn) const {
+  AnalysisRef ref;
+  ref.snapshot = snapshot();
+  if (ref.snapshot != nullptr) ref.analysis = ref.snapshot->find(asn);
+  return ref;
+}
+
+BatchResult EyeballService::query_batch(std::span<const net::Asn> asns) const {
+  BatchResult result;
+  // One snapshot load for the whole batch: every answer is from this epoch.
+  result.snapshot = snapshot();
+  result.analyses.resize(asns.size(), nullptr);
+  if (result.snapshot == nullptr) return result;
+  for (std::size_t i = 0; i < asns.size(); ++i) {
+    result.analyses[i] = result.snapshot->find(asns[i]);
+  }
+  return result;
+}
+
+std::optional<EyeballService::StatsAnswer> EyeballService::stats() const {
+  const std::shared_ptr<const ServingSnapshot> snap = snapshot();
+  if (snap == nullptr) return std::nullopt;
+  return StatsAnswer{snap->epoch(), snap->dataset().stats()};
+}
+
+}  // namespace eyeball::serve

@@ -1,0 +1,232 @@
+// Concurrent query/serving layer over the streaming pipeline.
+//
+// EyeballService turns the library into a long-lived server: a single
+// writer thread feeds crawl windows into an owned StreamingDatasetBuilder
+// and publishes immutable ServingSnapshot epochs (finalized TargetDataset +
+// per-AS analyses), while any number of reader threads answer point and
+// batch queries against the snapshot current at their moment of arrival.
+//
+// Concurrency contract (pinned by tests/serving_test.cpp under the TSan
+// gate):
+//   - ONE writer.  ingest() / publish() / restore() and the builder
+//     accessors must be called from a single thread (or externally
+//     serialized).  The writer never blocks on readers.
+//   - ANY number of readers.  snapshot() / query() / query_batch() /
+//     stats() / epoch() are safe from any thread concurrently with the
+//     writer, never block ingest, and never observe a torn epoch: every
+//     answer is derived from exactly one published ServingSnapshot.
+//
+// The mechanism is epoch publication (RCU-style double buffering): the
+// writer builds the next snapshot completely off to the side, then swings
+// an atomically-published shared_ptr (see SnapshotCell).  Readers load the
+// pointer once per query; the shared_ptr keeps their epoch alive for as
+// long as they hold it, so a reader can keep answering from epoch N while
+// the writer publishes N+1, N+2, ...  Nothing is ever mutated after
+// publication.
+//
+// Publication is incremental: publish() captures the builder's
+// touched_asns() BEFORE finalize() (finalize clears the set) and hands the
+// previous epoch's analyses to EyeballPipeline::refresh_analyses, so only
+// ASes whose buckets actually changed are re-analyzed — the published
+// result is nevertheless identical to analyze_all from scratch (pinned by a
+// differential test).
+//
+// Durability: when ServiceConfig::snapshot_dir is non-empty, every
+// publish() also persists the builder state there via the crash-safe
+// snapshot path (core/snapshot.hpp); restore() rebuilds a service from such
+// a directory and publishes a first epoch from scratch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/snapshot.hpp"
+#include "core/streaming_dataset.hpp"
+#include "util/status.hpp"
+
+namespace eyeball::serve {
+
+struct ServiceConfig {
+  /// Concurrency for finalize() and the analysis refresh on the writer
+  /// path; 0 = one chunk per hardware thread.
+  std::size_t threads = 0;
+  /// When non-empty, publish() persists the builder state to this directory
+  /// after each epoch swing (crash-safe generations; see last_save_status()).
+  std::string snapshot_dir;
+};
+
+class ServingSnapshot;
+
+namespace detail {
+
+/// The publication point: semantically a
+/// std::atomic<std::shared_ptr<const ServingSnapshot>>, implemented
+/// in-house because libstdc++ 12's _Sp_atomic guards its value pointer
+/// with a spinlock whose reader-side unlock is relaxed — ThreadSanitizer
+/// (correctly, under the formal memory model) reports the reader's plain
+/// pointer read as racing the writer's swap.  A mutex held only for the
+/// pointer copy/swap gives the same epoch-publication semantics with
+/// sound ordering: the writer builds each epoch entirely outside the
+/// lock, and the shared_ptr control block makes reclamation safe without
+/// quiescence tracking.
+class SnapshotCell {
+ public:
+  /// Reader side: pins the epoch current at the moment of the call.
+  [[nodiscard]] std::shared_ptr<const ServingSnapshot> load() const {
+    const std::lock_guard<std::mutex> guard{mutex_};
+    return snapshot_;
+  }
+
+  /// Writer side: swings the published pointer.  The previous epoch's
+  /// (potentially large) destructor runs outside the lock, and only if no
+  /// reader still pins it.
+  void store(std::shared_ptr<const ServingSnapshot> next) {
+    {
+      const std::lock_guard<std::mutex> guard{mutex_};
+      snapshot_.swap(next);
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ServingSnapshot> snapshot_;
+};
+
+}  // namespace detail
+
+/// One immutable published epoch.  Everything here is frozen at publish
+/// time; readers share it by shared_ptr and never see it change.
+class ServingSnapshot {
+ public:
+  ServingSnapshot(std::uint64_t epoch, core::TargetDataset dataset,
+                  std::vector<core::AsAnalysis> analyses);
+
+  /// 1 for the first published epoch, incremented per publish.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const core::TargetDataset& dataset() const noexcept { return dataset_; }
+  /// Parallel to dataset().ases(): analyses()[i] describes ases()[i].
+  [[nodiscard]] std::span<const core::AsAnalysis> analyses() const noexcept {
+    return analyses_;
+  }
+
+  /// O(log n) point lookup; nullptr when the ASN is not served this epoch.
+  [[nodiscard]] const core::AsAnalysis* find(net::Asn asn) const noexcept;
+
+ private:
+  std::uint64_t epoch_;
+  core::TargetDataset dataset_;
+  std::vector<core::AsAnalysis> analyses_;
+};
+
+/// A point answer pinned to the epoch it came from: `analysis` points into
+/// `snapshot`, which the shared_ptr keeps alive across any number of
+/// concurrent publishes.
+struct AnalysisRef {
+  std::shared_ptr<const ServingSnapshot> snapshot;
+  /// nullptr when the ASN is not served (or nothing is published yet).
+  const core::AsAnalysis* analysis = nullptr;
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return snapshot == nullptr ? 0 : snapshot->epoch();
+  }
+  [[nodiscard]] explicit operator bool() const noexcept { return analysis != nullptr; }
+};
+
+/// A batch answer: every entry comes from the SAME epoch (one atomic
+/// snapshot load for the whole batch), so a batch can never straddle a
+/// publish.  analyses[i] answers asns[i]; nullptr = not served.
+struct BatchResult {
+  std::shared_ptr<const ServingSnapshot> snapshot;
+  std::vector<const core::AsAnalysis*> analyses;
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return snapshot == nullptr ? 0 : snapshot->epoch();
+  }
+};
+
+class EyeballService {
+ public:
+  /// The pipeline (and the databases/mapper/gazetteer behind it) must
+  /// outlive the service.
+  explicit EyeballService(const core::EyeballPipeline& pipeline, ServiceConfig config = {});
+
+  // ---- Writer path (single thread) ----
+
+  /// Feeds one crawl window into the builder.  Readers are unaffected until
+  /// the next publish().
+  void ingest(std::span<const p2p::PeerSample> window);
+
+  /// Finalizes everything ingested so far, re-analyzes only the ASes
+  /// touched since the previous publish (plus newcomers), and atomically
+  /// publishes the result as the next epoch.  Returns the published
+  /// snapshot.  With a configured snapshot_dir, also persists the builder
+  /// state (failure is recorded in last_save_status(), not thrown — serving
+  /// stays up when the disk misbehaves).
+  std::shared_ptr<const ServingSnapshot> publish();
+
+  /// Replaces the builder state with the newest loadable generation in
+  /// `dir` (see StreamingDatasetBuilder::restore_snapshot) and publishes a
+  /// fresh epoch analyzed from scratch.  On failure the service is
+  /// untouched — the current epoch keeps serving.
+  [[nodiscard]] util::Status restore(const std::string& dir,
+                                     core::SnapshotRestoreInfo* info = nullptr);
+
+  /// Outcome of the most recent durability write; OK when snapshot_dir is
+  /// empty or the last save succeeded.  Writer-thread only.
+  [[nodiscard]] const util::Status& last_save_status() const noexcept {
+    return last_save_status_;
+  }
+
+  /// The owned builder, for writer-side introspection (stats, memo hit
+  /// rates, windows_ingested).  Writer-thread only.
+  [[nodiscard]] const core::StreamingDatasetBuilder& builder() const noexcept {
+    return builder_;
+  }
+
+  // ---- Reader path (any thread, concurrent with the writer) ----
+
+  /// The current epoch's snapshot, or nullptr before the first publish.
+  /// Holding the returned shared_ptr pins that epoch: later publishes don't
+  /// invalidate it.
+  [[nodiscard]] std::shared_ptr<const ServingSnapshot> snapshot() const {
+    return current_.load();
+  }
+
+  /// Epoch of the current snapshot; 0 before the first publish.
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Point query: the full analysis (classification, footprint, PoP list)
+  /// of one ASN, pinned to a single epoch.
+  [[nodiscard]] AnalysisRef query(net::Asn asn) const;
+
+  /// Batch query: every answer from the same single epoch.
+  [[nodiscard]] BatchResult query_batch(std::span<const net::Asn> asns) const;
+
+  /// Dataset-level stats of the current epoch (copy, so the caller needs no
+  /// lifetime care); nullopt before the first publish.
+  struct StatsAnswer {
+    std::uint64_t epoch = 0;
+    core::DatasetStats stats;
+  };
+  [[nodiscard]] std::optional<StatsAnswer> stats() const;
+
+ private:
+  std::shared_ptr<const ServingSnapshot> publish_from(
+      std::vector<net::Asn> changed, std::span<const core::AsAnalysis> previous);
+
+  const core::EyeballPipeline& pipeline_;
+  ServiceConfig config_;
+  core::StreamingDatasetBuilder builder_;
+  util::Status last_save_status_;
+  /// The published epoch; see SnapshotCell for why this is not
+  /// std::atomic<std::shared_ptr>.
+  detail::SnapshotCell current_;
+};
+
+}  // namespace eyeball::serve

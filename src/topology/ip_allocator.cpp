@@ -14,9 +14,43 @@ int Ipv4SpaceAllocator::length_for(std::uint64_t addresses) noexcept {
   return length;
 }
 
+namespace {
+
+/// Special-use ranges an eyeball AS can never announce, as [lo, hi)
+/// address intervals: the classic reserved /8s plus the finer-grained
+/// RFC 1918 / link-local / CGNAT blocks.  Must stay the complement of the
+/// streaming admission door (core/streaming_dataset.cpp's
+/// is_admissible_sample): everything this allocator hands out is
+/// admissible, everything it skips is rejected there.
+struct AddressRange {
+  std::uint64_t lo;
+  std::uint64_t hi;
+};
+constexpr AddressRange kSpecialUse[] = {
+    {0x00000000ULL, 0x01000000ULL},   // 0.0.0.0/8
+    {0x0a000000ULL, 0x0b000000ULL},   // 10.0.0.0/8 (RFC 1918)
+    {0x64400000ULL, 0x64800000ULL},   // 100.64.0.0/10 (CGNAT)
+    {0x7f000000ULL, 0x80000000ULL},   // 127.0.0.0/8 (loopback)
+    {0xa9fe0000ULL, 0xa9ff0000ULL},   // 169.254.0.0/16 (link-local)
+    {0xac100000ULL, 0xac200000ULL},   // 172.16.0.0/12 (RFC 1918)
+    {0xc0a80000ULL, 0xc0a90000ULL},   // 192.168.0.0/16 (RFC 1918)
+    {0xe0000000ULL, 0x100000000ULL},  // 224.0.0.0+ (multicast + reserved)
+};
+
+/// End of the first special-use range overlapping [start, start + size), or
+/// 0 when the whole block is allocatable.
+[[nodiscard]] constexpr std::uint64_t overlapping_reserved_end(
+    std::uint64_t start, std::uint64_t size) noexcept {
+  for (const auto& range : kSpecialUse) {
+    if (range.lo < start + size && range.hi > start) return range.hi;
+  }
+  return 0;
+}
+
+}  // namespace
+
 bool Ipv4SpaceAllocator::is_reserved(std::uint32_t address) noexcept {
-  const std::uint32_t top = address >> 24;
-  return top == 0 || top == 10 || top == 127 || top >= 224;
+  return overlapping_reserved_end(address, 1) != 0;
 }
 
 net::Ipv4Prefix Ipv4SpaceAllocator::allocate(int prefix_length) {
@@ -26,13 +60,15 @@ net::Ipv4Prefix Ipv4SpaceAllocator::allocate(int prefix_length) {
   const std::uint64_t block = std::uint64_t{1} << (32 - prefix_length);
   for (;;) {
     // Align cursor up to the block size.
-    std::uint64_t start = (cursor_ + block - 1) & ~(block - 1);
+    const std::uint64_t start = (cursor_ + block - 1) & ~(block - 1);
     if (start + block > 0x100000000ULL) {
       throw std::length_error{"Ipv4SpaceAllocator: address space exhausted"};
     }
-    if (is_reserved(static_cast<std::uint32_t>(start))) {
-      // Jump past the reserved /8.
-      cursor_ = ((start >> 24) + 1) << 24;
+    // A coarse block can straddle a finer special-use range (e.g. a /12
+    // containing 169.254.0.0/16) without starting inside it, so the test is
+    // interval overlap, not membership of the first address.
+    if (const std::uint64_t skip_to = overlapping_reserved_end(start, block)) {
+      cursor_ = skip_to;
       continue;
     }
     cursor_ = start + block;

@@ -1,7 +1,9 @@
 // Sequential IPv4 block allocator used by the ecosystem generator to hand
 // out aligned CIDR blocks per PoP, mimicking an RIR allocating address space
-// to ISPs.  Reserved ranges (0/8, 10/8, 127/8, multicast and above) are
-// skipped.
+// to ISPs.  Special-use ranges (0/8, 10/8, 100.64/10, 127/8, 169.254/16,
+// 172.16/12, 192.168/16, multicast and above) are skipped, including when a
+// coarse block would merely straddle one — the allocator's output is
+// exactly the address space the streaming admission door admits.
 #pragma once
 
 #include <cstdint>

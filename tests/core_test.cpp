@@ -531,6 +531,41 @@ TEST(PopMapping, PopsAreSortedAndUniqueCities) {
   }
 }
 
+TEST(PopMapping, EqualScorePopsOrderedByCityId) {
+  const auto& f = shared_fixture();
+  const PopCityMapper mapper{f.gaz};
+  const auto milan = f.gaz.find_by_name("Milan", "IT");
+  const auto rome = f.gaz.find_by_name("Rome", "IT");
+  ASSERT_TRUE(milan.has_value());
+  ASSERT_TRUE(rome.has_value());
+  // Two peaks with byte-identical scores mapping to two distinct cities.
+  // Densities differ so only the score ties — the comparator must fall back
+  // to CityId, not leave the order to the sort implementation.
+  kde::Peak at_milan;
+  at_milan.location = f.gaz.city(*milan).location;
+  at_milan.density = 0.8;
+  at_milan.score = 0.25;
+  kde::Peak at_rome;
+  at_rome.location = f.gaz.city(*rome).location;
+  at_rome.density = 0.4;
+  at_rome.score = 0.25;
+  const auto map_peaks = [&](std::vector<kde::Peak> peaks) {
+    AsFootprint footprint{kde::DensityGrid{geo::BoundingBox{40.0, 47.0, 7.0, 14.0}, 50.0},
+                          kde::Footprint{}, std::move(peaks), 0, 30.0};
+    return mapper.map(footprint);
+  };
+  const auto expected_first = std::min(*milan, *rome);
+  const auto expected_second = std::max(*milan, *rome);
+  for (const auto& pops :
+       {map_peaks({at_milan, at_rome}), map_peaks({at_rome, at_milan})}) {
+    ASSERT_EQ(pops.pops.size(), 2u);
+    EXPECT_EQ(pops.pops[0].score, pops.pops[1].score);
+    // Tie broken by CityId ascending, independent of peak arrival order.
+    EXPECT_EQ(pops.pops[0].city, expected_first);
+    EXPECT_EQ(pops.pops[1].city, expected_second);
+  }
+}
+
 TEST(PopMapping, RecoversMajorityOfTruePops) {
   const auto& f = shared_fixture();
   std::size_t found = 0;

@@ -336,6 +336,33 @@ TEST(Peaks, SortedByDensityDescending) {
   }
 }
 
+TEST(Peaks, EqualDensityPeaksSortInTotalOrder) {
+  // Exact density ties happen on real grids (flat plateaus, symmetric
+  // inputs); the sort must impose a TOTAL order — density descending, then
+  // (row, col) ascending — or equal-density peaks land in whatever relative
+  // order the standard library's unstable sort leaves them, and the
+  // byte-identical determinism contract dies across stdlibs.
+  const geo::BoundingBox box{40.0, 42.0, 10.0, 13.0};
+  DensityGrid grid{box, 10.0};
+  ASSERT_GE(grid.rows(), 14u);
+  ASSERT_GE(grid.cols(), 14u);
+  // Three exactly-equal maxima: a two-cell plateau (collapses to one peak
+  // anchored at its first cell) plus two isolated single-cell peaks.
+  grid.at(5, 5) = 1.0;
+  grid.at(5, 6) = 1.0;
+  grid.at(5, 12) = 1.0;
+  grid.at(12, 5) = 1.0;
+  const auto peaks = find_peaks(grid, {0.01, 30.0, false});
+  ASSERT_EQ(peaks.size(), 3u);
+  for (const auto& peak : peaks) EXPECT_EQ(peak.density, 1.0);
+  EXPECT_EQ(peaks[0].row, 5u);
+  EXPECT_EQ(peaks[0].col, 5u);
+  EXPECT_EQ(peaks[1].row, 5u);
+  EXPECT_EQ(peaks[1].col, 12u);
+  EXPECT_EQ(peaks[2].row, 12u);
+  EXPECT_EQ(peaks[2].col, 5u);
+}
+
 TEST(Peaks, SubcellRefinementImprovesLocation) {
   KdeConfig config;
   config.bandwidth_km = 40.0;

@@ -1,0 +1,377 @@
+// Concurrency and correctness harness for the serving layer
+// (serve/service.hpp): epoch publication semantics, reader pinning across
+// publishes, the incremental-republish-equals-from-scratch differential,
+// the restore-then-serve round trip, and a readers-vs-writer storm that
+// pins "every answer is attributable to exactly one published epoch".
+// Runs under the TSan gate (tools/check.sh matches 'Serving|serving').
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/streaming_dataset.hpp"
+#include "p2p/churn.hpp"
+#include "pipeline_fixture.hpp"
+#include "serve/service.hpp"
+
+namespace eyeball {
+namespace {
+
+using eyeball::testing::shared_fixture;
+
+/// Longitudinal stream plus a pipeline configured for the streaming regime
+/// (min_peers_per_as lowered so single windows sit below the threshold ASes
+/// later cross), and the one-shot reference the served dataset must equal.
+struct ServeWorld {
+  const testing::PipelineFixture& f = shared_fixture();
+  core::PipelineConfig config = [] {
+    core::PipelineConfig pipeline_config = shared_fixture().pipeline.config();
+    pipeline_config.dataset.min_peers_per_as = 300;
+    pipeline_config.threads = 2;
+    return pipeline_config;
+  }();
+  core::EyeballPipeline pipeline{f.gaz, f.primary, f.secondary, f.mapper, config};
+  p2p::LongitudinalResult churn = [this] {
+    p2p::CrawlerConfig crawl_config;
+    crawl_config.seed = 77;
+    crawl_config.coverage = 0.05;
+    p2p::ChurnConfig churn_config;
+    churn_config.seed = 2009;
+    churn_config.windows = 5;
+    churn_config.lease_survival = 0.6;
+    return p2p::longitudinal_crawl(f.eco, f.gaz, crawl_config, churn_config);
+  }();
+  std::vector<p2p::PeerSample> concatenated = [this] {
+    std::vector<p2p::PeerSample> out;
+    for (const auto& window : churn.windows) {
+      out.insert(out.end(), window.begin(), window.end());
+    }
+    return out;
+  }();
+  core::TargetDataset reference =
+      pipeline.build_dataset(core::dedup_first_observation(concatenated), 1);
+};
+
+const ServeWorld& serve_world() {
+  static const ServeWorld instance;
+  return instance;
+}
+
+/// The serving config every test uses: two writer-path threads, durability
+/// off unless a test opts in.
+[[nodiscard]] serve::ServiceConfig two_threads() {
+  serve::ServiceConfig config;
+  config.threads = 2;
+  return config;
+}
+
+bool same_analysis(const core::AsAnalysis& a, const core::AsAnalysis& b) {
+  if (a.asn != b.asn) return false;
+  if (a.classification.level != b.classification.level ||
+      a.classification.dominant_region != b.classification.dominant_region ||
+      a.classification.dominant_share != b.classification.dominant_share) {
+    return false;
+  }
+  if (a.footprint.grid.values() != b.footprint.grid.values()) return false;
+  if (a.pops.unmapped_peaks != b.pops.unmapped_peaks) return false;
+  if (a.pops.pops.size() != b.pops.pops.size()) return false;
+  for (std::size_t i = 0; i < a.pops.pops.size(); ++i) {
+    const auto& pa = a.pops.pops[i];
+    const auto& pb = b.pops.pops[i];
+    if (pa.city != pb.city || pa.score != pb.score ||
+        pa.peak_density != pb.peak_density || pa.peak_location != pb.peak_location) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void expect_same_snapshot(const serve::ServingSnapshot& a,
+                          const serve::ServingSnapshot& b, const char* context) {
+  EXPECT_EQ(a.dataset().stats(), b.dataset().stats())
+      << context << ": " << core::diff_stats(a.dataset().stats(), b.dataset().stats());
+  ASSERT_EQ(a.dataset().ases().size(), b.dataset().ases().size()) << context;
+  ASSERT_EQ(a.analyses().size(), b.analyses().size()) << context;
+  for (std::size_t i = 0; i < a.analyses().size(); ++i) {
+    EXPECT_EQ(a.dataset().ases()[i].asn, b.dataset().ases()[i].asn)
+        << context << " as index " << i;
+    EXPECT_TRUE(same_analysis(a.analyses()[i], b.analyses()[i]))
+        << context << " as index " << i;
+  }
+}
+
+// ---- Epoch publication semantics ----
+
+TEST(Serving, UnpublishedServiceAnswersEmpty) {
+  const auto& w = serve_world();
+  const serve::EyeballService service{w.pipeline};
+  EXPECT_EQ(service.snapshot(), nullptr);
+  EXPECT_EQ(service.epoch(), 0u);
+  EXPECT_FALSE(service.query(w.reference.ases()[0].asn));
+  EXPECT_FALSE(service.stats().has_value());
+  const auto batch = service.query_batch(std::vector<net::Asn>{net::Asn{1}});
+  EXPECT_EQ(batch.snapshot, nullptr);
+  ASSERT_EQ(batch.analyses.size(), 1u);
+  EXPECT_EQ(batch.analyses[0], nullptr);
+}
+
+TEST(Serving, PublishAdvancesEpochAndAnswersPointQueries) {
+  const auto& w = serve_world();
+  serve::EyeballService service{w.pipeline, two_threads()};
+  for (const auto& window : w.churn.windows) service.ingest(window);
+  const auto snap = service.publish();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch(), 1u);
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(service.snapshot(), snap);
+
+  // The served dataset is the one-shot reference.
+  EXPECT_EQ(snap->dataset().stats(), w.reference.stats())
+      << core::diff_stats(w.reference.stats(), snap->dataset().stats());
+  ASSERT_EQ(snap->dataset().ases().size(), w.reference.ases().size());
+
+  // Every served ASN answers, pinned to this epoch, with the right analysis.
+  for (const auto& as : snap->dataset().ases()) {
+    const auto ref = service.query(as.asn);
+    ASSERT_TRUE(ref);
+    EXPECT_EQ(ref.epoch(), 1u);
+    EXPECT_EQ(ref.analysis->asn, as.asn);
+  }
+  // An unserved ASN answers "not served", still attributable to the epoch.
+  const auto miss = service.query(net::Asn{0xFFFFFFFFu});
+  EXPECT_FALSE(miss);
+  EXPECT_EQ(miss.epoch(), 1u);
+
+  const auto stats = service.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->epoch, 1u);
+  EXPECT_EQ(stats->stats, snap->dataset().stats());
+}
+
+TEST(Serving, BatchAnswersComeFromOneEpoch) {
+  const auto& w = serve_world();
+  serve::EyeballService service{w.pipeline, two_threads()};
+  for (const auto& window : w.churn.windows) service.ingest(window);
+  (void)service.publish();
+  std::vector<net::Asn> asns;
+  for (const auto& as : w.reference.ases()) asns.push_back(as.asn);
+  asns.push_back(net::Asn{0xFFFFFFFFu});  // one guaranteed miss
+  const auto batch = service.query_batch(asns);
+  ASSERT_NE(batch.snapshot, nullptr);
+  EXPECT_EQ(batch.epoch(), 1u);
+  ASSERT_EQ(batch.analyses.size(), asns.size());
+  for (std::size_t i = 0; i + 1 < asns.size(); ++i) {
+    ASSERT_NE(batch.analyses[i], nullptr) << "asn index " << i;
+    EXPECT_EQ(batch.analyses[i]->asn, asns[i]);
+  }
+  EXPECT_EQ(batch.analyses.back(), nullptr);
+}
+
+// ---- Reader pinning: a held snapshot is immutable across publishes ----
+
+TEST(Serving, ReaderHeldEpochUnchangedByLaterPublishes) {
+  const auto& w = serve_world();
+  serve::EyeballService service{w.pipeline, two_threads()};
+  service.ingest(w.churn.windows[0]);
+  const auto pinned = service.publish();
+  ASSERT_NE(pinned, nullptr);
+  // Deep-copy the observable state of epoch 1.
+  const auto stats_before = pinned->dataset().stats();
+  const std::size_t ases_before = pinned->dataset().ases().size();
+  std::vector<core::AsAnalysis> analyses_before{pinned->analyses().begin(),
+                                                pinned->analyses().end()};
+
+  // The writer moves on: more windows, another epoch.
+  for (std::size_t i = 1; i < w.churn.windows.size(); ++i) {
+    service.ingest(w.churn.windows[i]);
+  }
+  const auto next = service.publish();
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->epoch(), 2u);
+  EXPECT_EQ(service.epoch(), 2u);
+
+  // The pinned epoch is bit-for-bit what it was at publish time.
+  EXPECT_EQ(pinned->epoch(), 1u);
+  EXPECT_EQ(pinned->dataset().stats(), stats_before);
+  ASSERT_EQ(pinned->dataset().ases().size(), ases_before);
+  ASSERT_EQ(pinned->analyses().size(), analyses_before.size());
+  for (std::size_t i = 0; i < analyses_before.size(); ++i) {
+    EXPECT_TRUE(same_analysis(pinned->analyses()[i], analyses_before[i]))
+        << "as index " << i;
+  }
+  // And it is genuinely a different epoch from the current one.
+  EXPECT_NE(service.snapshot(), pinned);
+}
+
+// ---- Differential: incremental republish == from-scratch analyze_all ----
+
+TEST(Serving, IncrementalRepublishEqualsFromScratchAnalysis) {
+  const auto& w = serve_world();
+  serve::EyeballService service{w.pipeline, two_threads()};
+  std::shared_ptr<const serve::ServingSnapshot> snap;
+  // Publishing after every window maximizes reuse of previous-epoch
+  // analyses — the regime where an incremental-refresh bug would show.
+  // A refresh error at any epoch propagates into every later epoch's
+  // reused entries, so one from-scratch differential at the end covers the
+  // whole chain.
+  for (const auto& window : w.churn.windows) {
+    service.ingest(window);
+    snap = service.publish();
+    ASSERT_NE(snap, nullptr);
+    ASSERT_EQ(snap->analyses().size(), snap->dataset().ases().size());
+  }
+  const auto from_scratch = w.pipeline.analyze_all(snap->dataset().ases(), 2);
+  ASSERT_EQ(snap->analyses().size(), from_scratch.size());
+  for (std::size_t i = 0; i < from_scratch.size(); ++i) {
+    EXPECT_TRUE(same_analysis(snap->analyses()[i], from_scratch[i]))
+        << "as index " << i;
+  }
+  // After all windows, the served dataset equals the one-shot reference.
+  EXPECT_EQ(snap->dataset().stats(), w.reference.stats())
+      << core::diff_stats(w.reference.stats(), snap->dataset().stats());
+}
+
+// ---- Durability: publish persists, restore re-serves ----
+
+TEST(Serving, RestoreThenServeRoundTrip) {
+  const auto& w = serve_world();
+  const std::string dir = ::testing::TempDir() + "eyeball_serving_test_round_trip";
+  std::filesystem::remove_all(dir);
+
+  serve::ServiceConfig writer_config = two_threads();
+  writer_config.snapshot_dir = dir;
+  serve::EyeballService writer{w.pipeline, writer_config};
+  // Two publish cycles: the durability hook fires per publish, so the
+  // directory ends up holding multiple generations and restore must pick
+  // the newest.
+  writer.ingest(w.churn.windows[0]);
+  std::shared_ptr<const serve::ServingSnapshot> published = writer.publish();
+  ASSERT_TRUE(writer.last_save_status().ok()) << writer.last_save_status().message();
+  for (std::size_t i = 1; i < w.churn.windows.size(); ++i) {
+    writer.ingest(w.churn.windows[i]);
+  }
+  published = writer.publish();
+  ASSERT_TRUE(writer.last_save_status().ok()) << writer.last_save_status().message();
+  EXPECT_EQ(writer.builder().last_generation(), 2u);
+
+  // A cold service restores from the directory and serves the same answers.
+  serve::EyeballService restored{w.pipeline, two_threads()};
+  core::SnapshotRestoreInfo info;
+  const auto status = restored.restore(dir, &info);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_GT(info.generation, 0u);
+  const auto snap = restored.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch(), 1u);  // fresh service, first published epoch
+  expect_same_snapshot(*published, *snap, "restore round trip");
+
+  // A restore from an empty directory refuses and leaves serving intact.
+  const std::string empty = ::testing::TempDir() + "eyeball_serving_test_empty";
+  std::filesystem::remove_all(empty);
+  std::filesystem::create_directories(empty);
+  const auto refusal = restored.restore(empty);
+  EXPECT_EQ(refusal.code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(restored.snapshot(), snap);
+}
+
+// ---- The TSan storm: readers vs. writer, no torn epochs ----
+
+TEST(Serving, ConcurrentReadersNeverObserveTornEpoch) {
+  const auto& w = serve_world();
+  serve::EyeballService service{w.pipeline, two_threads()};
+  const std::size_t total_windows = w.churn.windows.size();
+
+  // A small probe set keeps each reader iteration cheap: the point of the
+  // storm is many snapshot acquisitions racing the writer, not lookup
+  // volume (the lookups themselves are covered by the epoch tests above).
+  std::vector<net::Asn> probe;
+  for (const auto& as : w.reference.ases()) {
+    probe.push_back(as.asn);
+    if (probe.size() == 8) break;
+  }
+  probe.push_back(net::Asn{0xFFFFFFFFu});  // one guaranteed miss
+
+  std::atomic<bool> done{false};
+  // gtest assertions are not thread-safe; readers tally violations and the
+  // main thread asserts once after joining.
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> answered{0};
+
+  const auto reader = [&] {
+    std::uint64_t last_epoch = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      // Point query: the answer must be internally consistent and pinned
+      // to exactly one published epoch.
+      const auto ref = service.query(probe[answered.load(std::memory_order_relaxed) %
+                                           probe.size()]);
+      if (ref.snapshot != nullptr) {
+        const auto& snap = *ref.snapshot;
+        // A snapshot is torn if its parallel arrays disagree or its window
+        // tally disagrees with its epoch (the writer publishes once per
+        // window, so epoch k serves exactly k windows).
+        if (snap.analyses().size() != snap.dataset().ases().size()) ++violations;
+        if (snap.dataset().stats().windows.size() != snap.epoch()) ++violations;
+        if (snap.epoch() == 0 || snap.epoch() > total_windows) ++violations;
+        if (ref.analysis != nullptr &&
+            snap.find(ref.analysis->asn) != ref.analysis) {
+          ++violations;
+        }
+        // Epochs only move forward from any single reader's viewpoint.
+        if (snap.epoch() < last_epoch) ++violations;
+        last_epoch = snap.epoch();
+        ++answered;
+      }
+      // Batch query: one epoch for the whole batch.
+      const auto batch = service.query_batch(probe);
+      if (batch.snapshot != nullptr) {
+        if (batch.epoch() < last_epoch) ++violations;
+        last_epoch = batch.epoch();
+        for (std::size_t i = 0; i < probe.size(); ++i) {
+          if (batch.analyses[i] != nullptr && batch.analyses[i]->asn != probe[i]) {
+            ++violations;
+          }
+          if (batch.analyses[i] != nullptr &&
+              batch.snapshot->find(probe[i]) != batch.analyses[i]) {
+            ++violations;
+          }
+        }
+        ++answered;
+      }
+      const auto stats = service.stats();
+      if (stats.has_value() &&
+          (stats->epoch == 0 || stats->epoch > total_windows ||
+           stats->stats.windows.size() != stats->epoch)) {
+        ++violations;
+      }
+      // Cede the core between iterations: on small machines spinning
+      // readers would starve the writer's pool threads and turn a
+      // seconds-long storm into minutes without adding interleavings.
+      std::this_thread::yield();
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 2; ++i) readers.emplace_back(reader);
+
+  // The writer ingests and publishes every window while readers hammer.
+  for (const auto& window : w.churn.windows) {
+    service.ingest(window);
+    (void)service.publish();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(service.epoch(), total_windows);
+  // Readers actually raced the writer (saw at least one published epoch).
+  EXPECT_GT(answered.load(), 0u);
+}
+
+}  // namespace
+}  // namespace eyeball

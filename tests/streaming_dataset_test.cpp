@@ -302,9 +302,9 @@ TEST(StreamingDataset, ResetMakesTheBuilderFresh) {
 
 // ---- Hostile-input hardening ----
 
-/// windows[0] with garbage spliced in: reserved-range IPs (loopback,
-/// RFC 1918, multicast, 0/8) and out-of-range app tags — the shapes a
-/// hostile or corrupted crawl feed produces.
+/// windows[0] with garbage spliced in: special-use IPs (loopback, RFC 1918,
+/// CGNAT, link-local, multicast, 0/8) and out-of-range app tags — the
+/// shapes a hostile or corrupted crawl feed produces.
 [[nodiscard]] std::vector<p2p::PeerSample> hostile_window(
     std::span<const p2p::PeerSample> clean) {
   std::vector<p2p::PeerSample> out;
@@ -314,11 +314,18 @@ TEST(StreamingDataset, ResetMakesTheBuilderFresh) {
       (127u << 24) | 1u,        // 127.0.0.1
       (224u << 24) | 5u,        // 224.0.0.5 (multicast)
       0xffffffffu,              // 255.255.255.255
+      0xac100001u,              // 172.16.0.1 (RFC 1918)
+      0xac1ffffeu,              // 172.31.255.254 (RFC 1918, range end)
+      0xc0a80101u,              // 192.168.1.1 (RFC 1918)
+      0xa9fe0009u,              // 169.254.0.9 (link-local)
+      0x64400007u,              // 100.64.0.7 (CGNAT)
+      0x647fffffu,              // 100.127.255.255 (CGNAT, range end)
   };
+  constexpr std::size_t kBadIps = std::size(bad_ips);
   for (std::size_t i = 0; i < clean.size(); ++i) {
     out.push_back(clean[i]);
     if (i % 7 == 0) {
-      out.push_back(p2p::PeerSample{net::Ipv4Address{bad_ips[i % 5]},
+      out.push_back(p2p::PeerSample{net::Ipv4Address{bad_ips[i % kBadIps]},
                                     clean[i].app});
     }
     if (i % 11 == 0) {
@@ -352,6 +359,55 @@ TEST(StreamingDataset, HostileSamplesAreRejectedAtTheDoorAndCounted) {
     streaming.ingest(w.churn.windows[i], 2);
   }
   expect_same_dataset(w.reference, streaming.finalize(2), "hostile window");
+}
+
+TEST(StreamingDataset, AdmissionDoorRejectsSpecialUseRangesExactly) {
+  // The door must reject every special-use range edge-to-edge and admit the
+  // immediately adjacent public space.  dedup_first_observation is the
+  // one-shot door, pinned in lockstep with ingest() by the next test, so
+  // probing it probes both.
+  const std::uint32_t rejected_ips[] = {
+      0x00000000u, 0x00ffffffu,  // 0.0.0.0/8
+      0x0a000000u, 0x0affffffu,  // 10.0.0.0/8
+      0x64400000u, 0x647fffffu,  // 100.64.0.0/10 (CGNAT)
+      0x7f000000u, 0x7fffffffu,  // 127.0.0.0/8
+      0xa9fe0000u, 0xa9feffffu,  // 169.254.0.0/16 (link-local)
+      0xac100000u, 0xac1fffffu,  // 172.16.0.0/12
+      0xc0a80000u, 0xc0a8ffffu,  // 192.168.0.0/16
+      0xe0000000u, 0xffffffffu,  // 224.0.0.0 and above
+  };
+  const std::uint32_t admitted_ips[] = {
+      0x01000000u,               // 1.0.0.0 (first public address)
+      0x09ffffffu, 0x0b000000u,  // around 10/8
+      0x643fffffu, 0x64800000u,  // around 100.64/10
+      0x7effffffu, 0x80000000u,  // around 127/8
+      0xa9fdffffu, 0xa9ff0000u,  // around 169.254/16
+      0xac0fffffu, 0xac200000u,  // around 172.16/12
+      0xc0a7ffffu, 0xc0a90000u,  // around 192.168/16
+      0xdfffffffu,               // 223.255.255.255 (last public address)
+  };
+  std::vector<p2p::PeerSample> probe;
+  for (const auto ip : rejected_ips) {
+    probe.push_back(p2p::PeerSample{net::Ipv4Address{ip}, p2p::App::kKad});
+  }
+  for (const auto ip : admitted_ips) {
+    probe.push_back(p2p::PeerSample{net::Ipv4Address{ip}, p2p::App::kKad});
+  }
+  const auto admitted = core::dedup_first_observation(probe);
+  ASSERT_EQ(admitted.size(), std::size(admitted_ips));
+  for (std::size_t i = 0; i < admitted.size(); ++i) {
+    EXPECT_EQ(admitted[i].ip.value(), admitted_ips[i]) << "probe index " << i;
+  }
+
+  // The ingest door agrees IP for IP: everything rejected above is counted
+  // as rejected, everything admitted above enters the dedup set.
+  const auto& w = stream_world();
+  auto streaming = w.streaming();
+  streaming.ingest(probe);
+  const auto& window = streaming.stats().windows.front();
+  EXPECT_EQ(window.rejected, std::size(rejected_ips));
+  EXPECT_EQ(window.admitted, std::size(admitted_ips));
+  EXPECT_EQ(window.duplicates, 0u);
 }
 
 TEST(StreamingDataset, DedupAppliesTheSameDoorAsIngest) {

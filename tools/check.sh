@@ -83,7 +83,7 @@ tsan_stage() {
   # (its interleavings are single-threaded; snapshot_test carries the
   # restore→ingest→finalize thread axis that belongs under TSan).
   ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
-    -R 'ThreadPool|Parallel|thread_pool|Dcheck|Streaming|streaming|snapshot_test'
+    -R 'ThreadPool|Parallel|thread_pool|Dcheck|Streaming|streaming|snapshot_test|Serving|serving'
 }
 
 # --- ubsan: full suite with UB trapping and contracts on -------------------
@@ -116,6 +116,7 @@ tidy_stage() {
 lint_stage() {
   python3 "${ROOT}/tools/eyeball_lint.py" --root "${ROOT}" --self-test
   python3 "${ROOT}/tools/eyeball_lint.py" --root "${ROOT}"
+  python3 "${ROOT}/tools/check_bench_schema.py" --root "${ROOT}"
 }
 
 # --- strict: narrowing/promotion warnings as errors ------------------------
