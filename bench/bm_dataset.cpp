@@ -22,6 +22,9 @@
 #include "common.hpp"
 #include "core/snapshot.hpp"
 #include "core/streaming_dataset.hpp"
+#include "geo/point.hpp"
+#include "kde/estimator.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -211,6 +214,43 @@ void BM_SnapshotRestore(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMillisecond);
 
+// Separable-convolution axis for the KDE engine, kept in this baseline next
+// to the conditioning axes because the two are the pipeline's raw-speed hot
+// paths (see ISSUE 7 / DESIGN.md "Data layout & vectorization").  The
+// workload is convolution-dominated by construction — few points, fine grid,
+// wide kernel (sigma = 20 cells, 121 taps per pass) — so the time tracks the
+// horizontal + vertical blur passes rather than binning, and items/s counts
+// grid cells, not samples.
+void BM_KdeSeparable(benchmark::State& state) {
+  util::Rng rng{7};
+  const geo::GeoPoint rome{41.9028, 12.4964};
+  std::vector<geo::GeoPoint> points;
+  points.reserve(20000);
+  for (std::size_t i = 0; i < 20000; ++i) {
+    points.push_back(geo::destination(rome, rng.uniform(0.0, 360.0),
+                                      rng.uniform(0.0, 500.0)));
+  }
+  kde::KdeConfig config;
+  config.bandwidth_km = 40.0;
+  config.cell_km = 2.0;
+  config.threads = static_cast<std::size_t>(state.range(0));  // 0 = hardware
+  const kde::KernelDensityEstimator estimator{config};
+  const auto box = estimator.padded_box(points);
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const auto grid = estimator.estimate(points, box);
+    cells = grid.rows() * grid.cols();
+    benchmark::DoNotOptimize(grid.max_cell());
+  }
+  const auto effective = config.threads == 0
+                             ? util::ThreadPool::shared().worker_count()
+                             : config.threads;
+  state.SetLabel(std::to_string(effective) + " threads, " +
+                 std::to_string(cells) + " cells, 121-tap kernel");
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(cells));
+}
+BENCHMARK(BM_KdeSeparable)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 void BM_DatasetFind(benchmark::State& state) {
   const auto& w = world();
   const auto ases = w.dataset.ases();
@@ -226,4 +266,4 @@ BENCHMARK(BM_DatasetFind);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EYEBALL_BENCHMARK_MAIN()

@@ -3,6 +3,8 @@
 // finding and contour extraction.
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include "geo/point.hpp"
 #include "kde/contour.hpp"
 #include "kde/estimator.hpp"
@@ -142,4 +144,4 @@ BENCHMARK(BM_ContourExtraction)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EYEBALL_BENCHMARK_MAIN()

@@ -164,4 +164,4 @@ BENCHMARK(BM_NearestCity);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EYEBALL_BENCHMARK_MAIN()

@@ -3,6 +3,8 @@
 // full RouteViews-like tables.
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include "net/ipv4.hpp"
 #include "net/prefix_trie.hpp"
 #include "util/rng.hpp"
@@ -60,4 +62,4 @@ BENCHMARK(BM_TrieForEach)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EYEBALL_BENCHMARK_MAIN()

@@ -235,6 +235,7 @@ int main(int argc, char** argv) {
 
   std::string json = "{\n  \"context\": {\n";
   json += "    \"date\": \"" + std::string{date} + "\",\n";
+  json += "    \"eyeball_build_type\": \"" + std::string{bench::kBuildType} + "\",\n";
   json += "    \"num_cpus\": " +
           std::to_string(std::thread::hardware_concurrency()) + ",\n";
   json += "    \"readers\": " + std::to_string(kReaders) + ",\n";

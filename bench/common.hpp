@@ -19,6 +19,17 @@
 
 namespace eyeball::bench {
 
+/// Build flavor the bench binary was compiled as.  Stamped into every
+/// benchmark JSON context as "eyeball_build_type" so
+/// tools/check_bench_schema.py can reject baselines recorded from a debug
+/// build (assertion-laden timings are not baselines).  NDEBUG tracks the
+/// repo's own code: Release / RelWithDebInfo define it, Debug does not.
+#ifdef NDEBUG
+inline constexpr const char* kBuildType = "release";
+#else
+inline constexpr const char* kBuildType = "debug";
+#endif
+
 /// End-to-end world: ecosystem + databases + RIB + pipeline + crawl.
 struct World {
   gazetteer::Gazetteer gaz = gazetteer::Gazetteer::builtin();
@@ -204,3 +215,17 @@ inline void print_heading(const std::string& title) {
 }
 
 }  // namespace eyeball::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() used by the bm_* binaries:
+/// identical run behavior, plus the eyeball_build_type context stamp (see
+/// kBuildType above).  Requires <benchmark/benchmark.h> at the use site.
+#define EYEBALL_BENCHMARK_MAIN()                                          \
+  int main(int argc, char** argv) {                                       \
+    benchmark::AddCustomContext("eyeball_build_type",                     \
+                                eyeball::bench::kBuildType);              \
+    benchmark::Initialize(&argc, argv);                                   \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    benchmark::RunSpecifiedBenchmarks();                                  \
+    benchmark::Shutdown();                                                \
+    return 0;                                                             \
+  }

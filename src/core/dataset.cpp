@@ -132,6 +132,90 @@ DatasetBuilder::DatasetBuilder(const geodb::GeoDatabase& primary,
     : primary_(primary), secondary_(secondary), mapper_(mapper), config_(config) {}
 
 namespace detail {
+namespace {
+
+/// Samples per SoA staging block: big enough to amortize the batched
+/// lookup calls, small enough that the arenas (a few doubles + two cached
+/// records per lane) stay cache-resident.
+constexpr std::size_t kConditionBlock = 4096;
+
+/// Per-lane verdict of the staged conditioning passes, in the exact drop
+/// precedence of the scalar pipeline.
+enum LaneState : std::uint8_t {
+  kEligible = 0,
+  kMissingGeo,
+  kRejected,
+  kHighError,
+};
+
+/// Open-addressed ASN -> bucket-index table (linear probing, power-of-two):
+/// the per-survivor grouping cost is one hash probe into a table that fits
+/// in L1, instead of the old per-sample std::map tree walk.
+class AsnBucketIndex {
+ public:
+  AsnBucketIndex() : table_(kInitialSlots, kEmpty), keys_(kInitialSlots, 0) {}
+
+  [[nodiscard]] std::size_t find_or_add(std::uint32_t asn,
+                                        std::vector<AsPeerSet>& buckets) {
+    if ((buckets.size() + 1) * 4 > table_.size() * 3) grow();
+    std::size_t i = mix(asn) & (table_.size() - 1);
+    while (table_[i] != kEmpty) {
+      if (keys_[i] == asn) return table_[i];
+      i = (i + 1) & (table_.size() - 1);
+    }
+    table_[i] = static_cast<std::uint32_t>(buckets.size());
+    keys_[i] = asn;
+    buckets.push_back(AsPeerSet{net::Asn{asn}, {}});
+    return buckets.size() - 1;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 256;
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  [[nodiscard]] static std::uint32_t mix(std::uint32_t x) noexcept {
+    x ^= x >> 16;
+    x *= 0x45d9f3bu;
+    x ^= x >> 16;
+    return x;
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> old_table = std::move(table_);
+    std::vector<std::uint32_t> old_keys = std::move(keys_);
+    table_.assign(old_table.size() * 2, kEmpty);
+    keys_.assign(old_keys.size() * 2, 0);
+    for (std::size_t i = 0; i < old_table.size(); ++i) {
+      if (old_table[i] == kEmpty) continue;
+      std::size_t j = mix(old_keys[i]) & (table_.size() - 1);
+      while (table_[j] != kEmpty) j = (j + 1) & (table_.size() - 1);
+      table_[j] = old_table[i];
+      keys_[j] = old_keys[i];
+    }
+  }
+
+  std::vector<std::uint32_t> table_;  // bucket index per slot, kEmpty if free
+  std::vector<std::uint32_t> keys_;   // ASN per occupied slot
+};
+
+/// SoA staging arenas for one conditioning block.  Each pass below streams
+/// one or two of these arrays sequentially instead of re-walking an array
+/// of fat per-peer structs, so the filter loops are cache-friendly and the
+/// non-trig arithmetic vectorizes.
+struct ConditionArena {
+  std::vector<net::Ipv4Address> ips;
+  std::vector<std::optional<geodb::GeoRecord>> primary, secondary;
+  std::vector<double> lat_a, lon_a, lat_b, lon_b;
+  std::vector<double> err;
+  std::vector<gazetteer::CityId> city;
+  std::vector<std::uint8_t> state;
+
+  explicit ConditionArena(std::size_t n)
+      : ips(n), primary(n), secondary(n), lat_a(n), lon_a(n), lat_b(n), lon_b(n),
+        err(n), city(n), state(n) {}
+};
+
+}  // namespace
 
 ConditionShard condition_chunk(std::span<const p2p::PeerSample> samples, std::size_t lo,
                                std::size_t hi, geodb::LookupMemo& primary,
@@ -139,40 +223,90 @@ ConditionShard condition_chunk(std::span<const p2p::PeerSample> samples, std::si
                                const bgp::IpToAsMapper& mapper,
                                const DatasetConfig& config) {
   ConditionShard shard;
-  for (std::size_t i = lo; i < hi; ++i) {
-    const auto& sample = samples[i];
-    // Geo-map with both databases; require city-level records from
-    // both (the paper drops ~2.4 M peers lacking one).
-    const auto primary_record = primary.lookup(sample.ip);
-    const auto secondary_record = secondary.lookup(sample.ip);
-    if (!primary_record || !secondary_record) {
-      ++shard.dropped.missing_geo;
-      continue;
+  AsnBucketIndex index;
+  ConditionArena arena{std::min(kConditionBlock, hi - lo)};
+
+  for (std::size_t base = lo; base < hi; base += kConditionBlock) {
+    const std::size_t n = std::min(kConditionBlock, hi - base);
+
+    // Pass 1: gather the block's IPs and geo-map them through both memos in
+    // one batched call each (the paper requires city-level records from
+    // both databases; missing ones drop ~2.4 M peers).  Batch order equals
+    // sample order, so memo state and counters match the scalar loop.
+    for (std::size_t i = 0; i < n; ++i) arena.ips[i] = samples[base + i].ip;
+    const std::span<const net::Ipv4Address> ips{arena.ips.data(), n};
+    primary.lookup_batch(ips, {arena.primary.data(), n});
+    secondary.lookup_batch(ips, {arena.secondary.data(), n});
+
+    // Pass 2: scatter the record coordinates into the SoA lanes and settle
+    // presence/validity.  A corrupt database row (NaN / out-of-range
+    // coordinates) must be rejected here: past this point its location
+    // feeds the distance computation and, if kept, the KDE — both poisoned
+    // by a single NaN.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& a = arena.primary[i];
+      const auto& b = arena.secondary[i];
+      if (!a || !b) {
+        arena.state[i] = kMissingGeo;
+        continue;
+      }
+      arena.lat_a[i] = a->location.lat_deg;
+      arena.lon_a[i] = a->location.lon_deg;
+      arena.lat_b[i] = b->location.lat_deg;
+      arena.lon_b[i] = b->location.lon_deg;
+      arena.city[i] = a->city_id;
+      arena.state[i] =
+          geo::is_valid(a->location) && geo::is_valid(b->location) ? kEligible
+                                                                   : kRejected;
     }
-    // A corrupt database row (NaN / out-of-range coordinates) must be
-    // rejected here: past this point its location feeds the distance
-    // computation and, if kept, the KDE — both poisoned by a single NaN.
-    if (!geo::is_valid(primary_record->location) ||
-        !geo::is_valid(secondary_record->location)) {
-      ++shard.dropped.rejected;
-      continue;
+
+    // Pass 3: the inter-database error proxy over the coordinate lanes,
+    // then the threshold verdict.  Same distance_km call on the same
+    // inputs as the scalar loop — error values stay bit-identical.  When
+    // both databases report the same zip centroid bit-for-bit (both drew
+    // the "exact" outcome — the majority of samples), the haversine chain
+    // evaluates to exactly +0.0 (every difference term is +0, sin(+0) is
+    // +0, asin(+0) is +0), so the equality fast path returns the identical
+    // value while skipping four libm calls.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (arena.state[i] != kEligible) continue;
+      if (arena.lat_a[i] == arena.lat_b[i] && arena.lon_a[i] == arena.lon_b[i]) {
+        arena.err[i] = 0.0;
+        continue;
+      }
+      arena.err[i] = geo::distance_km({arena.lat_a[i], arena.lon_a[i]},
+                                      {arena.lat_b[i], arena.lon_b[i]});
+      if (arena.err[i] > config.max_geo_error_km) arena.state[i] = kHighError;
     }
-    const double error_km =
-        geo::distance_km(primary_record->location, secondary_record->location);
-    if (error_km > config.max_geo_error_km) {
-      ++shard.dropped.high_error;
-      continue;
+
+    // Pass 4: fold verdicts in sample order (exact scalar drop precedence),
+    // LPM-map survivors, and append to the flat AS buckets.
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (arena.state[i]) {
+        case kMissingGeo: ++shard.dropped.missing_geo; continue;
+        case kRejected: ++shard.dropped.rejected; continue;
+        case kHighError: ++shard.dropped.high_error; continue;
+        default: break;
+      }
+      const auto asn = mapper.map(arena.ips[i]);
+      if (!asn) {
+        ++shard.dropped.unmapped_as;
+        continue;
+      }
+      shard.by_as[index.find_or_add(net::value_of(*asn), shard.by_as)]
+          .peers.push_back(PeerRecord{arena.ips[i], samples[base + i].app,
+                                      {arena.lat_a[i], arena.lon_a[i]}, arena.err[i],
+                                      arena.city[i]});
     }
-    const auto asn = mapper.map(sample.ip);
-    if (!asn) {
-      ++shard.dropped.unmapped_as;
-      continue;
-    }
-    auto& set = shard.by_as[net::value_of(*asn)];
-    set.asn = *asn;
-    set.peers.push_back(PeerRecord{sample.ip, sample.app, primary_record->location,
-                                   error_km, primary_record->city_id});
   }
+
+  // First-seen bucket order -> ascending ASN, the order the old per-shard
+  // std::map produced and merge_shard_ordered/filter_ases require.  Peer
+  // order inside each bucket is untouched (already sample order).
+  std::sort(shard.by_as.begin(), shard.by_as.end(),
+            [](const AsPeerSet& a, const AsPeerSet& b) {
+              return net::value_of(a.asn) < net::value_of(b.asn);
+            });
   return shard;
 }
 
@@ -182,8 +316,8 @@ void merge_shard_ordered(ConditionShard shard, std::map<std::uint32_t, AsPeerSet
   dropped.high_error += shard.dropped.high_error;
   dropped.unmapped_as += shard.dropped.unmapped_as;
   dropped.rejected += shard.dropped.rejected;
-  for (auto& [asn_value, set] : shard.by_as) {
-    auto& merged = by_as[asn_value];
+  for (auto& set : shard.by_as) {
+    auto& merged = by_as[net::value_of(set.asn)];
     if (merged.peers.empty()) {
       merged = std::move(set);
     } else {

@@ -199,10 +199,13 @@ struct ConditionCounters {
   }
 };
 
-/// One shard's private stage-1 output: peer buckets in ASN order plus the
-/// partial drop counters.  No shard ever touches another's state.
+/// One shard's private stage-1 output: peer buckets in ascending-ASN order
+/// plus the partial drop counters.  No shard ever touches another's state.
+/// The buckets are a flat vector (grouped through an open-addressed index
+/// during the chunk, sorted once at the end) rather than an ordered map:
+/// the per-survivor hot path is one hash probe instead of a tree walk.
 struct ConditionShard {
-  std::map<std::uint32_t, AsPeerSet> by_as;
+  std::vector<AsPeerSet> by_as;
   ConditionCounters dropped;
 };
 

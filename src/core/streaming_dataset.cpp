@@ -123,7 +123,7 @@ void StreamingDatasetBuilder::ingest(std::span<const p2p::PeerSample> window,
                                        memos.secondary, mapper_, config_);
       },
       [&](detail::ConditionShard shard) {
-        for (const auto& [asn_value, set] : shard.by_as) touched_.insert(asn_value);
+        for (const auto& set : shard.by_as) touched_.insert(net::value_of(set.asn));
         detail::merge_shard_ordered(std::move(shard), by_as_, dropped);
       },
       ways);

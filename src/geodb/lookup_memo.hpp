@@ -19,7 +19,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "geodb/geo_database.hpp"
@@ -37,32 +40,94 @@ class LookupMemo {
     if (slots == 0) return;
     std::size_t rounded = 1;
     while (rounded < slots) rounded <<= 1;
-    slots_.resize(rounded);
+    // SoA layout: the probed keys live in their own dense array (8 bytes a
+    // slot, so even a big memo's key table stays cache-resident) while the
+    // fat records sit in a parallel array touched only on a hit or a fill.
+    keys_.assign(rounded, kEmptyKey);
+    records_.resize(rounded);
+    pending_.assign(rounded, -1);
     mask_ = rounded - 1;
     // The `h & mask_` slot index below is only uniform (and in range) when
     // the table size stays a power of two.
-    EYEBALL_DCHECK((slots_.size() & mask_) == 0 && slots_.size() == mask_ + 1,
+    EYEBALL_DCHECK((keys_.size() & mask_) == 0 && keys_.size() == mask_ + 1,
                    "memo table size must be a power of two");
   }
 
   [[nodiscard]] std::optional<GeoRecord> lookup(net::Ipv4Address ip) {
-    if (slots_.empty()) return db_->lookup(ip);
-    // Mix the high bits down so IPs from one allocation block spread over
-    // the table instead of fighting for one slot.
-    std::uint32_t h = ip.value();
-    h ^= h >> 16;
-    h *= 0x45d9f3bu;
-    h ^= h >> 16;
-    Slot& slot = slots_[h & mask_];
-    if (slot.used && slot.ip == ip) {
+    if (keys_.empty()) return db_->lookup(ip);
+    const std::size_t s = slot_index(ip);
+    if (keys_[s] == key_of(ip)) {
       ++hits_;
-      return slot.record;
+      return records_[s];
     }
     ++misses_;
-    slot.used = true;
-    slot.ip = ip;
-    slot.record = db_->lookup(ip);
-    return slot.record;
+    keys_[s] = key_of(ip);
+    records_[s] = db_->lookup(ip);
+    return records_[s];
+  }
+
+  /// Batched lookup: `out[i] = lookup(ips[i])`, with the database misses
+  /// collected and resolved through one GeoDatabase::lookup_batch call so a
+  /// batching database amortizes per-call costs.  Counters, slot contents
+  /// and results are exactly those of the scalar loop: probes run in batch
+  /// order against live slot metadata (a miss claims its slot immediately,
+  /// so a later probe of the same IP in the same batch hits, and a
+  /// colliding IP evicts — just like serial), and deferred records resolve
+  /// in miss order, leaving each slot with its last claimant's record.
+  void lookup_batch(std::span<const net::Ipv4Address> ips,
+                    std::span<std::optional<GeoRecord>> out) {
+    if (keys_.empty()) {
+      db_->lookup_batch(ips, out);
+      return;
+    }
+    miss_ips_.clear();
+    miss_slots_.clear();
+    miss_out_.clear();
+    alias_out_.clear();
+    for (std::size_t i = 0; i < ips.size(); ++i) {
+      const std::size_t s = slot_index(ips[i]);
+      if (keys_[s] == key_of(ips[i])) {
+        ++hits_;
+        if (pending_[s] >= 0) {
+          // Hit on a slot claimed earlier in this batch: the record is not
+          // computed yet; resolve the alias after the database batch.
+          alias_out_.emplace_back(i, static_cast<std::size_t>(pending_[s]));
+        } else {
+          out[i] = records_[s];
+        }
+        continue;
+      }
+      ++misses_;
+      keys_[s] = key_of(ips[i]);
+      pending_[s] = static_cast<std::int32_t>(miss_ips_.size());
+      miss_ips_.push_back(ips[i]);
+      miss_slots_.push_back(s);
+      miss_out_.push_back(i);
+    }
+    if (miss_ips_.size() == ips.size()) {
+      // Every probe missed (the common case for crawl batches, whose IPs
+      // are mostly unique): resolve the database batch straight into `out`
+      // and back-fill the memo from there, skipping the intermediate
+      // record buffer — one fewer record copy per lookup.
+      db_->lookup_batch(ips, out);
+      for (std::size_t m = 0; m < miss_slots_.size(); ++m) {
+        const std::size_t s = miss_slots_[m];
+        // In miss order, so a slot contested within the batch keeps its
+        // last claimant's record — the state the serial loop leaves behind.
+        records_[s] = out[m];
+        pending_[s] = -1;
+      }
+      return;
+    }
+    miss_records_.resize(miss_ips_.size());
+    db_->lookup_batch(miss_ips_, miss_records_);
+    for (std::size_t m = 0; m < miss_ips_.size(); ++m) {
+      const std::size_t s = miss_slots_[m];
+      records_[s] = miss_records_[m];
+      pending_[s] = -1;
+      out[miss_out_[m]] = miss_records_[m];
+    }
+    for (const auto& [i, m] : alias_out_) out[i] = miss_records_[m];
   }
 
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
@@ -73,29 +138,51 @@ class LookupMemo {
     return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
   }
   /// Actual slot count after power-of-two rounding; 0 when disabled.
-  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
 
   /// Forgets every cached record and zeroes the hit/miss counters; the
   /// table keeps its size (no reallocation).  Like construction, this is
   /// invisible to lookup results.
   void reset() noexcept {
-    for (Slot& slot : slots_) slot.used = false;
+    for (auto& key : keys_) key = kEmptyKey;
     hits_ = 0;
     misses_ = 0;
   }
 
  private:
-  struct Slot {
-    net::Ipv4Address ip;
-    std::optional<GeoRecord> record;
-    bool used = false;
-  };
+  /// An IPv4 value widened past 32 bits so no real IP collides with the
+  /// empty-slot marker.
+  static constexpr std::uint64_t kEmptyKey = 0;
+  [[nodiscard]] static constexpr std::uint64_t key_of(net::Ipv4Address ip) noexcept {
+    return static_cast<std::uint64_t>(ip.value()) + 1;
+  }
+
+  [[nodiscard]] std::size_t slot_index(net::Ipv4Address ip) const noexcept {
+    // Mix the high bits down so IPs from one allocation block spread over
+    // the table instead of fighting for one slot.
+    std::uint32_t h = ip.value();
+    h ^= h >> 16;
+    h *= 0x45d9f3bu;
+    h ^= h >> 16;
+    return h & mask_;
+  }
 
   const GeoDatabase* db_;
-  std::vector<Slot> slots_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::optional<GeoRecord>> records_;
+  /// Per-slot index into the in-flight batch's miss list, -1 outside a
+  /// lookup_batch call.
+  std::vector<std::int32_t> pending_;
   std::size_t mask_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  // lookup_batch scratch, reused across batches (the memo is single-owner
+  // by contract, so plain members are safe).
+  std::vector<net::Ipv4Address> miss_ips_;
+  std::vector<std::size_t> miss_slots_;
+  std::vector<std::size_t> miss_out_;
+  std::vector<std::optional<GeoRecord>> miss_records_;
+  std::vector<std::pair<std::size_t, std::size_t>> alias_out_;
 };
 
 }  // namespace eyeball::geodb

@@ -1,6 +1,8 @@
 #include "geodb/synthetic_db.hpp"
 
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 
 #include "gazetteer/zip_lattice.hpp"
@@ -53,6 +55,28 @@ GeoRecord SyntheticGeoDatabase::record_for(gazetteer::CityId city,
   return GeoRecord{c.name, c.region, c.country_code, location, city};
 }
 
+GeoRecord SyntheticGeoDatabase::correlated_record(std::uint32_t block) const {
+  // Replays the block stream from scratch: the bernoulli that routed the
+  // caller here is drawn (and discarded) again so the draws below see the
+  // exact state the pre-memoization code saw.
+  util::Rng block_rng{util::mix64(0xb10cf00dULL, block)};
+  (void)block_rng.bernoulli(model_.correlated_block_error);
+  const gazetteer::CityId anchor =
+      all_cities_[block_rng.uniform_index(all_cities_.size())];
+  const auto& anchor_city = truth_.gazetteer().city(anchor);
+  const geo::GeoPoint bogus =
+      geo::destination(anchor_city.location, block_rng.uniform(0.0, 360.0),
+                       block_rng.uniform(40.0, 160.0));
+  // Vendors disagree by a small per-vendor offset (below the filter).
+  util::Rng vendor_rng{util::mix64(seed_, block)};
+  const geo::GeoPoint reported =
+      geo::destination(bogus, vendor_rng.uniform(0.0, 360.0),
+                       vendor_rng.uniform(0.0, 15.0));
+  const auto nearest = truth_.gazetteer().nearest_city(reported);
+  const auto& named = truth_.gazetteer().city(nearest);
+  return GeoRecord{named.name, named.region, named.country_code, reported, nearest};
+}
+
 std::optional<GeoRecord> SyntheticGeoDatabase::lookup(net::Ipv4Address ip) const {
   const auto truth = truth_.locate(ip);
   if (!truth) return std::nullopt;
@@ -66,20 +90,16 @@ std::optional<GeoRecord> SyntheticGeoDatabase::lookup(net::Ipv4Address ip) const
   // rule is designed to filter (Sec. 4.2).
   util::Rng block_rng{util::mix64(0xb10cf00dULL, ip.value() >> 12)};
   if (block_rng.bernoulli(model_.correlated_block_error)) {
-    const gazetteer::CityId anchor =
-        all_cities_[block_rng.uniform_index(all_cities_.size())];
-    const auto& anchor_city = truth_.gazetteer().city(anchor);
-    const geo::GeoPoint bogus =
-        geo::destination(anchor_city.location, block_rng.uniform(0.0, 360.0),
-                         block_rng.uniform(40.0, 160.0));
-    // Vendors disagree by a small per-vendor offset (below the filter).
-    util::Rng vendor_rng{util::mix64(seed_, ip.value() >> 12)};
-    const geo::GeoPoint reported =
-        geo::destination(bogus, vendor_rng.uniform(0.0, 360.0),
-                         vendor_rng.uniform(0.0, 15.0));
-    const auto nearest = truth_.gazetteer().nearest_city(reported);
-    const auto& named = truth_.gazetteer().city(nearest);
-    return GeoRecord{named.name, named.region, named.country_code, reported, nearest};
+    const std::uint32_t block = ip.value() >> 12;
+    {
+      std::shared_lock lock{correlated_mutex_};
+      if (const auto it = correlated_cache_.find(block); it != correlated_cache_.end()) {
+        return it->second;
+      }
+    }
+    GeoRecord record = correlated_record(block);
+    std::unique_lock lock{correlated_mutex_};
+    return correlated_cache_.emplace(block, record).first->second;
   }
 
   // One deterministic stream per (database, IP): repeated lookups agree.

@@ -1,0 +1,33 @@
+// Internal: the register-tiled 1-D convolution kernels behind
+// KernelDensityEstimator::estimate (see DESIGN.md "Data layout &
+// vectorization").  Exposed in a header so tests/kde_simd_test.cpp can pin
+// the tiled implementations bit-for-bit against a naive scalar reference —
+// production code should go through the estimator, not call these.
+//
+// Both functions clip taps that fall outside the range (edge mass is
+// dropped) and accumulate each output cell's taps in ascending index
+// order, so their results are exactly those of the obvious scalar loop.
+#pragma once
+
+#include <cstddef>
+
+namespace eyeball::kde::detail {
+
+/// Number of adjacent columns the vertical pass processes per tile (and the
+/// horizontal pass's output-tile width).  32 doubles of accumulators — four
+/// cache lines, small enough to live in vector registers once the
+/// constant-trip inner loops unroll.
+inline constexpr std::size_t kConvolveTile = 32;
+
+/// Contiguous (stride-1) convolution of `src[0..n)` into `dst[0..n)` with a
+/// centered `tap_count`-tap kernel (radius = tap_count / 2).
+void convolve_row(const double* src, double* dst, std::size_t n, const double* taps,
+                  std::size_t tap_count);
+
+/// Vertical (cross-row) convolution of a row-major `rows x cols` image over
+/// the `width <= kConvolveTile` adjacent columns starting at `col`.
+void convolve_columns_tile(const double* src, double* dst, std::size_t rows,
+                           std::size_t cols, std::size_t col, std::size_t width,
+                           const double* taps, std::size_t tap_count);
+
+}  // namespace eyeball::kde::detail

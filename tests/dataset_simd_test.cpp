@@ -1,0 +1,184 @@
+// Differential tests for the SoA conditioning rewrite (PR 7): the batched
+// LookupMemo path and the block-arena condition stage must be byte-identical
+// to their scalar ancestors — results, per-AS peer order, stats, AND memo
+// counters (see DESIGN.md "Data layout & vectorization").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "geodb/lookup_memo.hpp"
+#include "geodb/synthetic_db.hpp"
+#include "pipeline_fixture.hpp"
+#include "util/rng.hpp"
+
+namespace eyeball {
+namespace {
+
+/// Allocated eyeball IPs from the shared fixture's ecosystem (repetition
+/// comes from the callers re-drawing with a seeded Rng).
+std::vector<net::Ipv4Address> allocated_ips(std::size_t want) {
+  const auto& f = testing::shared_fixture();
+  std::vector<net::Ipv4Address> out;
+  for (const auto& as : f.eco.ases()) {
+    if (as.role != topology::AsRole::kEyeball) continue;
+    for (const auto& pop : as.pops) {
+      for (const auto& prefix : pop.prefixes) {
+        const auto step = std::max<std::uint64_t>(1, prefix.size() / 16);
+        for (std::uint64_t off = 0; off < prefix.size(); off += step) {
+          out.push_back(net::Ipv4Address{
+              static_cast<std::uint32_t>(prefix.address().value() + off)});
+          if (out.size() >= want) return out;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Draws a batch with heavy repetition (memo hits + intra-batch aliases)
+/// and a sprinkle of unallocated IPs (database misses -> nullopt records).
+std::vector<net::Ipv4Address> random_batch(util::Rng& rng,
+                                           std::span<const net::Ipv4Address> pool,
+                                           std::size_t count) {
+  std::vector<net::Ipv4Address> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.bernoulli(0.05)) {
+      // TEST-NET-3 style address no synthetic prefix covers.
+      out.push_back(net::Ipv4Address{
+          0xCB007100u + static_cast<std::uint32_t>(rng.uniform_index(64))});
+    } else if (!out.empty() && rng.bernoulli(0.25)) {
+      out.push_back(out[rng.uniform_index(out.size())]);  // intra-batch alias
+    } else {
+      out.push_back(pool[rng.uniform_index(pool.size())]);
+    }
+  }
+  return out;
+}
+
+void expect_batch_matches_scalar(std::size_t memo_slots, std::uint64_t seed) {
+  const auto& f = testing::shared_fixture();
+  geodb::LookupMemo batched{f.primary, memo_slots};
+  geodb::LookupMemo scalar{f.primary, memo_slots};
+  const auto pool = allocated_ips(500);
+  ASSERT_FALSE(pool.empty());
+  util::Rng rng{seed};
+  for (int round = 0; round < 12; ++round) {
+    const auto batch =
+        random_batch(rng, pool, static_cast<std::size_t>(rng.uniform_int(1, 120)));
+    std::vector<std::optional<geodb::GeoRecord>> got(batch.size());
+    batched.lookup_batch(batch, got);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto want = scalar.lookup(batch[i]);
+      ASSERT_EQ(got[i].has_value(), want.has_value())
+          << "slots=" << memo_slots << " round " << round << " ip "
+          << batch[i].to_string();
+      if (want) {
+        EXPECT_EQ(got[i]->city, want->city);
+        EXPECT_EQ(got[i]->city_id, want->city_id);
+        EXPECT_EQ(got[i]->location, want->location);
+      }
+    }
+    // The batched path promises the scalar loop's exact counters too.
+    ASSERT_EQ(batched.hits(), scalar.hits()) << "slots=" << memo_slots;
+    ASSERT_EQ(batched.misses(), scalar.misses()) << "slots=" << memo_slots;
+  }
+}
+
+TEST(LookupMemoBatch, MatchesScalarLoopAcrossMemoSizes) {
+  // 8 slots: constant eviction pressure; 1024: mostly hits after warm-up;
+  // 0: memo disabled, the batch forwards straight to the database.
+  expect_batch_matches_scalar(8, 101);
+  expect_batch_matches_scalar(1024, 102);
+  expect_batch_matches_scalar(0, 103);
+}
+
+TEST(LookupMemoBatch, AllMissFastPathFillsMemoExactly) {
+  const auto& f = testing::shared_fixture();
+  geodb::LookupMemo memo{f.primary, 4096};
+  auto ips = allocated_ips(256);
+  ips.push_back(net::Ipv4Address{203, 0, 113, 9});  // unallocated miss
+  std::vector<std::optional<geodb::GeoRecord>> first(ips.size());
+  memo.lookup_batch(ips, first);  // fresh memo, distinct IPs: all-miss path
+  EXPECT_EQ(memo.misses(), ips.size());
+  for (std::size_t i = 0; i < ips.size(); ++i) {
+    const auto direct = f.primary.lookup(ips[i]);
+    ASSERT_EQ(first[i].has_value(), direct.has_value()) << i;
+    if (direct) EXPECT_EQ(first[i]->location, direct->location);
+  }
+  // Replay against a scalar twin driven through the same two passes: the
+  // fast path must leave the exact slot state the serial loop would (slot
+  // collisions may evict — 257 IPs in 4096 slots collide a handful of
+  // times — so the pin is twin equality, not zero second-pass misses).
+  geodb::LookupMemo twin{f.primary, 4096};
+  for (int round = 0; round < 2; ++round) {
+    for (const auto ip : ips) (void)twin.lookup(ip);
+  }
+  std::vector<std::optional<geodb::GeoRecord>> second(ips.size());
+  memo.lookup_batch(ips, second);
+  EXPECT_EQ(memo.misses(), twin.misses());
+  EXPECT_EQ(memo.hits(), twin.hits());
+  EXPECT_GT(memo.hits(), 0u);
+  for (std::size_t i = 0; i < ips.size(); ++i) {
+    ASSERT_EQ(second[i].has_value(), first[i].has_value()) << i;
+    if (first[i]) EXPECT_EQ(second[i]->location, first[i]->location);
+  }
+}
+
+void expect_same_dataset(const core::TargetDataset& reference,
+                         const core::TargetDataset& candidate) {
+  ASSERT_EQ(reference.stats(), candidate.stats())
+      << core::diff_stats(reference.stats(), candidate.stats());
+  ASSERT_EQ(reference.ases().size(), candidate.ases().size());
+  for (std::size_t a = 0; a < reference.ases().size(); ++a) {
+    const auto& ra = reference.ases()[a];
+    const auto& ca = candidate.ases()[a];
+    ASSERT_EQ(ra.asn, ca.asn) << "as index " << a;
+    ASSERT_EQ(ra.peers.size(), ca.peers.size()) << "as index " << a;
+    for (std::size_t p = 0; p < ra.peers.size(); ++p) {
+      const auto& rp = ra.peers[p];
+      const auto& cp = ca.peers[p];
+      ASSERT_TRUE(rp.ip == cp.ip && rp.app == cp.app && rp.location == cp.location &&
+                  rp.geo_error_km == cp.geo_error_km &&
+                  rp.reported_city == cp.reported_city)
+          << "as index " << a << " peer " << p;
+    }
+  }
+}
+
+// The arena path processes each shard in fixed 4096-sample blocks (see
+// core::detail::kConditionBlock in dataset.cpp); sample counts straddling a
+// block boundary exercise the partial final block against full-block runs.
+TEST(ConditionArena, BlockBoundarySubspansStayByteIdentical) {
+  const auto& f = testing::shared_fixture();
+  const auto samples = std::span<const p2p::PeerSample>{f.crawl.samples};
+  constexpr std::size_t kBlock = 4096;
+  for (const std::size_t n :
+       {std::size_t{1}, kBlock - 1, kBlock, kBlock + 1, 3 * kBlock + 17}) {
+    if (n > samples.size()) break;
+    const auto sub = samples.first(n);
+    const auto reference = f.pipeline.build_dataset(sub, 1);
+    for (const std::size_t threads : {2u, 0u}) {
+      expect_same_dataset(reference, f.pipeline.build_dataset(sub, threads));
+    }
+  }
+}
+
+TEST(ConditionArena, MemoSizeInvisibleToConditionedDataset) {
+  const auto& f = testing::shared_fixture();
+  // 0 slots drives the arena's direct GeoDatabase::lookup_batch path; a
+  // tiny memo maximizes eviction churn inside the batched probe loop.
+  for (const std::size_t slots : {std::size_t{0}, std::size_t{8}}) {
+    core::DatasetConfig config = f.pipeline.config().dataset;
+    config.lookup_memo_slots = slots;
+    const core::DatasetBuilder builder{f.primary, f.secondary, f.mapper, config};
+    expect_same_dataset(f.dataset, builder.build(f.crawl.samples, 2));
+  }
+}
+
+}  // namespace
+}  // namespace eyeball

@@ -13,8 +13,12 @@
 #           for memory errors in the failure paths it exercises
 #   tidy    clang-tidy (.clang-tidy) over src/ via compile_commands.json
 #           [skipped with a notice when clang-tidy is not installed]
-#   lint    tools/eyeball_lint.py self-test + repo scan
+#   lint    tools/eyeball_lint.py self-test + repo scan, plus the
+#           check_bench_schema.py and bench_diff.py baseline tooling checks
 #   strict  EYEBALL_STRICT=ON (-Wconversion -Wdouble-promotion -Werror) build
+#   bench-smoke
+#           each bm_* binary runs one cheap benchmark (bit-rot guard for the
+#           bench sources; exit status only, no timing assertions)
 #   format  clang-format --dry-run --Werror via the format-check target
 #           [skipped with a notice when clang-format is not installed]
 #
@@ -117,6 +121,32 @@ lint_stage() {
   python3 "${ROOT}/tools/eyeball_lint.py" --root "${ROOT}" --self-test
   python3 "${ROOT}/tools/eyeball_lint.py" --root "${ROOT}"
   python3 "${ROOT}/tools/check_bench_schema.py" --root "${ROOT}"
+  python3 "${ROOT}/tools/bench_diff.py" --self-test
+}
+
+# --- bench-smoke: every bm_* binary compiles and runs ----------------------
+# A bit-rot guard for the bench sources, not a timing gate: each binary runs
+# one cheap benchmark (or, for bm_serving's custom driver, a full pass into
+# a throwaway output file) with minimal iteration time, and only the exit
+# status matters.
+bench_smoke_stage() {
+  cmake -B "${ROOT}/build" -S "${ROOT}"
+  cmake --build "${ROOT}/build" -j "${JOBS}" \
+    -t bm_dataset bm_kde bm_pipeline bm_prefix_trie bm_serving
+  "${ROOT}/build/bench/bm_kde" \
+    --benchmark_filter='BM_KdeBinned/1000$' --benchmark_min_time=0.01
+  "${ROOT}/build/bench/bm_prefix_trie" \
+    --benchmark_filter='BM_TrieInsert/1000$' --benchmark_min_time=0.01
+  # These two share the generated-world fixture; its construction (crawl +
+  # initial dataset build) dominates the stage's wall time.
+  "${ROOT}/build/bench/bm_pipeline" \
+    --benchmark_filter='BM_HaversineDistance' --benchmark_min_time=0.01
+  "${ROOT}/build/bench/bm_dataset" \
+    --benchmark_filter='BM_DatasetFind' --benchmark_min_time=0.01
+  local serving_out
+  serving_out="$(mktemp /tmp/eyeball_bench_serving.XXXXXX.json)"
+  "${ROOT}/build/bench/bm_serving" "${serving_out}"
+  rm -f "${serving_out}"
 }
 
 # --- strict: narrowing/promotion warnings as errors ------------------------
@@ -144,6 +174,7 @@ else
   skip_stage lint "python3 not installed"
 fi
 run_stage strict strict_stage
+run_stage bench-smoke bench_smoke_stage
 if command -v clang-format > /dev/null 2>&1; then
   run_stage format format_stage
 else

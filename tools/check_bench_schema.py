@@ -44,6 +44,23 @@ def check_common(path: pathlib.Path) -> tuple[dict | None, list[str]]:
         return None, [fail(path, "top level is not an object")]
     if not isinstance(data.get("context"), dict):
         errors.append(fail(path, "missing or non-object 'context'"))
+    else:
+        # Baselines must come from an optimized build of the repo's own code.
+        # The bench mains stamp "eyeball_build_type" from NDEBUG (see
+        # bench/common.hpp); a missing stamp means the baseline predates the
+        # stamp and must be re-recorded.  Note google-benchmark's own
+        # "library_build_type" reports the *system benchmark library* flavor,
+        # which this repo does not control — it is deliberately not checked.
+        build_type = data["context"].get("eyeball_build_type")
+        if build_type != "release":
+            errors.append(
+                fail(
+                    path,
+                    "context.eyeball_build_type is "
+                    f"{build_type!r}, want 'release' — re-record this baseline "
+                    "from an optimized (NDEBUG) build",
+                )
+            )
     benchmarks = data.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
         errors.append(fail(path, "missing, non-array, or empty 'benchmarks'"))
