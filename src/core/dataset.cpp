@@ -202,6 +202,14 @@ class AsnBucketIndex {
 /// one or two of these arrays sequentially instead of re-walking an array
 /// of fat per-peer structs, so the filter loops are cache-friendly and the
 /// non-trig arithmetic vectorizes.
+///
+/// Concurrency contract: strictly shard-private.  One ConditionArena is a
+/// block-scoped local of condition_chunk(), so each shard's arena lives on
+/// that shard's stack and can never be observed by another thread — scoped
+/// ownership needs no capability annotation (there is no member for a
+/// second thread to name).  The shared inputs it reads (mapper, config,
+/// the sample span) are const; the memos it drives carry their own
+/// single-owner role (see geodb::LookupMemo).
 struct ConditionArena {
   std::vector<net::Ipv4Address> ips;
   std::vector<std::optional<geodb::GeoRecord>> primary, secondary;

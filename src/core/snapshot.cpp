@@ -11,8 +11,10 @@
 #include <utility>
 
 #include "core/streaming_dataset.hpp"
+#include "util/annotations.hpp"
 #include "util/crc32c.hpp"
 #include "util/file.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace eyeball::core {
@@ -115,6 +117,7 @@ class Reader {
 [[nodiscard]] std::string snapshot_filename(std::uint64_t generation) {
   std::string digits = std::to_string(generation);
   std::string out = "snapshot.";
+  // eyeball-lint: allow(unchecked-status): std::string::append, not the Status-returning file API
   out.append(20 - digits.size(), '0');
   out += digits;
   out += ".eyb";
@@ -147,8 +150,15 @@ std::uint64_t SnapshotCodec::config_fingerprint(const DatasetConfig& config) noe
   return util::mix64(fp, std::bit_cast<std::uint64_t>(config.max_p90_geo_error_km));
 }
 
+// The codec reads (encode) and replaces (decode's commit) the builder's
+// serial_-guarded state without claiming the role itself: its caller —
+// save/restore_snapshot_locked, or a test that owns the builder outright —
+// already holds it, and the capability expression `builder.serial_` is not
+// spellable from a friend's signature.  Hence the targeted opt-out; the
+// single-owner contract is stated in the codec's header comment.
 std::vector<std::byte> SnapshotCodec::encode(const StreamingDatasetBuilder& builder,
-                                             std::uint64_t generation) {
+                                             std::uint64_t generation)
+    EYEBALL_NO_THREAD_SAFETY_ANALYSIS {
   std::vector<std::byte> out;
 
   // Header.
@@ -232,9 +242,11 @@ std::vector<std::byte> SnapshotCodec::encode(const StreamingDatasetBuilder& buil
   return out;
 }
 
+// See encode() above for why the analysis is opted out here.
 util::Status SnapshotCodec::decode(std::span<const std::byte> bytes,
                                    StreamingDatasetBuilder& builder,
-                                   std::uint64_t* generation) {
+                                   std::uint64_t* generation)
+    EYEBALL_NO_THREAD_SAFETY_ANALYSIS {
   // ---- Envelope: magics, whole-file CRC, version, fingerprint. ----
   if (bytes.size() < kHeaderSize + kSectionCount * kSectionHeaderSize + kFooterSize) {
     return corrupt("snapshot truncated: shorter than the minimum envelope");
@@ -501,12 +513,20 @@ util::Status SnapshotCodec::decode(std::span<const std::byte> bytes,
 }
 
 util::Status StreamingDatasetBuilder::save_snapshot(const std::string& dir) {
-  return save_snapshot(dir, util::local_filesystem(), nullptr);
+  const util::SerialSection owner{serial_};
+  return save_snapshot_locked(dir, util::local_filesystem(), nullptr);
 }
 
 util::Status StreamingDatasetBuilder::save_snapshot(const std::string& dir,
                                                     util::FileSystem& fs,
                                                     std::uint64_t* generation) {
+  const util::SerialSection owner{serial_};
+  return save_snapshot_locked(dir, fs, generation);
+}
+
+util::Status StreamingDatasetBuilder::save_snapshot_locked(const std::string& dir,
+                                                           util::FileSystem& fs,
+                                                           std::uint64_t* generation) {
   util::Status status = fs.create_directories(dir);
   if (!status.ok()) return status.with_context("save_snapshot");
 
@@ -546,12 +566,20 @@ util::Status StreamingDatasetBuilder::save_snapshot(const std::string& dir,
 
 util::Status StreamingDatasetBuilder::restore_snapshot(const std::string& dir,
                                                        SnapshotRestoreInfo* info) {
-  return restore_snapshot(dir, util::local_filesystem(), info);
+  const util::SerialSection owner{serial_};
+  return restore_snapshot_locked(dir, util::local_filesystem(), info);
 }
 
 util::Status StreamingDatasetBuilder::restore_snapshot(const std::string& dir,
                                                        util::FileSystem& fs,
                                                        SnapshotRestoreInfo* info) {
+  const util::SerialSection owner{serial_};
+  return restore_snapshot_locked(dir, fs, info);
+}
+
+util::Status StreamingDatasetBuilder::restore_snapshot_locked(const std::string& dir,
+                                                              util::FileSystem& fs,
+                                                              SnapshotRestoreInfo* info) {
   std::vector<std::string> names;
   util::Status status = fs.list_dir(dir, names);
   if (!status.ok()) return status.with_context("restore_snapshot");

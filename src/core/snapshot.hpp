@@ -41,13 +41,23 @@ class StreamingDatasetBuilder;
 /// What restore_snapshot recovered: which generation loaded, and how many
 /// newer-but-unloadable generations were skipped on the way (0 on the happy
 /// path; >0 means a torn/corrupt newest snapshot was detected and survived).
-struct SnapshotRestoreInfo {
+/// [[nodiscard]] like Status: the skip count is the only signal that a
+/// corrupt newest generation was silently survived, so an API returning one
+/// by value must not have it dropped on the floor.
+struct [[nodiscard]] SnapshotRestoreInfo {
   std::uint64_t generation = 0;
   std::size_t generations_skipped = 0;
 };
 
 /// Encoder/decoder for the EYBSNAP1 format.  Stateless; a friend of
 /// StreamingDatasetBuilder so the builder's persisted fields stay private.
+///
+/// Ownership contract: the caller must hold the builder's single-owner
+/// role (`serial_`) for the duration of encode/decode — true for the
+/// save/restore paths and for tests that own a builder outright.  The
+/// definitions opt out of the thread-safety analysis for exactly that
+/// reason (a friend cannot name another class's capability in its
+/// signature); see snapshot.cpp.
 class SnapshotCodec {
  public:
   static constexpr std::uint32_t kFormatVersion = 1;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace eyeball::core {
@@ -71,11 +72,18 @@ void StreamingDatasetBuilder::ensure_memo_slots(std::size_t shards) {
 }
 
 void StreamingDatasetBuilder::ingest(std::span<const p2p::PeerSample> window) {
-  ingest(window, config_.threads);
+  const util::SerialSection owner{serial_};
+  ingest_locked(window, config_.threads);
 }
 
 void StreamingDatasetBuilder::ingest(std::span<const p2p::PeerSample> window,
                                      std::size_t threads) {
+  const util::SerialSection owner{serial_};
+  ingest_locked(window, threads);
+}
+
+void StreamingDatasetBuilder::ingest_locked(std::span<const p2p::PeerSample> window,
+                                            std::size_t threads) {
   // Cross-window first-observation dedup (longitudinal_crawl's union
   // semantics).  Serial and order-preserving: the admitted stream must be
   // independent of the shard count below.
@@ -112,28 +120,48 @@ void StreamingDatasetBuilder::ingest(std::span<const p2p::PeerSample> window,
   ensure_memo_slots(ways);
   detail::ConditionCounters dropped;
   const std::span<const p2p::PeerSample> admitted{pending_};
+  // Local references for the lambdas below: the thread-safety analysis
+  // checks a lambda body as its own function, so guarded members reached
+  // through the captured `this` would need the role re-claimed per shard.
+  // Binding them here keeps the guarded accesses inside this (role-holding)
+  // function; the lambdas see plain locals.  Safety is by disjointness, as
+  // before: each shard lambda touches only its own memo slot, and the
+  // reduce lambda runs on this thread only, in shard order.
+  auto& shard_memos = memos_;
+  const bgp::IpToAsMapper& mapper = mapper_;
+  const DatasetConfig& config = config_;
+  auto& by_as = by_as_;
+  auto& touched = touched_;
   pool.parallel_map_reduce(
       0, count,
       [&](std::size_t lo, std::size_t hi) {
         const std::size_t shard = lo / chunk;
-        EYEBALL_DCHECK(shard < memos_.size(),
+        EYEBALL_DCHECK(shard < shard_memos.size(),
                        "shard index must address a persistent memo slot");
-        auto& memos = memos_[shard];
+        auto& memos = shard_memos[shard];
         return detail::condition_chunk(admitted, lo, hi, memos.primary,
-                                       memos.secondary, mapper_, config_);
+                                       memos.secondary, mapper, config);
       },
       [&](detail::ConditionShard shard) {
-        for (const auto& set : shard.by_as) touched_.insert(net::value_of(set.asn));
-        detail::merge_shard_ordered(std::move(shard), by_as_, dropped);
+        for (const auto& set : shard.by_as) touched.insert(net::value_of(set.asn));
+        detail::merge_shard_ordered(std::move(shard), by_as, dropped);
       },
       ways);
   dropped.add_to(stats_);
   stats_.windows.push_back(window_stats);
 }
 
-TargetDataset StreamingDatasetBuilder::finalize() { return finalize(config_.threads); }
+TargetDataset StreamingDatasetBuilder::finalize() {
+  const util::SerialSection owner{serial_};
+  return finalize_locked(config_.threads);
+}
 
 TargetDataset StreamingDatasetBuilder::finalize(std::size_t threads) {
+  const util::SerialSection owner{serial_};
+  return finalize_locked(threads);
+}
+
+TargetDataset StreamingDatasetBuilder::finalize_locked(std::size_t threads) {
   DatasetStats stats = stats_;  // stage-1 counters + window snapshots
   std::vector<AsPeerSet*> buckets;
   buckets.reserve(by_as_.size());
@@ -146,6 +174,7 @@ TargetDataset StreamingDatasetBuilder::finalize(std::size_t threads) {
 }
 
 std::vector<net::Asn> StreamingDatasetBuilder::touched_asns() const {
+  const util::SerialSection owner{serial_};
   std::vector<std::uint32_t> values(touched_.begin(), touched_.end());
   std::sort(values.begin(), values.end());
   std::vector<net::Asn> out;
@@ -155,12 +184,14 @@ std::vector<net::Asn> StreamingDatasetBuilder::touched_asns() const {
 }
 
 std::size_t StreamingDatasetBuilder::memo_hits() const noexcept {
+  const util::SerialSection owner{serial_};
   std::size_t total = 0;
   for (const auto& memos : memos_) total += memos.primary.hits() + memos.secondary.hits();
   return total;
 }
 
 std::size_t StreamingDatasetBuilder::memo_misses() const noexcept {
+  const util::SerialSection owner{serial_};
   std::size_t total = 0;
   for (const auto& memos : memos_) {
     total += memos.primary.misses() + memos.secondary.misses();
@@ -169,6 +200,7 @@ std::size_t StreamingDatasetBuilder::memo_misses() const noexcept {
 }
 
 void StreamingDatasetBuilder::reset() {
+  const util::SerialSection owner{serial_};
   by_as_.clear();
   seen_.clear();
   stats_ = DatasetStats{};

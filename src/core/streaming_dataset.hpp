@@ -42,6 +42,8 @@
 
 #include "core/dataset.hpp"
 #include "geodb/lookup_memo.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "util/status.hpp"
 
 namespace eyeball::util {
@@ -89,13 +91,20 @@ class StreamingDatasetBuilder {
 
   /// Windows ingested so far (== stats().windows.size()).
   [[nodiscard]] std::size_t windows_ingested() const noexcept {
+    const util::SerialSection owner{serial_};
     return stats_.windows.size();
   }
   /// Cumulative stage-1 counters + per-window snapshots.  The stage-2
   /// (per-AS filter) counters are only present on finalize() results.
-  [[nodiscard]] const DatasetStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const DatasetStats& stats() const noexcept {
+    const util::SerialSection owner{serial_};
+    return stats_;
+  }
   /// Unique (app, ip) samples admitted so far.
-  [[nodiscard]] std::size_t unique_samples() const noexcept { return seen_.size(); }
+  [[nodiscard]] std::size_t unique_samples() const noexcept {
+    const util::SerialSection owner{serial_};
+    return seen_.size();
+  }
 
   /// Aggregate hit/miss counters over the persistent per-shard geo memos
   /// (both databases) — the observable payoff of cross-window IP reuse.
@@ -140,41 +149,79 @@ class StreamingDatasetBuilder {
 
   /// Newest snapshot generation this builder has written or restored; 0
   /// before either.
-  [[nodiscard]] std::uint64_t last_generation() const noexcept { return last_generation_; }
+  [[nodiscard]] std::uint64_t last_generation() const noexcept {
+    const util::SerialSection owner{serial_};
+    return last_generation_;
+  }
 
  private:
+  // The codec serializes/deserializes the complete private state.  Its
+  // encode/decode definitions carry EYEBALL_NO_THREAD_SAFETY_ANALYSIS: the
+  // caller (save/restore below, or a test that owns the builder outright)
+  // holds `serial_` by contract, and friendship doesn't extend the
+  // capability analysis across classes.
   friend class SnapshotCodec;
+
+  /// The "single owner at a time" role from the equivalence contract: all
+  /// mutable state below is guarded by it, every public method claims it
+  /// for its duration (free — acquire/release are no-ops the optimizer
+  /// deletes), and the `_locked` helpers require it.  Under
+  /// EYEBALL_THREAD_SAFETY this turns "ingest state is single-writer" from
+  /// a doc comment into a build error: no code path can reach the buckets,
+  /// dedup set, or memos without visibly holding the role.  `mutable`
+  /// because const readers (stats, counters) claim it too.
+  mutable util::Serial serial_;
 
   const geodb::GeoDatabase& primary_;
   const geodb::GeoDatabase& secondary_;
+  // mapper_/config_ are fixed at construction and only read afterwards
+  // (including from inside shard lambdas), so they carry no capability.
   bgp::IpToAsMapper mapper_;
   DatasetConfig config_;
 
   /// Live ASN-ordered buckets; grown by ingest, read by finalize.
-  std::map<std::uint32_t, AsPeerSet> by_as_;
+  std::map<std::uint32_t, AsPeerSet> by_as_ EYEBALL_GUARDED_BY(serial_);
   /// Exact (app, ip) keys observed so far (app in the high bits — no
   /// collisions, unlike a mixed hash).
-  std::unordered_set<std::uint64_t> seen_;
+  std::unordered_set<std::uint64_t> seen_ EYEBALL_GUARDED_BY(serial_);
   /// Cumulative stage-1 counters + per-window snapshots.
-  DatasetStats stats_;
+  DatasetStats stats_ EYEBALL_GUARDED_BY(serial_);
   /// ASN values touched by ingests since the last finalize().
-  std::unordered_set<std::uint32_t> touched_;
+  std::unordered_set<std::uint32_t> touched_ EYEBALL_GUARDED_BY(serial_);
   /// Window scratch: admitted samples (reused allocation across ingests).
-  std::vector<p2p::PeerSample> pending_;
+  std::vector<p2p::PeerSample> pending_ EYEBALL_GUARDED_BY(serial_);
 
   /// One persistent memo pair per shard slot; grown to the largest shard
   /// count any ingest has used.  Each concurrent shard owns exactly one
-  /// slot, so the hot path stays lock-free.
+  /// slot, so the hot path stays lock-free.  The vector itself is guarded
+  /// by `serial_`; DURING an ingest each element is additionally lent to
+  /// exactly one shard (see ingest's shard lambda and LookupMemo's own
+  /// `owner_` role).
   struct ShardMemos {
     geodb::LookupMemo primary;
     geodb::LookupMemo secondary;
   };
-  std::vector<ShardMemos> memos_;
+  std::vector<ShardMemos> memos_ EYEBALL_GUARDED_BY(serial_);
 
   /// Newest snapshot generation written or restored (see last_generation()).
-  std::uint64_t last_generation_ = 0;
+  std::uint64_t last_generation_ EYEBALL_GUARDED_BY(serial_) = 0;
 
-  void ensure_memo_slots(std::size_t shards);
+  // Bodies of the public entry points, factored out so the delegating
+  // overload pairs (ingest, finalize, save/restore) claim `serial_` exactly
+  // once — re-claiming a held capability is itself a thread-safety error.
+  void ingest_locked(std::span<const p2p::PeerSample> window, std::size_t threads)
+      EYEBALL_REQUIRES(serial_);
+  [[nodiscard]] TargetDataset finalize_locked(std::size_t threads)
+      EYEBALL_REQUIRES(serial_);
+  [[nodiscard]] util::Status save_snapshot_locked(const std::string& dir,
+                                                  util::FileSystem& fs,
+                                                  std::uint64_t* generation)
+      EYEBALL_REQUIRES(serial_);
+  [[nodiscard]] util::Status restore_snapshot_locked(const std::string& dir,
+                                                     util::FileSystem& fs,
+                                                     SnapshotRestoreInfo* info)
+      EYEBALL_REQUIRES(serial_);
+  void ensure_memo_slots(std::size_t shards) EYEBALL_REQUIRES(serial_);
 };
 
 }  // namespace eyeball::core

@@ -9,7 +9,11 @@
 // memo is invisible to results at any size, including 0 (disabled).
 //
 // The memo itself is intentionally NOT thread-safe: each dataset-build
-// shard owns private memos, so the hot path stays lock-free.
+// shard owns private memos, so the hot path stays lock-free.  That
+// single-owner contract is encoded as a phantom `owner_` role (see
+// util::Serial): every method claims it for its duration — free at
+// runtime — so under EYEBALL_THREAD_SAFETY the cache state is unreachable
+// except through code that visibly holds the role.
 //
 // Lifetime: a memo may outlive one build — the streaming dataset builder
 // keeps per-shard memos across ingest() windows so cross-window IP
@@ -27,7 +31,9 @@
 
 #include "geodb/geo_database.hpp"
 #include "net/ipv4.hpp"
+#include "util/annotations.hpp"
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 
 namespace eyeball::geodb {
 
@@ -54,6 +60,7 @@ class LookupMemo {
   }
 
   [[nodiscard]] std::optional<GeoRecord> lookup(net::Ipv4Address ip) {
+    const util::SerialSection owner{owner_};
     if (keys_.empty()) return db_->lookup(ip);
     const std::size_t s = slot_index(ip);
     if (keys_[s] == key_of(ip)) {
@@ -76,6 +83,7 @@ class LookupMemo {
   /// in miss order, leaving each slot with its last claimant's record.
   void lookup_batch(std::span<const net::Ipv4Address> ips,
                     std::span<std::optional<GeoRecord>> out) {
+    const util::SerialSection owner{owner_};
     if (keys_.empty()) {
       db_->lookup_batch(ips, out);
       return;
@@ -130,20 +138,31 @@ class LookupMemo {
     for (const auto& [i, m] : alias_out_) out[i] = miss_records_[m];
   }
 
-  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t hits() const noexcept {
+    const util::SerialSection owner{owner_};
+    return hits_;
+  }
+  [[nodiscard]] std::size_t misses() const noexcept {
+    const util::SerialSection owner{owner_};
+    return misses_;
+  }
   /// Hits as a fraction of all lookups (0.0 before the first lookup).
   [[nodiscard]] double hit_rate() const noexcept {
+    const util::SerialSection owner{owner_};
     const std::size_t total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
   }
   /// Actual slot count after power-of-two rounding; 0 when disabled.
-  [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    const util::SerialSection owner{owner_};
+    return keys_.size();
+  }
 
   /// Forgets every cached record and zeroes the hit/miss counters; the
   /// table keeps its size (no reallocation).  Like construction, this is
   /// invisible to lookup results.
   void reset() noexcept {
+    const util::SerialSection owner{owner_};
     for (auto& key : keys_) key = kEmptyKey;
     hits_ = 0;
     misses_ = 0;
@@ -157,7 +176,8 @@ class LookupMemo {
     return static_cast<std::uint64_t>(ip.value()) + 1;
   }
 
-  [[nodiscard]] std::size_t slot_index(net::Ipv4Address ip) const noexcept {
+  [[nodiscard]] std::size_t slot_index(net::Ipv4Address ip) const noexcept
+      EYEBALL_REQUIRES(owner_) {
     // Mix the high bits down so IPs from one allocation block spread over
     // the table instead of fighting for one slot.
     std::uint32_t h = ip.value();
@@ -167,22 +187,27 @@ class LookupMemo {
     return h & mask_;
   }
 
+  /// The "owning shard" role: phantom, so holding it costs nothing — but
+  /// every guarded member below is unreachable without it.  `mutable`
+  /// because const readers (counters) claim it too.
+  mutable util::Serial owner_;
+
   const GeoDatabase* db_;
-  std::vector<std::uint64_t> keys_;
-  std::vector<std::optional<GeoRecord>> records_;
+  std::vector<std::uint64_t> keys_ EYEBALL_GUARDED_BY(owner_);
+  std::vector<std::optional<GeoRecord>> records_ EYEBALL_GUARDED_BY(owner_);
   /// Per-slot index into the in-flight batch's miss list, -1 outside a
   /// lookup_batch call.
-  std::vector<std::int32_t> pending_;
-  std::size_t mask_ = 0;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  std::vector<std::int32_t> pending_ EYEBALL_GUARDED_BY(owner_);
+  std::size_t mask_ EYEBALL_GUARDED_BY(owner_) = 0;
+  std::size_t hits_ EYEBALL_GUARDED_BY(owner_) = 0;
+  std::size_t misses_ EYEBALL_GUARDED_BY(owner_) = 0;
   // lookup_batch scratch, reused across batches (the memo is single-owner
   // by contract, so plain members are safe).
-  std::vector<net::Ipv4Address> miss_ips_;
-  std::vector<std::size_t> miss_slots_;
-  std::vector<std::size_t> miss_out_;
-  std::vector<std::optional<GeoRecord>> miss_records_;
-  std::vector<std::pair<std::size_t, std::size_t>> alias_out_;
+  std::vector<net::Ipv4Address> miss_ips_ EYEBALL_GUARDED_BY(owner_);
+  std::vector<std::size_t> miss_slots_ EYEBALL_GUARDED_BY(owner_);
+  std::vector<std::size_t> miss_out_ EYEBALL_GUARDED_BY(owner_);
+  std::vector<std::optional<GeoRecord>> miss_records_ EYEBALL_GUARDED_BY(owner_);
+  std::vector<std::pair<std::size_t, std::size_t>> alias_out_ EYEBALL_GUARDED_BY(owner_);
 };
 
 }  // namespace eyeball::geodb

@@ -1,8 +1,6 @@
 #include "geodb/synthetic_db.hpp"
 
 #include <cmath>
-#include <mutex>
-#include <shared_mutex>
 #include <stdexcept>
 
 #include "gazetteer/zip_lattice.hpp"
@@ -92,13 +90,13 @@ std::optional<GeoRecord> SyntheticGeoDatabase::lookup(net::Ipv4Address ip) const
   if (block_rng.bernoulli(model_.correlated_block_error)) {
     const std::uint32_t block = ip.value() >> 12;
     {
-      std::shared_lock lock{correlated_mutex_};
+      const util::SharedReaderLock lock{correlated_mutex_};
       if (const auto it = correlated_cache_.find(block); it != correlated_cache_.end()) {
         return it->second;
       }
     }
     GeoRecord record = correlated_record(block);
-    std::unique_lock lock{correlated_mutex_};
+    const util::SharedWriterLock lock{correlated_mutex_};
     return correlated_cache_.emplace(block, record).first->second;
   }
 

@@ -11,13 +11,14 @@
 #pragma once
 
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "geodb/geo_database.hpp"
 #include "topology/ground_truth.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace eyeball::geodb {
 
@@ -74,8 +75,9 @@ class SyntheticGeoDatabase final : public GeoDatabase {
   /// Guarded for the GeoDatabase concurrent-lookup contract: hits take a
   /// shared lock on a branch only ~0.6% of lookups reach, so the hot path
   /// stays effectively lock-free.
-  mutable std::shared_mutex correlated_mutex_;
-  mutable std::unordered_map<std::uint32_t, GeoRecord> correlated_cache_;
+  mutable util::SharedMutex correlated_mutex_;
+  mutable std::unordered_map<std::uint32_t, GeoRecord> correlated_cache_
+      EYEBALL_GUARDED_BY(correlated_mutex_);
 };
 
 }  // namespace eyeball::geodb

@@ -32,6 +32,15 @@ std::vector<double> make_kernel(double sigma_cells, double truncate_sigmas) {
 /// back-to-back in one arena and `row_kernels` maps a grid row to its
 /// (offset, tap-count) slice — no node-per-kernel allocations, no tree walk
 /// per row, and the parallel passes read one flat const structure.
+///
+/// Concurrency contract: build-then-freeze.  build_row_kernels() fills the
+/// arena on the calling thread; estimate() binds the result to a `const`
+/// local BEFORE any parallel_for, so worker lambdas can only ever see an
+/// immutable arena — the contract is enforced by the type system (no
+/// non-const access exists inside the parallel region), which is why this
+/// carries no capability annotation.  The mutable state of the passes
+/// lives in `scratch_storage` (estimate()'s intermediate buffer), which
+/// the workers share deliberately but write in disjoint row/column tiles.
 struct KernelArena {
   struct Slice {
     std::size_t offset = 0;

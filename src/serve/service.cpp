@@ -28,10 +28,12 @@ EyeballService::EyeballService(const core::EyeballPipeline& pipeline, ServiceCon
       builder_(pipeline.streaming_builder()) {}
 
 void EyeballService::ingest(std::span<const p2p::PeerSample> window) {
+  const util::SerialSection writer{writer_serial_};
   builder_.ingest(window);
 }
 
 std::shared_ptr<const ServingSnapshot> EyeballService::publish() {
+  const util::SerialSection writer{writer_serial_};
   // Touched set must be read BEFORE finalize(): finalize clears it.
   std::vector<net::Asn> changed = builder_.touched_asns();
   // The previous epoch stays pinned by this local shared_ptr, so handing
@@ -52,6 +54,7 @@ std::shared_ptr<const ServingSnapshot> EyeballService::publish() {
 
 util::Status EyeballService::restore(const std::string& dir,
                                      core::SnapshotRestoreInfo* info) {
+  const util::SerialSection writer{writer_serial_};
   if (util::Status status = builder_.restore_snapshot(dir, info); !status.ok()) {
     return status;
   }

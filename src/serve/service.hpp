@@ -39,7 +39,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -48,6 +47,8 @@
 #include "core/pipeline.hpp"
 #include "core/snapshot.hpp"
 #include "core/streaming_dataset.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "util/status.hpp"
 
 namespace eyeball::serve {
@@ -79,7 +80,7 @@ class SnapshotCell {
  public:
   /// Reader side: pins the epoch current at the moment of the call.
   [[nodiscard]] std::shared_ptr<const ServingSnapshot> load() const {
-    const std::lock_guard<std::mutex> guard{mutex_};
+    const util::MutexLock guard{mutex_};
     return snapshot_;
   }
 
@@ -88,14 +89,16 @@ class SnapshotCell {
   /// reader still pins it.
   void store(std::shared_ptr<const ServingSnapshot> next) {
     {
-      const std::lock_guard<std::mutex> guard{mutex_};
+      const util::MutexLock guard{mutex_};
       snapshot_.swap(next);
     }
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<const ServingSnapshot> snapshot_;
+  /// Guards only the pointer copy/swap; never held while an epoch is built
+  /// or destroyed.
+  mutable util::Mutex mutex_;
+  std::shared_ptr<const ServingSnapshot> snapshot_ EYEBALL_GUARDED_BY(mutex_);
 };
 
 }  // namespace detail
@@ -180,12 +183,14 @@ class EyeballService {
   /// Outcome of the most recent durability write; OK when snapshot_dir is
   /// empty or the last save succeeded.  Writer-thread only.
   [[nodiscard]] const util::Status& last_save_status() const noexcept {
+    const util::SerialSection writer{writer_serial_};
     return last_save_status_;
   }
 
   /// The owned builder, for writer-side introspection (stats, memo hit
   /// rates, windows_ingested).  Writer-thread only.
   [[nodiscard]] const core::StreamingDatasetBuilder& builder() const noexcept {
+    const util::SerialSection writer{writer_serial_};
     return builder_;
   }
 
@@ -218,14 +223,24 @@ class EyeballService {
 
  private:
   std::shared_ptr<const ServingSnapshot> publish_from(
-      std::vector<net::Asn> changed, std::span<const core::AsAnalysis> previous);
+      std::vector<net::Asn> changed, std::span<const core::AsAnalysis> previous)
+      EYEBALL_REQUIRES(writer_serial_);
+
+  /// The "single writer" role from the concurrency contract above, made
+  /// checkable: every writer-path entry point claims it with a
+  /// SerialSection (a no-op at runtime), and all writer-side state is
+  /// guarded by it — so a refactor that reaches builder state from the
+  /// reader path fails the EYEBALL_THREAD_SAFETY build.  `mutable` because
+  /// the role is also claimed by const writer-side accessors.
+  mutable util::Serial writer_serial_;
 
   const core::EyeballPipeline& pipeline_;
-  ServiceConfig config_;
-  core::StreamingDatasetBuilder builder_;
-  util::Status last_save_status_;
+  ServiceConfig config_ EYEBALL_GUARDED_BY(writer_serial_);
+  core::StreamingDatasetBuilder builder_ EYEBALL_GUARDED_BY(writer_serial_);
+  util::Status last_save_status_ EYEBALL_GUARDED_BY(writer_serial_);
   /// The published epoch; see SnapshotCell for why this is not
-  /// std::atomic<std::shared_ptr>.
+  /// std::atomic<std::shared_ptr>.  Internally synchronized — safe from
+  /// both paths, so deliberately NOT guarded by writer_serial_.
   detail::SnapshotCell current_;
 };
 

@@ -1,0 +1,86 @@
+// Clang thread-safety (capability) annotations — the compile-time half of
+// the repo's concurrency contract.
+//
+// Every locking and ownership rule in this tree ("single-writer ingest",
+// "immutable published epochs", "per-shard private arenas") used to live in
+// DESIGN.md prose and in TSan runs that exercise one schedule.  These macros
+// let the code state the same rules in a form Clang's -Wthread-safety
+// analysis can check on EVERY schedule, at compile time:
+//
+//   * a type that serializes access declares itself a capability
+//     (EYEBALL_CAPABILITY — see util::Mutex / util::Serial in mutex.hpp),
+//   * data names the capability that guards it (EYEBALL_GUARDED_BY),
+//   * functions name the capabilities they need (EYEBALL_REQUIRES), take
+//     (EYEBALL_ACQUIRE), give up (EYEBALL_RELEASE), or must not hold
+//     (EYEBALL_EXCLUDES).
+//
+// The `EYEBALL_THREAD_SAFETY=ON` CMake mode turns violations into build
+// errors (-Werror=thread-safety-analysis); tools/check.sh runs it as the
+// `thread-safety` stage whenever clang++ is installed.  Off Clang every
+// macro expands to nothing, so GCC builds are unaffected.
+//
+// See DESIGN.md §9 for the capability map: which capability guards what,
+// and which functions require or exclude it.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define EYEBALL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EYEBALL_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a capability (a lock, or a phantom role such as
+/// "the single writer").  `x` names it in diagnostics, e.g. "mutex".
+#define EYEBALL_CAPABILITY(x) EYEBALL_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability (util::MutexLock, util::SerialSection).
+#define EYEBALL_SCOPED_CAPABILITY EYEBALL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member: may only be touched while holding `x`.
+#define EYEBALL_GUARDED_BY(x) EYEBALL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointed-to data may only be touched while holding
+/// `x` (the pointer itself is unguarded).
+#define EYEBALL_PT_GUARDED_BY(x) EYEBALL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function: callable only while holding every listed capability
+/// exclusively (shared-ly for the _SHARED form).
+#define EYEBALL_REQUIRES(...) \
+  EYEBALL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EYEBALL_REQUIRES_SHARED(...) \
+  EYEBALL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function: acquires the listed capabilities (exclusively / shared-ly) and
+/// holds them on return.
+#define EYEBALL_ACQUIRE(...) \
+  EYEBALL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define EYEBALL_ACQUIRE_SHARED(...) \
+  EYEBALL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function: releases the listed capabilities (the bare form releases
+/// whatever mode was held — the right spelling for scoped-lock destructors).
+#define EYEBALL_RELEASE(...) \
+  EYEBALL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define EYEBALL_RELEASE_SHARED(...) \
+  EYEBALL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function: attempts acquisition; holds the capability iff it returned
+/// `result` (usually `true`).
+#define EYEBALL_TRY_ACQUIRE(...) \
+  EYEBALL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function: must be entered with the listed capabilities NOT held
+/// (deadlock guard for self-locking public entry points).
+#define EYEBALL_EXCLUDES(...) EYEBALL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function: returns a reference to the capability guarding its class, so
+/// callers can lock through an accessor.
+#define EYEBALL_RETURN_CAPABILITY(x) EYEBALL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's body is not analyzed.  Reserve it for code
+/// that is correct for reasons the analysis cannot see (e.g. the snapshot
+/// codec, whose caller owns the builder exclusively by documented contract)
+/// and say why at the use site.
+#define EYEBALL_NO_THREAD_SAFETY_ANALYSIS \
+  EYEBALL_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -43,7 +43,14 @@ enum class StatusCode : std::uint8_t {
 /// A (code, message) pair.  Default-constructed == OK; error states are made
 /// through the named factories so call sites read as the taxonomy:
 /// `return Status::corruption("section 3 CRC mismatch");`
-class Status {
+///
+/// The class itself is [[nodiscard]]: EVERY function returning a Status by
+/// value warns when the result is ignored, without each signature opting
+/// in.  A deliberate discard must say so — `static_cast<void>(...)` plus a
+/// comment on why the failure is tolerable (see save_snapshot's best-effort
+/// prune).  tools/eyeball_lint.py's `unchecked-status` rule backs this up
+/// for statement-position calls in configurations the compiler didn't see.
+class [[nodiscard]] Status {
  public:
   Status() = default;
 

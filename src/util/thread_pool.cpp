@@ -7,6 +7,8 @@
 namespace eyeball::util {
 namespace {
 
+// Worker-nesting guard.  thread_local, so each thread reads and writes only
+// its own copy — inherently race-free, no capability needed.
 thread_local bool t_on_worker = false;
 
 }  // namespace
@@ -23,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t worker_count) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock{mutex_};
+    const MutexLock lock{mutex_};
     stopping_ = true;
   }
   wake_.notify_all();
@@ -32,7 +34,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    const std::lock_guard lock{mutex_};
+    const MutexLock lock{mutex_};
     queue_.push_back(std::move(task));
   }
   wake_.notify_one();
@@ -43,8 +45,12 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock{mutex_};
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock{mutex_};
+      // Explicit predicate re-check loop instead of the predicate-lambda
+      // overload: the lambda would be analyzed as a separate function with
+      // no lock held, tripping -Wthread-safety on the guarded reads.  This
+      // spelling keeps every queue_/stopping_ access visibly under `lock`.
+      while (!stopping_ && queue_.empty()) wake_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -20,12 +20,13 @@
 #include <condition_variable>
 #include <cstddef>
 
+#include "util/annotations.hpp"
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -130,14 +131,21 @@ class ThreadPool {
   [[nodiscard]] static ThreadPool& shared();
 
  private:
-  void enqueue(std::function<void()> task);
-  void worker_loop();
+  void enqueue(std::function<void()> task) EYEBALL_EXCLUDES(mutex_);
+  void worker_loop() EYEBALL_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
+  /// Guards the task queue and the shutdown flag; workers and submitters
+  /// meet only here.  Never held while a task runs.
+  Mutex mutex_;
+  // condition_variable_any, not condition_variable: the wait takes our
+  // annotated MutexLock directly, so the queue accesses around it stay
+  // visible to the thread-safety analysis.
+  std::condition_variable_any wake_;
+  std::deque<std::function<void()>> queue_ EYEBALL_GUARDED_BY(mutex_);
+  // Written by the constructor only (before any concurrency exists), then
+  // read-only until the destructor joins — no capability needed.
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ EYEBALL_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace eyeball::util

@@ -1,37 +1,59 @@
 #!/usr/bin/env bash
 # tools/check.sh — the repo's static-analysis & sanitizer gate.
 #
-# Stages (fail-fast, per-stage wall time reported):
-#   tsan    EYEBALL_SANITIZE=thread build; pool/parallel/streaming
-#           determinism tests
-#   ubsan   EYEBALL_SANITIZE=undefined build; the FULL test suite, with
-#           EYEBALL_DCHECK contracts forced on and UB aborting the test
-#   snapshot-faults
-#           EYEBALL_SANITIZE=address;undefined build; the fault-injection
-#           differential harness + snapshot/file suites, so every injected
-#           short write / failed fsync / bit flip / truncation is also swept
-#           for memory errors in the failure paths it exercises
-#   tidy    clang-tidy (.clang-tidy) over src/ via compile_commands.json
-#           [skipped with a notice when clang-tidy is not installed]
-#   lint    tools/eyeball_lint.py self-test + repo scan, plus the
-#           check_bench_schema.py and bench_diff.py baseline tooling checks
-#   strict  EYEBALL_STRICT=ON (-Wconversion -Wdouble-promotion -Werror) build
-#   bench-smoke
-#           each bm_* binary runs one cheap benchmark (bit-rot guard for the
-#           bench sources; exit status only, no timing assertions)
-#   format  clang-format --dry-run --Werror via the format-check target
-#           [skipped with a notice when clang-format is not installed]
+# Stages run fail-fast in the order of the STAGES table below (the one
+# source of truth — `tools/check.sh --list` prints it, and the README's
+# stage table is generated from the same text).  Per-stage wall time is
+# reported at the end.
 #
-# Usage: tools/check.sh [--jobs N]
-# Build trees live in build-tsan/, build-ubsan/, build-strict/ next to the
-# default build/ tree and are reused across runs.
+# Usage: tools/check.sh [--jobs N] [--list]
+# Build trees live in build-tsan/, build-ubsan/, build-aubsan/,
+# build-analysis/, build-strict/ next to the default build/ tree and are
+# reused across runs.  Every configure exports compile_commands.json
+# (CMAKE_EXPORT_COMPILE_COMMANDS=ON); the tidy and thread-safety stages
+# share the build-analysis/ tree so clang-tidy and the Clang thread-safety
+# build read one compile-commands DB.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
-if [[ "${1:-}" == "--jobs" ]]; then
-  JOBS="$2"
-fi
+
+# name|what it does — the canonical stage list, in execution order.
+STAGES=(
+  "tsan|EYEBALL_SANITIZE=thread build; pool/parallel/streaming/serving determinism tests"
+  "ubsan|EYEBALL_SANITIZE=undefined build; the FULL test suite with EYEBALL_DCHECK forced on and UB aborting"
+  "snapshot-faults|EYEBALL_SANITIZE=address;undefined build; fault-injection differential harness + snapshot/file suites"
+  "tidy|clang-tidy (.clang-tidy) over src/ via build-analysis/compile_commands.json [skipped when clang-tidy is absent]"
+  "thread-safety|EYEBALL_THREAD_SAFETY=ON Clang build: capability analysis as errors + compile-fail probes [skipped when clang++ is absent]"
+  "lint|tools/eyeball_lint.py self-test + repo scan, BENCH_*.json schema check, bench_diff self-test"
+  "strict|EYEBALL_STRICT=ON (-Wconversion -Wdouble-promotion -Werror) build"
+  "bench-smoke|each bm_* binary runs one cheap benchmark (bit-rot guard; exit status only, no timing assertions)"
+  "format|clang-format --dry-run --Werror via the format-check target [skipped when clang-format is absent]"
+)
+
+list_stages() {
+  local entry
+  for entry in "${STAGES[@]}"; do
+    printf '%-16s %s\n' "${entry%%|*}" "${entry#*|}"
+  done
+}
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs)
+      JOBS="$2"
+      shift 2
+      ;;
+    --list)
+      list_stages
+      exit 0
+      ;;
+    *)
+      echo "check.sh: unknown argument '$1' (usage: tools/check.sh [--jobs N] [--list])" >&2
+      exit 2
+      ;;
+  esac
+done
 
 declare -a STAGE_NAMES=()
 declare -a STAGE_TIMES=()
@@ -73,14 +95,15 @@ report() {
   echo "=== check.sh stage summary ==="
   local i
   for i in "${!STAGE_NAMES[@]}"; do
-    printf '  %-8s %5ss  %s\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}" \
+    printf '  %-14s %5ss  %s\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}" \
       "${STAGE_RESULTS[$i]}"
   done
 }
 
 # --- tsan: the parallel-path determinism gate ------------------------------
 tsan_stage() {
-  cmake -B "${ROOT}/build-tsan" -S "${ROOT}" -DEYEBALL_SANITIZE=thread
+  cmake -B "${ROOT}/build-tsan" -S "${ROOT}" -DEYEBALL_SANITIZE=thread \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
   # NB: 'snapshot_test' deliberately does not match snapshot_fault_test —
   # the fault harness runs under ASan in the snapshot-faults stage instead
@@ -92,7 +115,8 @@ tsan_stage() {
 
 # --- ubsan: full suite with UB trapping and contracts on -------------------
 ubsan_stage() {
-  cmake -B "${ROOT}/build-ubsan" -S "${ROOT}" -DEYEBALL_SANITIZE=undefined
+  cmake -B "${ROOT}/build-ubsan" -S "${ROOT}" -DEYEBALL_SANITIZE=undefined \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build "${ROOT}/build-ubsan" -j "${JOBS}"
   ctest --test-dir "${ROOT}/build-ubsan" --output-on-failure -j "${JOBS}"
 }
@@ -100,20 +124,45 @@ ubsan_stage() {
 # --- snapshot-faults: the crash-safety harness under ASan+UBSan ------------
 snapshot_faults_stage() {
   cmake -B "${ROOT}/build-aubsan" -S "${ROOT}" \
-    -DEYEBALL_SANITIZE="address;undefined"
+    -DEYEBALL_SANITIZE="address;undefined" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build "${ROOT}/build-aubsan" -j "${JOBS}" \
     -t snapshot_fault_test snapshot_test file_test
   ctest --test-dir "${ROOT}/build-aubsan" --output-on-failure -j "${JOBS}" \
     -R 'snapshot|file_test|FaultInjection|AtomicWriteFile'
 }
 
+# --- build-analysis/: one Clang tree for tidy + thread-safety --------------
+# Configured with clang++ when available so its compile_commands.json
+# carries Clang-compatible flags for clang-tidy AND the tree doubles as the
+# thread-safety build.  Falls back to the default compiler (tidy still
+# works off gcc-flagged commands in practice) when clang++ is missing.
+configure_analysis_tree() {
+  local -a compiler_args=()
+  if command -v clang++ > /dev/null 2>&1; then
+    compiler_args+=("-DCMAKE_CXX_COMPILER=clang++" "-DEYEBALL_THREAD_SAFETY=ON")
+  fi
+  # ${arr[@]+...} guards the empty-array expansion against `set -u` on
+  # older bash.
+  cmake -B "${ROOT}/build-analysis" -S "${ROOT}" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON ${compiler_args[@]+"${compiler_args[@]}"}
+}
+
 # --- tidy: .clang-tidy over src/ -------------------------------------------
 tidy_stage() {
-  cmake -B "${ROOT}/build-tidy" -S "${ROOT}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  configure_analysis_tree
   local files
   files=$(find "${ROOT}/src" -name '*.cpp' | sort)
   # shellcheck disable=SC2086
-  clang-tidy -p "${ROOT}/build-tidy" --quiet ${files}
+  clang-tidy -p "${ROOT}/build-analysis" --quiet ${files}
+}
+
+# --- thread-safety: Clang capability analysis as errors --------------------
+# Configure already ran the annotation layer's compile-fail probes (the
+# locked probe must compile, the unlocked one must not); the build then
+# sweeps the whole tree under -Werror=thread-safety-analysis.
+thread_safety_stage() {
+  configure_analysis_tree
+  cmake --build "${ROOT}/build-analysis" -j "${JOBS}"
 }
 
 # --- lint: the repo-specific determinism rules -----------------------------
@@ -130,7 +179,7 @@ lint_stage() {
 # a throwaway output file) with minimal iteration time, and only the exit
 # status matters.
 bench_smoke_stage() {
-  cmake -B "${ROOT}/build" -S "${ROOT}"
+  cmake -B "${ROOT}/build" -S "${ROOT}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build "${ROOT}/build" -j "${JOBS}" \
     -t bm_dataset bm_kde bm_pipeline bm_prefix_trie bm_serving
   "${ROOT}/build/bench/bm_kde" \
@@ -151,7 +200,8 @@ bench_smoke_stage() {
 
 # --- strict: narrowing/promotion warnings as errors ------------------------
 strict_stage() {
-  cmake -B "${ROOT}/build-strict" -S "${ROOT}" -DEYEBALL_STRICT=ON
+  cmake -B "${ROOT}/build-strict" -S "${ROOT}" -DEYEBALL_STRICT=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build "${ROOT}/build-strict" -j "${JOBS}"
 }
 
@@ -167,6 +217,11 @@ if command -v clang-tidy > /dev/null 2>&1; then
   run_stage tidy tidy_stage
 else
   skip_stage tidy "clang-tidy not installed"
+fi
+if command -v clang++ > /dev/null 2>&1; then
+  run_stage thread-safety thread_safety_stage
+else
+  skip_stage thread-safety "clang++ not installed (-Wthread-safety is Clang-only)"
 fi
 if command -v python3 > /dev/null 2>&1; then
   run_stage lint lint_stage

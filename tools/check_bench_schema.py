@@ -16,9 +16,14 @@ Two schemas are in play:
 Run from tools/check.sh's lint stage so a regenerated baseline that is
 truncated, hand-mangled, or written by a crashed bench run fails fast.
 
+Every BENCH_*.json at the repo root is checked: the two named above get
+their full schema, and any future baseline gets the shared shell check —
+which includes the context.eyeball_build_type == "release" stamp, so a
+baseline recorded from a debug build can never land quietly.
+
 Exit status: 0 when every present baseline validates, 1 otherwise.
-BENCH_dataset.json is required; BENCH_serving.json is required too once it
-exists in git (both are committed artifacts of this repo).
+BENCH_dataset.json and BENCH_serving.json are required (both are committed
+artifacts of this repo).
 """
 
 from __future__ import annotations
@@ -114,16 +119,24 @@ def main() -> int:
     args = parser.parse_args()
     root = pathlib.Path(args.root)
 
+    checkers = {
+        "BENCH_dataset.json": check_dataset,
+        "BENCH_serving.json": check_serving,
+    }
     errors: list[str] = []
-    for name, checker in (
-        ("BENCH_dataset.json", check_dataset),
-        ("BENCH_serving.json", check_serving),
-    ):
-        path = root / name
-        if not path.exists():
+    for name, checker in checkers.items():
+        if not (root / name).exists():
             errors.append(f"{name}: committed baseline is missing")
-            continue
-        errors.extend(checker(path))
+    # Glob rather than enumerate: a freshly added baseline gets at least the
+    # shared shell check (incl. the release-build stamp) without anyone
+    # remembering to register it here.
+    for path in sorted(root.glob("BENCH_*.json")):
+        checker = checkers.get(path.name)
+        if checker is not None:
+            errors.extend(checker(path))
+        else:
+            _, shell_errors = check_common(path)
+            errors.extend(shell_errors)
 
     for error in errors:
         print(f"check_bench_schema: {error}", file=sys.stderr)

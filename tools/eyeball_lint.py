@@ -19,15 +19,38 @@ historically been broken in systems like this:
                            value in a file that uses the thread pool:
                            reassociating float sums changes results; parallel
                            code must reduce through an explicit ordered fold.
+                           Bodies of convolve_*_fixed functions are exempt —
+                           their tap loops accumulate in a fixed compile-time
+                           order by construction (see src/kde/estimator.cpp).
   naked-new                Raw new/delete expressions: ownership lives in
                            containers and smart pointers (`= delete` for
                            deleted members is, of course, fine).
-  ref-capture-parallel     A named by-reference capture ([&x]) on a lambda
-                           passed to parallel_for/parallel_map_reduce: one
-                           variable mutated from every chunk is a data race
-                           or an order dependence.  The blessed idioms are
+  mutable-shared-capture   A named by-reference capture ([&x]) of *mutable*
+                           state on a lambda handed to submit/parallel_for/
+                           parallel_map_reduce: one variable written from
+                           every task is a data race or an order dependence.
+                           Captures of const-declared state are fine, as is
                            [&] with writes to disjoint indices, or private
-                           per-shard state merged in order.
+                           per-shard state merged in order.  (Supersedes the
+                           old ref-capture-parallel rule, which could not
+                           tell const from mutable and ignored submit().)
+  unchecked-status         A call to a util::Status-returning function in
+                           statement position, i.e. with the result
+                           discarded.  `class [[nodiscard]] Status` makes the
+                           compiler catch this in compiled code; the lint
+                           extends the contract to code the compiler never
+                           sees (ifdef'd paths, fixtures) and to refactors
+                           that launder the result through auto&&.  Function
+                           names are harvested from `Status name(...)`
+                           declarations across the scan set.  A deliberate
+                           discard is spelled static_cast<void>(...) plus a
+                           reasoned allow.
+  unannotated-mutex        A raw std::mutex / std::shared_mutex member in
+                           src/ with no EYEBALL_GUARDED_BY(member) user and
+                           no EYEBALL_CAPABILITY wrapper above it: a lock
+                           that guards nothing the analysis can see. Use
+                           util::Mutex / util::SharedMutex (src/util/
+                           mutex.hpp) and annotate what it protects.
   unchecked-io             A raw fwrite/fread/rename/fsync call in statement
                            position (return value discarded) outside the
                            checked I/O layer (src/util/file.*): a short write
@@ -60,11 +83,18 @@ RULES = {
     "nondet-seed":
         "non-deterministic randomness source outside src/util/rng",
     "float-accumulate":
-        "std::accumulate over floats in parallel code (use an ordered fold)",
+        "std::accumulate over floats in parallel code (use an ordered fold; "
+        "convolve_*_fixed bodies are exempt)",
     "naked-new":
         "raw new/delete expression (use containers or smart pointers)",
-    "ref-capture-parallel":
-        "named by-reference capture in a parallel_for/parallel_map_reduce body",
+    "mutable-shared-capture":
+        "named by-reference capture of mutable state in a lambda handed to "
+        "submit/parallel_for/parallel_map_reduce",
+    "unchecked-status":
+        "util::Status-returning call in statement position (result discarded)",
+    "unannotated-mutex":
+        "raw std::mutex member with no EYEBALL_GUARDED_BY users or capability "
+        "wrapper (use util::Mutex and annotate what it guards)",
     "unchecked-io":
         "raw fwrite/fread/rename/fsync with its return value discarded "
         "(route I/O through util/file's Status-returning layer)",
@@ -165,6 +195,23 @@ def matching_brace_span(text: str, open_index: int) -> int:
     return len(text)
 
 
+def back_over_group(text: str, close_index: int) -> int:
+    """Index of the paren/bracket/brace that opens the one closing at
+    close_index."""
+    pairs = {")": "(", "]": "[", "}": "{"}
+    open_c = pairs[text[close_index]]
+    close_c = text[close_index]
+    depth = 0
+    for i in range(close_index, -1, -1):
+        if text[i] == close_c:
+            depth += 1
+        elif text[i] == open_c:
+            depth -= 1
+            if depth == 0:
+                return i
+    return 0
+
+
 def line_of(text: str, index: int) -> int:
     return text.count("\n", 0, index) + 1
 
@@ -190,7 +237,22 @@ FLOATISH_RE = re.compile(r"\d\.\d*|\.\d|\d\.?\d*f\b|\b(?:double|float)\b")
 NEW_RE = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:])")
 DELETE_RE = re.compile(r"\bdelete\b\s*(?:\[\s*\])?\s*[A-Za-z_(*&]")
 PARALLEL_CALL_RE = re.compile(r"\bparallel_(?:for|map_reduce)\s*\(")
+# The pool's full task-spawning surface: anything here runs the lambda on
+# another thread (submit) or on many (parallel_*).
+TASK_CALL_RE = re.compile(r"\b(?:submit|parallel_for|parallel_map_reduce)\s*\(")
 NAMED_REF_CAPTURE_RE = re.compile(r"\[((?:[^\[\]]*,)?\s*&\s*\w+[^\]]*)\]\s*\(")
+# `Status name(` — declaration or definition of a Status-returning function.
+# Matches plain, util::-qualified, [[nodiscard]], virtual, static forms (the
+# qualifier/attribute sits left of the \b).  "status" itself is denied so a
+# variable named like the type can never poison the harvest.
+STATUS_FN_RE = re.compile(r"\bStatus\s+(\w+)\s*\(")
+STATUS_NAME_DENYLIST = {"status"}
+# std::filesystem's API shares names with the checked layer it underlies
+# (create_directories, rename, ...) but reports through bool/error_code —
+# calls reached through these namespace qualifiers are not Status discards.
+STD_FS_QUALIFIER_RE = re.compile(r"\b(?:filesystem|stdfs)\s*::\s*$")
+CONVOLVE_FIXED_RE = re.compile(r"\bconvolve_\w*_fixed\s*\(")
+RAW_MUTEX_RE = re.compile(r"\bstd\s*::\s*(?:shared_)?mutex\s+(\w+)\s*[;={]")
 NONDET_PATTERNS = (
     (re.compile(r"\bstd\s*::\s*rand\b|\bsrand\s*\("), "std::rand/srand"),
     (re.compile(r"\brandom_device\b"), "std::random_device"),
@@ -211,7 +273,9 @@ def io_call_in_statement_position(stripped: str, start: int) -> bool:
     the call opens a statement, so nothing consumes the result.  Anything
     else — `=`, `(`, `!`, `,`, a cast, `return` — means the result flows
     somewhere.  `rename_file(` and `fs.rename(` never reach here: the word
-    boundary and the `.`/`_` context rule them out.
+    boundary and the `.`/`_` context rule them out.  Deliberately does NOT
+    follow member chains the way status_result_discarded does: `fs.rename(`
+    is a *wrapper* call that must stay out of this libc-level rule.
     """
     i = start
     while True:
@@ -233,8 +297,75 @@ def io_call_in_statement_position(stripped: str, start: int) -> bool:
     return k < 0 or stripped[k] in ";{}"
 
 
+def status_result_discarded(stripped: str, name_start: int) -> bool:
+    """True when the Status-returning call whose name starts at name_start
+    opens a statement, i.e. nothing consumes the returned Status.
+
+    Unlike the libc walker above, this one follows postfix chains leftward —
+    `builder.save_snapshot(dir);` and `fs().remove_file(p);` are discards even
+    though the name is not the first token of the statement.  Each loop turn
+    consumes one connector (`.`, `->`, `::`) plus the chain element before it
+    (trailing call/index groups, then an identifier).  The walk stops at:
+
+      ; { }  or file start  ->  statement position, result discarded;
+      anything else (=, (, !, &&, return's final 'n', a type name in a
+      declaration, a cast's closing paren)  ->  the result flows somewhere.
+    """
+    i = name_start
+    while True:
+        j = i
+        while j > 0 and stripped[j - 1] in " \t\n":
+            j -= 1
+        if j == 0:
+            return True
+        if stripped[j - 1] in ";{}":
+            return True
+        if stripped[j - 2:j] in ("::", "->"):
+            i = j - 2
+        elif stripped[j - 1] == ".":
+            i = j - 1
+        else:
+            return False
+        # Consume the chain element left of the connector: first any trailing
+        # (...) / [...] / {...} groups (the last for brace-init temporaries,
+        # `Status{}.with_context(...)`), then the identifier that owns them.
+        j = i
+        while True:
+            while j > 0 and stripped[j - 1] in " \t\n":
+                j -= 1
+            if j > 0 and stripped[j - 1] in ")]}":
+                j = back_over_group(stripped, j - 1)
+            else:
+                break
+        while j > 0 and (stripped[j - 1].isalnum() or stripped[j - 1] == "_"):
+            j -= 1
+        i = j
+
+
 def unordered_names(stripped: str) -> set[str]:
     return set(UNORDERED_DECL_RE.findall(stripped))
+
+
+def harvest_status_names(stripped: str) -> set[str]:
+    """Function names declared/defined as returning (util::)Status."""
+    return {name for name in STATUS_FN_RE.findall(stripped)
+            if name.lower() not in STATUS_NAME_DENYLIST}
+
+
+def function_body_span(stripped: str, open_paren: int) -> tuple[int, int] | None:
+    """If the argument list opening at open_paren belongs to a function
+    *definition*, the span of its brace-enclosed body; None for plain calls
+    and declarations.  Tolerates const/noexcept/trailing-return between the
+    `)` and the `{`."""
+    after_args = matching_brace_span(stripped, open_paren)
+    tail = stripped[after_args:after_args + 120]
+    tail_head = tail.lstrip()
+    body_match = re.match(
+        r"(?:const\b\s*)?(?:noexcept\b\s*)?(?:->\s*[\w:<>&,\s]+?)?\{", tail_head)
+    if not body_match:
+        return None
+    brace_at = after_args + (len(tail) - len(tail_head)) + body_match.end() - 1
+    return brace_at, matching_brace_span(stripped, brace_at)
 
 
 def merge_scope_spans(stripped: str) -> list[tuple[int, int]]:
@@ -242,24 +373,38 @@ def merge_scope_spans(stripped: str) -> list[tuple[int, int]]:
     call arguments (where ordered reduction is the whole point)."""
     spans = []
     for m in MERGE_FN_RE.finditer(stripped):
-        # Walk from the '(' to its close, then decide: definition if the next
-        # non-space token opens a body ('{' possibly after const/noexcept/->).
-        open_paren = m.end() - 1
-        after_args = matching_brace_span(stripped, open_paren)
-        tail = stripped[after_args:after_args + 120]
-        tail_head = tail.lstrip()
-        body_match = re.match(
-            r"(?:const\b\s*)?(?:noexcept\b\s*)?(?:->\s*[\w:<>&,\s]+?)?\{", tail_head)
-        if body_match:
-            brace_at = after_args + (len(tail) - len(tail_head)) + body_match.end() - 1
-            spans.append((brace_at, matching_brace_span(stripped, brace_at)))
+        span = function_body_span(stripped, m.end() - 1)
+        if span:
+            spans.append(span)
     for m in re.finditer(r"\bparallel_map_reduce\s*\(", stripped):
         open_paren = m.end() - 1
         spans.append((open_paren, matching_brace_span(stripped, open_paren)))
     return spans
 
 
-def scan_text(rel_path: str, raw: str) -> list[Finding]:
+def fixed_order_spans(stripped: str) -> list[tuple[int, int]]:
+    """Bodies of convolve_*_fixed definitions: their accumulation order is
+    pinned by a compile-time tap window, so float-accumulate does not apply."""
+    spans = []
+    for m in CONVOLVE_FIXED_RE.finditer(stripped):
+        span = function_body_span(stripped, m.end() - 1)
+        if span:
+            spans.append(span)
+    return spans
+
+
+def const_declared(stripped: str, name: str) -> bool:
+    """True if `name` appears as a const-qualified declaration/parameter
+    somewhere in the file — `const T& name`, `const T name`.  The character
+    class forbids crossing `;`/`=`/braces, so a const elsewhere in the file
+    cannot launder an unrelated mutable variable."""
+    return re.search(
+        rf"\bconst\b[^;{{}}=]{{0,200}}?[&\s]\s*{re.escape(name)}\b",
+        stripped) is not None
+
+
+def scan_text(rel_path: str, raw: str,
+              status_names: set[str] | None = None) -> list[Finding]:
     findings: list[Finding] = []
     stripped = strip_comments_and_strings(raw)
     add = lambda line, rule, msg: findings.append(Finding(rel_path, line, rule, msg))
@@ -297,7 +442,10 @@ def scan_text(rel_path: str, raw: str) -> list[Finding]:
 
     # --- float-accumulate --------------------------------------------------
     if PARALLEL_CALL_RE.search(stripped) or "thread_pool.hpp" in raw:
+        exempt_spans = fixed_order_spans(stripped)
         for m in ACCUMULATE_RE.finditer(stripped):
+            if any(lo <= m.start() < hi for lo, hi in exempt_spans):
+                continue
             args = stripped[m.end() - 1: matching_brace_span(stripped, m.end() - 1)]
             if FLOATISH_RE.search(args):
                 add(line_of(stripped, m.start()), "float-accumulate",
@@ -312,19 +460,58 @@ def scan_text(rel_path: str, raw: str) -> list[Finding]:
         add(line_of(stripped, m.start()), "naked-new",
             "raw delete expression — ownership belongs in containers/smart pointers")
 
-    # --- ref-capture-parallel ---------------------------------------------
-    for m in PARALLEL_CALL_RE.finditer(stripped):
-        span = stripped[m.end() - 1: matching_brace_span(stripped, m.end() - 1)]
+    # --- mutable-shared-capture -------------------------------------------
+    for m in TASK_CALL_RE.finditer(stripped):
+        span_base = m.end() - 1
+        span = stripped[span_base: matching_brace_span(stripped, span_base)]
         for cap in NAMED_REF_CAPTURE_RE.finditer(span):
-            captures = cap.group(1)
-            named_refs = re.findall(r"&\s*(\w+)", captures)
-            if named_refs:
-                add(line_of(stripped, m.end() - 1 + cap.start()),
-                    "ref-capture-parallel",
-                    f"lambda passed to a parallel loop captures {named_refs} by "
-                    "reference — shared mutation across chunks breaks the "
-                    "determinism contract (use [&] with disjoint writes, or "
-                    "per-shard state)")
+            named_refs = re.findall(r"&\s*(\w+)", cap.group(1))
+            mutable_refs = [n for n in named_refs
+                            if not const_declared(stripped, n)]
+            if mutable_refs:
+                add(line_of(stripped, span_base + cap.start()),
+                    "mutable-shared-capture",
+                    f"task lambda captures mutable {mutable_refs} by "
+                    "reference — shared mutation across tasks breaks the "
+                    "determinism contract (const state, [&] with disjoint "
+                    "writes, or per-shard state merged in order)")
+
+    # --- unchecked-status --------------------------------------------------
+    # In compiled code `class [[nodiscard]] Status` already makes this a
+    # compiler warning; the lint re-checks it name-wise so ifdef'd-out paths
+    # and never-compiled fixtures honor the same contract.
+    if status_names is None:
+        status_names = harvest_status_names(stripped)
+    if status_names:
+        call_re = re.compile(
+            r"\b(" + "|".join(sorted(re.escape(n) for n in status_names)) + r")\s*\(")
+        for m in call_re.finditer(stripped):
+            if STD_FS_QUALIFIER_RE.search(stripped, 0, m.start(1)):
+                continue
+            if status_result_discarded(stripped, m.start(1)):
+                add(line_of(stripped, m.start(1)), "unchecked-status",
+                    f"result of Status-returning '{m.group(1)}' discarded — "
+                    "check it, propagate it, or spell the discard "
+                    "static_cast<void>(...) with a reasoned allow")
+
+    # --- unannotated-mutex -------------------------------------------------
+    # src/-only: production locks must be visible to the Clang thread-safety
+    # analysis.  A raw std::mutex member passes only when something in the
+    # file is EYEBALL_GUARDED_BY it, or when it sits inside a capability
+    # wrapper (util::Mutex itself — the EYEBALL_CAPABILITY text precedes the
+    # member in that case).
+    if rel_path.startswith("src/"):
+        for m in RAW_MUTEX_RE.finditer(stripped):
+            name = m.group(1)
+            if re.search(rf"\bEYEBALL_GUARDED_BY\s*\(\s*{re.escape(name)}\s*\)",
+                         stripped):
+                continue
+            if "EYEBALL_CAPABILITY" in stripped[:m.start()]:
+                continue
+            add(line_of(stripped, m.start()), "unannotated-mutex",
+                f"raw mutex member '{name}' guards nothing the thread-safety "
+                "analysis can see — use util::Mutex/util::SharedMutex and "
+                "EYEBALL_GUARDED_BY the state it protects")
 
     # --- unchecked-io ------------------------------------------------------
     if not rel_path.endswith(IO_EXEMPT):
@@ -386,21 +573,42 @@ def iter_source_files(root: Path):
 def run_scan(root: Path, paths: list[Path]) -> list[Finding]:
     findings = []
     targets = paths if paths else list(iter_source_files(root))
+    # unchecked-status needs the cross-file picture: a Status API declared in
+    # util/file.hpp must be flagged when discarded in core/snapshot.cpp.  One
+    # harvest pass over the whole scan set (plus any explicit targets) feeds
+    # every file's scan.
+    status_names: set[str] = set()
+    for path in {*targets, *iter_source_files(root)}:
+        status_names |= harvest_status_names(
+            strip_comments_and_strings(path.read_text(encoding="utf-8")))
     for path in targets:
         rel = str(path.relative_to(root)) if path.is_absolute() else str(path)
-        findings.extend(scan_text(rel, path.read_text(encoding="utf-8")))
+        findings.extend(scan_text(rel, path.read_text(encoding="utf-8"),
+                                  status_names))
     return findings
 
 
 # --------------------------------------------------------------------------
 # Self-test: every rule must fire on its fixture and stay quiet on the clean
-# ones.  Fixtures live in tools/lint_fixtures/ and are never compiled.
+# ones.  Fixtures live in tools/lint_fixtures/ and are never compiled.  Each
+# fixture is scanned as if it lived at src/<name> so src/-scoped rules
+# (unannotated-mutex) apply; status names are harvested per-fixture.
 FIXTURE_EXPECTATIONS = {
     "unordered_iter_in_merge.cpp": ["unordered-iter-in-merge"],
     "nondet_seed.cpp": ["nondet-seed"],
     "float_accumulate.cpp": ["float-accumulate"],
+    "float_accumulate_convolve_fixed.cpp": [],
     "naked_new.cpp": ["naked-new"],
-    "ref_capture_parallel.cpp": ["ref-capture-parallel"],
+    "mutable_shared_capture.cpp": ["mutable-shared-capture"],
+    "mutable_shared_capture_const.cpp": [],
+    "mutable_shared_capture_allow.cpp": [],
+    "mutable_shared_capture_allow_stale.cpp": ["unused-allow"],
+    "unchecked_status.cpp": ["unchecked-status"],
+    "unchecked_status_allow.cpp": [],
+    "unchecked_status_allow_stale.cpp": ["unused-allow"],
+    "unannotated_mutex.cpp": ["unannotated-mutex"],
+    "unannotated_mutex_allow.cpp": [],
+    "unannotated_mutex_allow_stale.cpp": ["unused-allow"],
     "unchecked_io.cpp": ["unchecked-io"],
     "allow_ok.cpp": [],
     "allow_missing_reason.cpp": ["allow-without-reason", "naked-new"],
@@ -419,7 +627,7 @@ def run_self_test(root: Path) -> int:
             print(f"SELF-TEST FAIL {name}: fixture missing")
             failures += 1
             continue
-        found = scan_text(name, path.read_text(encoding="utf-8"))
+        found = scan_text("src/" + name, path.read_text(encoding="utf-8"))
         found_rules = sorted({f.rule for f in found})
         if expected_rules and found_rules != sorted(set(expected_rules)):
             print(f"SELF-TEST FAIL {name}: expected {sorted(set(expected_rules))}, "

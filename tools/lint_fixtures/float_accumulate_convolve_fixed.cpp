@@ -1,0 +1,16 @@
+// Lint fixture — must be clean: std::accumulate over floats inside a
+// convolve_*_fixed body is the order-pinned tap loop (compile-time trip
+// count, ascending tap order), not a parallel reduction — even though the
+// translation unit is parallel.  The same call OUTSIDE such a body is
+// covered by the float_accumulate.cpp fixture.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <cstddef>
+#include <numeric>
+
+void parallel_for(std::size_t, std::size_t, int);
+
+double convolve_taps_fixed(const double* taps, std::size_t tap_count) {
+  return std::accumulate(taps, taps + tap_count, 0.0);
+}
+
+void mark_parallel() { parallel_for(0, 8, 0); }

@@ -1,0 +1,25 @@
+// Lint fixture — must trigger: mutable-shared-capture (twice: parallel_for
+// and submit).  `values` is const-declared, so only the mutable captures
+// are reported.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+  template <typename F>
+  void submit(F&&);
+  template <typename F>
+  void parallel_for(std::size_t, std::size_t, F&&, std::size_t = 0);
+};
+
+double race_prone_total(Pool& pool, const std::vector<double>& values) {
+  double total = 0.0;
+  // `total` is written from every chunk: a data race, and even with atomics
+  // the accumulation order would be nondeterministic.
+  pool.parallel_for(0, values.size(), [&total, &values](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) total += values[i];
+  });
+  std::size_t submitted = 0;
+  pool.submit([&submitted] { ++submitted; });
+  return total + static_cast<double>(submitted);
+}

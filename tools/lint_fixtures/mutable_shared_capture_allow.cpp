@@ -1,0 +1,16 @@
+// Lint fixture — must be clean: a reasoned suppression of
+// mutable-shared-capture on the line above the capture.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <cstddef>
+
+struct Pool {
+  template <typename F>
+  void parallel_for(std::size_t, std::size_t, F&&, std::size_t = 0);
+};
+
+void counted(Pool& pool) {
+  unsigned rounds = 0;
+  // eyeball-lint: allow(mutable-shared-capture): harness pins the pool to one worker thread
+  pool.parallel_for(0, 4, [&rounds](std::size_t, std::size_t) { ++rounds; });
+  (void)rounds;
+}

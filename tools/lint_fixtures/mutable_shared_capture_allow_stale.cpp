@@ -1,0 +1,15 @@
+// Lint fixture — must trigger: unused-allow.  The racy capture this
+// annotation once suppressed was rewritten to a capture-free lambda; the
+// stale allow must surface instead of rotting silently.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <cstddef>
+
+struct Pool {
+  template <typename F>
+  void parallel_for(std::size_t, std::size_t, F&&, std::size_t = 0);
+};
+
+void fixed(Pool& pool) {
+  // eyeball-lint: allow(mutable-shared-capture): rewritten to per-shard state long ago
+  pool.parallel_for(0, 4, [](std::size_t, std::size_t) {});
+}

@@ -1,0 +1,23 @@
+// Lint fixture — must be clean: the blessed sharing idioms.  Const state
+// may be captured by reference from any number of tasks, and [&] default
+// captures with disjoint-index writes are outside the rule's scope (the
+// rule only tracks *named* mutable by-reference captures).
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+  template <typename F>
+  void submit(F&&);
+  template <typename F>
+  void parallel_for(std::size_t, std::size_t, F&&, std::size_t = 0);
+};
+
+void blessed(Pool& pool, const std::vector<double>& weights,
+             std::vector<double>& out) {
+  pool.parallel_for(0, weights.size(), [&weights](std::size_t lo, std::size_t hi) {
+    (void)lo;
+    (void)hi;
+  });
+  pool.submit([&] { out[0] = weights[0]; });
+}

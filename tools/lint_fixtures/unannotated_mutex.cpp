@@ -1,0 +1,15 @@
+// Lint fixture — must trigger: unannotated-mutex.  A raw std::mutex member
+// with no EYEBALL_GUARDED_BY users: the lock exists but the thread-safety
+// analysis cannot see what it protects, so nothing stops an unlocked access
+// to `value_` from compiling.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <mutex>
+
+class Cache {
+ public:
+  int get();
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};

@@ -1,0 +1,10 @@
+// Lint fixture — must be clean: a reasoned suppression of unannotated-mutex
+// directly above the member.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <mutex>
+
+class LegacyBridge {
+ private:
+  // eyeball-lint: allow(unannotated-mutex): handed by address to a C callback API that predates the wrappers
+  std::mutex mutex_;
+};

@@ -1,0 +1,14 @@
+// Lint fixture — must trigger: unused-allow.  The mutex gained a
+// EYEBALL_GUARDED_BY user (which satisfies the rule), so the old allow now
+// suppresses nothing and must surface.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <mutex>
+
+#define EYEBALL_GUARDED_BY(x)
+
+class Annotated {
+ private:
+  // eyeball-lint: allow(unannotated-mutex): predates the annotation below
+  std::mutex mutex_;
+  int value_ EYEBALL_GUARDED_BY(mutex_) = 0;
+};

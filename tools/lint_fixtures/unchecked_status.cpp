@@ -1,0 +1,40 @@
+// Lint fixture — must trigger: unchecked-status (three discards), and stay
+// quiet on every checked idiom below.  The harvest is name-based: `Status
+// name(` declarations in this file make save_snapshot/append/close
+// Status-returning names.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+
+namespace filesystem {
+bool create_directories(const char* path);
+}
+
+struct Status {
+  bool ok() const;
+  Status with_context(const char* what) const;
+};
+
+Status save_snapshot(const char* dir);
+Status create_directories(const char* dir);
+
+struct Journal {
+  Status append(int record);
+  Status close();
+};
+
+void flagged(Journal& j) {
+  save_snapshot("out");  // BAD: free call, result dropped on the floor
+  j.append(7);           // BAD: member-chain call in statement position
+  j.close();             // BAD: close() failures are real write failures
+}
+
+bool checked(Journal& j) {
+  if (!save_snapshot("out").ok()) return false;  // result examined
+  const Status st = j.append(7);                 // result captured
+  // std::filesystem shares names with the checked layer but reports through
+  // bool/error_code — qualified calls are outside the rule.
+  filesystem::create_directories("scratch");
+  // Brace-init temporary opening a chain: the walker must step over the {}
+  // group to find the consuming `&&` instead of misreading the `}`.
+  return st.ok() && Status{}.with_context("ctx").ok() &&
+         j.close().ok();                         // result consumed
+}

@@ -1,0 +1,14 @@
+// Lint fixture — must be clean: a deliberately discarded Status with a
+// reasoned suppression.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+
+struct Status {
+  bool ok() const;
+};
+
+Status remove_scratch(const char* path);
+
+void teardown(const char* path) {
+  // eyeball-lint: allow(unchecked-status): best-effort scratch cleanup; failure only re-deletes next run
+  remove_scratch(path);
+}

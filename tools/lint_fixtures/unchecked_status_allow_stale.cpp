@@ -1,0 +1,15 @@
+// Lint fixture — must trigger: unused-allow.  The discard this annotation
+// suppressed was refactored into a checked call; the leftover allow must
+// surface as a finding.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+
+struct Status {
+  bool ok() const;
+};
+
+Status remove_scratch(const char* path);
+
+bool teardown(const char* path) {
+  // eyeball-lint: allow(unchecked-status): best-effort scratch cleanup
+  return remove_scratch(path).ok();
+}
