@@ -1,0 +1,310 @@
+// The serving artifact: a relocatable, memory-mappable image of one
+// finalized epoch — the conditioned TargetDataset plus every per-AS
+// analysis (classification, footprint grid, contour, peaks, PoP mapping).
+//
+// Why a second on-disk format next to EYBSNAP1: the snapshot persists
+// *builder* state and pays a full parse on restore (~seconds at the 166 MB
+// scale) before the first query can be answered.  The artifact persists the
+// *published* epoch in its final in-memory shape, so restore is mmap +
+// validate: no per-record parsing, no allocation proportional to the file,
+// and N replicas mapping the same artifact share read-only pages.
+//
+// Format EYBART1 (all integers little-endian, doubles as IEEE-754 bit
+// patterns, every section offset 8-byte aligned):
+//
+//   header   "EYBART1\0"  8 B   magic
+//            u32               format version (currently 1)
+//            u32               section count (currently 11)
+//            u64               epoch the artifact was published at
+//            u64               config fingerprint (result-affecting fields,
+//                              same derivation as EYBSNAP1)
+//            u64               total file size in bytes (truncation check)
+//            u64               AS count
+//            u32               meta CRC32C (header above + section table)
+//            u32               reserved (zero)
+//   table    section-count entries x 40 B:
+//            u32               section id (strictly ascending)
+//            u32               encoding (0 = raw, 1 = zstd)
+//            u64               file offset of the payload (8-aligned)
+//            u64               stored payload size in bytes
+//            u64               raw (decompressed) payload size
+//            u32               payload CRC32C (over the stored bytes)
+//            u32               reserved (zero)
+//   payload  sections back-to-back in table order, each zero-padded to the
+//            next 8-byte boundary
+//   tail     "EYBAREND"  8 B   tail magic
+//
+// Relocation rule: the file contains no pointers and no file offsets
+// outside the section table.  All variable-length data lives in contiguous
+// per-kind arenas (peers, grid runs, grid nonzero doubles, contour
+// partitions, boundary segments, peaks, PoP entries, region strings), and
+// the per-AS index records address them by ELEMENT offset + count within
+// the arena.  Every AS's ranges are consecutive in AS order and exactly
+// tile each arena — checked at open, so overlapping or out-of-bounds
+// ranges are typed corruption, never a wild read.
+//
+// Grid storage is zero-suppressed: KDE density grids are overwhelmingly
+// exact-zero cells (~97% at bench scale), so each AS's row-major grid is
+// stored as maximal runs of bit-nonzero cells (u64 start cell + u64 count
+// per run, AS-local indices) plus a packed arena of just the nonzero
+// doubles.  A cell is zero iff its IEEE-754 bit pattern is exactly zero,
+// so -0.0 and denormals survive the round trip bit-exactly.  The open-time
+// walk checks run canonicality (counts >= 1, strictly separated, inside
+// the grid, value total matches, stored values bit-nonzero), which keeps
+// materialize() a bounded scatter.  This is what holds the artifact to
+// ~1/5 the dense size and the open-time CRC pass under the latency budget.
+//
+// Validation order at open (once; queries after that are unchecked reads):
+//   1. envelope: minimum size, head magic, tail magic, recorded file size
+//   2. meta CRC over header + section table (any flipped header/table bit
+//      lands here), then the version check — a bit-flipped version byte
+//      fails the CRC as kCorruption, a genuinely newer format passes it and
+//      reports kVersionMismatch
+//   3. section-table walk: exact id order, exact packing (each offset is
+//      the previous section's padded end), encodings known
+//   4. per-section payload CRC (hardware-accelerated crc32c_fast)
+//   5. zstd sections decompressed into owned side buffers ("cold"
+//      sections; refused with kVersionMismatch when built without zstd)
+//   6. structural walk: arena sizes vs record sizes, per-AS ranges tile the
+//      arenas, ASN order index is a sorted permutation, enums in range,
+//      grid geometry consistent (rows/cols re-derived from box + cell size)
+//
+// Encode is canonical: a given (dataset, analyses, epoch, fingerprint)
+// produces identical bytes regardless of thread counts or how the samples
+// were windowed upstream — pinned by tests/artifact_test.cpp, so artifact
+// bytes double as a state-identity check exactly like snapshot bytes do.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/pipeline.hpp"
+#include "util/file.hpp"
+#include "util/status.hpp"
+
+namespace eyeball::core {
+
+/// One maximal run of bit-nonzero grid cells, in AS-local row-major cell
+/// indices.  The matching values live contiguously in the nonzero arena.
+struct GridRun {
+  std::uint64_t start_cell = 0;
+  std::uint64_t count = 0;
+};
+
+struct ArtifactEncodeOptions {
+  /// Compress the cold sections (currently the peer arena — needed for
+  /// re-analysis, not for answering queries) with zstd.  Requires a build
+  /// with zstd available (see ArtifactCodec::zstd_supported()); encode
+  /// fails typed otherwise rather than silently writing raw.
+  bool compress_cold = false;
+};
+
+/// Encoder for the EYBART1 format.  Stateless; reads only the public
+/// surface of the finalized dataset and analyses (unlike SnapshotCodec it
+/// needs no friendship — the artifact captures published output, not
+/// builder internals).
+class ArtifactCodec {
+ public:
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  using EncodeOptions = ArtifactEncodeOptions;
+
+  /// Serializes one epoch into `out` (replaced).  `analyses` must be
+  /// parallel to `dataset.ases()`.  Canonical: equal inputs encode to
+  /// identical bytes.
+  [[nodiscard]] static util::Status encode(const TargetDataset& dataset,
+                                           std::span<const AsAnalysis> analyses,
+                                           std::uint64_t epoch,
+                                           std::uint64_t config_fingerprint,
+                                           std::vector<std::byte>& out,
+                                           const EncodeOptions& options = {});
+
+  /// encode() + crash-safe publish via atomic_write_file: a crash leaves
+  /// the previous artifact or the new one, never a hybrid.
+  [[nodiscard]] static util::Status write(util::FileSystem& fs, const std::string& path,
+                                          const TargetDataset& dataset,
+                                          std::span<const AsAnalysis> analyses,
+                                          std::uint64_t epoch,
+                                          std::uint64_t config_fingerprint,
+                                          const EncodeOptions& options = {});
+
+  /// True when this binary was built against zstd (EncodeOptions::
+  /// compress_cold usable, compressed sections readable).
+  [[nodiscard]] static bool zstd_supported() noexcept;
+};
+
+/// Zero-copy reader over a validated artifact.  open() maps the file and
+/// runs the full validation walk once; every accessor after that reads the
+/// mapped bytes in place.  The view owns the mapping — a ServingSnapshot
+/// (or any caller) holding the view by shared_ptr keeps the pages alive for
+/// as long as any epoch still answers from them.
+class ArtifactView {
+ public:
+  ArtifactView() = default;
+  ArtifactView(ArtifactView&&) noexcept = default;
+  ArtifactView& operator=(ArtifactView&&) noexcept = default;
+  ArtifactView(const ArtifactView&) = delete;
+  ArtifactView& operator=(const ArtifactView&) = delete;
+
+  /// Maps `path` through `fs` (mmap on the real filesystem) and validates.
+  /// On failure `out` is untouched and the mapping is released.
+  [[nodiscard]] static util::Status open(const std::string& path, util::FileSystem& fs,
+                                         ArtifactView& out);
+  /// Same over the process-wide real filesystem.
+  [[nodiscard]] static util::Status open(const std::string& path, ArtifactView& out);
+  /// Validates an in-memory image the view takes ownership of.
+  [[nodiscard]] static util::Status from_bytes(std::vector<std::byte> bytes,
+                                               ArtifactView& out);
+  /// Validates a borrowed image; the caller must keep `bytes` alive and
+  /// unchanged for the view's lifetime.  Exists for the fault sweep, which
+  /// opens thousands of mutated/truncated images without copying each one.
+  [[nodiscard]] static util::Status from_borrowed(std::span<const std::byte> bytes,
+                                                  ArtifactView& out);
+
+  /// False for a default-constructed (never-opened) view.
+  [[nodiscard]] bool valid() const noexcept { return opened_; }
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::uint64_t config_fingerprint() const noexcept {
+    return config_fingerprint_;
+  }
+  [[nodiscard]] std::size_t as_count() const noexcept { return entries_.size(); }
+  /// Dataset-level stats, windows included (decoded eagerly at open — a
+  /// few hundred bytes, not worth lazy plumbing).
+  [[nodiscard]] const DatasetStats& stats() const noexcept { return stats_; }
+  /// Size of the backing image in bytes.
+  [[nodiscard]] std::size_t image_size() const noexcept { return bytes_.size(); }
+
+  /// One AS's slice of the artifact: cheap value handle (index + pointer to
+  /// the view), every accessor an in-place read of the mapped bytes.
+  /// Accessor results equal the in-memory epoch's values exactly (pinned by
+  /// the differential test).
+  class AsView {
+   public:
+    [[nodiscard]] net::Asn asn() const noexcept;
+    [[nodiscard]] topology::AsLevel level() const noexcept;
+    [[nodiscard]] gazetteer::Continent continent() const noexcept;
+    [[nodiscard]] double dominant_share() const noexcept;
+    /// Points into the mapped string arena; valid while the view lives.
+    [[nodiscard]] std::string_view dominant_region() const noexcept;
+
+    [[nodiscard]] std::size_t peer_count() const noexcept;
+    [[nodiscard]] PeerRecord peer(std::size_t i) const noexcept;
+
+    [[nodiscard]] std::size_t grid_rows() const noexcept;
+    [[nodiscard]] std::size_t grid_cols() const noexcept;
+    [[nodiscard]] geo::BoundingBox grid_box() const;
+    [[nodiscard]] double grid_cell_km() const noexcept;
+    /// Zero-suppressed density values: the runs of bit-nonzero cells and
+    /// their packed values, read in place from the mapped arenas (the
+    /// open-time walk guaranteed alignment, bounds and run canonicality).
+    /// Cells covered by no run are exactly 0.0.
+    [[nodiscard]] std::size_t grid_run_count() const noexcept;
+    [[nodiscard]] GridRun grid_run(std::size_t i) const noexcept;
+    [[nodiscard]] std::size_t grid_nonzero_count() const noexcept;
+    [[nodiscard]] std::span<const double> grid_nonzero_values() const noexcept;
+
+    [[nodiscard]] double contour_level() const noexcept;
+    [[nodiscard]] std::size_t partition_count() const noexcept;
+    [[nodiscard]] kde::FootprintPartition partition(std::size_t i) const noexcept;
+    [[nodiscard]] std::size_t boundary_count() const noexcept;
+    [[nodiscard]] kde::BoundarySegment boundary(std::size_t i) const noexcept;
+
+    [[nodiscard]] std::size_t peak_count() const noexcept;
+    [[nodiscard]] kde::Peak peak(std::size_t i) const noexcept;
+
+    [[nodiscard]] std::size_t pop_count() const noexcept;
+    [[nodiscard]] PopEntry pop(std::size_t i) const noexcept;
+    [[nodiscard]] std::size_t unmapped_peaks() const noexcept;
+
+    [[nodiscard]] std::size_t sample_count() const noexcept;
+    [[nodiscard]] double bandwidth_km() const noexcept;
+
+    /// Copies this AS out of the artifact into the exact in-memory analysis
+    /// the epoch was published with — what the lazy serving thaw uses.
+    [[nodiscard]] AsAnalysis materialize() const;
+    /// Same for the conditioned peer set.
+    [[nodiscard]] AsPeerSet materialize_peers() const;
+
+   private:
+    friend class ArtifactView;
+    AsView(const ArtifactView* view, std::size_t index) noexcept
+        : view_(view), index_(index) {}
+
+    const ArtifactView* view_;
+    std::size_t index_;
+  };
+
+  /// The i-th AS in dataset order (parallel to the epoch's ases()).
+  [[nodiscard]] AsView as_at(std::size_t index) const noexcept {
+    return AsView{this, index};
+  }
+  /// TargetDataset::find semantics: O(log n) over the persisted ASN order,
+  /// first entry on duplicates, nullopt when the ASN is not in the epoch.
+  [[nodiscard]] std::optional<std::size_t> find_index(net::Asn asn) const noexcept;
+  [[nodiscard]] std::optional<AsView> find(net::Asn asn) const noexcept;
+
+ private:
+  friend class AsView;
+
+  /// Fixed-size per-AS index record, decoded once at open (240 B each on
+  /// disk; cheaper to hold decoded than to re-parse per query).
+  struct AsEntry {
+    std::uint32_t asn = 0;
+    std::uint32_t level = 0;
+    std::uint32_t continent = 0;
+    double dominant_share = 0.0;
+    std::uint64_t region_offset = 0, region_size = 0;
+    std::uint64_t peer_offset = 0, peer_count = 0;
+    std::uint64_t grid_run_offset = 0, grid_run_count = 0;
+    std::uint64_t grid_value_offset = 0, grid_nonzero_count = 0;
+    std::uint64_t grid_rows = 0, grid_cols = 0;
+    double min_lat = 0.0, max_lat = 0.0, min_lon = 0.0, max_lon = 0.0;
+    double cell_km = 0.0;
+    double contour_level = 0.0;
+    std::uint64_t partition_offset = 0, partition_count = 0;
+    std::uint64_t boundary_offset = 0, boundary_count = 0;
+    std::uint64_t peak_offset = 0, peak_count = 0;
+    std::uint64_t pop_offset = 0, pop_count = 0;
+    std::uint64_t unmapped_peaks = 0;
+    std::uint64_t sample_count = 0;
+    double bandwidth_km = 0.0;
+  };
+
+  [[nodiscard]] util::Status load(std::span<const std::byte> bytes);
+
+  // Backing storage: exactly one of map_/owned_ holds the image for the
+  // owning factories; from_borrowed leaves both empty.  bytes_ always spans
+  // the live image.
+  util::MappedFile map_;
+  std::vector<std::byte> owned_;
+  std::span<const std::byte> bytes_;
+  /// Owned decompressed payloads for zstd sections (empty slots for raw
+  /// sections, which point straight into bytes_).
+  std::vector<std::vector<std::byte>> inflated_;
+
+  bool opened_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t config_fingerprint_ = 0;
+  DatasetStats stats_;
+  std::vector<AsEntry> entries_;
+  /// Indices into entries_, stably sorted by ASN (persisted, validated).
+  std::span<const std::byte> asn_order_;
+  // Arena payloads (post-decompression views).
+  std::span<const std::byte> peers_;
+  std::span<const std::byte> grid_runs_;
+  std::span<const double> grid_values_;
+  std::span<const std::byte> partitions_;
+  std::span<const std::byte> boundary_;
+  std::span<const std::byte> peaks_;
+  std::span<const std::byte> pops_;
+  std::span<const std::byte> regions_;
+};
+
+}  // namespace eyeball::core

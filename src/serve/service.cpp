@@ -9,17 +9,72 @@ namespace eyeball::serve {
 ServingSnapshot::ServingSnapshot(std::uint64_t epoch, core::TargetDataset dataset,
                                  std::vector<core::AsAnalysis> analyses)
     : epoch_(epoch), dataset_(std::move(dataset)), analyses_(std::move(analyses)) {
-  EYEBALL_DCHECK(analyses_.size() == dataset_.ases().size(),
+  EYEBALL_DCHECK(analyses_.size() == dataset_->ases().size(),
                  "snapshot analyses must be parallel to the dataset's ASes");
 }
 
-const core::AsAnalysis* ServingSnapshot::find(net::Asn asn) const noexcept {
-  const core::AsPeerSet* as = dataset_.find(asn);
+ServingSnapshot::ServingSnapshot(std::uint64_t epoch,
+                                 std::shared_ptr<const core::ArtifactView> artifact)
+    : epoch_(epoch),
+      artifact_(std::move(artifact)),
+      thaw_once_(artifact_ == nullptr ? 0 : artifact_->as_count()),
+      thawed_(artifact_ == nullptr ? 0 : artifact_->as_count()) {
+  EYEBALL_DCHECK(artifact_ != nullptr && artifact_->valid(),
+                 "artifact-backed snapshot needs an opened view");
+}
+
+const core::DatasetStats& ServingSnapshot::stats() const noexcept {
+  return artifact_ != nullptr ? artifact_->stats() : dataset_->stats();
+}
+
+std::size_t ServingSnapshot::as_count() const noexcept {
+  return artifact_ != nullptr ? artifact_->as_count() : dataset_->ases().size();
+}
+
+net::Asn ServingSnapshot::asn_at(std::size_t index) const noexcept {
+  return artifact_ != nullptr ? artifact_->as_at(index).asn()
+                              : dataset_->ases()[index].asn;
+}
+
+const core::AsAnalysis* ServingSnapshot::analysis_at(std::size_t index) const {
+  if (artifact_ == nullptr) return &analyses_[index];
+  // First request thaws the AS out of the mapped image; call_once makes the
+  // thaw happen exactly once under concurrent readers, and the unique_ptr
+  // slot (vector sized at construction, never resized) gives the answer a
+  // stable address for the snapshot's lifetime.
+  std::call_once(thaw_once_[index], [&] {
+    thawed_[index] = std::make_unique<core::AsAnalysis>(
+        artifact_->as_at(index).materialize());
+  });
+  return thawed_[index].get();
+}
+
+const core::AsAnalysis* ServingSnapshot::find(net::Asn asn) const {
+  if (artifact_ != nullptr) {
+    const std::optional<std::size_t> index = artifact_->find_index(asn);
+    if (!index.has_value()) return nullptr;
+    return analysis_at(*index);
+  }
+  const core::AsPeerSet* as = dataset_->find(asn);
   if (as == nullptr) return nullptr;
   // ases() and analyses_ are parallel vectors, so the dataset's index is
   // the analysis index.
-  const auto index = static_cast<std::size_t>(as - dataset_.ases().data());
+  const auto index = static_cast<std::size_t>(as - dataset_->ases().data());
   return &analyses_[index];
+}
+
+const core::TargetDataset& ServingSnapshot::dataset() const noexcept {
+  EYEBALL_DCHECK(dataset_.has_value(),
+                 "dataset() is for in-memory epochs; artifact-backed epochs "
+                 "materialize per AS via artifact()");
+  return *dataset_;
+}
+
+std::span<const core::AsAnalysis> ServingSnapshot::analyses() const noexcept {
+  EYEBALL_DCHECK(dataset_.has_value(),
+                 "analyses() is for in-memory epochs; artifact-backed epochs "
+                 "thaw per AS via analysis_at()");
+  return analyses_;
 }
 
 EyeballService::EyeballService(const core::EyeballPipeline& pipeline, ServiceConfig config)
@@ -38,16 +93,26 @@ std::shared_ptr<const ServingSnapshot> EyeballService::publish() {
   std::vector<net::Asn> changed = builder_.touched_asns();
   // The previous epoch stays pinned by this local shared_ptr, so handing
   // its analyses span to refresh_analyses is safe even though readers may
-  // concurrently drop their own references.
+  // concurrently drop their own references.  An artifact-backed previous
+  // epoch has no in-memory analyses span to reuse — treat it as no
+  // previous epoch (full re-analysis); the published result is identical
+  // either way.
   const std::shared_ptr<const ServingSnapshot> previous = current_.load();
   auto next = publish_from(std::move(changed),
-                           previous == nullptr
+                           (previous == nullptr || previous->artifact_backed())
                                ? std::span<const core::AsAnalysis>{}
                                : previous->analyses());
   if (!config_.snapshot_dir.empty()) {
     // Durability is best-effort on the serving path: a failed save must not
     // take queries down, so the status is surfaced, not thrown.
     last_save_status_ = builder_.save_snapshot(config_.snapshot_dir);
+  }
+  if (!config_.artifact_path.empty()) {
+    // Same best-effort contract for the serving artifact.
+    last_artifact_status_ = core::ArtifactCodec::write(
+        util::local_filesystem(), config_.artifact_path, next->dataset(),
+        next->analyses(), next->epoch(),
+        core::SnapshotCodec::config_fingerprint(pipeline_.config().dataset));
   }
   return next;
 }
@@ -62,6 +127,29 @@ util::Status EyeballService::restore(const std::string& dir,
   // to whatever this service last published — republish from scratch (an
   // empty `previous` makes refresh_analyses re-analyze every AS).
   (void)publish_from({}, {});
+  return util::Status{};
+}
+
+util::Status EyeballService::restore_from_artifact(const std::string& path) {
+  const util::SerialSection writer{writer_serial_};
+  core::ArtifactView view;
+  if (util::Status status = core::ArtifactView::open(path, view); !status.ok()) {
+    return status;
+  }
+  // Same refusal the snapshot codec makes: an artifact produced under a
+  // different result-affecting configuration must not serve as if it were
+  // this pipeline's output.
+  const std::uint64_t expected =
+      core::SnapshotCodec::config_fingerprint(pipeline_.config().dataset);
+  if (view.config_fingerprint() != expected) {
+    return util::Status::config_mismatch(
+        "artifact '" + path + "' was produced under a different dataset "
+        "configuration than this pipeline's");
+  }
+  auto artifact = std::make_shared<const core::ArtifactView>(std::move(view));
+  auto next =
+      std::make_shared<const ServingSnapshot>(this->epoch() + 1, std::move(artifact));
+  current_.store(next);
   return util::Status{};
 }
 
@@ -107,7 +195,7 @@ BatchResult EyeballService::query_batch(std::span<const net::Asn> asns) const {
 std::optional<EyeballService::StatsAnswer> EyeballService::stats() const {
   const std::shared_ptr<const ServingSnapshot> snap = snapshot();
   if (snap == nullptr) return std::nullopt;
-  return StatsAnswer{snap->epoch(), snap->dataset().stats()};
+  return StatsAnswer{snap->epoch(), snap->stats()};
 }
 
 }  // namespace eyeball::serve

@@ -39,11 +39,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/artifact.hpp"
 #include "core/pipeline.hpp"
 #include "core/snapshot.hpp"
 #include "core/streaming_dataset.hpp"
@@ -60,6 +62,11 @@ struct ServiceConfig {
   /// When non-empty, publish() persists the builder state to this directory
   /// after each epoch swing (crash-safe generations; see last_save_status()).
   std::string snapshot_dir;
+  /// When non-empty, publish() also emits the published epoch as an EYBART1
+  /// serving artifact at this path (crash-safe via atomic_write_file; see
+  /// last_artifact_status()).  A replica restores from it with
+  /// restore_from_artifact() — mmap + validate, no snapshot replay.
+  std::string artifact_path;
 };
 
 class ServingSnapshot;
@@ -105,26 +112,70 @@ class SnapshotCell {
 
 /// One immutable published epoch.  Everything here is frozen at publish
 /// time; readers share it by shared_ptr and never see it change.
+///
+/// Two backings, one reader contract:
+///   - in-memory: owns the finalized TargetDataset + analyses (the normal
+///     publish() product).
+///   - artifact-backed: owns only a shared ArtifactView over a mapped
+///     EYBART1 image (the restore_from_artifact() product).  Lookups read
+///     the image in place; an AS's full AsAnalysis is materialized lazily on
+///     first request (std::call_once per AS, so concurrent readers get one
+///     thaw and no race) and cached for the snapshot's lifetime.  Answers
+///     are byte-identical to the epoch the artifact was written from —
+///     pinned by tests/artifact_test.cpp.
 class ServingSnapshot {
  public:
   ServingSnapshot(std::uint64_t epoch, core::TargetDataset dataset,
                   std::vector<core::AsAnalysis> analyses);
+  /// Artifact-backed epoch over a validated view (see ArtifactView::open).
+  ServingSnapshot(std::uint64_t epoch,
+                  std::shared_ptr<const core::ArtifactView> artifact);
 
   /// 1 for the first published epoch, incremented per publish.
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
-  [[nodiscard]] const core::TargetDataset& dataset() const noexcept { return dataset_; }
-  /// Parallel to dataset().ases(): analyses()[i] describes ases()[i].
-  [[nodiscard]] std::span<const core::AsAnalysis> analyses() const noexcept {
-    return analyses_;
-  }
+  /// True when this epoch answers from a mapped artifact image.
+  [[nodiscard]] bool artifact_backed() const noexcept { return artifact_ != nullptr; }
 
+  // ---- Backing-agnostic surface (what readers should use) ----
+
+  /// Dataset-level stats of this epoch.
+  [[nodiscard]] const core::DatasetStats& stats() const noexcept;
+  /// Number of ASes served this epoch.
+  [[nodiscard]] std::size_t as_count() const noexcept;
+  /// ASN of the i-th served AS (dataset order).
+  [[nodiscard]] net::Asn asn_at(std::size_t index) const noexcept;
+  /// The i-th AS's analysis; stable address for the snapshot's lifetime.
+  /// May thaw from the artifact on first call (allocates; thread-safe).
+  [[nodiscard]] const core::AsAnalysis* analysis_at(std::size_t index) const;
   /// O(log n) point lookup; nullptr when the ASN is not served this epoch.
-  [[nodiscard]] const core::AsAnalysis* find(net::Asn asn) const noexcept;
+  [[nodiscard]] const core::AsAnalysis* find(net::Asn asn) const;
+
+  // ---- In-memory-only surface (writer-path internals) ----
+
+  /// The finalized dataset.  In-memory epochs only — an artifact-backed
+  /// epoch has no TargetDataset (peers are materialized per AS on demand
+  /// via artifact()->as_at(i).materialize_peers()).
+  [[nodiscard]] const core::TargetDataset& dataset() const noexcept;
+  /// Parallel to dataset().ases(): analyses()[i] describes ases()[i].
+  /// In-memory epochs only.
+  [[nodiscard]] std::span<const core::AsAnalysis> analyses() const noexcept;
+  /// The backing view; nullptr for in-memory epochs.
+  [[nodiscard]] const std::shared_ptr<const core::ArtifactView>& artifact()
+      const noexcept {
+    return artifact_;
+  }
 
  private:
   std::uint64_t epoch_;
-  core::TargetDataset dataset_;
+  /// Engaged iff this epoch is in-memory backed.
+  std::optional<core::TargetDataset> dataset_;
   std::vector<core::AsAnalysis> analyses_;
+  /// Non-null iff this epoch is artifact-backed.
+  std::shared_ptr<const core::ArtifactView> artifact_;
+  /// Lazy per-AS thaw state for the artifact backing (sized at construction,
+  /// never resized — analysis_at hands out stable addresses into thawed_).
+  mutable std::vector<std::once_flag> thaw_once_;
+  mutable std::vector<std::unique_ptr<core::AsAnalysis>> thawed_;
 };
 
 /// A point answer pinned to the epoch it came from: `analysis` points into
@@ -180,11 +231,30 @@ class EyeballService {
   [[nodiscard]] util::Status restore(const std::string& dir,
                                      core::SnapshotRestoreInfo* info = nullptr);
 
+  /// Publishes an artifact-backed epoch from the EYBART1 image at `path`:
+  /// mmap + one validation walk, zero per-record parsing — the fast path
+  /// for bringing a replica's serving surface up.  Refuses (typed) an image
+  /// whose config fingerprint differs from this pipeline's, a damaged image
+  /// (kCorruption) and an unreadable format (kVersionMismatch); on any
+  /// failure the service is untouched and the current epoch keeps serving.
+  ///
+  /// Scope: this restores SERVING state only.  The builder is not touched —
+  /// the artifact stores the published epoch, not ingestion state; use
+  /// restore() (snapshot) to continue ingesting where a writer left off.
+  [[nodiscard]] util::Status restore_from_artifact(const std::string& path);
+
   /// Outcome of the most recent durability write; OK when snapshot_dir is
   /// empty or the last save succeeded.  Writer-thread only.
   [[nodiscard]] const util::Status& last_save_status() const noexcept {
     const util::SerialSection writer{writer_serial_};
     return last_save_status_;
+  }
+
+  /// Outcome of the most recent artifact emission; OK when artifact_path is
+  /// empty or the last write succeeded.  Writer-thread only.
+  [[nodiscard]] const util::Status& last_artifact_status() const noexcept {
+    const util::SerialSection writer{writer_serial_};
+    return last_artifact_status_;
   }
 
   /// The owned builder, for writer-side introspection (stats, memo hit
@@ -238,6 +308,7 @@ class EyeballService {
   ServiceConfig config_ EYEBALL_GUARDED_BY(writer_serial_);
   core::StreamingDatasetBuilder builder_ EYEBALL_GUARDED_BY(writer_serial_);
   util::Status last_save_status_ EYEBALL_GUARDED_BY(writer_serial_);
+  util::Status last_artifact_status_ EYEBALL_GUARDED_BY(writer_serial_);
   /// The published epoch; see SnapshotCell for why this is not
   /// std::atomic<std::shared_ptr>.  Internally synchronized — safe from
   /// both paths, so deliberately NOT guarded by writer_serial_.

@@ -1,6 +1,8 @@
 #include "util/file.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -142,6 +144,10 @@ class LocalFileSystem final : public FileSystem {
     return Status{};
   }
 
+  Status map_read_only(const std::string& path, MappedFile& out) override {
+    return map_file_read_only(path, out);
+  }
+
   Status list_dir(const std::string& path,
                   std::vector<std::string>& names) override {
     names.clear();
@@ -244,6 +250,64 @@ class FaultInjectingWritableFile final : public WritableFile {
 
 }  // namespace
 
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    mapped_ = std::exchange(other.mapped_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    owned_ = std::move(other.owned_);
+    other.owned_.clear();
+  }
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+  if (mapped_ != nullptr) {
+    // Teardown of a read-only private mapping cannot meaningfully fail in a
+    // way the caller could act on; mirror fclose-on-error-path handling.
+    static_cast<void>(::munmap(mapped_, size_));
+  }
+  mapped_ = nullptr;
+  size_ = 0;
+  owned_.clear();
+}
+
+Status map_file_read_only(const std::string& path, MappedFile& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return errno_status("open", path);
+  struct ::stat info{};
+  if (::fstat(fd, &info) != 0) {
+    const Status status = errno_status("stat", path);
+    static_cast<void>(::close(fd));
+    return status;
+  }
+  const auto size = static_cast<std::size_t>(info.st_size);
+  MappedFile file;
+  if (size > 0) {
+    // MAP_PRIVATE read-only: this view must never observe or cause writes;
+    // page-cache pages stay shared with every other mapper of the file.
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status status = errno_status("mmap", path);
+      static_cast<void>(::close(fd));
+      return status;
+    }
+    file.mapped_ = addr;
+    file.size_ = size;
+  }
+  // The mapping outlives the descriptor (POSIX: munmap, not close, ends it).
+  if (::close(fd) != 0) return errno_status("close", path);
+  out = std::move(file);
+  return Status{};
+}
+
+Status FileSystem::map_read_only(const std::string& path, MappedFile& out) {
+  std::vector<std::byte> buffer;
+  if (Status status = read_file(path, buffer); !status.ok()) return status;
+  out = MappedFile::from_buffer(std::move(buffer));
+  return Status{};
+}
+
 FileSystem& local_filesystem() {
   static LocalFileSystem fs;
   return fs;
@@ -339,6 +403,11 @@ Status FaultInjectingFileSystem::create_directories(const std::string& path) {
 Status FaultInjectingFileSystem::list_dir(const std::string& path,
                                           std::vector<std::string>& names) {
   return base_.list_dir(path, names);
+}
+
+Status FaultInjectingFileSystem::map_read_only(const std::string& path,
+                                               MappedFile& out) {
+  return base_.map_read_only(path, out);
 }
 
 }  // namespace eyeball::util

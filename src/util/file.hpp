@@ -26,6 +26,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/status.hpp"
@@ -47,6 +48,56 @@ class WritableFile {
   [[nodiscard]] virtual Status sync() = 0;
   [[nodiscard]] virtual Status close() = 0;
 };
+
+/// A read-only view of a whole file, held open for the lifetime of the
+/// object.  The real filesystem backs it with mmap(2), so N processes (or N
+/// ArtifactView epochs in one process) share the same physical pages and
+/// nothing is copied up front; fakes and fault injectors may back it with an
+/// owned heap buffer instead — the reader-facing contract is only `bytes()`
+/// staying valid and immutable until destruction.
+///
+/// Move-only.  A default-constructed MappedFile is empty (bytes().empty()).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { reset(); }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    if (mapped_ != nullptr) return {static_cast<const std::byte*>(mapped_), size_};
+    return {owned_.data(), owned_.size()};
+  }
+
+  /// Unmaps / frees the backing storage; bytes() becomes empty.
+  void reset() noexcept;
+
+  /// Wraps an owned heap buffer (no mmap).  Used by the default
+  /// FileSystem::map_read_only (fakes read the whole file) and by tests
+  /// that build in-memory files.
+  [[nodiscard]] static MappedFile from_buffer(std::vector<std::byte> buffer) {
+    MappedFile file;
+    file.owned_ = std::move(buffer);
+    return file;
+  }
+
+ private:
+  /// The one raw-mmap entry point, defined in file.cpp (the checked-I/O TU).
+  friend Status map_file_read_only(const std::string& path, MappedFile& out);
+
+  void* mapped_ = nullptr;  // non-null => mmap-backed
+  std::size_t size_ = 0;
+  std::vector<std::byte> owned_;  // heap-backed fallback (fakes, empty files)
+};
+
+/// mmaps `path` read-only (MAP_PRIVATE) into `out`, replacing its previous
+/// contents.  Empty files succeed with an empty mapping.  Typed failures:
+/// kNotFound for a missing path, kIoError for open/stat/map failures.
+/// Prefer FileSystem::map_read_only, which routes through the seam so fault
+/// injectors and fakes stay in the loop.
+[[nodiscard]] Status map_file_read_only(const std::string& path, MappedFile& out);
 
 /// Minimal filesystem surface the persistence layer needs.  Paths are plain
 /// strings (UTF-8, '/'-separated) so fakes don't need std::filesystem.
@@ -71,6 +122,14 @@ class FileSystem {
   /// Names (not paths) of regular files directly inside `path`, sorted.
   [[nodiscard]] virtual Status list_dir(const std::string& path,
                                         std::vector<std::string>& names) = 0;
+
+  /// Read-only mapping of the whole file.  The default implementation reads
+  /// the file into an owned buffer through read_file() — correct for any
+  /// FileSystem, and what fakes/fault injectors inherit; the real
+  /// filesystem overrides it with mmap so opening a multi-GB artifact costs
+  /// page-table setup, not a copy.  `out` is replaced on success and
+  /// untouched on failure.
+  [[nodiscard]] virtual Status map_read_only(const std::string& path, MappedFile& out);
 };
 
 /// The process-wide real filesystem (stdio + POSIX fsync underneath).
@@ -142,6 +201,9 @@ class FaultInjectingFileSystem final : public FileSystem {
   [[nodiscard]] Status create_directories(const std::string& path) override;
   [[nodiscard]] Status list_dir(const std::string& path,
                                 std::vector<std::string>& names) override;
+  /// Reads pass straight through (faults target the write path); the base
+  /// keeps its mmap fast path.
+  [[nodiscard]] Status map_read_only(const std::string& path, MappedFile& out) override;
 
  private:
   FileSystem& base_;

@@ -1,0 +1,582 @@
+// Fault battery for the serving artifact (core/artifact.hpp), the
+// this-PR acceptance bar stated as a number: ZERO silent corruptions.
+//
+// Three sweeps:
+//   1. Write-path: ArtifactCodec::write under every FaultInjectingFileSystem
+//      fault class at every offset class — a damaged image must be refused
+//      typed at open (or the write itself must fail and leave the previous
+//      artifact serving); never a successful open of wrong bytes.
+//   2. Image mutation: EVERY single-bit flip over the header + section
+//      table + tail region, strided flips across every payload section, and
+//      EVERY truncation length — each mutated image must fail open with
+//      kCorruption.  The format makes this provable: every byte of the file
+//      is covered by the meta CRC, a section CRC, a zero-padding rule, or
+//      the tail-magic compare.
+//   3. Hostile structure: offset-table and AS-index records rewritten with
+//      RECOMPUTED CRCs (out-of-bounds, overlapping, misaligned, unsorted,
+//      out-of-range enums, inconsistent grid geometry) — past the checksums
+//      on purpose, so the structural walk itself is what refuses them.
+//
+// Runs under ASan+UBSan in tools/check.sh's artifact-faults stage: a wild
+// read on any of these paths is a sanitizer abort, not a flake.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/artifact.hpp"
+#include "core/snapshot.hpp"
+#include "core/streaming_dataset.hpp"
+#include "p2p/churn.hpp"
+#include "pipeline_fixture.hpp"
+#include "util/crc32c.hpp"
+#include "util/file.hpp"
+#include "util/status.hpp"
+
+namespace eyeball {
+namespace {
+
+using eyeball::testing::shared_fixture;
+using util::FileFault;
+using util::Status;
+using util::StatusCode;
+
+constexpr std::size_t kHeaderSize = 56;
+constexpr std::size_t kTableEntrySize = 40;
+constexpr std::size_t kSectionCount = 11;
+constexpr std::size_t kMetaSize = kHeaderSize + kSectionCount * kTableEntrySize;
+
+/// A deliberately SMALL epoch: the exhaustive sweeps below scale with the
+/// image size (every truncation length, every meta-region bit), so the
+/// fixture takes one truncated window and a lowered AS threshold.
+struct FaultWorld {
+  const testing::PipelineFixture& f = shared_fixture();
+  core::PipelineConfig config = [] {
+    core::PipelineConfig pipeline_config = shared_fixture().pipeline.config();
+    pipeline_config.dataset.min_peers_per_as = 20;
+    pipeline_config.threads = 1;
+    return pipeline_config;
+  }();
+  core::EyeballPipeline pipeline{f.gaz, f.primary, f.secondary, f.mapper, config};
+  p2p::LongitudinalResult churn = [this] {
+    p2p::CrawlerConfig crawl_config;
+    crawl_config.seed = 77;
+    crawl_config.coverage = 0.05;
+    p2p::ChurnConfig churn_config;
+    churn_config.seed = 2009;
+    churn_config.windows = 2;
+    churn_config.lease_survival = 0.6;
+    return p2p::longitudinal_crawl(f.eco, f.gaz, crawl_config, churn_config);
+  }();
+  std::span<const p2p::PeerSample> window_a =
+      std::span<const p2p::PeerSample>{churn.windows[0]}.first(
+          std::min<std::size_t>(churn.windows[0].size(), 400));
+  std::span<const p2p::PeerSample> window_b =
+      std::span<const p2p::PeerSample>{churn.windows[1]}.first(
+          std::min<std::size_t>(churn.windows[1].size(), 400));
+  std::uint64_t fingerprint = core::SnapshotCodec::config_fingerprint(config.dataset);
+  core::TargetDataset dataset = [this] {
+    auto builder = pipeline.streaming_builder();
+    builder.ingest(window_a);
+    return builder.finalize(1);
+  }();
+  std::vector<core::AsAnalysis> analyses = pipeline.refresh_analyses(dataset, {}, {});
+  /// The intact reference image every mutation sweep starts from.
+  std::vector<std::byte> image = [this] {
+    std::vector<std::byte> bytes;
+    const Status status =
+        core::ArtifactCodec::encode(dataset, analyses, 1, fingerprint, bytes);
+    EXPECT_TRUE(status.ok()) << status.message();
+    return bytes;
+  }();
+};
+
+const FaultWorld& fault_world() {
+  static const FaultWorld instance;
+  return instance;
+}
+
+// ---- byte-patch helpers (little-endian, mirror of the codec) -------------
+
+[[nodiscard]] std::uint32_t read_u32(std::span<const std::byte> bytes,
+                                     std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+[[nodiscard]] std::uint64_t read_u64(std::span<const std::byte> bytes,
+                                     std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+void write_u32(std::span<std::byte> bytes, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[at + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((v >> (8 * i)) & 0xffU);
+  }
+}
+
+void write_u64(std::span<std::byte> bytes, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[at + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((v >> (8 * i)) & 0xffU);
+  }
+}
+
+/// Recomputes the meta CRC after a deliberate header/table rewrite, so the
+/// mutation reaches the structural checks instead of dying at the checksum.
+void fix_meta_crc(std::span<std::byte> image) {
+  std::vector<std::byte> meta(image.begin(),
+                              image.begin() + static_cast<std::ptrdiff_t>(kMetaSize));
+  write_u32(meta, 48, 0);
+  write_u32(image, 48, util::crc32c(meta));
+}
+
+/// Recomputes section `index`'s payload CRC from the (possibly mutated)
+/// payload bytes, then re-fixes the meta CRC the rewrite invalidated.
+void fix_section_crc(std::span<std::byte> image, std::size_t index) {
+  const std::size_t entry = kHeaderSize + index * kTableEntrySize;
+  const auto offset = static_cast<std::size_t>(read_u64(image, entry + 8));
+  const auto stored = static_cast<std::size_t>(read_u64(image, entry + 16));
+  write_u32(image, entry + 32, util::crc32c(image.subspan(offset, stored)));
+  fix_meta_crc(image);
+}
+
+/// Opens a mutated image and scores the outcome: 0 when the open failed
+/// with one of `allowed`, 1 (plus a test failure) when it succeeded or
+/// failed with an unexpected code — the silent-corruption tally.
+[[nodiscard]] std::size_t expect_refused(std::span<const std::byte> image,
+                                         std::initializer_list<StatusCode> allowed,
+                                         const std::string& label) {
+  core::ArtifactView view;
+  const Status status = core::ArtifactView::from_borrowed(image, view);
+  if (status.ok()) {
+    ADD_FAILURE() << label << ": mutated image opened cleanly — silent corruption";
+    return 1;
+  }
+  for (const StatusCode code : allowed) {
+    if (status.code() == code) return 0;
+  }
+  ADD_FAILURE() << label << ": unexpected refusal " << status;
+  return 1;
+}
+
+// ---- Sweep 2: exhaustive bit flips and truncations -----------------------
+
+TEST(ArtifactFaults, EveryMetaRegionBitFlipIsTypedCorruption) {
+  const auto& w = fault_world();
+  ASSERT_GT(w.dataset.ases().size(), 0u)
+      << "fixture produced no ASes — sweeps below would be vacuous";
+  ASSERT_GT(w.image.size(), kMetaSize + 8);
+
+  std::size_t silent = 0;
+  std::vector<std::byte> mutated;
+  // Every bit of the header + section table, plus every bit of the final
+  // 16 bytes (closing padding + tail magic).  Everything in this region is
+  // covered by the meta CRC, the envelope checks or the tail compare, so
+  // every flip must refuse as kCorruption.
+  std::vector<std::size_t> positions;
+  for (std::size_t at = 0; at < kMetaSize; ++at) positions.push_back(at);
+  for (std::size_t at = w.image.size() - 16; at < w.image.size(); ++at) {
+    positions.push_back(at);
+  }
+  for (const std::size_t at : positions) {
+    for (int bit = 0; bit < 8; ++bit) {
+      mutated = w.image;
+      mutated[at] ^= static_cast<std::byte>(1U << bit);
+      silent += expect_refused(mutated, {StatusCode::kCorruption},
+                               "flip byte " + std::to_string(at) + " bit " +
+                                   std::to_string(bit));
+    }
+  }
+  EXPECT_EQ(silent, 0u);
+}
+
+TEST(ArtifactFaults, StridedPayloadBitFlipsAreTypedCorruption) {
+  const auto& w = fault_world();
+  std::size_t silent = 0;
+  std::vector<std::byte> mutated;
+  // Payload region: every section's stored bytes (and inter-section
+  // padding) are CRC-covered, so a flip anywhere must refuse.  Strided to
+  // keep the suite's runtime bounded; the stride is coprime-ish with the
+  // record sizes so hits land on every field family over the sweep.
+  const std::size_t begin = kMetaSize;
+  const std::size_t end = w.image.size() - 16;
+  const std::size_t stride = std::max<std::size_t>(1, (end - begin) / 1024);
+  for (std::size_t at = begin; at < end; at += stride) {
+    for (int bit = 0; bit < 8; ++bit) {
+      mutated = w.image;
+      mutated[at] ^= static_cast<std::byte>(1U << bit);
+      silent += expect_refused(mutated, {StatusCode::kCorruption},
+                               "payload flip byte " + std::to_string(at) + " bit " +
+                                   std::to_string(bit));
+    }
+  }
+  EXPECT_EQ(silent, 0u);
+}
+
+TEST(ArtifactFaults, EveryTruncationLengthIsTypedCorruption) {
+  const auto& w = fault_world();
+  std::size_t silent = 0;
+  const std::span<const std::byte> image{w.image};
+  // Every proper prefix, including the empty file.  from_borrowed makes
+  // this O(n) opens with zero copies.
+  for (std::size_t length = 0; length < image.size(); ++length) {
+    silent += expect_refused(image.first(length), {StatusCode::kCorruption},
+                             "truncate to " + std::to_string(length));
+  }
+  EXPECT_EQ(silent, 0u);
+  // And the intact image still opens (the sweep above would be vacuous
+  // against an image that never opened at all).
+  core::ArtifactView view;
+  const Status status = core::ArtifactView::from_borrowed(image, view);
+  EXPECT_TRUE(status.ok()) << status.message();
+}
+
+// ---- Sweep 3: hostile structure behind valid checksums -------------------
+
+TEST(ArtifactFaults, HostileOffsetTablesAreRefusedByTheStructuralWalk) {
+  const auto& w = fault_world();
+  std::size_t silent = 0;
+  std::vector<std::byte> mutated;
+  const std::size_t entry2 = kHeaderSize + 2 * kTableEntrySize;  // section 3
+
+  const auto fresh = [&] { mutated = w.image; return std::span<std::byte>{mutated}; };
+
+  {  // out-of-line offset (gap): breaks the exact-packing rule
+    auto m = fresh();
+    write_u64(m, entry2 + 8, read_u64(m, entry2 + 8) + 8);
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "offset +8");
+  }
+  {  // overlapping offset: points back into the previous section
+    auto m = fresh();
+    write_u64(m, entry2 + 8, read_u64(m, entry2 + 8) - 8);
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "offset -8");
+  }
+  {  // misaligned offset
+    auto m = fresh();
+    write_u64(m, entry2 + 8, read_u64(m, entry2 + 8) + 4);
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "offset +4");
+  }
+  {  // last section claims bytes past the end of the image
+    const std::size_t last = kHeaderSize + (kSectionCount - 1) * kTableEntrySize;
+    auto m = fresh();
+    write_u64(m, last + 16, w.image.size());
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "size past end");
+  }
+  {  // a grown stored_size shifts every later section off the packing rule
+    auto m = fresh();
+    write_u64(m, entry2 + 16, read_u64(m, entry2 + 16) + 8);
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "stored_size +8");
+  }
+  {  // unknown encoding
+    auto m = fresh();
+    write_u32(m, entry2 + 4, 7);
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "encoding 7");
+  }
+  {  // raw section relabeled zstd: version_mismatch without zstd in the
+     // build (well-formed but unreadable), corruption with it (the bytes
+     // don't decompress)
+    auto m = fresh();
+    write_u32(m, entry2 + 4, 1);
+    fix_meta_crc(m);
+    silent += expect_refused(
+        mutated, {StatusCode::kVersionMismatch, StatusCode::kCorruption},
+        "fake zstd");
+  }
+  {  // section ids out of order
+    auto m = fresh();
+    write_u32(m, entry2, 4);
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "id disorder");
+  }
+  {  // future format version, CRC-valid: the one typed NON-corruption header
+     // refusal
+    auto m = fresh();
+    write_u32(m, 8, 2);
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kVersionMismatch}, "version 2");
+  }
+  {  // AS count inflated
+    auto m = fresh();
+    write_u64(m, 40, read_u64(m, 40) + 1);
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "as_count +1");
+  }
+  {  // recorded file size wrong (caught by the envelope before the CRC)
+    auto m = fresh();
+    write_u64(m, 32, read_u64(m, 32) + 8);
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "file_size +8");
+  }
+  EXPECT_EQ(silent, 0u);
+}
+
+TEST(ArtifactFaults, HostileAsIndexRecordsAreRefusedByTheStructuralWalk) {
+  const auto& w = fault_world();
+  ASSERT_GT(w.dataset.ases().size(), 0u);
+  std::size_t silent = 0;
+  std::vector<std::byte> mutated;
+  // Section 2 (the AS index) payload offset, from the intact table.
+  const std::size_t index_entry = kHeaderSize + 1 * kTableEntrySize;
+  const auto index_off = static_cast<std::size_t>(read_u64(w.image, index_entry + 8));
+
+  const auto hostile = [&](std::size_t field_at, std::uint64_t value,
+                           std::initializer_list<StatusCode> allowed,
+                           const char* label) {
+    mutated = w.image;
+    const std::span<std::byte> m{mutated};
+    write_u64(m, index_off + field_at, value);
+    fix_section_crc(m, 1);
+    silent += expect_refused(mutated, allowed, label);
+  };
+
+  // Entry 0 field offsets (see the format doc in artifact.hpp).
+  hostile(40, 1, {StatusCode::kCorruption}, "peer_offset 1");       // breaks tiling
+  const std::uint64_t peer_count = read_u64(w.image, index_off + 48);
+  hostile(48, peer_count + 1, {StatusCode::kCorruption}, "peer_count +1");
+  hostile(48, std::uint64_t{1} << 60, {StatusCode::kCorruption}, "peer_count huge");
+  hostile(88, read_u64(w.image, index_off + 88) + 1, {StatusCode::kCorruption},
+          "grid_rows +1");  // inconsistent with box + cell size
+  hostile(56, 1, {StatusCode::kCorruption}, "grid_run_offset 1");
+  hostile(64, std::uint64_t{1} << 60, {StatusCode::kCorruption},
+          "grid_run_count huge");
+  hostile(72, 1, {StatusCode::kCorruption}, "grid_value_offset 1");
+  hostile(80, read_u64(w.image, index_off + 80) + 1, {StatusCode::kCorruption},
+          "grid_nonzero_count +1");
+  {  // level / continent enum range (u32 fields, packed in the first 16 B)
+    mutated = w.image;
+    std::span<std::byte> m{mutated};
+    write_u32(m, index_off + 4, 9);
+    fix_section_crc(m, 1);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "level 9");
+    mutated = w.image;
+    m = std::span<std::byte>{mutated};
+    write_u32(m, index_off + 8, 9);
+    fix_section_crc(m, 1);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "continent 9");
+  }
+  {  // non-finite bounding box (would throw in BoundingBox if it got there)
+    mutated = w.image;
+    const std::span<std::byte> m{mutated};
+    write_u64(m, index_off + 104, 0x7ff8000000000000ULL);  // NaN min_lat
+    fix_section_crc(m, 1);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "NaN min_lat");
+  }
+  {  // doubled cell size: rows/cols no longer match the derivation
+    const std::uint64_t cell_bits = read_u64(w.image, index_off + 136);
+    mutated = w.image;
+    const std::span<std::byte> m{mutated};
+    // Doubling a positive double = +1 on the exponent field.
+    write_u64(m, index_off + 136, cell_bits + (std::uint64_t{1} << 52));
+    fix_section_crc(m, 1);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "cell_km x2");
+  }
+  if (w.dataset.ases().size() >= 2) {
+    // ASN order no longer a sorted permutation: swap the first two slots.
+    const std::size_t order_entry = kHeaderSize + 2 * kTableEntrySize;
+    const auto order_off = static_cast<std::size_t>(read_u64(w.image, order_entry + 8));
+    mutated = w.image;
+    const std::span<std::byte> m{mutated};
+    const std::uint32_t a = read_u32(m, order_off);
+    const std::uint32_t b = read_u32(m, order_off + 4);
+    write_u32(m, order_off, b);
+    write_u32(m, order_off + 4, a);
+    fix_section_crc(m, 2);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "order swap");
+    // Duplicate index: not a permutation.
+    mutated = w.image;
+    const std::span<std::byte> m2{mutated};
+    write_u32(m2, order_off + 4, read_u32(w.image, order_off));
+    fix_section_crc(m2, 2);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "order dup");
+  }
+  EXPECT_EQ(silent, 0u);
+}
+
+TEST(ArtifactFaults, HostileGridRunRecordsAreRefusedByTheStructuralWalk) {
+  const auto& w = fault_world();
+  ASSERT_GT(w.dataset.ases().size(), 0u);
+  std::size_t silent = 0;
+  std::vector<std::byte> mutated;
+  // Section payload offsets from the intact table: 5 = grid runs (table
+  // index 4), 6 = grid nonzero values (table index 5), 2 = AS index.
+  const auto index_off = static_cast<std::size_t>(
+      read_u64(w.image, kHeaderSize + 1 * kTableEntrySize + 8));
+  const auto runs_off = static_cast<std::size_t>(
+      read_u64(w.image, kHeaderSize + 4 * kTableEntrySize + 8));
+  const auto values_off = static_cast<std::size_t>(
+      read_u64(w.image, kHeaderSize + 5 * kTableEntrySize + 8));
+  // Entry 0's grid geometry (a real AS has nonzero density, so >= 1 run).
+  const std::uint64_t run_count = read_u64(w.image, index_off + 64);
+  const std::uint64_t cells =
+      read_u64(w.image, index_off + 88) * read_u64(w.image, index_off + 96);
+  ASSERT_GE(run_count, 1u);
+
+  const auto hostile_run = [&](std::size_t field_at, std::uint64_t value,
+                               const char* label) {
+    mutated = w.image;
+    const std::span<std::byte> m{mutated};
+    write_u64(m, runs_off + field_at, value);
+    fix_section_crc(m, 4);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, label);
+  };
+
+  // Run 0 of AS 0 rewritten behind a recomputed CRC: only the structural
+  // walk's run canonicality checks stand between these and a wild scatter
+  // in materialize().
+  hostile_run(8, 0, "run count 0");
+  hostile_run(8, std::uint64_t{1} << 60, "run count huge");
+  hostile_run(0, cells, "run start at cell count");
+  hostile_run(0, ~std::uint64_t{0}, "run start huge");
+  if (run_count >= 2) {
+    // Second run starting at (or before) the first run's end: overlapping /
+    // non-maximal runs are refused even when counts still add up.
+    const std::uint64_t start0 = read_u64(w.image, runs_off);
+    hostile_run(16, start0, "run overlap");
+  }
+  {  // A bit-zero double smuggled into the nonzero value arena.
+    mutated = w.image;
+    const std::span<std::byte> m{mutated};
+    write_u64(m, values_off, 0);
+    fix_section_crc(m, 5);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "bit-zero value");
+  }
+  EXPECT_EQ(silent, 0u);
+}
+
+TEST(ArtifactFaults, MisalignedImageBaseIsRefusedNotMisread) {
+  const auto& w = fault_world();
+  // The in-place double reads need an 8-aligned base; a borrowed buffer at
+  // base+1 must refuse typed instead of handing out misaligned loads (the
+  // UBSan tree would abort on those).
+  std::vector<std::byte> shifted(w.image.size() + 1);
+  std::copy(w.image.begin(), w.image.end(), shifted.begin() + 1);
+  core::ArtifactView view;
+  const Status status = core::ArtifactView::from_borrowed(
+      std::span<const std::byte>{shifted}.subspan(1), view);
+  // A 16-byte-aligned vector base means base+1 is always misaligned.
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status;
+}
+
+// ---- Sweep 1: write-path faults through the checked-I/O seam -------------
+
+/// One write-under-fault scenario.  Returns the silent-corruption count.
+[[nodiscard]] std::size_t run_write_scenario(const FaultWorld& w,
+                                             const FileFault& fault, bool fail_rename,
+                                             const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "eyeball_artifact_fault_" + name;
+  std::filesystem::remove(path);
+  auto& clean_fs = util::local_filesystem();
+  const std::string label =
+      std::string{util::to_string(fault.kind)} + " offset=" +
+      std::to_string(fault.offset) + (fail_rename ? " rename" : "");
+
+  // Epoch 1 published cleanly; epoch 2's write hits the fault.
+  Status status = core::ArtifactCodec::write(clean_fs, path, w.dataset, w.analyses,
+                                             1, w.fingerprint);
+  EXPECT_TRUE(status.ok()) << label << ": " << status;
+  util::FaultInjectingFileSystem faulty_fs{clean_fs};
+  if (fail_rename) {
+    faulty_fs.fail_next_rename();
+  } else {
+    faulty_fs.arm(fault);
+  }
+  const Status save = core::ArtifactCodec::write(faulty_fs, path, w.dataset,
+                                                 w.analyses, 2, w.fingerprint);
+
+  core::ArtifactView view;
+  const Status open = core::ArtifactView::open(path, clean_fs, view);
+
+  if (!save.ok()) {
+    // Reported failure: the atomic-write protocol must have left epoch 1.
+    if (!open.ok() || view.epoch() != 1) {
+      ADD_FAILURE() << label << ": failed write damaged the published artifact ("
+                    << open << ")";
+      return 1;
+    }
+    return 0;
+  }
+  if (!faulty_fs.fault_fired()) {
+    // Fault never triggered (offset beyond the file): a genuinely clean
+    // publish of epoch 2.
+    if (!open.ok() || view.epoch() != 2) {
+      ADD_FAILURE() << label << ": clean write did not round-trip (" << open << ")";
+      return 1;
+    }
+    return 0;
+  }
+  // Silent fault, "successful" write: the published image is damaged and
+  // open must refuse it typed.  A clean open here is the silent-corruption
+  // outcome this suite exists to rule out.
+  if (open.ok()) {
+    ADD_FAILURE() << label << ": silently damaged artifact opened cleanly";
+    return 1;
+  }
+  if (open.code() != StatusCode::kCorruption) {
+    ADD_FAILURE() << label << ": unexpected refusal " << open;
+    return 1;
+  }
+  return 0;
+}
+
+TEST(ArtifactFaults, EveryWriteFaultClassAtEveryOffsetClassIsSafe) {
+  const auto& w = fault_world();
+  const std::size_t file_size = w.image.size();
+  ASSERT_GT(file_size, kMetaSize);
+
+  const std::vector<std::uint64_t> offsets = {
+      0,                    // head magic
+      9,                    // format version
+      49,                   // meta CRC
+      kHeaderSize + 8,      // first table entry's offset field
+      kMetaSize + 1,        // first payload byte
+      file_size / 2,        // payload interior
+      file_size - 4,        // tail magic
+      std::uint64_t{1} << 40,  // beyond the file: fault must not fire
+  };
+  const FileFault::Kind kinds[] = {
+      FileFault::Kind::kShortWrite,
+      FileFault::Kind::kFailedSync,
+      FileFault::Kind::kBitFlip,
+      FileFault::Kind::kTruncate,
+  };
+
+  std::size_t silent = 0;
+  std::size_t scenario = 0;
+  for (const FileFault::Kind kind : kinds) {
+    for (const std::uint64_t offset : offsets) {
+      FileFault fault;
+      fault.kind = kind;
+      fault.offset = offset;
+      fault.bit = static_cast<std::uint32_t>(offset % 8);
+      silent += run_write_scenario(w, fault, /*fail_rename=*/false,
+                                   "scenario_" + std::to_string(scenario++));
+    }
+  }
+  silent += run_write_scenario(w, FileFault{}, /*fail_rename=*/true, "rename");
+  EXPECT_EQ(silent, 0u);
+}
+
+}  // namespace
+}  // namespace eyeball

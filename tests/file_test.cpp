@@ -4,11 +4,14 @@
 // builds on — if these semantics drift, that harness proves nothing).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/crc32c.hpp"
@@ -82,6 +85,28 @@ TEST(Crc32c, SeedChainingEqualsOneShot) {
   }
 }
 
+TEST(Crc32cFast, EqualsTheTableImplementationOverArbitraryInputs) {
+  // The artifact open path (core/artifact.hpp) trusts crc32c_fast to be the
+  // same function as crc32c — pin that equality across sizes that exercise
+  // the 8-byte main loop, the byte tail, and the empty input, plus seeds.
+  std::vector<std::byte> data;
+  std::uint32_t state = 0x243f6a88U;  // deterministic pseudo-random fill
+  for (const std::size_t size :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{4097}}) {
+    data.resize(size);
+    for (auto& b : data) {
+      state = state * 1664525U + 1013904223U;
+      b = static_cast<std::byte>(state >> 24);
+    }
+    EXPECT_EQ(util::crc32c_fast(data), util::crc32c(data)) << "size " << size;
+    EXPECT_EQ(util::crc32c_fast(data, 0x12345678U), util::crc32c(data, 0x12345678U))
+        << "seeded, size " << size;
+  }
+  EXPECT_EQ(util::crc32c_fast(bytes_of("123456789")), 0xE3069283u);
+}
+
 TEST(AtomicWriteFile, PublishesBytesAndLeavesNoTemp) {
   const std::string dir = scratch_dir("publish");
   const std::string path = dir + "/data.bin";
@@ -114,6 +139,81 @@ TEST(LocalFileSystem, MissingFileIsNotFoundAndListDirIsSorted) {
   ASSERT_TRUE(util::atomic_write_file(fs, dir + "/aa", bytes_of("1")).ok());
   ASSERT_TRUE(fs.list_dir(dir, names).ok());
   EXPECT_EQ(names, (std::vector<std::string>{"aa", "bb"}));
+}
+
+// ---- Read-only mappings: the artifact's zero-copy substrate. ----
+
+TEST(MappedFile, MapsRealFilesAndReportsTypedFailures) {
+  const std::string dir = scratch_dir("mmap");
+  const std::string path = dir + "/image.bin";
+  auto& fs = util::local_filesystem();
+  const auto payload = bytes_of("mapped, not copied");
+  ASSERT_TRUE(util::atomic_write_file(fs, path, payload).ok());
+
+  util::MappedFile map;
+  ASSERT_TRUE(util::map_file_read_only(path, map).ok());
+  ASSERT_EQ(map.bytes().size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), map.bytes().begin()));
+
+  // Missing path is kNotFound, and a failed map leaves `out` untouched.
+  util::MappedFile untouched;
+  EXPECT_EQ(util::map_file_read_only(dir + "/absent", untouched).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(untouched.bytes().empty());
+
+  // Empty files map successfully to an empty span.
+  ASSERT_TRUE(util::atomic_write_file(fs, dir + "/empty", {}).ok());
+  util::MappedFile empty;
+  ASSERT_TRUE(util::map_file_read_only(dir + "/empty", empty).ok());
+  EXPECT_TRUE(empty.bytes().empty());
+}
+
+TEST(MappedFile, MoveTransfersTheMappingAndResetEmpties) {
+  const std::string dir = scratch_dir("mmap_move");
+  const std::string path = dir + "/image.bin";
+  auto& fs = util::local_filesystem();
+  const auto payload = bytes_of("ownership moves, bytes stay put");
+  ASSERT_TRUE(util::atomic_write_file(fs, path, payload).ok());
+
+  util::MappedFile a;
+  ASSERT_TRUE(util::map_file_read_only(path, a).ok());
+  const std::byte* const base = a.bytes().data();
+  util::MappedFile b = std::move(a);
+  EXPECT_EQ(b.bytes().data(), base);  // same mapping, no remap or copy
+  EXPECT_EQ(b.bytes().size(), payload.size());
+  EXPECT_TRUE(a.bytes().empty());  // NOLINT(bugprone-use-after-move): pinned empty
+
+  b.reset();
+  EXPECT_TRUE(b.bytes().empty());
+
+  const auto buffer_backed = util::MappedFile::from_buffer(payload);
+  ASSERT_EQ(buffer_backed.bytes().size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         buffer_backed.bytes().begin()));
+}
+
+TEST(FileSystem, MapReadOnlyRoutesThroughTheSeam) {
+  const std::string dir = scratch_dir("map_seam");
+  const std::string path = dir + "/image.bin";
+  auto& local = util::local_filesystem();
+  const auto payload = bytes_of("same bytes through every backend");
+  ASSERT_TRUE(util::atomic_write_file(local, path, payload).ok());
+
+  // The real filesystem's override (mmap) and the base-class default (read
+  // into an owned buffer, reached here via the fault injector, which adds
+  // no read-side faults) must produce identical bytes.
+  util::MappedFile mapped;
+  ASSERT_TRUE(local.map_read_only(path, mapped).ok());
+  util::FaultInjectingFileSystem faulty{local};
+  util::MappedFile buffered;
+  ASSERT_TRUE(faulty.map_read_only(path, buffered).ok());
+  ASSERT_EQ(mapped.bytes().size(), buffered.bytes().size());
+  EXPECT_TRUE(std::equal(mapped.bytes().begin(), mapped.bytes().end(),
+                         buffered.bytes().begin()));
+
+  util::MappedFile missing;
+  EXPECT_EQ(faulty.map_read_only(dir + "/absent", missing).code(),
+            StatusCode::kNotFound);
 }
 
 // ---- Fault kinds: the exact writer-visible / on-disk split the harness

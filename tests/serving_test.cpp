@@ -282,6 +282,91 @@ TEST(Serving, RestoreThenServeRoundTrip) {
 
 // ---- The TSan storm: readers vs. writer, no torn epochs ----
 
+TEST(Serving, ArtifactBackedEpochsSurviveConcurrentThawStorm) {
+  // The artifact-backed sibling of the torn-epoch storm below: a replica
+  // restores from a serving artifact, readers hammer it — racing each other
+  // into the lazy call_once thaw of every AS — while the writer keeps
+  // publishing newer epochs (both in-memory ones from fresh ingests and
+  // fresh artifact-backed ones from repeated restores).  Runs under the
+  // TSan gate, which is the point: a data race in the thaw path or in
+  // artifact-backed snapshot publication is a hard failure here.
+  const auto& w = serve_world();
+  const std::string path =
+      ::testing::TempDir() + "eyeball_serving_artifact_storm.eyb";
+  std::filesystem::remove(path);
+
+  // Writer-side service emits the artifact on publish.
+  serve::ServiceConfig writer_config = two_threads();
+  writer_config.artifact_path = path;
+  serve::EyeballService writer{w.pipeline, writer_config};
+  writer.ingest(w.churn.windows[0]);
+  const auto published = writer.publish();
+  ASSERT_NE(published, nullptr);
+  ASSERT_TRUE(writer.last_artifact_status().ok()) << writer.last_artifact_status();
+
+  serve::EyeballService replica{w.pipeline, two_threads()};
+  ASSERT_TRUE(replica.restore_from_artifact(path).ok());
+  const auto restored = replica.snapshot();
+  ASSERT_NE(restored, nullptr);
+  ASSERT_TRUE(restored->artifact_backed());
+  const std::size_t as_count = restored->as_count();
+  ASSERT_EQ(as_count, published->as_count());
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> answered{0};
+
+  const auto reader = [&] {
+    std::uint64_t last_epoch = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = replica.snapshot();
+      if (snap == nullptr) continue;
+      if (snap->epoch() < last_epoch) ++violations;
+      last_epoch = snap->epoch();
+      // Full thaw sweep: every reader walks every AS, so first-touch
+      // call_once thaws race between the threads on purpose.
+      for (std::size_t i = 0; i < snap->as_count(); ++i) {
+        const core::AsAnalysis* analysis = snap->analysis_at(i);
+        if (analysis == nullptr || analysis->asn != snap->asn_at(i)) {
+          ++violations;
+          continue;
+        }
+        // Thawed answers must have stable addresses within a snapshot.
+        if (snap->find(analysis->asn) != analysis) ++violations;
+      }
+      if (snap->find(net::Asn{0xFFFFFFFFu}) != nullptr) ++violations;
+      ++answered;
+      std::this_thread::yield();
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 2; ++i) readers.emplace_back(reader);
+
+  // The writer alternates fresh in-memory epochs with fresh artifact-backed
+  // ones; pinned readers must be unaffected either way.
+  for (std::size_t i = 1; i < w.churn.windows.size(); ++i) {
+    replica.ingest(w.churn.windows[i]);
+    (void)replica.publish();
+    ASSERT_TRUE(replica.restore_from_artifact(path).ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+
+  // The snapshot pinned before the storm still answers, identically to the
+  // writer's published epoch, after every later publish.
+  for (std::size_t i = 0; i < as_count; ++i) {
+    const core::AsAnalysis* thawed = restored->analysis_at(i);
+    ASSERT_NE(thawed, nullptr);
+    EXPECT_TRUE(same_analysis(*thawed, *published->analysis_at(i)))
+        << "as index " << i;
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(Serving, ConcurrentReadersNeverObserveTornEpoch) {
   const auto& w = serve_world();
   serve::EyeballService service{w.pipeline, two_threads()};

@@ -23,11 +23,12 @@ STAGES=(
   "tsan|EYEBALL_SANITIZE=thread build; pool/parallel/streaming/serving determinism tests"
   "ubsan|EYEBALL_SANITIZE=undefined build; the FULL test suite with EYEBALL_DCHECK forced on and UB aborting"
   "snapshot-faults|EYEBALL_SANITIZE=address;undefined build; fault-injection differential harness + snapshot/file suites"
+  "artifact-faults|EYEBALL_SANITIZE=address;undefined build; serving-artifact differential + fault sweep (zero-copy mmap battery)"
   "tidy|clang-tidy (.clang-tidy) over src/ via build-analysis/compile_commands.json [skipped when clang-tidy is absent]"
   "thread-safety|EYEBALL_THREAD_SAFETY=ON Clang build: capability analysis as errors + compile-fail probes [skipped when clang++ is absent]"
   "lint|tools/eyeball_lint.py self-test + repo scan, BENCH_*.json schema check, bench_diff self-test"
   "strict|EYEBALL_STRICT=ON (-Wconversion -Wdouble-promotion -Werror) build"
-  "bench-smoke|each bm_* binary runs one cheap benchmark (bit-rot guard; exit status only, no timing assertions)"
+  "bench-smoke|each bm_* binary runs one cheap benchmark (bit-rot guard; a missing or failing binary is a hard stage failure)"
   "format|clang-format --dry-run --Werror via the format-check target [skipped when clang-format is absent]"
 )
 
@@ -131,6 +132,19 @@ snapshot_faults_stage() {
     -R 'snapshot|file_test|FaultInjection|AtomicWriteFile'
 }
 
+# --- artifact-faults: the zero-copy serving artifact under ASan+UBSan ------
+# Shares build-aubsan/ with snapshot-faults.  The differential suite doubles
+# as the alignment/aliasing gate for the in-place mmap reads; the fault
+# sweep's acceptance bar is zero silent corruptions.
+artifact_faults_stage() {
+  cmake -B "${ROOT}/build-aubsan" -S "${ROOT}" \
+    -DEYEBALL_SANITIZE="address;undefined" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build "${ROOT}/build-aubsan" -j "${JOBS}" \
+    -t artifact_test artifact_fault_test
+  ctest --test-dir "${ROOT}/build-aubsan" --output-on-failure -j "${JOBS}" \
+    -R 'artifact'
+}
+
 # --- build-analysis/: one Clang tree for tidy + thread-safety --------------
 # Configured with clang++ when available so its compile_commands.json
 # carries Clang-compatible flags for clang-tidy AND the tree doubles as the
@@ -177,24 +191,37 @@ lint_stage() {
 # A bit-rot guard for the bench sources, not a timing gate: each binary runs
 # one cheap benchmark (or, for bm_serving's custom driver, a full pass into
 # a throwaway output file) with minimal iteration time, and only the exit
-# status matters.
+# status matters.  `set -e` is suspended inside a function invoked through
+# run_stage's `if`, so every step carries an explicit `|| return 1` — and a
+# bm_* binary that was never produced is a hard stage failure, not a shell
+# 127 masked by a later success.
+run_bench() {
+  local bin="${ROOT}/build/bench/$1"
+  shift
+  if [[ ! -x "${bin}" ]]; then
+    echo "check.sh: bench binary '${bin}' is missing — bench-smoke fails hard" >&2
+    return 1
+  fi
+  "${bin}" "$@"
+}
+
 bench_smoke_stage() {
-  cmake -B "${ROOT}/build" -S "${ROOT}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake -B "${ROOT}/build" -S "${ROOT}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON || return 1
   cmake --build "${ROOT}/build" -j "${JOBS}" \
-    -t bm_dataset bm_kde bm_pipeline bm_prefix_trie bm_serving
-  "${ROOT}/build/bench/bm_kde" \
-    --benchmark_filter='BM_KdeBinned/1000$' --benchmark_min_time=0.01
-  "${ROOT}/build/bench/bm_prefix_trie" \
-    --benchmark_filter='BM_TrieInsert/1000$' --benchmark_min_time=0.01
+    -t bm_dataset bm_kde bm_pipeline bm_prefix_trie bm_serving || return 1
+  run_bench bm_kde \
+    --benchmark_filter='BM_KdeBinned/1000$' --benchmark_min_time=0.01 || return 1
+  run_bench bm_prefix_trie \
+    --benchmark_filter='BM_TrieInsert/1000$' --benchmark_min_time=0.01 || return 1
   # These two share the generated-world fixture; its construction (crawl +
   # initial dataset build) dominates the stage's wall time.
-  "${ROOT}/build/bench/bm_pipeline" \
-    --benchmark_filter='BM_HaversineDistance' --benchmark_min_time=0.01
-  "${ROOT}/build/bench/bm_dataset" \
-    --benchmark_filter='BM_DatasetFind' --benchmark_min_time=0.01
+  run_bench bm_pipeline \
+    --benchmark_filter='BM_HaversineDistance' --benchmark_min_time=0.01 || return 1
+  run_bench bm_dataset \
+    --benchmark_filter='BM_DatasetFind' --benchmark_min_time=0.01 || return 1
   local serving_out
-  serving_out="$(mktemp /tmp/eyeball_bench_serving.XXXXXX.json)"
-  "${ROOT}/build/bench/bm_serving" "${serving_out}"
+  serving_out="$(mktemp /tmp/eyeball_bench_serving.XXXXXX.json)" || return 1
+  run_bench bm_serving "${serving_out}" || { rm -f "${serving_out}"; return 1; }
   rm -f "${serving_out}"
 }
 
@@ -213,6 +240,7 @@ format_stage() {
 run_stage tsan tsan_stage
 run_stage ubsan ubsan_stage
 run_stage snapshot-faults snapshot_faults_stage
+run_stage artifact-faults artifact_faults_stage
 if command -v clang-tidy > /dev/null 2>&1; then
   run_stage tidy tidy_stage
 else

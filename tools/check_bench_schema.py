@@ -80,10 +80,20 @@ def check_dataset(path: pathlib.Path) -> list[str]:
     data, errors = check_common(path)
     if data is None:
         return errors
+    names = set()
     for entry in data["benchmarks"]:
         name = entry.get("name", "?")
+        names.add(name)
         if not isinstance(entry.get("real_time"), (int, float)):
             errors.append(fail(path, f"{name}: missing numeric 'real_time'"))
+    # The serving-artifact rows are load-bearing (the open-latency acceptance
+    # number lives in this baseline), and check_common already pinned the
+    # whole file to an optimized build via the eyeball_build_type stamp — so
+    # requiring the names here means the artifact numbers can never be
+    # dropped or recorded from a debug build without this check firing.
+    for required in ("BM_ArtifactWrite", "BM_ArtifactOpen"):
+        if required not in names:
+            errors.append(fail(path, f"missing required benchmark '{required}'"))
     return errors
 
 
