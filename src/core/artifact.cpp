@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <new>
 #include <numeric>
 #include <utility>
 
@@ -73,6 +74,11 @@ constexpr std::size_t kSectionCount = 11;
 
 constexpr std::uint32_t kEncodingRaw = 0;
 constexpr std::uint32_t kEncodingZstd = 1;
+
+// Hard ceiling on a zstd section's declared expansion: one compressed block
+// can emit at most 128 KiB from a ~4-byte RLE header, so 32768x is past the
+// format's physical maximum and a table claiming more is provably corrupt.
+constexpr std::uint64_t kMaxZstdExpansion = 32768;
 
 [[nodiscard]] constexpr std::size_t align8(std::size_t n) noexcept {
   return (n + 7U) & ~std::size_t{7};
@@ -537,6 +543,13 @@ util::Status ArtifactView::load(std::span<const std::byte> bytes) {
   if (bytes.size() < kHeaderSize + kTailSize) {
     return corruption_at("file shorter than the fixed envelope");
   }
+  // The encoder pads every section to 8 bytes and all fixed regions are
+  // 8-aligned, so a well-formed image's size is always a multiple of 8.
+  // Rejecting unaligned sizes here keeps payload_end 8-aligned, which the
+  // section-table walk's align8 packing arithmetic relies on.
+  if (bytes.size() % 8 != 0) {
+    return corruption_at("file size is not 8-aligned");
+  }
   if (!std::equal(kHeadMagic.begin(), kHeadMagic.end(), bytes.begin())) {
     return corruption_at("bad head magic");
   }
@@ -615,6 +628,16 @@ util::Status ArtifactView::load(std::span<const std::byte> bytes) {
       if (sec.encoding == kEncodingRaw && sec.raw_size != sec.stored_size) {
         return corruption_at("raw section with mismatched raw/stored sizes");
       }
+      // raw_size drives an allocation at decompression time, so bound it
+      // before anything trusts it.  A zstd block emits at most 128 KiB from
+      // a ~4-byte RLE header, so no real frame expands beyond 32768x; a
+      // table claiming more is corrupt regardless of what the payload says,
+      // and rejecting it here keeps a crafted raw_size (e.g. 2^60) from
+      // turning into an OOM/bad_alloc escaping this typed-Status path.
+      if (sec.encoding == kEncodingZstd &&
+          sec.raw_size / kMaxZstdExpansion > sec.stored_size) {
+        return corruption_at("zstd section claims an impossible expansion ratio");
+      }
       // Exact packing: each section starts at the previous one's padded
       // end.  This single equality makes out-of-bounds, overlapping and
       // misaligned offset-table entries all typed errors.
@@ -622,7 +645,13 @@ util::Status ArtifactView::load(std::span<const std::byte> bytes) {
       if (sec.offset != expected) {
         return corruption_at("section offset breaks the packing rule");
       }
-      if (sec.stored_size > payload_end - sec.offset) {
+      // Guard the offset before subtracting: with an unaligned payload_end
+      // the align8 packing rule could otherwise place `expected` past the
+      // end and the u64 difference would wrap.  The alignment check in the
+      // envelope makes that unreachable, but keep the arithmetic locally
+      // safe rather than depending on a check 80 lines away.
+      if (sec.offset > payload_end ||
+          sec.stored_size > payload_end - sec.offset) {
         return corruption_at("section runs past the end of the image");
       }
       // Padding between sections is dead space; require zeros so no byte of
@@ -659,8 +688,27 @@ util::Status ArtifactView::load(std::span<const std::byte> bytes) {
       continue;
     }
 #if defined(EYEBALL_HAS_ZSTD)
+    // The encoder's one-shot ZSTD_compress always records the content size
+    // in the frame header, so it must equal the table's raw_size.  Checking
+    // before the allocation means a frame/table disagreement is a typed
+    // error, not a buffer sized by whichever side an attacker forged.
+    const unsigned long long frame_raw =
+        ZSTD_getFrameContentSize(stored.data(), stored.size());
+    if (frame_raw == ZSTD_CONTENTSIZE_ERROR ||
+        frame_raw == ZSTD_CONTENTSIZE_UNKNOWN ||
+        frame_raw != sections[s].raw_size) {
+      return corruption_at("zstd frame content size disagrees with the table");
+    }
     std::vector<std::byte>& raw = inflated[s];
-    raw.assign(sections[s].raw_size, std::byte{0});
+    try {
+      raw.assign(sections[s].raw_size, std::byte{0});
+    } catch (const std::bad_alloc&) {
+      // raw_size is already ratio-bounded by the table walk; if the host
+      // still cannot back the buffer, surface it as a typed error rather
+      // than letting bad_alloc escape the no-throw load contract.
+      return util::Status::io_error(
+          "artifact: cannot allocate buffer for zstd section");
+    }
     const std::size_t got = ZSTD_decompress(raw.data(), raw.size(), stored.data(),
                                             stored.size());
     if (ZSTD_isError(got) != 0U || got != raw.size()) {

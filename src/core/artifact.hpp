@@ -55,16 +55,23 @@
 // ~1/5 the dense size and the open-time CRC pass under the latency budget.
 //
 // Validation order at open (once; queries after that are unchecked reads):
-//   1. envelope: minimum size, head magic, tail magic, recorded file size
+//   1. envelope: minimum size, 8-aligned file size (what the encoder's
+//      padding always produces; keeps payload_end aligned so the packing
+//      arithmetic in step 3 cannot wrap), head magic, tail magic, recorded
+//      file size
 //   2. meta CRC over header + section table (any flipped header/table bit
 //      lands here), then the version check — a bit-flipped version byte
 //      fails the CRC as kCorruption, a genuinely newer format passes it and
 //      reports kVersionMismatch
 //   3. section-table walk: exact id order, exact packing (each offset is
-//      the previous section's padded end), encodings known
+//      the previous section's padded end), encodings known, zstd raw sizes
+//      capped at 32768x stored (past zstd's physical maximum expansion, so
+//      a forged table cannot demand an unbounded decompression buffer)
 //   4. per-section payload CRC (hardware-accelerated crc32c_fast)
 //   5. zstd sections decompressed into owned side buffers ("cold"
-//      sections; refused with kVersionMismatch when built without zstd)
+//      sections; the frame header's content size must equal the table's
+//      raw size before the buffer is allocated; refused with
+//      kVersionMismatch when built without zstd)
 //   6. structural walk: arena sizes vs record sizes, per-AS ranges tile the
 //      arenas, ASN order index is a sorted permutation, enums in range,
 //      grid geometry consistent (rows/cols re-derived from box + cell size)

@@ -331,6 +331,93 @@ TEST(ArtifactFaults, HostileOffsetTablesAreRefusedByTheStructuralWalk) {
   EXPECT_EQ(silent, 0u);
 }
 
+TEST(ArtifactFaults, UnalignedImageSizesAreRefusedAtTheEnvelope) {
+  // The encoder pads every section to 8 bytes, so a well-formed image's
+  // size is always a multiple of 8 and the validator now refuses anything
+  // else outright.  Grow the image by 1..7 zero bytes ahead of the tail
+  // magic, with the recorded size and meta CRC made consistent, so the
+  // alignment rule itself is the only thing left to refuse on.
+  const auto& w = fault_world();
+  std::size_t silent = 0;
+  for (std::size_t extra = 1; extra < 8; ++extra) {
+    std::vector<std::byte> mutated(w.image.begin(), w.image.end() - 8);
+    mutated.insert(mutated.end(), extra, std::byte{0});
+    mutated.insert(mutated.end(), w.image.end() - 8, w.image.end());
+    const std::span<std::byte> m{mutated};
+    write_u64(m, 32, mutated.size());
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption},
+                             "grow by " + std::to_string(extra));
+  }
+  EXPECT_EQ(silent, 0u);
+}
+
+TEST(ArtifactFaults, UnalignedPayloadEndCannotWrapTheSectionBoundsCheck) {
+  // Regression for a u64 underflow in the section-table walk: shorten a
+  // raw section by 4 bytes in both the table and the image and end the
+  // file right there, so payload_end lands BETWEEN the new cursor and the
+  // align8'd offset the table still records for the next section.  The
+  // bounds check used to compute `payload_end - offset` in that geometry,
+  // wrapping to a huge value and waving an arbitrary stored_size through
+  // to an out-of-bounds CRC read.  Must refuse typed (and this whole
+  // suite runs under ASan, so a surviving wild read is an abort).
+  const auto& w = fault_world();
+  const std::size_t entry6 = kHeaderSize + 5 * kTableEntrySize;  // grid values
+  const auto off6 = static_cast<std::size_t>(read_u64(w.image, entry6 + 8));
+  const auto size6 = static_cast<std::size_t>(read_u64(w.image, entry6 + 16));
+  ASSERT_GE(size6, 8u) << "fixture grid-values section too small to shorten";
+
+  std::vector<std::byte> mutated(
+      w.image.begin(),
+      w.image.begin() + static_cast<std::ptrdiff_t>(off6 + size6 - 4));
+  mutated.insert(mutated.end(), w.image.end() - 8, w.image.end());  // tail magic
+  const std::span<std::byte> m{mutated};
+  write_u64(m, entry6 + 16, size6 - 4);
+  write_u64(m, entry6 + 24, size6 - 4);
+  write_u64(m, 32, mutated.size());
+  fix_section_crc(m, 5);
+  EXPECT_EQ(expect_refused(mutated, {StatusCode::kCorruption},
+                           "unaligned payload_end"),
+            0u);
+}
+
+TEST(ArtifactFaults, HostileZstdRawSizeIsRefusedBeforeAllocation) {
+  // raw_size drives the decompression buffer's allocation, so a crafted
+  // table must not reach `assign`: a 2^60 claim is refused by the
+  // expansion-ratio cap in the table walk, and a ratio-plausible lie is
+  // refused by the frame-content-size cross-check — both typed, neither
+  // allocating.  (Pre-fix, the first was an OOM/bad_alloc escaping load.)
+  if (!core::ArtifactCodec::zstd_supported()) {
+    GTEST_SKIP() << "built without zstd";
+  }
+  const auto& w = fault_world();
+  std::vector<std::byte> image;
+  core::ArtifactCodec::EncodeOptions options;
+  options.compress_cold = true;
+  const Status encoded = core::ArtifactCodec::encode(w.dataset, w.analyses, 1,
+                                                     w.fingerprint, image, options);
+  ASSERT_TRUE(encoded.ok()) << encoded.message();
+  const std::size_t entry4 = kHeaderSize + 3 * kTableEntrySize;  // peers
+  ASSERT_EQ(read_u32(image, entry4 + 4), 1u) << "peers section is not zstd";
+
+  std::size_t silent = 0;
+  {  // impossible expansion ratio: caught by the table walk
+    std::vector<std::byte> mutated = image;
+    const std::span<std::byte> m{mutated};
+    write_u64(m, entry4 + 24, std::uint64_t{1} << 60);
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "raw_size 2^60");
+  }
+  {  // plausible ratio but disagreeing with the zstd frame header
+    std::vector<std::byte> mutated = image;
+    const std::span<std::byte> m{mutated};
+    write_u64(m, entry4 + 24, read_u64(image, entry4 + 24) + 8);
+    fix_meta_crc(m);
+    silent += expect_refused(mutated, {StatusCode::kCorruption}, "raw_size +8");
+  }
+  EXPECT_EQ(silent, 0u);
+}
+
 TEST(ArtifactFaults, HostileAsIndexRecordsAreRefusedByTheStructuralWalk) {
   const auto& w = fault_world();
   ASSERT_GT(w.dataset.ases().size(), 0u);
