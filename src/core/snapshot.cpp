@@ -141,6 +141,31 @@ class Reader {
   return ec == std::errc{} && ptr == last;
 }
 
+/// Like parse_snapshot_filename, but ALSO recognizes a quarantined
+/// generation (`snapshot.<gen>.eyb.quarantined`), reporting which kind it
+/// saw.  Generation-number allocation must consult both: a quarantined
+/// generation's number may be the highest in the directory, and reusing it
+/// would let a fresh save collide with preserved evidence (the new file's
+/// quarantine would overwrite the old corpse).
+[[nodiscard]] bool parse_generation_name(const std::string& name,
+                                         std::uint64_t& generation,
+                                         bool& quarantined) {
+  if (parse_snapshot_filename(name, generation)) {
+    quarantined = false;
+    return true;
+  }
+  constexpr std::string_view suffix = util::kQuarantineSuffix;
+  if (name.size() > suffix.size() &&
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    const std::string stem = name.substr(0, name.size() - suffix.size());
+    if (parse_snapshot_filename(stem, generation)) {
+      quarantined = true;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 std::uint64_t SnapshotCodec::config_fingerprint(const DatasetConfig& config) noexcept {
@@ -531,15 +556,21 @@ util::Status StreamingDatasetBuilder::save_snapshot_locked(const std::string& di
   if (!status.ok()) return status.with_context("save_snapshot");
 
   // Next generation: one past the newest on disk and the newest this
-  // builder has seen, so save after restore-with-fallback never reuses the
-  // number of a skipped (corrupt) newer file.
+  // builder has seen — INCLUDING quarantined generations, so save after
+  // restore-with-fallback never reuses the number of a skipped (corrupt)
+  // newer file, and a fresh save can never collide with quarantined
+  // evidence of the same number.
   std::vector<std::string> names;
   status = fs.list_dir(dir, names);
   if (!status.ok()) return status.with_context("save_snapshot");
   std::uint64_t max_generation = last_generation_;
+  std::vector<std::uint64_t> live_generations;
   for (const std::string& name : names) {
     std::uint64_t gen = 0;
-    if (parse_snapshot_filename(name, gen)) max_generation = std::max(max_generation, gen);
+    bool quarantined = false;
+    if (!parse_generation_name(name, gen, quarantined)) continue;
+    max_generation = std::max(max_generation, gen);
+    if (!quarantined) live_generations.push_back(gen);
   }
   const std::uint64_t next = max_generation + 1;
 
@@ -549,17 +580,17 @@ util::Status StreamingDatasetBuilder::save_snapshot_locked(const std::string& di
   last_generation_ = next;
   if (generation != nullptr) *generation = next;
 
-  // Prune: keep the two newest generations (current + last-good fallback).
-  // Best-effort — a failed unlink costs disk, not correctness.
-  std::vector<std::uint64_t> generations;
-  for (const std::string& name : names) {
-    std::uint64_t gen = 0;
-    if (parse_snapshot_filename(name, gen)) generations.push_back(gen);
-  }
-  generations.push_back(next);
-  std::sort(generations.begin(), generations.end(), std::greater<>{});
-  for (std::size_t i = 2; i < generations.size(); ++i) {
-    static_cast<void>(fs.remove_file(dir + "/" + snapshot_filename(generations[i])));
+  // Prune: keep the two newest LIVE generations (current + last-good
+  // fallback).  Quarantined generations never appear in this list — their
+  // names no longer parse as live snapshots — so a generation that ever
+  // failed validation is preserved until a human removes it, however many
+  // saves follow.  Best-effort — a failed unlink costs disk, not
+  // correctness.
+  live_generations.push_back(next);
+  std::sort(live_generations.begin(), live_generations.end(), std::greater<>{});
+  for (std::size_t i = 2; i < live_generations.size(); ++i) {
+    static_cast<void>(
+        fs.remove_file(dir + "/" + snapshot_filename(live_generations[i])));
   }
   return util::Status{};
 }
@@ -597,15 +628,30 @@ util::Status StreamingDatasetBuilder::restore_snapshot_locked(const std::string&
   // Newest first; a corrupt/truncated/skewed generation falls back to the
   // one before it.  decode() has the strong guarantee, so a failed attempt
   // leaves this builder exactly as it was for the next one.
+  //
+  // A kCorruption verdict quarantines the file (renamed aside with the
+  // error recorded next to it) rather than leaving it in place: the evidence
+  // survives for a post-mortem, the next restore's fallback never re-trips
+  // on the same corpse, and prune never counts it among the live
+  // generations it may remove.  Version/config mismatches are NOT
+  // quarantined — those files are intact property of another binary or
+  // configuration — and read failures are not either (the bytes may be
+  // fine; the disk said no today).
   util::Status newest_error;
   for (std::size_t i = 0; i < generations.size(); ++i) {
     const std::uint64_t gen = generations[i];
+    const std::string path = dir + "/" + snapshot_filename(gen);
     std::vector<std::byte> bytes;
-    status = fs.read_file(dir + "/" + snapshot_filename(gen), bytes);
+    status = fs.read_file(path, bytes);
     if (status.ok()) status = SnapshotCodec::decode(bytes, *this, nullptr);
     if (status.ok()) {
       if (info != nullptr) *info = SnapshotRestoreInfo{gen, i};
       return util::Status{};
+    }
+    if (status.code() == util::StatusCode::kCorruption) {
+      // Best-effort: a failed quarantine leaves the corpse in place, which
+      // only costs a retried decode on the next restore.
+      static_cast<void>(util::quarantine_file(fs, path, status));
     }
     if (i == 0) {
       newest_error = status.with_context("generation " + std::to_string(gen));

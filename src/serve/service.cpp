@@ -1,10 +1,24 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
+#include <exception>
 #include <utility>
 
 #include "util/check.hpp"
 
 namespace eyeball::serve {
+
+std::string_view to_string(ServiceHealth health) noexcept {
+  switch (health) {
+    case ServiceHealth::kHealthy:
+      return "healthy";
+    case ServiceHealth::kDegradedDurability:
+      return "degraded-durability";
+    case ServiceHealth::kReadOnly:
+      return "read-only";
+  }
+  return "unknown";
+}
 
 ServingSnapshot::ServingSnapshot(std::uint64_t epoch, core::TargetDataset dataset,
                                  std::vector<core::AsAnalysis> analyses)
@@ -89,8 +103,17 @@ void EyeballService::ingest(std::span<const p2p::PeerSample> window) {
 
 std::shared_ptr<const ServingSnapshot> EyeballService::publish() {
   const util::SerialSection writer{writer_serial_};
-  // Touched set must be read BEFORE finalize(): finalize clears it.
+  // Touched set must be read BEFORE finalize(): finalize clears it.  Merge
+  // in the work list rescued from a previously firewalled publish — those
+  // ASes changed, were never re-analyzed, and would otherwise be silently
+  // served stale forever.
   std::vector<net::Asn> changed = builder_.touched_asns();
+  if (!carryover_changed_.empty()) {
+    changed.insert(changed.end(), carryover_changed_.begin(),
+                   carryover_changed_.end());
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+  }
   // The previous epoch stays pinned by this local shared_ptr, so handing
   // its analyses span to refresh_analyses is safe even though readers may
   // concurrently drop their own references.  An artifact-backed previous
@@ -98,42 +121,102 @@ std::shared_ptr<const ServingSnapshot> EyeballService::publish() {
   // previous epoch (full re-analysis); the published result is identical
   // either way.
   const std::shared_ptr<const ServingSnapshot> previous = current_.load();
-  auto next = publish_from(std::move(changed),
-                           (previous == nullptr || previous->artifact_backed())
-                               ? std::span<const core::AsAnalysis>{}
-                               : previous->analyses());
+
+  // ---- Exception firewall.  finalize/analysis may throw (bad_alloc, a
+  // bug surfacing as a logic_error); on a long-lived server that must
+  // become a typed value, not an unwound writer thread.  The builder holds
+  // no invariant across the publish boundary that a throw can break:
+  // finalize() is non-destructive (touched-set clearing is repaired by the
+  // carry-over below), so the service keeps ingesting and the previous
+  // epoch keeps serving.
+  std::shared_ptr<const ServingSnapshot> next;
+  try {
+    next = publish_from(changed,
+                        (previous == nullptr || previous->artifact_backed())
+                            ? std::span<const core::AsAnalysis>{}
+                            : previous->analyses());
+    last_publish_status_ = util::Status{};
+  } catch (const std::exception& e) {
+    last_publish_status_ = util::Status::internal(
+        std::string{"publish firewall: "} + e.what());
+  }
+  // eyeball-lint: allow(swallowed-exception): the publish firewall — a non-std exception crossing here must still become a typed Status instead of unwinding the writer, and there is no type info to preserve
+  catch (...) {
+    last_publish_status_ =
+        util::Status::internal("publish firewall: non-std exception");
+  }
+  if (next == nullptr) {
+    carryover_changed_ = std::move(changed);
+    health_.transition(ServiceHealth::kReadOnly, last_publish_status_);
+    return nullptr;
+  }
+  carryover_changed_.clear();
+
+  // ---- Supervised durability: retry transient failures with exponential
+  // backoff; surface (never throw) the final verdicts.  A failed save must
+  // not take queries down.
+  const util::RetryPolicy policy{config_.durability_retry, clock()};
+  util::FileSystem& fs = filesystem();
+  util::Status durability;
   if (!config_.snapshot_dir.empty()) {
-    // Durability is best-effort on the serving path: a failed save must not
-    // take queries down, so the status is surfaced, not thrown.
-    last_save_status_ = builder_.save_snapshot(config_.snapshot_dir);
+    core::StreamingDatasetBuilder& builder = builder_;
+    const std::string dir = config_.snapshot_dir;
+    last_save_retry_ = policy.run(
+        [&builder, &fs, &dir] { return builder.save_snapshot(dir, fs, nullptr); });
+    last_save_status_ = last_save_retry_.status;
+    if (!last_save_status_.ok()) durability = last_save_status_;
   }
   if (!config_.artifact_path.empty()) {
-    // Same best-effort contract for the serving artifact.
-    last_artifact_status_ = core::ArtifactCodec::write(
-        util::local_filesystem(), config_.artifact_path, next->dataset(),
-        next->analyses(), next->epoch(),
-        core::SnapshotCodec::config_fingerprint(pipeline_.config().dataset));
+    const std::string path = config_.artifact_path;
+    const std::uint64_t fingerprint =
+        core::SnapshotCodec::config_fingerprint(pipeline_.config().dataset);
+    const ServingSnapshot& epoch = *next;
+    last_artifact_retry_ = policy.run([&fs, &path, &epoch, fingerprint] {
+      return core::ArtifactCodec::write(fs, path, epoch.dataset(),
+                                        epoch.analyses(), epoch.epoch(),
+                                        fingerprint);
+    });
+    last_artifact_status_ = last_artifact_retry_.status;
+    if (!last_artifact_status_.ok()) durability = last_artifact_status_;
   }
+  health_.transition(durability.ok() ? ServiceHealth::kHealthy
+                                     : ServiceHealth::kDegradedDurability,
+                     durability);
   return next;
 }
 
 util::Status EyeballService::restore(const std::string& dir,
                                      core::SnapshotRestoreInfo* info) {
   const util::SerialSection writer{writer_serial_};
-  if (util::Status status = builder_.restore_snapshot(dir, info); !status.ok()) {
+  if (util::Status status = builder_.restore_snapshot(dir, filesystem(), info);
+      !status.ok()) {
+    // Health is deliberately unchanged: a failed restore leaves both the
+    // serving surface and the builder exactly as they were.
     return status;
   }
   // The restored touched-set is relative to the snapshot's own history, not
   // to whatever this service last published — republish from scratch (an
-  // empty `previous` makes refresh_analyses re-analyze every AS).
+  // empty `previous` makes refresh_analyses re-analyze every AS).  A stale
+  // carry-over list from before the restore is superseded for the same
+  // reason.
+  carryover_changed_.clear();
   (void)publish_from({}, {});
+  last_publish_status_ = util::Status{};
+  health_.transition(ServiceHealth::kHealthy, util::Status{});
   return util::Status{};
 }
 
 util::Status EyeballService::restore_from_artifact(const std::string& path) {
   const util::SerialSection writer{writer_serial_};
+  util::FileSystem& fs = filesystem();
   core::ArtifactView view;
-  if (util::Status status = core::ArtifactView::open(path, view); !status.ok()) {
+  if (util::Status status = core::ArtifactView::open(path, fs, view); !status.ok()) {
+    if (status.code() == util::StatusCode::kCorruption) {
+      // A damaged image must not ambush every future restore: move it
+      // aside with its verdict, like a corrupt snapshot generation.
+      // Best-effort — the typed refusal below is the load-bearing part.
+      static_cast<void>(util::quarantine_file(fs, path, status));
+    }
     return status;
   }
   // Same refusal the snapshot codec makes: an artifact produced under a
@@ -150,12 +233,16 @@ util::Status EyeballService::restore_from_artifact(const std::string& path) {
   auto next =
       std::make_shared<const ServingSnapshot>(this->epoch() + 1, std::move(artifact));
   current_.store(next);
+  health_.transition(ServiceHealth::kHealthy, util::Status{});
   return util::Status{};
 }
 
 std::shared_ptr<const ServingSnapshot> EyeballService::publish_from(
     std::vector<net::Asn> changed, std::span<const core::AsAnalysis> previous) {
   core::TargetDataset dataset = builder_.finalize(config_.threads);
+  // After finalize, before analysis: the window where a throw strands the
+  // already-cleared touched set — exactly what the carry-over must rescue.
+  if (config_.publish_fault_hook) config_.publish_fault_hook();
   std::vector<core::AsAnalysis> analyses =
       pipeline_.refresh_analyses(dataset, previous, changed);
   const std::uint64_t epoch = this->epoch() + 1;

@@ -35,14 +35,31 @@
 // publish() also persists the builder state there via the crash-safe
 // snapshot path (core/snapshot.hpp); restore() rebuilds a service from such
 // a directory and publishes a first epoch from scratch.
+//
+// Operational resilience (pinned by tests/chaos_test.cpp):
+//   - Durability writes are supervised: snapshot-save and artifact-emit run
+//     under a deterministic retry-with-exponential-backoff policy
+//     (ServiceConfig::durability_retry, timed by the injectable Clock seam)
+//     and every attempt's typed Status is kept (last_save_retry() /
+//     last_artifact_retry()).
+//   - Publication is firewalled: an exception escaping finalize/analysis is
+//     converted into a typed kInternal Status instead of unwinding into the
+//     caller; the previous epoch keeps serving and the captured changed-ASN
+//     work list carries over so the NEXT publish re-analyzes everything the
+//     failed one would have.
+//   - The service reports a three-state health summary (health()):
+//     Healthy, DegradedDurability (serving + publishing fine, persistence
+//     failing), ReadOnly (the last publish itself failed).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/artifact.hpp"
@@ -50,7 +67,10 @@
 #include "core/snapshot.hpp"
 #include "core/streaming_dataset.hpp"
 #include "util/annotations.hpp"
+#include "util/clock.hpp"
+#include "util/file.hpp"
 #include "util/mutex.hpp"
+#include "util/retry.hpp"
 #include "util/status.hpp"
 
 namespace eyeball::serve {
@@ -67,6 +87,57 @@ struct ServiceConfig {
   /// last_artifact_status()).  A replica restores from it with
   /// restore_from_artifact() — mmap + validate, no snapshot replay.
   std::string artifact_path;
+  /// Filesystem seam for every durability and restore path; nullptr = the
+  /// process-wide real filesystem.  Tests wire a FaultInjectingFileSystem
+  /// here to drive the whole service lifecycle through deterministic fault
+  /// schedules.
+  util::FileSystem* filesystem = nullptr;
+  /// Time seam for the durability retry policy; nullptr = the monotonic
+  /// real clock (real backoff sleeps).  Tests wire a FakeClock here, making
+  /// the retry schedule a pure, byte-reproducible function of the faults.
+  util::Clock* clock = nullptr;
+  /// Backoff schedule for supervised durability writes (snapshot save and
+  /// artifact emit).  The defaults retry transient kIoError failures three
+  /// times total; non-retriable verdicts (corruption, config skew) fail
+  /// immediately.
+  util::RetryOptions durability_retry;
+  /// Test-only fault hook, invoked on the writer path between finalize()
+  /// and analysis inside the publish exception firewall.  May throw — that
+  /// is its purpose: it is the deterministic stand-in for an analysis or
+  /// allocation failure mid-publish.  Leave empty in production.
+  std::function<void()> publish_fault_hook;
+};
+
+/// The service's operational state, coarsened to what an operator acts on.
+/// Order matters: higher is worse.
+enum class ServiceHealth : std::uint8_t {
+  /// Publishing and (if configured) persistence both succeed.
+  kHealthy,
+  /// Serving and publishing work, but the latest supervised durability
+  /// write (snapshot save or artifact emit) failed after retries.  Queries
+  /// are fresh; crash-recovery freshness is degraded.
+  kDegradedDurability,
+  /// The latest publish itself failed (exception firewall tripped).  The
+  /// previous epoch keeps serving — reads work, the dataset no longer
+  /// advances until a publish succeeds.
+  kReadOnly,
+};
+
+[[nodiscard]] std::string_view to_string(ServiceHealth health) noexcept;
+
+/// One coherent health observation: the state plus how the service has
+/// moved between states and the most recent error that drove a transition
+/// out of Healthy (sticky — kept for post-mortem after recovery).
+struct HealthReport {
+  ServiceHealth state = ServiceHealth::kHealthy;
+  /// Total state CHANGES (entering the current state again is not one).
+  std::uint64_t transitions = 0;
+  /// Times the service ENTERED DegradedDurability / ReadOnly.
+  std::uint64_t times_degraded = 0;
+  std::uint64_t times_read_only = 0;
+  /// The error behind the most recent transition away from Healthy; OK only
+  /// if the service has never left Healthy.
+  util::Status last_error;
 };
 
 class ServingSnapshot;
@@ -106,6 +177,46 @@ class SnapshotCell {
   /// or destroyed.
   mutable util::Mutex mutex_;
   std::shared_ptr<const ServingSnapshot> snapshot_ EYEBALL_GUARDED_BY(mutex_);
+};
+
+/// The health state machine behind EyeballService::health().  Internally
+/// synchronized so readers may poll it concurrently with the writer's
+/// transitions; the writer is the only mutator, so a report is always one
+/// coherent (state, counters, error) observation.
+class HealthTracker {
+ public:
+  /// Moves to `next`; counts a transition only on an actual change.  A
+  /// non-OK `why` becomes the sticky last_error (an OK `why` on recovery
+  /// leaves the previous error in place for post-mortem).
+  void transition(ServiceHealth next, const util::Status& why) {
+    const util::MutexLock guard{mutex_};
+    if (next != state_) {
+      ++transitions_;
+      if (next == ServiceHealth::kDegradedDurability) ++times_degraded_;
+      if (next == ServiceHealth::kReadOnly) ++times_read_only_;
+      state_ = next;
+    }
+    if (!why.ok()) last_error_ = why;
+  }
+
+  [[nodiscard]] HealthReport report() const {
+    const util::MutexLock guard{mutex_};
+    HealthReport out;
+    out.state = state_;
+    out.transitions = transitions_;
+    out.times_degraded = times_degraded_;
+    out.times_read_only = times_read_only_;
+    out.last_error = last_error_;
+    return out;
+  }
+
+ private:
+  mutable util::Mutex mutex_;
+  ServiceHealth state_ EYEBALL_GUARDED_BY(mutex_) = ServiceHealth::kHealthy;
+  std::uint64_t transitions_ EYEBALL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t times_degraded_ EYEBALL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t times_read_only_ EYEBALL_GUARDED_BY(mutex_) = 0;
+  util::Status last_error_ EYEBALL_GUARDED_BY(mutex_);
 };
 
 }  // namespace detail
@@ -219,9 +330,17 @@ class EyeballService {
   /// Finalizes everything ingested so far, re-analyzes only the ASes
   /// touched since the previous publish (plus newcomers), and atomically
   /// publishes the result as the next epoch.  Returns the published
-  /// snapshot.  With a configured snapshot_dir, also persists the builder
-  /// state (failure is recorded in last_save_status(), not thrown — serving
-  /// stays up when the disk misbehaves).
+  /// snapshot — or nullptr when the exception firewall tripped: the typed
+  /// failure is in last_publish_status(), health() reports ReadOnly, the
+  /// previous epoch keeps serving, and the changed-ASN work list carries
+  /// over so the next successful publish analyzes everything this one
+  /// would have.
+  ///
+  /// With a configured snapshot_dir / artifact_path, also persists the
+  /// builder state / emits the serving artifact under the supervised retry
+  /// policy (failures are recorded in last_save_status() /
+  /// last_artifact_status() and reflected by health(), never thrown —
+  /// serving stays up when the disk misbehaves).
   std::shared_ptr<const ServingSnapshot> publish();
 
   /// Replaces the builder state with the newest loadable generation in
@@ -255,6 +374,27 @@ class EyeballService {
   [[nodiscard]] const util::Status& last_artifact_status() const noexcept {
     const util::SerialSection writer{writer_serial_};
     return last_artifact_status_;
+  }
+
+  /// Outcome of the most recent publish(): OK, or the typed kInternal
+  /// failure the exception firewall produced.  Writer-thread only.
+  [[nodiscard]] const util::Status& last_publish_status() const noexcept {
+    const util::SerialSection writer{writer_serial_};
+    return last_publish_status_;
+  }
+
+  /// Full per-attempt history of the most recent supervised snapshot save
+  /// (every attempt's Status + the backoff slept before it).  Empty before
+  /// the first save.  Writer-thread only.
+  [[nodiscard]] const util::RetryResult& last_save_retry() const noexcept {
+    const util::SerialSection writer{writer_serial_};
+    return last_save_retry_;
+  }
+
+  /// Same history for the most recent supervised artifact emit.
+  [[nodiscard]] const util::RetryResult& last_artifact_retry() const noexcept {
+    const util::SerialSection writer{writer_serial_};
+    return last_artifact_retry_;
   }
 
   /// The owned builder, for writer-side introspection (stats, memo hit
@@ -291,10 +431,24 @@ class EyeballService {
   };
   [[nodiscard]] std::optional<StatsAnswer> stats() const;
 
+  /// One coherent health observation (state machine: Healthy <->
+  /// DegradedDurability <-> ReadOnly; see ServiceHealth).  Safe from any
+  /// thread, concurrent with the writer.
+  [[nodiscard]] HealthReport health() const { return health_.report(); }
+
  private:
   std::shared_ptr<const ServingSnapshot> publish_from(
       std::vector<net::Asn> changed, std::span<const core::AsAnalysis> previous)
       EYEBALL_REQUIRES(writer_serial_);
+
+  /// The configured filesystem/clock seams, defaulted to the real ones.
+  [[nodiscard]] util::FileSystem& filesystem() const EYEBALL_REQUIRES(writer_serial_) {
+    return config_.filesystem != nullptr ? *config_.filesystem
+                                         : util::local_filesystem();
+  }
+  [[nodiscard]] util::Clock& clock() const EYEBALL_REQUIRES(writer_serial_) {
+    return config_.clock != nullptr ? *config_.clock : util::monotonic_clock();
+  }
 
   /// The "single writer" role from the concurrency contract above, made
   /// checkable: every writer-path entry point claims it with a
@@ -309,10 +463,21 @@ class EyeballService {
   core::StreamingDatasetBuilder builder_ EYEBALL_GUARDED_BY(writer_serial_);
   util::Status last_save_status_ EYEBALL_GUARDED_BY(writer_serial_);
   util::Status last_artifact_status_ EYEBALL_GUARDED_BY(writer_serial_);
+  util::Status last_publish_status_ EYEBALL_GUARDED_BY(writer_serial_);
+  util::RetryResult last_save_retry_ EYEBALL_GUARDED_BY(writer_serial_);
+  util::RetryResult last_artifact_retry_ EYEBALL_GUARDED_BY(writer_serial_);
+  /// Changed-ASN work list rescued from a firewalled publish: finalize()
+  /// clears the builder's touched set before analysis can fail, so without
+  /// this carry-over a publish AFTER a failed one would silently skip
+  /// re-analyzing the ASes the failed publish was about to cover.  Merged
+  /// into the next publish's work list, cleared on success.
+  std::vector<net::Asn> carryover_changed_ EYEBALL_GUARDED_BY(writer_serial_);
   /// The published epoch; see SnapshotCell for why this is not
   /// std::atomic<std::shared_ptr>.  Internally synchronized — safe from
   /// both paths, so deliberately NOT guarded by writer_serial_.
   detail::SnapshotCell current_;
+  /// Internally synchronized (reader-path health() polls it live).
+  detail::HealthTracker health_;
 };
 
 }  // namespace eyeball::serve

@@ -1,0 +1,28 @@
+#include "util/clock.hpp"
+
+#include <thread>
+
+namespace eyeball::util {
+
+namespace {
+
+class MonotonicClock final : public Clock {
+ public:
+  [[nodiscard]] std::chrono::nanoseconds now() override {
+    return std::chrono::steady_clock::now().time_since_epoch();
+  }
+
+  void sleep_for(std::chrono::nanoseconds duration) override {
+    if (duration <= std::chrono::nanoseconds::zero()) return;
+    std::this_thread::sleep_for(duration);
+  }
+};
+
+}  // namespace
+
+Clock& monotonic_clock() {
+  static MonotonicClock clock;
+  return clock;
+}
+
+}  // namespace eyeball::util

@@ -1,0 +1,88 @@
+// util::Clock — the time seam for operational resilience code.
+//
+// Retry/backoff policies need two things from time: a monotonic "now" and a
+// way to wait.  Calling std::this_thread::sleep_for directly would make
+// every retry schedule untestable (a 3-attempt exponential backoff is
+// seconds of wall time) and non-deterministic (the chaos harness must
+// replay byte-identical schedules across runs).  Clock virtualizes both:
+// production code takes a Clock& and the tests hand it a FakeClock whose
+// time advances only when something sleeps — the recorded sleep log IS the
+// backoff schedule, comparable bit-for-bit across runs and seeds.
+//
+// This is deliberately NOT a wall-clock API: there is no epoch, no
+// calendar, no time zone.  Durations are all the resilience layer needs,
+// and a monotonic source is immune to NTP steps mid-backoff.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace eyeball::util {
+
+/// Monotonic time + waiting, as an injectable seam.  Implementations must
+/// be safe to share across threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds since an arbitrary fixed origin; never decreases.
+  [[nodiscard]] virtual std::chrono::nanoseconds now() = 0;
+
+  /// Blocks the calling thread for (at least) `duration`.  Non-positive
+  /// durations return immediately.
+  virtual void sleep_for(std::chrono::nanoseconds duration) = 0;
+};
+
+/// The process-wide steady_clock-backed Clock (real sleeps).
+[[nodiscard]] Clock& monotonic_clock();
+
+/// A deterministic Clock for tests: time starts at zero and advances ONLY
+/// via sleep_for/advance, so a retry schedule driven by it is a pure
+/// function of the code under test.  Every sleep is recorded in order —
+/// `sleeps()` is the backoff schedule, byte-comparable across runs.
+///
+/// Thread-safe (the chaos harness shares one across writer and checker).
+class FakeClock final : public Clock {
+ public:
+  [[nodiscard]] std::chrono::nanoseconds now() override {
+    const MutexLock guard{mutex_};
+    return now_;
+  }
+
+  void sleep_for(std::chrono::nanoseconds duration) override {
+    if (duration <= std::chrono::nanoseconds::zero()) return;
+    const MutexLock guard{mutex_};
+    now_ += duration;
+    sleeps_.push_back(duration);
+  }
+
+  /// Moves time forward without recording a sleep (models external delay).
+  void advance(std::chrono::nanoseconds duration) {
+    const MutexLock guard{mutex_};
+    if (duration > std::chrono::nanoseconds::zero()) now_ += duration;
+  }
+
+  /// Every sleep_for duration observed, in call order — the reproducible
+  /// backoff schedule the chaos harness asserts on.
+  [[nodiscard]] std::vector<std::chrono::nanoseconds> sleeps() const {
+    const MutexLock guard{mutex_};
+    return sleeps_;
+  }
+
+  /// Clears the recorded schedule (time keeps its current value).
+  void clear_sleeps() {
+    const MutexLock guard{mutex_};
+    sleeps_.clear();
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::chrono::nanoseconds now_ EYEBALL_GUARDED_BY(mutex_){0};
+  std::vector<std::chrono::nanoseconds> sleeps_ EYEBALL_GUARDED_BY(mutex_);
+};
+
+}  // namespace eyeball::util

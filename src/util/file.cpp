@@ -219,6 +219,24 @@ class FaultInjectingWritableFile final : public WritableFile {
           return Status{};  // silent: success reported
         }
         break;
+      case FileFault::Kind::kNoSpace:
+        if (device_full_ || end > fault_.offset) {
+          // The prefix that fit persists once; after that the device stays
+          // full — every further append re-fails with the SAME typed error
+          // (what a retrying writer sees from a genuinely full disk).
+          if (!device_full_) {
+            const auto keep = static_cast<std::size_t>(
+                fault_.offset > begin ? fault_.offset - begin : 0);
+            if (keep > 0) {
+              const Status status = base_->append(data.first(keep));
+              if (!status.ok()) return status;
+            }
+            device_full_ = true;
+          }
+          *fired_ = true;
+          return Status::io_error("injected: no space left on device");
+        }
+        break;
       case FileFault::Kind::kFailedSync:
       case FileFault::Kind::kNone:
         break;
@@ -246,6 +264,7 @@ class FaultInjectingWritableFile final : public WritableFile {
   std::uint64_t offset_ = 0;
   bool dead_ = false;
   bool silent_drop_ = false;
+  bool device_full_ = false;
 };
 
 }  // namespace
@@ -318,6 +337,16 @@ Status atomic_write_file(FileSystem& fs, const std::string& path,
   if (path.empty()) return Status::invalid_argument("empty path");
   const std::string tmp = path + ".tmp";
 
+  // Reclaim a stale tmp from a previous crashed or fault-interrupted
+  // writer.  open_for_write truncates, so the stale bytes could not leak
+  // into THIS write anyway — the reclaim matters for the failure paths: if
+  // the open below is refused (transient error, permissions), the poisoned
+  // tmp must not linger where a later inspection — or a rename issued by
+  // anything else — could mistake it for this writer's output.  A missing
+  // tmp is the normal case; a refused removal is neutralized by the
+  // truncating open anyway, so neither outcome is worth reporting.
+  static_cast<void>(fs.remove_file(tmp));
+
   std::unique_ptr<WritableFile> file;
   Status status = fs.open_for_write(tmp, file);
   if (!status.ok()) return status;
@@ -354,12 +383,35 @@ std::string_view to_string(FileFault::Kind kind) noexcept {
       return "bit-flip";
     case FileFault::Kind::kTruncate:
       return "truncate";
+    case FileFault::Kind::kNoSpace:
+      return "no-space";
   }
   return "unknown";
 }
 
+Status quarantine_file(FileSystem& fs, const std::string& path, const Status& why) {
+  if (path.empty()) return Status::invalid_argument("quarantine_file: empty path");
+  const std::string aside = path + std::string{kQuarantineSuffix};
+  if (Status status = fs.rename_file(path, aside); !status.ok()) {
+    return status.with_context("quarantine_file");
+  }
+  // The evidence is safe; now record WHY it was condemned.  Best-effort:
+  // the sidecar is context for a human post-mortem, and a failure to write
+  // it must not turn a successful quarantine into a reported failure.
+  const std::string reason = why.to_string() + "\n";
+  std::vector<std::byte> bytes(reason.size());
+  std::memcpy(bytes.data(), reason.data(), reason.size());
+  static_cast<void>(atomic_write_file(fs, aside + ".reason", bytes));
+  return Status{};
+}
+
 Status FaultInjectingFileSystem::open_for_write(
     const std::string& path, std::unique_ptr<WritableFile>& out) {
+  if (transient_open_failures_ > 0) {
+    --transient_open_failures_;
+    fault_fired_ = true;
+    return Status::io_error("injected transient open failure");
+  }
   std::unique_ptr<WritableFile> base_file;
   const Status status = base_.open_for_write(path, base_file);
   if (!status.ok()) return status;
@@ -383,12 +435,27 @@ Status FaultInjectingFileSystem::rename_file(const std::string& from,
   if (fail_rename_) {
     fail_rename_ = false;
     fault_fired_ = true;
+    if (keep_tmp_on_failed_rename_) {
+      // Shield the source file from the caller's best-effort cleanup so it
+      // survives as on-disk debris (see fail_next_rename_leaving_tmp).
+      keep_tmp_on_failed_rename_ = false;
+      protected_tmp_ = from;
+    }
     return Status::io_error("injected rename failure");
+  }
+  if (transient_rename_failures_ > 0) {
+    --transient_rename_failures_;
+    fault_fired_ = true;
+    return Status::io_error("injected transient rename failure");
   }
   return base_.rename_file(from, to);
 }
 
 Status FaultInjectingFileSystem::remove_file(const std::string& path) {
+  if (!protected_tmp_.empty() && path == protected_tmp_) {
+    protected_tmp_.clear();
+    return Status::io_error("injected remove failure (tmp left behind)");
+  }
   return base_.remove_file(path);
 }
 

@@ -137,9 +137,27 @@ class FileSystem {
 
 /// Crash-safe publish of `bytes` at `path` via the tmp/fsync/rename/dir-sync
 /// protocol described in the header comment.  On failure the tmp file is
-/// removed best-effort and `path` is untouched.
+/// removed best-effort and `path` is untouched.  A stale `<path>.tmp` left
+/// behind by a crashed or fault-interrupted previous writer is reclaimed
+/// (removed) before the new write begins, so a poisoned tmp can neither
+/// mask this publish nor survive it as garbage.
 [[nodiscard]] Status atomic_write_file(FileSystem& fs, const std::string& path,
                                        std::span<const std::byte> bytes);
+
+/// Appended to a file's name when it is quarantined (see quarantine_file).
+inline constexpr std::string_view kQuarantineSuffix = ".quarantined";
+
+/// Moves a file that failed validation ASIDE instead of deleting it:
+/// `path` is renamed to `path + kQuarantineSuffix` and the typed error that
+/// condemned it is recorded next to it in `path + ".quarantined.reason"`
+/// (best-effort — the rename is the load-bearing step; losing the sidecar
+/// costs context, not correctness).  Two properties this buys the restore
+/// path: fallback never re-trips on the same corpse (the quarantined name
+/// no longer parses as a loadable generation/artifact), and post-mortems
+/// keep the evidence a delete would have destroyed.  Re-quarantining the
+/// same path overwrites the previous corpse — it IS the same corpse.
+[[nodiscard]] Status quarantine_file(FileSystem& fs, const std::string& path,
+                                     const Status& why);
 
 /// One injected fault, addressed by byte offset within the stream appended
 /// to a single file.  The four kinds split along two axes — does the writer
@@ -150,9 +168,16 @@ class FileSystem {
 ///   kFailedSync   error         all bytes persist, durability unreported
 ///   kBitFlip      nothing       bit `bit` of byte `offset` inverted
 ///   kTruncate     nothing       bytes [offset, end) silently dropped
+///   kNoSpace      error         bytes [0, offset) persist; EVERY further
+///                               append is refused (ENOSPC: the device is
+///                               full and stays full for this file)
 ///
 /// The silent kinds model torn writes and media corruption that fsync
-/// cannot report; only restore-time validation can catch them.
+/// cannot report; only restore-time validation can catch them.  kNoSpace
+/// differs from kShortWrite in persistence of the error: a short write
+/// kills the file (subsequent appends report "file dead"), while ENOSPC
+/// keeps refusing with the same typed error on every retry of the append —
+/// the shape a real full disk presents to a retry loop.
 struct FileFault {
   enum class Kind : std::uint8_t {
     kNone,
@@ -160,6 +185,7 @@ struct FileFault {
     kFailedSync,
     kBitFlip,
     kTruncate,
+    kNoSpace,
   };
 
   Kind kind = Kind::kNone;
@@ -186,9 +212,42 @@ class FaultInjectingFileSystem final : public FileSystem {
   /// The next rename_file call fails with kIoError (models a crash between
   /// writing the tmp file and publishing it).
   void fail_next_rename() noexcept { fail_rename_ = true; }
+  /// Like fail_next_rename(), but ALSO fails the very next remove_file of
+  /// the rename's source path — so atomic_write_file's best-effort cleanup
+  /// cannot collect the tmp and it survives on disk, exactly the debris a
+  /// crash between "rename refused" and "tmp unlinked" leaves behind.  The
+  /// next writer to the same path must reclaim it (pinned by file_test).
+  void fail_next_rename_leaving_tmp() noexcept {
+    fail_rename_ = true;
+    keep_tmp_on_failed_rename_ = true;
+  }
+  /// The next `count` open_for_write calls fail with kIoError, then the
+  /// write path recovers — the transient-then-recovering error class a
+  /// retry-with-backoff policy exists for.
+  void arm_transient_open_failures(std::size_t count) noexcept {
+    transient_open_failures_ = count;
+  }
+  /// Same transient class on the publish step: the next `count` rename_file
+  /// calls fail with kIoError, then renames succeed again.
+  void arm_transient_rename_failures(std::size_t count) noexcept {
+    transient_rename_failures_ = count;
+  }
   /// True once an armed fault has actually triggered (offset reached, sync
-  /// failed, rename refused) — lets tests assert the fault wasn't a no-op.
+  /// failed, open/rename refused) — lets tests assert the fault wasn't a
+  /// no-op.
   [[nodiscard]] bool fault_fired() const noexcept { return fault_fired_; }
+
+  /// The storm passes: clears every armed fault and transient counter so
+  /// subsequent operations pass straight through.  fault_fired() keeps its
+  /// value — it reports history, not armament.
+  void disarm_all() noexcept {
+    armed_ = FileFault{};
+    fail_rename_ = false;
+    keep_tmp_on_failed_rename_ = false;
+    transient_open_failures_ = 0;
+    transient_rename_failures_ = 0;
+    protected_tmp_.clear();
+  }
 
   [[nodiscard]] Status open_for_write(const std::string& path,
                                       std::unique_ptr<WritableFile>& out) override;
@@ -209,6 +268,12 @@ class FaultInjectingFileSystem final : public FileSystem {
   FileSystem& base_;
   FileFault armed_{};
   bool fail_rename_ = false;
+  bool keep_tmp_on_failed_rename_ = false;
+  std::size_t transient_open_failures_ = 0;
+  std::size_t transient_rename_failures_ = 0;
+  /// Source path of a rename failed via fail_next_rename_leaving_tmp();
+  /// the next remove_file of exactly this path is refused once.
+  std::string protected_tmp_;
   bool fault_fired_ = false;
 };
 

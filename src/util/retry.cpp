@@ -1,0 +1,52 @@
+#include "util/retry.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace eyeball::util {
+
+std::chrono::nanoseconds RetryPolicy::backoff_for(const RetryOptions& options,
+                                                  std::size_t attempt) noexcept {
+  if (attempt == 0) return std::chrono::nanoseconds::zero();
+  // Iterated saturating growth rather than pow(): every intermediate value
+  // is clamped, so the k-th backoff is the same whether the schedule is
+  // computed attempt by attempt or queried directly — and a large
+  // `attempt` cannot overflow through an unclamped exponent.
+  std::chrono::nanoseconds backoff = options.initial_backoff;
+  if (backoff < std::chrono::nanoseconds::zero()) backoff = std::chrono::nanoseconds::zero();
+  if (backoff > options.max_backoff) backoff = options.max_backoff;
+  const double factor = options.multiplier < 1.0 ? 1.0 : options.multiplier;
+  for (std::size_t step = 1; step < attempt; ++step) {
+    if (backoff >= options.max_backoff) return options.max_backoff;
+    const double grown = static_cast<double>(backoff.count()) * factor;
+    if (grown >= static_cast<double>(options.max_backoff.count())) {
+      return options.max_backoff;
+    }
+    backoff = std::chrono::nanoseconds{static_cast<std::int64_t>(grown)};
+  }
+  return backoff;
+}
+
+RetryResult RetryPolicy::run(const std::function<Status()>& op) const {
+  EYEBALL_DCHECK(op != nullptr, "RetryPolicy::run needs an operation");
+  const std::size_t attempts = options_.max_attempts == 0 ? 1 : options_.max_attempts;
+  RetryResult result;
+  result.attempts.reserve(attempts);
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    const std::chrono::nanoseconds backoff = backoff_for(options_, attempt);
+    if (attempt > 0) clock_.sleep_for(backoff);
+    Status status = op();
+    const bool stop = status.ok() || !retriable(status.code()) || attempt + 1 == attempts;
+    result.attempts.push_back(RetryAttempt{status, backoff});
+    if (stop) {
+      result.status = std::move(status);
+      return result;
+    }
+  }
+  // Unreachable: the loop always returns on its last attempt.
+  EYEBALL_DCHECK(false, "retry loop fell through");
+  return result;
+}
+
+}  // namespace eyeball::util

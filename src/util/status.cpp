@@ -20,6 +20,8 @@ std::string_view to_string(StatusCode code) noexcept {
       return "VERSION_MISMATCH";
     case StatusCode::kConfigMismatch:
       return "CONFIG_MISMATCH";
+    case StatusCode::kInternal:
+      return "INTERNAL";
   }
   return "UNKNOWN";
 }

@@ -36,6 +36,11 @@ enum class StatusCode : std::uint8_t {
   /// A well-formed artifact whose recorded configuration differs from the
   /// live one — loading it would silently change results, so we refuse.
   kConfigMismatch,
+  /// Something that was promised not to fail did: an exception (analysis
+  /// error, allocation failure) crossed the publish firewall and was
+  /// converted into a typed value instead of unwinding a serving thread.
+  /// Not retriable — the same inputs would fail the same way.
+  kInternal,
 };
 
 [[nodiscard]] std::string_view to_string(StatusCode code) noexcept;
@@ -71,6 +76,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status config_mismatch(std::string message) {
     return Status{StatusCode::kConfigMismatch, std::move(message)};
+  }
+  [[nodiscard]] static Status internal(std::string message) {
+    return Status{StatusCode::kInternal, std::move(message)};
   }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }

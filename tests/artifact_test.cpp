@@ -163,7 +163,9 @@ void expect_view_equals_epoch(const core::ArtifactView& view,
       for (std::size_t r = 0; r < as.grid_run_count(); ++r) {
         const core::GridRun run = as.grid_run(r);
         ASSERT_GE(run.count, 1u) << "run " << r;
-        if (r > 0) ASSERT_GT(run.start_cell, prev_end) << "run " << r;
+        if (r > 0) {
+          ASSERT_GT(run.start_cell, prev_end) << "run " << r;
+        }
         ASSERT_LE(run.start_cell + run.count, dense.size()) << "run " << r;
         for (std::uint64_t c = 0; c < run.count; ++c) {
           dense[static_cast<std::size_t>(run.start_cell + c)] = nonzero[cursor++];

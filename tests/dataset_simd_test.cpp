@@ -108,7 +108,9 @@ TEST(LookupMemoBatch, AllMissFastPathFillsMemoExactly) {
   for (std::size_t i = 0; i < ips.size(); ++i) {
     const auto direct = f.primary.lookup(ips[i]);
     ASSERT_EQ(first[i].has_value(), direct.has_value()) << i;
-    if (direct) EXPECT_EQ(first[i]->location, direct->location);
+    if (direct) {
+      EXPECT_EQ(first[i]->location, direct->location);
+    }
   }
   // Replay against a scalar twin driven through the same two passes: the
   // fast path must leave the exact slot state the serial loop would (slot
@@ -125,7 +127,9 @@ TEST(LookupMemoBatch, AllMissFastPathFillsMemoExactly) {
   EXPECT_GT(memo.hits(), 0u);
   for (std::size_t i = 0; i < ips.size(); ++i) {
     ASSERT_EQ(second[i].has_value(), first[i].has_value()) << i;
-    if (first[i]) EXPECT_EQ(second[i]->location, first[i]->location);
+    if (first[i]) {
+      EXPECT_EQ(second[i]->location, first[i]->location);
+    }
   }
 }
 

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -325,6 +326,153 @@ TEST(FaultInjection, FaultArmsTheNextOpenOnly) {
   std::vector<std::byte> read_back;
   ASSERT_TRUE(fs.read_file(dir + "/b", read_back).ok());
   EXPECT_EQ(read_back, bytes_of("bbbb"));
+}
+
+TEST(FaultInjection, NoSpaceKeepsRefusingEveryFurtherAppend) {
+  // ENOSPC differs from a short write in PERSISTENCE of the error: the
+  // prefix that fit stays written, and every retried append re-fails with
+  // the same typed error — the shape a retry loop sees from a full disk.
+  const std::string dir = scratch_dir("no_space");
+  const std::string path = dir + "/data.bin";
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  fs.arm(FileFault{FileFault::Kind::kNoSpace, 4, 0});
+
+  std::unique_ptr<util::WritableFile> file;
+  ASSERT_TRUE(fs.open_for_write(path, file).ok());
+  const auto payload = bytes_of("0123456789");
+  const Status first = file->append(payload);
+  EXPECT_EQ(first.code(), StatusCode::kIoError);
+  EXPECT_TRUE(fs.fault_fired());
+  // The device stays full: identical typed refusal on every retry.
+  for (int retry = 0; retry < 3; ++retry) {
+    EXPECT_EQ(file->append(payload), first) << "retry " << retry;
+  }
+  ASSERT_TRUE(file->close().ok());
+  std::vector<std::byte> read_back;
+  ASSERT_TRUE(fs.read_file(path, read_back).ok());
+  EXPECT_EQ(read_back, bytes_of("0123"));  // the prefix persisted exactly once
+
+  // Through the atomic protocol the failure stays clean: nothing published.
+  fs.arm(FileFault{FileFault::Kind::kNoSpace, 2, 0});
+  EXPECT_EQ(util::atomic_write_file(fs, dir + "/atomic.bin", payload).code(),
+            StatusCode::kIoError);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/atomic.bin"));
+}
+
+TEST(FaultInjection, TransientOpenFailuresRecoverAfterCount) {
+  const std::string dir = scratch_dir("transient_open");
+  const std::string path = dir + "/data.bin";
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  fs.arm_transient_open_failures(2);
+
+  // Exactly two refusals, then the write path heals — the error class a
+  // retry-with-backoff policy exists for.
+  EXPECT_EQ(util::atomic_write_file(fs, path, bytes_of("x")).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(util::atomic_write_file(fs, path, bytes_of("x")).code(),
+            StatusCode::kIoError);
+  EXPECT_TRUE(fs.fault_fired());
+  ASSERT_TRUE(util::atomic_write_file(fs, path, bytes_of("healed")).ok());
+  std::vector<std::byte> read_back;
+  ASSERT_TRUE(fs.read_file(path, read_back).ok());
+  EXPECT_EQ(read_back, bytes_of("healed"));
+}
+
+TEST(FaultInjection, TransientRenameFailuresRecoverAfterCount) {
+  const std::string dir = scratch_dir("transient_rename");
+  const std::string path = dir + "/data.bin";
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  fs.arm_transient_rename_failures(1);
+
+  EXPECT_EQ(util::atomic_write_file(fs, path, bytes_of("x")).code(),
+            StatusCode::kIoError);
+  EXPECT_TRUE(util::atomic_write_file(fs, path, bytes_of("y")).ok());
+  std::vector<std::byte> read_back;
+  ASSERT_TRUE(fs.read_file(path, read_back).ok());
+  EXPECT_EQ(read_back, bytes_of("y"));
+}
+
+TEST(FaultInjection, FailedRenameCanLeaveThePoisonedTmpBehind) {
+  // fail_next_rename_leaving_tmp models the crash window between "rename
+  // refused" and "tmp unlinked": the cleanup is also refused once, so the
+  // tmp survives as debris.  The NEXT atomic_write_file to the same path
+  // must reclaim it — a poisoned tmp can neither mask nor corrupt a later
+  // publish.
+  const std::string dir = scratch_dir("tmp_left_behind");
+  const std::string path = dir + "/data.bin";
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  fs.fail_next_rename_leaving_tmp();
+
+  EXPECT_EQ(util::atomic_write_file(fs, path, bytes_of("poison")).code(),
+            StatusCode::kIoError);
+  EXPECT_TRUE(fs.fault_fired());
+  // The debris is real: the tmp holds the failed write's full payload.
+  ASSERT_TRUE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::vector<std::byte> tmp_bytes;
+  ASSERT_TRUE(fs.read_file(path + ".tmp", tmp_bytes).ok());
+  EXPECT_EQ(tmp_bytes, bytes_of("poison"));
+
+  // Reclaim: the next write publishes ITS bytes and clears the corpse.
+  ASSERT_TRUE(util::atomic_write_file(fs, path, bytes_of("fresh")).ok());
+  std::vector<std::byte> read_back;
+  ASSERT_TRUE(fs.read_file(path, read_back).ok());
+  EXPECT_EQ(read_back, bytes_of("fresh"));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(AtomicWriteFile, ReclaimsAStaleTmpFromACrashedWriter) {
+  // A stale tmp can also appear with no fault injector at all (a previous
+  // process died between write and rename).  Plant one directly.
+  const std::string dir = scratch_dir("stale_tmp");
+  const std::string path = dir + "/data.bin";
+  auto& fs = util::local_filesystem();
+  std::unique_ptr<util::WritableFile> tmp;
+  ASSERT_TRUE(fs.open_for_write(path + ".tmp", tmp).ok());
+  ASSERT_TRUE(tmp->append(bytes_of("stale garbage")).ok());
+  ASSERT_TRUE(tmp->close().ok());
+
+  ASSERT_TRUE(util::atomic_write_file(fs, path, bytes_of("current")).ok());
+  std::vector<std::byte> read_back;
+  ASSERT_TRUE(fs.read_file(path, read_back).ok());
+  EXPECT_EQ(read_back, bytes_of("current"));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(QuarantineFile, MovesTheFileAsideAndRecordsWhy) {
+  const std::string dir = scratch_dir("quarantine");
+  const std::string path = dir + "/snapshot.bad";
+  auto& fs = util::local_filesystem();
+  ASSERT_TRUE(util::atomic_write_file(fs, path, bytes_of("damaged")).ok());
+
+  const Status why = Status::corruption("whole-file CRC mismatch");
+  ASSERT_TRUE(util::quarantine_file(fs, path, why).ok());
+
+  // Moved, not deleted: the evidence survives under the quarantine name.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  const std::string aside = path + std::string{util::kQuarantineSuffix};
+  std::vector<std::byte> preserved;
+  ASSERT_TRUE(fs.read_file(aside, preserved).ok());
+  EXPECT_EQ(preserved, bytes_of("damaged"));
+
+  // The reason sidecar carries the typed verdict for the post-mortem.
+  std::vector<std::byte> reason;
+  ASSERT_TRUE(fs.read_file(aside + ".reason", reason).ok());
+  const std::string reason_text{reinterpret_cast<const char*>(reason.data()),
+                                reason.size()};
+  EXPECT_NE(reason_text.find("CORRUPTION"), std::string::npos);
+  EXPECT_NE(reason_text.find("CRC mismatch"), std::string::npos);
+
+  // Quarantining a missing file is a typed failure, not a crash.
+  EXPECT_FALSE(util::quarantine_file(fs, path, why).ok());
+  EXPECT_FALSE(util::quarantine_file(fs, "", why).ok());
+}
+
+TEST(Status, InternalIsATypedNonRetriableVerdict) {
+  const Status internal = Status::internal("analysis threw mid-publish");
+  EXPECT_FALSE(internal.ok());
+  EXPECT_EQ(internal.code(), StatusCode::kInternal);
+  EXPECT_EQ(internal.to_string(), "INTERNAL: analysis threw mid-publish");
 }
 
 }  // namespace

@@ -8,9 +8,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +22,10 @@
 #include "p2p/churn.hpp"
 #include "pipeline_fixture.hpp"
 #include "serve/service.hpp"
+#include "util/clock.hpp"
+#include "util/crc32c.hpp"
+#include "util/file.hpp"
+#include "util/status.hpp"
 
 namespace eyeball {
 namespace {
@@ -278,6 +285,194 @@ TEST(Serving, RestoreThenServeRoundTrip) {
   const auto refusal = restored.restore(empty);
   EXPECT_EQ(refusal.code(), util::StatusCode::kNotFound);
   EXPECT_EQ(restored.snapshot(), snap);
+}
+
+TEST(Serving, RestoreRefusesWhenEveryGenerationIsDeadAndKeepsServing) {
+  const auto& w = serve_world();
+  const std::string dir =
+      ::testing::TempDir() + "eyeball_serving_test_dead_generations";
+  std::filesystem::remove_all(dir);
+  auto& fs = util::local_filesystem();
+
+  // A writer leaves two generations behind.
+  serve::ServiceConfig writer_config = two_threads();
+  writer_config.snapshot_dir = dir;
+  serve::EyeballService writer{w.pipeline, writer_config};
+  writer.ingest(w.churn.windows[0]);
+  ASSERT_NE(writer.publish(), nullptr);
+  writer.ingest(w.churn.windows[1]);
+  ASSERT_NE(writer.publish(), nullptr);
+  ASSERT_TRUE(writer.last_save_status().ok());
+
+  // Kill both: generation 2 gets a flipped body byte (media corruption);
+  // generation 1 gets its format version bumped AND the file CRC redone —
+  // an intact file from a future format (the version-skew recipe from
+  // snapshot_test.cpp), which must refuse as kVersionMismatch, not rot.
+  const std::string gen2 = dir + "/snapshot.00000000000000000002.eyb";
+  const std::string gen1 = dir + "/snapshot.00000000000000000001.eyb";
+  std::vector<std::byte> bytes;
+  ASSERT_TRUE(fs.read_file(gen2, bytes).ok());
+  bytes[bytes.size() / 2] ^= std::byte{0x20};
+  ASSERT_TRUE(util::atomic_write_file(fs, gen2, bytes).ok());
+  ASSERT_TRUE(fs.read_file(gen1, bytes).ok());
+  bytes[8] = std::byte{2};  // format version field, little-endian low byte
+  const std::size_t body_size = bytes.size() - 12;
+  const std::uint32_t crc = util::crc32c({bytes.data(), body_size});
+  for (int i = 0; i < 4; ++i) {
+    bytes[body_size + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((crc >> (8 * i)) & 0xffU);
+  }
+  ASSERT_TRUE(util::atomic_write_file(fs, gen1, bytes).ok());
+
+  // A service already serving epoch 1 attempts the restore.
+  serve::EyeballService service{w.pipeline, two_threads()};
+  service.ingest(w.churn.windows[0]);
+  const auto serving = service.publish();
+  ASSERT_NE(serving, nullptr);
+
+  const auto status = service.restore(dir);
+  ASSERT_FALSE(status.ok());
+  // The newest generation's verdict is the one reported.
+  EXPECT_EQ(status.code(), util::StatusCode::kCorruption);
+
+  // Serving untouched: same pinned epoch, health still Healthy (a refused
+  // restore changes nothing about the running service).
+  EXPECT_EQ(service.snapshot(), serving);
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(service.health().state, serve::ServiceHealth::kHealthy);
+
+  // The corrupt generation was quarantined with its verdict; the
+  // version-skewed file is intact property of another binary and stays.
+  EXPECT_FALSE(std::filesystem::exists(gen2));
+  EXPECT_TRUE(
+      std::filesystem::exists(gen2 + std::string{util::kQuarantineSuffix}));
+  EXPECT_TRUE(std::filesystem::exists(gen1));
+
+  // Life goes on: publish-from-scratch still works and advances the epoch.
+  service.ingest(w.churn.windows[1]);
+  const auto next = service.publish();
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->epoch(), 2u);
+}
+
+// ---- The health state machine and the publish exception firewall ----
+
+TEST(Serving, PublishFirewallTripsToReadOnlyAndCarryoverHealsTheNextEpoch) {
+  const auto& w = serve_world();
+  serve::ServiceConfig config = two_threads();
+  bool armed = false;
+  config.publish_fault_hook = [&armed] {
+    if (armed) throw std::runtime_error("injected analysis failure");
+  };
+  serve::EyeballService service{w.pipeline, config};
+  service.ingest(w.churn.windows[0]);
+  const auto first = service.publish();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(service.health().state, serve::ServiceHealth::kHealthy);
+
+  // The throw lands after finalize() has cleared the touched set — the
+  // worst spot: without the carry-over, the next publish would silently
+  // serve stale analyses for every AS window 1 touched.
+  service.ingest(w.churn.windows[1]);
+  armed = true;
+  const auto tripped = service.publish();
+  EXPECT_EQ(tripped, nullptr);
+  EXPECT_EQ(service.last_publish_status().code(), util::StatusCode::kInternal);
+  EXPECT_NE(
+      service.last_publish_status().message().find("injected analysis failure"),
+      std::string::npos);
+  // The previous epoch keeps serving...
+  EXPECT_EQ(service.snapshot(), first);
+  EXPECT_EQ(service.epoch(), 1u);
+  // ...and health says read-only.
+  const auto report = service.health();
+  EXPECT_EQ(report.state, serve::ServiceHealth::kReadOnly);
+  EXPECT_EQ(report.times_read_only, 1u);
+  EXPECT_FALSE(report.last_error.ok());
+
+  // Recovery publish with NO new ingest: only the carried-over work list
+  // tells refresh_analyses what window 1 changed.
+  armed = false;
+  const auto healed = service.publish();
+  ASSERT_NE(healed, nullptr);
+  EXPECT_EQ(healed->epoch(), 2u);
+  EXPECT_TRUE(service.last_publish_status().ok());
+  const auto recovered = service.health();
+  EXPECT_EQ(recovered.state, serve::ServiceHealth::kHealthy);
+  EXPECT_EQ(recovered.times_read_only, 1u);
+  // The error stays on record for post-mortem after recovery.
+  EXPECT_FALSE(recovered.last_error.ok());
+
+  // The differential oracle: the healed epoch equals a from-scratch
+  // analysis — no AS is served a stale window-0 answer.
+  const auto from_scratch = w.pipeline.analyze_all(healed->dataset().ases(), 2);
+  ASSERT_EQ(healed->analyses().size(), from_scratch.size());
+  for (std::size_t i = 0; i < from_scratch.size(); ++i) {
+    EXPECT_TRUE(same_analysis(healed->analyses()[i], from_scratch[i]))
+        << "as index " << i;
+  }
+}
+
+TEST(Serving, DurabilityFaultsRetryDeterministicallyAndDegradeUntilRecovery) {
+  const auto& w = serve_world();
+  const std::string dir = ::testing::TempDir() + "eyeball_serving_test_degraded";
+  std::filesystem::remove_all(dir);
+
+  util::FaultInjectingFileSystem fs{util::local_filesystem()};
+  util::FakeClock clock;
+  serve::ServiceConfig config = two_threads();
+  config.snapshot_dir = dir;
+  config.filesystem = &fs;
+  config.clock = &clock;
+  serve::EyeballService service{w.pipeline, config};
+
+  // One transient open failure: the supervised save absorbs it — one
+  // backoff sleep, then success; health never leaves Healthy.
+  service.ingest(w.churn.windows[0]);
+  fs.arm_transient_open_failures(1);
+  ASSERT_NE(service.publish(), nullptr);
+  EXPECT_TRUE(service.last_save_status().ok()) << service.last_save_status();
+  EXPECT_EQ(service.last_save_retry().attempts_made(), 2u);
+  EXPECT_EQ(service.health().state, serve::ServiceHealth::kHealthy);
+  ASSERT_EQ(clock.sleeps().size(), 1u);
+  EXPECT_EQ(clock.sleeps()[0], std::chrono::milliseconds{10});
+
+  // Exhaustion: exactly max_attempts armed failures, so every attempt is
+  // refused and the injector is clean afterwards.  The epoch still
+  // publishes — only durability degrades — and the backoff schedule is a
+  // pure function of the fault pattern: 10ms then 20ms.
+  clock.clear_sleeps();
+  service.ingest(w.churn.windows[1]);
+  fs.arm_transient_open_failures(3);
+  const auto published = service.publish();
+  ASSERT_NE(published, nullptr);
+  EXPECT_EQ(published->epoch(), 2u);
+  EXPECT_EQ(service.last_save_status().code(), util::StatusCode::kIoError);
+  EXPECT_EQ(service.last_save_retry().attempts_made(), 3u);
+  const auto sleeps = clock.sleeps();
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], std::chrono::milliseconds{10});
+  EXPECT_EQ(sleeps[1], std::chrono::milliseconds{20});
+  auto report = service.health();
+  EXPECT_EQ(report.state, serve::ServiceHealth::kDegradedDurability);
+  EXPECT_EQ(report.times_degraded, 1u);
+  EXPECT_FALSE(report.last_error.ok());
+
+  // Faults cleared: the next publish re-saves and health returns to
+  // Healthy, with the exhaustion verdict kept on record.
+  const auto healed = service.publish();
+  ASSERT_NE(healed, nullptr);
+  EXPECT_TRUE(service.last_save_status().ok()) << service.last_save_status();
+  report = service.health();
+  EXPECT_EQ(report.state, serve::ServiceHealth::kHealthy);
+  EXPECT_EQ(report.times_degraded, 1u);
+  EXPECT_FALSE(report.last_error.ok());
+
+  // And what landed on disk despite the storm restores on a cold replica.
+  serve::EyeballService replica{w.pipeline, two_threads()};
+  ASSERT_TRUE(replica.restore(dir).ok());
+  ASSERT_NE(replica.snapshot(), nullptr);
+  expect_same_snapshot(*healed, *replica.snapshot(), "post-storm restore");
 }
 
 // ---- The TSan storm: readers vs. writer, no torn epochs ----

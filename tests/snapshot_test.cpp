@@ -439,6 +439,94 @@ TEST(Snapshot, AllGenerationsCorruptReportsTheNewestError) {
   EXPECT_EQ(state_bytes(restored), before);
 }
 
+TEST(Snapshot, CorruptGenerationIsQuarantinedWithItsVerdictNotDeleted) {
+  const auto& w = snap_world();
+  const std::string dir = scratch_dir("quarantine");
+  auto& fs = util::local_filesystem();
+
+  auto builder = w.streaming();
+  builder.ingest(w.churn.windows[0], 2);
+  ASSERT_TRUE(builder.save_snapshot(dir, fs).ok());
+  builder.ingest(w.churn.windows[1], 2);
+  ASSERT_TRUE(builder.save_snapshot(dir, fs).ok());
+
+  const std::string newest = dir + "/snapshot.00000000000000000002.eyb";
+  std::vector<std::byte> damaged;
+  ASSERT_TRUE(fs.read_file(newest, damaged).ok());
+  damaged[damaged.size() / 2] ^= std::byte{0x10};
+  ASSERT_TRUE(util::atomic_write_file(fs, newest, damaged).ok());
+
+  auto restored = w.streaming();
+  core::SnapshotRestoreInfo info;
+  ASSERT_TRUE(restored.restore_snapshot(dir, fs, &info).ok());
+  EXPECT_EQ(info.generation, 1u);
+  EXPECT_EQ(info.generations_skipped, 1u);
+
+  // The condemned file moved aside intact — evidence, not garbage — with
+  // the typed verdict recorded next to it.
+  EXPECT_FALSE(std::filesystem::exists(newest));
+  const std::string aside = newest + std::string{util::kQuarantineSuffix};
+  std::vector<std::byte> preserved;
+  ASSERT_TRUE(fs.read_file(aside, preserved).ok());
+  EXPECT_EQ(preserved, damaged);
+  std::vector<std::byte> reason;
+  ASSERT_TRUE(fs.read_file(aside + ".reason", reason).ok());
+  EXPECT_FALSE(reason.empty());
+
+  // A second restore never re-trips on the corpse: the quarantined name no
+  // longer parses as a live generation, so generation 1 loads first try.
+  auto again = w.streaming();
+  core::SnapshotRestoreInfo second;
+  ASSERT_TRUE(again.restore_snapshot(dir, fs, &second).ok());
+  EXPECT_EQ(second.generation, 1u);
+  EXPECT_EQ(second.generations_skipped, 0u);
+}
+
+TEST(Snapshot, PruneNeverRemovesAQuarantinedGenerationAndNeverReusesItsNumber) {
+  const auto& w = snap_world();
+  const std::string dir = scratch_dir("quarantine_prune");
+  auto& fs = util::local_filesystem();
+
+  auto builder = w.streaming();
+  builder.ingest(w.churn.windows[0], 2);
+  ASSERT_TRUE(builder.save_snapshot(dir, fs).ok());
+  builder.ingest(w.churn.windows[1], 2);
+  ASSERT_TRUE(builder.save_snapshot(dir, fs).ok());
+
+  // Damage and quarantine generation 2 via a failed restore.
+  const std::string newest = dir + "/snapshot.00000000000000000002.eyb";
+  std::vector<std::byte> bytes;
+  ASSERT_TRUE(fs.read_file(newest, bytes).ok());
+  bytes[bytes.size() / 2] ^= std::byte{0x04};
+  ASSERT_TRUE(util::atomic_write_file(fs, newest, bytes).ok());
+  auto restored = w.streaming();
+  ASSERT_TRUE(restored.restore_snapshot(dir, fs).ok());
+  const std::string aside = newest + std::string{util::kQuarantineSuffix};
+  ASSERT_TRUE(std::filesystem::exists(aside));
+
+  // The first save after the fallback must skip the quarantined number (a
+  // reused generation 2 would collide with the preserved evidence)...
+  std::uint64_t generation = 0;
+  ASSERT_TRUE(restored.save_snapshot(dir, fs, &generation).ok());
+  EXPECT_EQ(generation, 3u);
+  // ...and however many saves follow, keep-2 pruning only ever counts LIVE
+  // generations: the corpse outlives all of them.
+  for (std::uint64_t expected = 4; expected < 8; ++expected) {
+    restored.ingest(w.churn.windows[2], 2);
+    ASSERT_TRUE(restored.save_snapshot(dir, fs, &generation).ok());
+    EXPECT_EQ(generation, expected);
+  }
+  EXPECT_TRUE(std::filesystem::exists(aside));
+  EXPECT_TRUE(std::filesystem::exists(aside + ".reason"));
+  const std::vector<std::string> names = snapshot_files(dir);
+  // Two live generations + corpse + reason sidecar, nothing else.
+  EXPECT_EQ(names.size(), 4u);
+  EXPECT_TRUE(std::find(names.begin(), names.end(),
+                        "snapshot.00000000000000000006.eyb") != names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(),
+                        "snapshot.00000000000000000007.eyb") != names.end());
+}
+
 TEST(Snapshot, MissingOrEmptyDirectoryIsNotFound) {
   const auto& w = snap_world();
   auto builder = w.streaming();

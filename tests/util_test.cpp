@@ -1,14 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <set>
 #include <vector>
 
+#include "util/clock.hpp"
 #include "util/format.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 
 namespace eyeball::util {
@@ -436,6 +440,131 @@ TEST(Format, InThousands) {
 TEST(Format, Percent) {
   EXPECT_EQ(percent(0.415), "41.5%");
   EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+// ---- Clock: the time seam the retry policy is deterministic through. ----
+
+TEST(FakeClock, StartsAtZeroAndAdvancesOnlyByExplicitSteps) {
+  FakeClock clock;
+  EXPECT_EQ(clock.now(), std::chrono::nanoseconds::zero());
+  clock.sleep_for(std::chrono::milliseconds{10});
+  EXPECT_EQ(clock.now(), std::chrono::milliseconds{10});
+  clock.advance(std::chrono::milliseconds{5});  // external delay, not a sleep
+  EXPECT_EQ(clock.now(), std::chrono::milliseconds{15});
+  // Non-positive sleeps are ignored entirely: no time, no schedule entry.
+  clock.sleep_for(std::chrono::nanoseconds{-1});
+  clock.sleep_for(std::chrono::nanoseconds::zero());
+  EXPECT_EQ(clock.now(), std::chrono::milliseconds{15});
+  ASSERT_EQ(clock.sleeps().size(), 1u);
+  EXPECT_EQ(clock.sleeps()[0], std::chrono::milliseconds{10});
+  clock.clear_sleeps();
+  EXPECT_TRUE(clock.sleeps().empty());
+  EXPECT_EQ(clock.now(), std::chrono::milliseconds{15});  // time survives
+}
+
+TEST(MonotonicClock, NeverDecreases) {
+  Clock& clock = monotonic_clock();
+  const std::chrono::nanoseconds a = clock.now();
+  const std::chrono::nanoseconds b = clock.now();
+  EXPECT_LE(a.count(), b.count());
+}
+
+// ---- RetryPolicy: deterministic supervised retries. ----
+
+TEST(RetryPolicy, BackoffScheduleIsExponentialAndSaturates) {
+  RetryOptions options;
+  options.initial_backoff = std::chrono::milliseconds{10};
+  options.multiplier = 2.0;
+  options.max_backoff = std::chrono::milliseconds{35};
+  // Attempt 0 runs immediately; each later attempt doubles, clamped.
+  EXPECT_EQ(RetryPolicy::backoff_for(options, 0), std::chrono::nanoseconds::zero());
+  EXPECT_EQ(RetryPolicy::backoff_for(options, 1), std::chrono::milliseconds{10});
+  EXPECT_EQ(RetryPolicy::backoff_for(options, 2), std::chrono::milliseconds{20});
+  EXPECT_EQ(RetryPolicy::backoff_for(options, 3), std::chrono::milliseconds{35});
+  EXPECT_EQ(RetryPolicy::backoff_for(options, 50), std::chrono::milliseconds{35});
+  // A sub-1.0 multiplier cannot shrink the schedule (clamped to constant).
+  options.multiplier = 0.5;
+  EXPECT_EQ(RetryPolicy::backoff_for(options, 3), std::chrono::milliseconds{10});
+}
+
+TEST(RetryPolicy, RetriesTransientIoErrorsAndRecordsEveryAttempt) {
+  FakeClock clock;
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff = std::chrono::milliseconds{10};
+  const RetryPolicy policy{options, clock};
+  int calls = 0;
+  const RetryResult result = policy.run([&calls] {
+    ++calls;
+    return calls < 3 ? Status::io_error("transient") : Status{};
+  });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(result.attempts_made(), 3u);
+  EXPECT_EQ(result.attempts[0].status.code(), StatusCode::kIoError);
+  EXPECT_EQ(result.attempts[0].backoff_before, std::chrono::nanoseconds::zero());
+  EXPECT_EQ(result.attempts[1].backoff_before, std::chrono::milliseconds{10});
+  EXPECT_EQ(result.attempts[2].backoff_before, std::chrono::milliseconds{20});
+  EXPECT_TRUE(result.attempts[2].status.ok());
+  // The clock recorded exactly the non-zero backoffs, in order.
+  ASSERT_EQ(clock.sleeps().size(), 2u);
+  EXPECT_EQ(clock.sleeps()[0], std::chrono::milliseconds{10});
+  EXPECT_EQ(clock.sleeps()[1], std::chrono::milliseconds{20});
+}
+
+TEST(RetryPolicy, NonRetriableVerdictsFailImmediately) {
+  FakeClock clock;
+  const RetryPolicy policy{RetryOptions{}, clock};
+  int calls = 0;
+  const RetryResult result = policy.run([&calls] {
+    ++calls;
+    return Status::corruption("bytes are lying");
+  });
+  EXPECT_EQ(result.status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);  // corruption does not heal with retries
+  EXPECT_EQ(result.attempts_made(), 1u);
+  EXPECT_TRUE(clock.sleeps().empty());
+}
+
+TEST(RetryPolicy, ExhaustionReportsTheLastErrorWithFullHistory) {
+  FakeClock clock;
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff = std::chrono::milliseconds{1};
+  const RetryPolicy policy{options, clock};
+  const RetryResult result =
+      policy.run([] { return Status::io_error("disk still full"); });
+  EXPECT_EQ(result.status.code(), StatusCode::kIoError);
+  EXPECT_EQ(result.attempts_made(), 3u);
+  for (const RetryAttempt& attempt : result.attempts) {
+    EXPECT_EQ(attempt.status.code(), StatusCode::kIoError);
+  }
+  // max_attempts == 0 is treated as "at least one attempt".
+  const RetryPolicy zero{RetryOptions{.max_attempts = 0}, clock};
+  EXPECT_EQ(zero.run([] { return Status{}; }).attempts_made(), 1u);
+}
+
+TEST(RetryPolicy, ScheduleIsByteReproducibleAcrossRuns) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.initial_backoff = std::chrono::milliseconds{7};
+  options.multiplier = 3.0;
+  options.max_backoff = std::chrono::milliseconds{100};
+  const auto run_once = [&options] {
+    FakeClock clock;
+    const RetryPolicy policy{options, clock};
+    static_cast<void>(
+        policy.run([] { return Status::io_error("always failing"); }));
+    return clock.sleeps();
+  };
+  const std::vector<std::chrono::nanoseconds> first = run_once();
+  const std::vector<std::chrono::nanoseconds> second = run_once();
+  EXPECT_EQ(first, second);
+  ASSERT_EQ(first.size(), 4u);
+  EXPECT_EQ(first[0], std::chrono::milliseconds{7});
+  EXPECT_EQ(first[1], std::chrono::milliseconds{21});
+  EXPECT_EQ(first[2], std::chrono::milliseconds{63});
+  EXPECT_EQ(first[3], std::chrono::milliseconds{100});
 }
 
 }  // namespace

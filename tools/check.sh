@@ -24,6 +24,7 @@ STAGES=(
   "ubsan|EYEBALL_SANITIZE=undefined build; the FULL test suite with EYEBALL_DCHECK forced on and UB aborting"
   "snapshot-faults|EYEBALL_SANITIZE=address;undefined build; fault-injection differential harness + snapshot/file suites"
   "artifact-faults|EYEBALL_SANITIZE=address;undefined build; serving-artifact differential + fault sweep (zero-copy mmap battery)"
+  "chaos|EYEBALL_SANITIZE=address;undefined build; 100-seed whole-lifecycle fault storms over EyeballService (Chaos.Concurrent* also under TSan)"
   "tidy|clang-tidy (.clang-tidy) over src/ via build-analysis/compile_commands.json [skipped when clang-tidy is absent]"
   "thread-safety|EYEBALL_THREAD_SAFETY=ON Clang build: capability analysis as errors + compile-fail probes [skipped when clang++ is absent]"
   "lint|tools/eyeball_lint.py self-test + repo scan, BENCH_*.json schema check, bench_diff self-test"
@@ -145,6 +146,22 @@ artifact_faults_stage() {
     -R 'artifact'
 }
 
+# --- chaos: whole-lifecycle fault storms over the serving layer ------------
+# Shares build-aubsan/ with the fault stages (the storm's oracle includes
+# memory-clean restores); the Chaos.Concurrent* slice additionally runs
+# under the TSan tree, where readers polling health() and epochs race the
+# retrying writer.
+chaos_stage() {
+  cmake -B "${ROOT}/build-aubsan" -S "${ROOT}" \
+    -DEYEBALL_SANITIZE="address;undefined" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build "${ROOT}/build-aubsan" -j "${JOBS}" -t chaos_test
+  ctest --test-dir "${ROOT}/build-aubsan" --output-on-failure -R 'chaos'
+  cmake -B "${ROOT}/build-tsan" -S "${ROOT}" -DEYEBALL_SANITIZE=thread \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build "${ROOT}/build-tsan" -j "${JOBS}" -t chaos_test
+  "${ROOT}/build-tsan/tests/chaos_test" --gtest_filter='Chaos.Concurrent*'
+}
+
 # --- build-analysis/: one Clang tree for tidy + thread-safety --------------
 # Configured with clang++ when available so its compile_commands.json
 # carries Clang-compatible flags for clang-tidy AND the tree doubles as the
@@ -241,6 +258,7 @@ run_stage tsan tsan_stage
 run_stage ubsan ubsan_stage
 run_stage snapshot-faults snapshot_faults_stage
 run_stage artifact-faults artifact_faults_stage
+run_stage chaos chaos_stage
 if command -v clang-tidy > /dev/null 2>&1; then
   run_stage tidy tidy_stage
 else

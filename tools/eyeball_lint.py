@@ -58,6 +58,17 @@ historically been broken in systems like this:
                            the torn-snapshot bug the crash-safety harness
                            exists to catch.  All raw I/O goes through
                            util::FileSystem's Status-returning wrappers.
+  swallowed-exception      A `catch (...)` or `catch (std::exception&)` whose
+                           body neither rethrows (throw;, rethrow_exception,
+                           current_exception) nor converts the failure into a
+                           util::Status: the error vanishes — a long-lived
+                           server keeps running on silently-wrong state.  A
+                           std::exception& handler that produces a Status
+                           passes (e.what() preserves the type's story); a
+                           `catch (...)` that converts to Status still needs
+                           a reasoned allow, because the dynamic type is
+                           unrecoverably gone — the publish firewall in
+                           serve/service.cpp is the one blessed site.
 
 Suppression: a finding is silenced by an annotation on the same line or the
 line directly above, and the annotation must carry a reason:
@@ -98,6 +109,9 @@ RULES = {
     "unchecked-io":
         "raw fwrite/fread/rename/fsync with its return value discarded "
         "(route I/O through util/file's Status-returning layer)",
+    "swallowed-exception":
+        "catch (...) / catch (std::exception&) body that neither rethrows nor "
+        "produces a util::Status (the error vanishes)",
 }
 
 META_RULES = {
@@ -263,6 +277,15 @@ CLOCK_NOW_RE = re.compile(
     r"\b(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\s*\(")
 SEEDY_RE = re.compile(r"seed|rng", re.IGNORECASE)
 IO_CALL_RE = re.compile(r"\b(fwrite|fread|rename|fsync)\s*\(")
+# The two catch forms that can swallow ANY failure.  Handlers for specific
+# types (catch (const std::bad_alloc&)) are deliberately not matched: naming
+# the type is itself evidence the author reasoned about that failure.
+CATCH_ALL_RE = re.compile(
+    r"\bcatch\s*\(\s*(\.\.\.|(?:const\s+)?std\s*::\s*exception\s*&\s*\w*)\s*\)")
+# Tokens that prove the failure leaves the handler: a bare rethrow, storing /
+# rethrowing the exception_ptr, or std::rethrow_exception.
+RETHROW_TOKEN_RE = re.compile(r"\bthrow\b|rethrow_exception|current_exception")
+STATUS_TOKEN_RE = re.compile(r"\bStatus\b")
 
 
 def io_call_in_statement_position(stripped: str, start: int) -> bool:
@@ -522,6 +545,28 @@ def scan_text(rel_path: str, raw: str,
                     "in util/file's checked layer; here, at minimum, the "
                     "result must be examined")
 
+    # --- swallowed-exception -----------------------------------------------
+    # A catch-all handler passes when its body rethrows (the failure keeps
+    # travelling) or — for std::exception& only, where e.what() preserves the
+    # story — when it produces a util::Status.  A `catch (...)` converting to
+    # Status is still a finding: the dynamic type is gone, so the one such
+    # firewall site must carry a reasoned allow.
+    for m in CATCH_ALL_RE.finditer(stripped):
+        brace = stripped.find("{", m.end())
+        if brace < 0:
+            continue
+        body = stripped[brace:matching_brace_span(stripped, brace)]
+        if RETHROW_TOKEN_RE.search(body):
+            continue
+        caught = m.group(1)
+        if caught != "..." and STATUS_TOKEN_RE.search(body):
+            continue
+        what = "catch (...)" if caught == "..." else "catch (std::exception&)"
+        add(line_of(stripped, m.start()), "swallowed-exception",
+            f"{what} body neither rethrows nor produces a util::Status — "
+            "the failure vanishes; rethrow it, convert it to a typed "
+            "Status, or (for a reasoned firewall) carry an allow")
+
     # --- suppression handling ---------------------------------------------
     allows = []  # (line, rule, has_reason, used)
     raw_lines = raw.splitlines()
@@ -610,6 +655,10 @@ FIXTURE_EXPECTATIONS = {
     "unannotated_mutex_allow.cpp": [],
     "unannotated_mutex_allow_stale.cpp": ["unused-allow"],
     "unchecked_io.cpp": ["unchecked-io"],
+    "swallowed_exception.cpp": ["swallowed-exception"],
+    "swallowed_exception_firewall.cpp": [],
+    "swallowed_exception_rethrow.cpp": [],
+    "swallowed_exception_allow_stale.cpp": ["unused-allow"],
     "allow_ok.cpp": [],
     "allow_missing_reason.cpp": ["allow-without-reason", "naked-new"],
     "allow_unknown_rule.cpp": ["unknown-rule"],

@@ -1,0 +1,32 @@
+// Lint fixture — must trigger: swallowed-exception (and nothing else).
+// Both catch-all forms with bodies that make the failure vanish; the
+// specifically-typed handler below must stay quiet (naming the type is
+// evidence the author reasoned about that failure).
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <exception>
+#include <new>
+
+void log_line(const char*);
+
+void flagged_silent() {
+  try {
+    log_line("work");
+  } catch (...) {  // BAD: any failure, silently gone
+  }
+}
+
+void flagged_logged_only() {
+  try {
+    log_line("work");
+  } catch (const std::exception& e) {  // BAD: logged, then forgotten
+    log_line(e.what());
+  }
+}
+
+void quiet_specific_type(char*& out) {
+  try {
+    out = nullptr;
+  } catch (const std::bad_alloc&) {  // fine: a named, reasoned-about type
+    out = nullptr;
+  }
+}

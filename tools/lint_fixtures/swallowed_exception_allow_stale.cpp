@@ -1,0 +1,15 @@
+// Lint fixture — must trigger: unused-allow (annotation suppresses nothing:
+// the handler below already rethrows, so the allow is stale).
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <exception>
+
+void work();
+
+void already_clean() {
+  try {
+    work();
+  // eyeball-lint: allow(swallowed-exception): handler was refactored to rethrow
+  } catch (...) {
+    throw;
+  }
+}

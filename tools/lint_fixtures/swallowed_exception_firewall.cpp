@@ -1,0 +1,28 @@
+// Lint fixture — must stay clean: the two blessed handler shapes.
+// A std::exception& handler that converts the failure into a util::Status
+// passes outright (e.what() preserves the type's story); a catch (...)
+// doing the same still needs a reasoned allow, because the dynamic type is
+// unrecoverably gone — this fixture is the firewall pattern from
+// serve/service.cpp in miniature.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <exception>
+#include <string>
+
+namespace util {
+class Status {
+ public:
+  static Status internal(std::string);
+};
+}  // namespace util
+
+util::Status firewall() {
+  try {
+    return util::Status::internal("unreachable");
+  } catch (const std::exception& e) {  // fine: typed Status carries e.what()
+    return util::Status::internal(e.what());
+  }
+  // eyeball-lint: allow(swallowed-exception): firewall — a non-std exception must still become a typed Status; no type info exists to preserve
+  catch (...) {
+    return util::Status::internal("non-std exception");
+  }
+}

@@ -1,0 +1,31 @@
+// Lint fixture — must stay clean: catch-all handlers whose failure keeps
+// travelling.  A bare rethrow, capturing the exception_ptr for later
+// rethrow (the thread-pool idiom), and std::rethrow_exception all count.
+// Never compiled; exercised by `eyeball_lint.py --self-test`.
+#include <exception>
+
+void work();
+
+void rethrows() {
+  try {
+    work();
+  } catch (const std::exception&) {  // fine: the failure continues
+    throw;
+  }
+}
+
+void captures(std::exception_ptr& slot) {
+  try {
+    work();
+  } catch (...) {  // fine: stored for rethrow on the joining thread
+    slot = std::current_exception();
+  }
+}
+
+void forwards(std::exception_ptr slot) {
+  try {
+    work();
+  } catch (...) {  // fine: surfaced elsewhere, not swallowed
+    std::rethrow_exception(slot);
+  }
+}
